@@ -1,0 +1,299 @@
+//! The generation catalog: Table 1 of the paper as code.
+//!
+//! Each function returns the architectural envelope of one deployed chip.
+//! Headline numbers (clock, MXU organization, peak TFLOPS, HBM bandwidth,
+//! TDP, memory capacities, process node, deployment year, cooling) follow
+//! the paper's Table 1; quantities the paper does not publish (SRAM
+//! bandwidths, latencies, DMA engine counts) are engineering estimates and
+//! are flagged inline. EXPERIMENTS.md records which numbers are
+//! approximate.
+
+use tpu_numerics::DType;
+
+use crate::chip::{ChipConfig, Generation};
+use crate::cooling::CoolingTech;
+use crate::memory::MemSpec;
+use crate::tech::ProcessNode;
+
+/// TPUv1 (2015): the original int8 inference chip. 256x256 MXU at
+/// 700 MHz gives 92 TOPS; 8 GiB DDR3 at 34 GB/s; 28 MiB on-chip buffers.
+pub fn tpu_v1() -> ChipConfig {
+    let e = ProcessNode::N28.energy();
+    ChipConfig::builder("TPUv1", Generation::TpuV1)
+        .year(2015)
+        .node(ProcessNode::N28)
+        .clock_mhz(700.0)
+        .power_w(75.0, 28.0)
+        .die_mm2(331.0)
+        .compute(1, 1, 256)
+        .vpu(128, 2) // activation pipeline stand-in (estimate)
+        // 24 MiB unified buffer modeled as VMEM; 4 MiB accumulators as SMEM.
+        .vmem(MemSpec::sram(24, 1500.0, 20.0, &e))
+        .smem(MemSpec::sram(4, 400.0, 5.0, &e))
+        .hbm(MemSpec::ddr(8, 34.0, &e))
+        .ici(0, 0.0)
+        .dma_engines(2)
+        .types(&[DType::Int8], 1.0)
+        .cooling(CoolingTech::Air)
+        .build()
+        .expect("catalog config is valid")
+}
+
+/// TPUv2 (2017): first training TPU. Two TensorCores, each a 128x128
+/// bf16 MXU at 700 MHz → 46 TFLOPS; 16 GiB HBM at 700 GB/s.
+pub fn tpu_v2() -> ChipConfig {
+    let e = ProcessNode::N16.energy();
+    ChipConfig::builder("TPUv2", Generation::TpuV2)
+        .year(2017)
+        .node(ProcessNode::N16)
+        .clock_mhz(700.0)
+        .power_w(280.0, 82.0)
+        .die_mm2(611.0)
+        .compute(2, 1, 128)
+        .vpu(128, 8)
+        .vmem(MemSpec::sram(16, 2700.0, 15.0, &e)) // per-core (estimate)
+        .smem(MemSpec::sram(4, 400.0, 5.0, &e))
+        .hbm(MemSpec::hbm(4, 4, 175.0, &e)) // 16 GiB, 700 GB/s
+        .ici(4, 62.0) // 496 Gbit/s per link
+        .dma_engines(4)
+        .types(&[DType::Bf16, DType::Fp32], 1.0)
+        .cooling(CoolingTech::Air)
+        .build()
+        .expect("catalog config is valid")
+}
+
+/// TPUv3 (2018): TPUv2 scaled up — two MXUs per core, 940 MHz →
+/// 123 TFLOPS; 32 GiB HBM at 900 GB/s; 450 W, liquid cooled.
+pub fn tpu_v3() -> ChipConfig {
+    let e = ProcessNode::N16.energy();
+    ChipConfig::builder("TPUv3", Generation::TpuV3)
+        .year(2018)
+        .node(ProcessNode::N16)
+        .clock_mhz(940.0)
+        .power_w(450.0, 123.0)
+        .die_mm2(648.0)
+        .compute(2, 2, 128)
+        .vpu(128, 8)
+        .vmem(MemSpec::sram(16, 3600.0, 15.0, &e))
+        .smem(MemSpec::sram(4, 400.0, 5.0, &e))
+        .hbm(MemSpec::hbm(4, 8, 225.0, &e)) // 32 GiB, 900 GB/s
+        .ici(4, 82.0) // 656 Gbit/s per link
+        .dma_engines(4)
+        .types(&[DType::Bf16, DType::Fp32], 1.0)
+        .cooling(CoolingTech::Liquid)
+        .build()
+        .expect("catalog config is valid")
+}
+
+/// TPUv4i (2020): the paper's inference chip. One TensorCore with four
+/// 128x128 MXUs at 1050 MHz → 138 bf16 TFLOPS (int8 at 2x); 128 MiB
+/// CMEM; 8 GiB HBM at 614 GB/s; 175 W, air cooled.
+pub fn tpu_v4i() -> ChipConfig {
+    let e = ProcessNode::N7.energy();
+    ChipConfig::builder("TPUv4i", Generation::TpuV4i)
+        .year(2020)
+        .node(ProcessNode::N7)
+        .clock_mhz(1050.0)
+        .power_w(175.0, 55.0)
+        .die_mm2(400.0)
+        .compute(1, 4, 128)
+        .vpu(128, 8)
+        .vmem(MemSpec::sram(16, 8000.0, 12.0, &e))
+        .cmem(MemSpec::sram(128, 5000.0, 25.0, &e))
+        .smem(MemSpec::sram(8, 500.0, 5.0, &e))
+        .hbm(MemSpec::hbm(2, 4, 307.0, &e)) // 8 GiB, 614 GB/s
+        .ici(2, 100.0)
+        .dma_engines(8)
+        .types(&[DType::Int8, DType::Bf16, DType::Fp32], 2.0)
+        .cooling(CoolingTech::Air)
+        .build()
+        .expect("catalog config is valid")
+}
+
+/// TPUv4 (2020/21): the training sibling — two TensorCores with four
+/// MXUs each → 275 TFLOPS; 32 GiB HBM at 1200 GB/s; liquid cooled.
+pub fn tpu_v4() -> ChipConfig {
+    let e = ProcessNode::N7.energy();
+    ChipConfig::builder("TPUv4", Generation::TpuV4)
+        .year(2020)
+        .node(ProcessNode::N7)
+        .clock_mhz(1050.0)
+        .power_w(275.0, 90.0)
+        .die_mm2(600.0) // estimate; not published at paper time
+        .compute(2, 4, 128)
+        .vpu(128, 8)
+        .vmem(MemSpec::sram(16, 8000.0, 12.0, &e))
+        .cmem(MemSpec::sram(128, 5000.0, 25.0, &e))
+        .smem(MemSpec::sram(8, 500.0, 5.0, &e))
+        .hbm(MemSpec::hbm(4, 8, 300.0, &e)) // 32 GiB, 1200 GB/s
+        .ici(4, 100.0)
+        .dma_engines(8)
+        .types(&[DType::Int8, DType::Bf16, DType::Fp32], 2.0)
+        .cooling(CoolingTech::Liquid)
+        .build()
+        .expect("catalog config is valid")
+}
+
+/// A T4-class inference GPU envelope (2018): 65 fp16 TFLOPS / 130 int8
+/// TOPS tensor-core peak, 16 GiB GDDR6 at 320 GB/s, 70 W.
+///
+/// Modeled as 40 SMs x two 16x16 "MXU-equivalent" tiles so that peak
+/// throughput matches the published tensor-core numbers (65 fp16 TFLOPS,
+/// 130 int8 TOPS at boost); the organization is a stand-in (the
+/// comparison uses only envelope quantities).
+pub fn gpu_t4_like() -> ChipConfig {
+    let e = ProcessNode::N16.energy();
+    ChipConfig::builder("GPU-T4", Generation::GpuT4Like)
+        .year(2018)
+        .node(ProcessNode::N16)
+        .clock_mhz(1590.0) // boost clock (the published peak's basis)
+        .power_w(70.0, 20.0)
+        .die_mm2(545.0)
+        .compute(40, 2, 16) // 40 SMs x 2x(16x16) @ 1590 MHz ≈ 65 fp16 TFLOPS
+        .vpu(64, 4)
+        // Per-SM register file + L1 (256 KiB) and shared memory (96 KiB);
+        // MemSpec::sram is MiB-granular, so construct the specs directly.
+        .vmem(MemSpec {
+            capacity_bytes: 256 * 1024,
+            ..MemSpec::sram(1, 2000.0, 30.0, &e)
+        })
+        .smem(MemSpec {
+            capacity_bytes: 96 * 1024,
+            ..MemSpec::sram(1, 400.0, 10.0, &e)
+        })
+        .hbm(MemSpec::ddr(16, 320.0, &e)) // GDDR6
+        .ici(0, 0.0)
+        .dma_engines(4)
+        .types(&[DType::Int8, DType::Fp16, DType::Fp32], 2.0)
+        .cooling(CoolingTech::Air)
+        .build()
+        .expect("catalog config is valid")
+}
+
+/// All five TPU generations, oldest first.
+pub fn tpu_generations() -> Vec<ChipConfig> {
+    vec![tpu_v1(), tpu_v2(), tpu_v3(), tpu_v4i(), tpu_v4()]
+}
+
+/// Everything in the catalog including the GPU baseline.
+pub fn all_chips() -> Vec<ChipConfig> {
+    let mut v = tpu_generations();
+    v.push(gpu_t4_like());
+    v
+}
+
+/// The chips compared in the paper's inference evaluation (E5):
+/// TPUv2, TPUv3, TPUv4i and the GPU baseline.
+pub fn inference_comparison_set() -> Vec<ChipConfig> {
+    vec![tpu_v2(), tpu_v3(), tpu_v4i(), gpu_t4_like()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::GIB;
+
+    #[test]
+    fn all_catalog_entries_validate() {
+        for c in all_chips() {
+            c.validate().expect("catalog entry must validate");
+        }
+    }
+
+    #[test]
+    fn table1_headline_peaks() {
+        // TPUv1: 92 int8 TOPS.
+        let v1 = tpu_v1();
+        assert!((v1.peak_flops(DType::Int8).unwrap() / 1e12 - 91.75).abs() < 0.5);
+        assert_eq!(v1.peak_flops(DType::Bf16), None);
+        // TPUv2: 46 bf16 TFLOPS.
+        assert!((tpu_v2().peak_flops(DType::Bf16).unwrap() / 1e12 - 45.9).abs() < 0.5);
+        // TPUv3: 123 bf16 TFLOPS.
+        assert!((tpu_v3().peak_flops(DType::Bf16).unwrap() / 1e12 - 123.2).abs() < 0.5);
+        // TPUv4i: 138 bf16 TFLOPS, 276 int8 TOPS.
+        let v4i = tpu_v4i();
+        assert!((v4i.peak_flops(DType::Bf16).unwrap() / 1e12 - 137.6).abs() < 0.5);
+        assert!((v4i.peak_flops(DType::Int8).unwrap() / 1e12 - 275.3).abs() < 1.0);
+        // TPUv4: 275 bf16 TFLOPS.
+        assert!((tpu_v4().peak_flops(DType::Bf16).unwrap() / 1e12 - 275.3).abs() < 1.0);
+        // GPU baseline: ~64 fp16 TFLOPS.
+        let t4 = gpu_t4_like();
+        let fp16 = t4.peak_flops(DType::Fp16).unwrap() / 1e12;
+        assert!((55.0..75.0).contains(&fp16), "got {fp16}");
+    }
+
+    #[test]
+    fn table1_memory_capacities() {
+        assert_eq!(tpu_v1().hbm.capacity_bytes, 8 * GIB);
+        assert_eq!(tpu_v2().hbm.capacity_bytes, 16 * GIB);
+        assert_eq!(tpu_v3().hbm.capacity_bytes, 32 * GIB);
+        assert_eq!(tpu_v4i().hbm.capacity_bytes, 8 * GIB);
+        assert_eq!(tpu_v4().hbm.capacity_bytes, 32 * GIB);
+        assert_eq!(tpu_v4i().cmem.unwrap().capacity_mib(), 128);
+        assert!(tpu_v1().cmem.is_none());
+        assert!(tpu_v2().cmem.is_none());
+        assert!(tpu_v3().cmem.is_none());
+    }
+
+    #[test]
+    fn table1_bandwidths() {
+        assert!((tpu_v1().hbm.bandwidth_gbps() - 34.0).abs() < 0.1);
+        assert!((tpu_v2().hbm.bandwidth_gbps() - 700.0).abs() < 1.0);
+        assert!((tpu_v3().hbm.bandwidth_gbps() - 900.0).abs() < 1.0);
+        assert!((tpu_v4i().hbm.bandwidth_gbps() - 614.0).abs() < 1.0);
+        assert!((tpu_v4().hbm.bandwidth_gbps() - 1200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cooling_story_lesson_five() {
+        // Inference chips deploy air-cooled; big training chips go liquid.
+        assert!(tpu_v1().is_air_cooled());
+        assert!(tpu_v2().is_air_cooled());
+        assert!(!tpu_v3().is_air_cooled());
+        assert!(tpu_v4i().is_air_cooled());
+        assert!(!tpu_v4().is_air_cooled());
+        // And TPUv4i's TDP is well below TPUv3's despite similar perf.
+        assert!(tpu_v4i().tdp_w < tpu_v3().tdp_w / 2.0);
+    }
+
+    #[test]
+    fn generations_are_chronological() {
+        let gens = tpu_generations();
+        for pair in gens.windows(2) {
+            assert!(pair[0].year <= pair[1].year);
+        }
+        assert_eq!(gens.len(), 5);
+        assert_eq!(all_chips().len(), 6);
+        assert_eq!(inference_comparison_set().len(), 4);
+    }
+
+    #[test]
+    fn v4i_perf_per_watt_dominates_v3_at_peak() {
+        // The core of E5's expected shape: peak bf16 FLOPS per TDP watt.
+        let v3 = tpu_v3();
+        let v4i = tpu_v4i();
+        let v3_ppw = v3.peak_flops(DType::Bf16).unwrap() / v3.tdp_w;
+        let v4i_ppw = v4i.peak_flops(DType::Bf16).unwrap() / v4i.tdp_w;
+        assert!(
+            v4i_ppw / v3_ppw > 2.0,
+            "v4i should have >2x peak perf/W vs v3, got {:.2}",
+            v4i_ppw / v3_ppw
+        );
+    }
+
+    #[test]
+    fn v4i_ridge_point_is_high() {
+        // 138 TFLOPS over 614 GB/s ≈ 224 FLOP/byte: most production apps
+        // sit below this, i.e. they are memory bound — the motivation for
+        // CMEM.
+        let ridge = tpu_v4i().ridge_flops_per_byte(DType::Bf16).unwrap();
+        assert!((200.0..250.0).contains(&ridge), "got {ridge}");
+    }
+
+    #[test]
+    fn accumulation_orders_differ_v1_vs_v2plus() {
+        use tpu_numerics::accum::AccumOrder;
+        assert_eq!(tpu_v1().accum_order(), AccumOrder::Chunked { width: 256 });
+        assert_eq!(tpu_v4i().accum_order(), AccumOrder::Chunked { width: 128 });
+    }
+}

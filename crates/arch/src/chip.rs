@@ -1,0 +1,537 @@
+//! Chip configuration: the per-generation architectural parameters.
+
+use std::fmt;
+
+use tpu_numerics::accum::AccumOrder;
+use tpu_numerics::DType;
+
+use crate::cooling::CoolingTech;
+use crate::memory::{MemLevel, MemSpec};
+use crate::tech::ProcessNode;
+
+/// Which DSA family and generation a configuration describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Generation {
+    /// TPUv1 (2015, inference, int8, DDR3).
+    TpuV1,
+    /// TPUv2 (2017, training+inference, bf16, HBM).
+    TpuV2,
+    /// TPUv3 (2018, training+inference, bf16, HBM, liquid cooled).
+    TpuV3,
+    /// TPUv4i (2020, inference, bf16+int8, CMEM, air cooled) — the paper's
+    /// subject.
+    TpuV4i,
+    /// TPUv4 (2020/21, training).
+    TpuV4,
+    /// A contemporary inference-GPU baseline (T4-class envelope).
+    GpuT4Like,
+}
+
+impl Generation {
+    /// Short display name used in tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Generation::TpuV1 => "TPUv1",
+            Generation::TpuV2 => "TPUv2",
+            Generation::TpuV3 => "TPUv3",
+            Generation::TpuV4i => "TPUv4i",
+            Generation::TpuV4 => "TPUv4",
+            Generation::GpuT4Like => "GPU-T4",
+        }
+    }
+}
+
+impl fmt::Display for Generation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when a chip configuration is internally inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A field that must be positive was zero or negative.
+    NonPositive {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// The configuration claims no supported compute type.
+    NoComputeTypes,
+    /// Idle power exceeds TDP.
+    IdleAboveTdp {
+        /// Idle watts claimed.
+        idle_w: f64,
+        /// TDP watts claimed.
+        tdp_w: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositive { field } => {
+                write!(f, "field `{field}` must be positive")
+            }
+            ConfigError::NoComputeTypes => write!(f, "no supported compute types"),
+            ConfigError::IdleAboveTdp { idle_w, tdp_w } => {
+                write!(f, "idle power {idle_w} W exceeds TDP {tdp_w} W")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A complete architectural description of one chip.
+///
+/// Construct via [`ChipConfig::builder`] or take a ready-made generation
+/// from [`crate::catalog`]. All derived quantities (peak FLOPS, ridge
+/// point, accumulation order) are methods, so the struct stays a plain
+/// record of the design choices the paper discusses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipConfig {
+    /// Human-readable name, e.g. `"TPUv4i"`.
+    pub name: String,
+    /// Which generation this is.
+    pub generation: Generation,
+    /// Year of first deployment.
+    pub year: u32,
+    /// Fabrication node.
+    pub node: ProcessNode,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Thermal design power in watts.
+    pub tdp_w: f64,
+    /// Idle power in watts.
+    pub idle_w: f64,
+    /// Die size in mm^2.
+    pub die_mm2: f64,
+    /// Number of TensorCores.
+    pub cores: u32,
+    /// Matrix units per core.
+    pub mxus_per_core: u32,
+    /// Systolic array dimension (e.g. 128 for a 128x128 MXU).
+    pub mxu_dim: u32,
+    /// Vector unit lanes per core.
+    pub vpu_lanes: u32,
+    /// Sublanes per vector lane.
+    pub vpu_sublanes: u32,
+    /// Vector memory per core.
+    pub vmem: MemSpec,
+    /// Common memory (None for generations without CMEM).
+    pub cmem: Option<MemSpec>,
+    /// Scalar memory per core.
+    pub smem: MemSpec,
+    /// Off-chip memory (HBM / DDR / GDDR).
+    pub hbm: MemSpec,
+    /// Number of inter-chip interconnect links.
+    pub ici_links: u32,
+    /// Per-link ICI bandwidth, GB/s each direction.
+    pub ici_gbps: f64,
+    /// DMA engines available for async copies.
+    pub dma_engines: u32,
+    /// Compute types with native MXU support.
+    pub native_types: Vec<DType>,
+    /// Throughput multiplier for int8 relative to bf16 (2.0 on TPUv4i;
+    /// 1.0 where int8 runs at bf16 rate; ignored if int8 unsupported).
+    pub int8_speedup: f64,
+    /// Cooling technology required at this TDP.
+    pub cooling: CoolingTech,
+}
+
+impl ChipConfig {
+    /// Starts building a configuration.
+    pub fn builder(name: &str, generation: Generation) -> ChipConfigBuilder {
+        ChipConfigBuilder::new(name, generation)
+    }
+
+    /// Peak multiply-accumulates per second for `dtype`, or `None` if the
+    /// type has no native support.
+    pub fn peak_macs_per_sec(&self, dtype: DType) -> Option<f64> {
+        if !self.native_types.contains(&dtype) {
+            return None;
+        }
+        let base = self.cores as f64
+            * self.mxus_per_core as f64
+            * (self.mxu_dim as f64 * self.mxu_dim as f64)
+            * self.clock_hz;
+        let factor = match dtype {
+            DType::Int8 => self.int8_speedup,
+            _ => 1.0,
+        };
+        Some(base * factor)
+    }
+
+    /// Peak FLOPS (2 x MACs) for `dtype`, or `None` if unsupported.
+    pub fn peak_flops(&self, dtype: DType) -> Option<f64> {
+        self.peak_macs_per_sec(dtype).map(|m| 2.0 * m)
+    }
+
+    /// The widest-throughput native type (int8 if present, else bf16, ...).
+    pub fn fastest_type(&self) -> DType {
+        *self
+            .native_types
+            .iter()
+            .max_by(|a, b| {
+                let fa = self.peak_flops(**a).unwrap_or(0.0);
+                let fb = self.peak_flops(**b).unwrap_or(0.0);
+                fa.partial_cmp(&fb).expect("peak flops is finite")
+            })
+            .expect("validated config has at least one type")
+    }
+
+    /// Vector-unit elementwise operations per second (all cores).
+    pub fn peak_vpu_ops_per_sec(&self) -> f64 {
+        self.cores as f64 * self.vpu_lanes as f64 * self.vpu_sublanes as f64 * self.clock_hz
+    }
+
+    /// Operational-intensity ridge point in FLOP/byte against HBM, for
+    /// `dtype`; `None` if the type is unsupported.
+    ///
+    /// Workloads below the ridge are memory bound on this chip — the
+    /// quantity the paper's roofline figure (E4) plots.
+    pub fn ridge_flops_per_byte(&self, dtype: DType) -> Option<f64> {
+        self.peak_flops(dtype).map(|f| f / self.hbm.bandwidth_bps)
+    }
+
+    /// The memory spec for a level, if this chip has it.
+    pub fn mem(&self, level: MemLevel) -> Option<&MemSpec> {
+        match level {
+            MemLevel::Hbm => Some(&self.hbm),
+            MemLevel::Cmem => self.cmem.as_ref(),
+            MemLevel::Vmem => Some(&self.vmem),
+            MemLevel::Smem => Some(&self.smem),
+        }
+    }
+
+    /// Total on-chip SRAM in bytes (VMEM + CMEM + SMEM over all cores).
+    pub fn on_chip_sram_bytes(&self) -> u64 {
+        self.cores as u64 * (self.vmem.capacity_bytes + self.smem.capacity_bytes)
+            + self.cmem.map_or(0, |c| c.capacity_bytes)
+    }
+
+    /// The MXU's native fp32 accumulation order (for backwards ML
+    /// compatibility checks, Lesson 4).
+    pub fn accum_order(&self) -> AccumOrder {
+        AccumOrder::systolic(self.mxu_dim as usize)
+    }
+
+    /// Whether the chip deploys with air cooling (Lesson 5).
+    pub fn is_air_cooled(&self) -> bool {
+        self.cooling == CoolingTech::Air
+    }
+
+    /// Aggregate ICI bandwidth in bytes/s (all links, one direction).
+    pub fn ici_total_bps(&self) -> f64 {
+        self.ici_links as f64 * self.ici_gbps * 1e9
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first inconsistency found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn pos(v: f64, field: &'static str) -> Result<(), ConfigError> {
+            if v > 0.0 {
+                Ok(())
+            } else {
+                Err(ConfigError::NonPositive { field })
+            }
+        }
+        pos(self.clock_hz, "clock_hz")?;
+        pos(self.tdp_w, "tdp_w")?;
+        pos(self.die_mm2, "die_mm2")?;
+        pos(self.cores as f64, "cores")?;
+        pos(self.mxus_per_core as f64, "mxus_per_core")?;
+        pos(self.mxu_dim as f64, "mxu_dim")?;
+        pos(self.vpu_lanes as f64, "vpu_lanes")?;
+        pos(self.vpu_sublanes as f64, "vpu_sublanes")?;
+        pos(self.hbm.bandwidth_bps, "hbm.bandwidth_bps")?;
+        pos(self.int8_speedup, "int8_speedup")?;
+        if self.native_types.is_empty() {
+            return Err(ConfigError::NoComputeTypes);
+        }
+        if self.idle_w > self.tdp_w {
+            return Err(ConfigError::IdleAboveTdp {
+                idle_w: self.idle_w,
+                tdp_w: self.tdp_w,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ChipConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} cores x {} MXU {}x{}, {:.0} MHz, {:.0} W)",
+            self.name,
+            self.node,
+            self.cores,
+            self.mxus_per_core,
+            self.mxu_dim,
+            self.mxu_dim,
+            self.clock_hz / 1e6,
+            self.tdp_w
+        )
+    }
+}
+
+/// Builder for [`ChipConfig`]; see [`crate::catalog`] for fully worked
+/// examples.
+#[derive(Debug, Clone)]
+pub struct ChipConfigBuilder {
+    cfg: ChipConfig,
+}
+
+impl ChipConfigBuilder {
+    fn new(name: &str, generation: Generation) -> ChipConfigBuilder {
+        // Reasonable neutral defaults; callers override what matters.
+        let node = ProcessNode::N16;
+        let e = node.energy();
+        ChipConfigBuilder {
+            cfg: ChipConfig {
+                name: name.to_owned(),
+                generation,
+                year: 2018,
+                node,
+                clock_hz: 700e6,
+                tdp_w: 200.0,
+                idle_w: 50.0,
+                die_mm2: 400.0,
+                cores: 1,
+                mxus_per_core: 1,
+                mxu_dim: 128,
+                vpu_lanes: 128,
+                vpu_sublanes: 8,
+                vmem: MemSpec::sram(16, 4000.0, 15.0, &e),
+                cmem: None,
+                smem: MemSpec::sram(4, 500.0, 5.0, &e),
+                hbm: MemSpec::hbm(2, 8, 350.0, &e),
+                ici_links: 0,
+                ici_gbps: 0.0,
+                dma_engines: 4,
+                native_types: vec![DType::Bf16, DType::Fp32],
+                int8_speedup: 1.0,
+                cooling: CoolingTech::Air,
+            },
+        }
+    }
+
+    /// Deployment year.
+    pub fn year(mut self, y: u32) -> Self {
+        self.cfg.year = y;
+        self
+    }
+
+    /// Process node (also used by catalog helpers for energy lookups).
+    pub fn node(mut self, n: ProcessNode) -> Self {
+        self.cfg.node = n;
+        self
+    }
+
+    /// Clock in MHz.
+    pub fn clock_mhz(mut self, mhz: f64) -> Self {
+        self.cfg.clock_hz = mhz * 1e6;
+        self
+    }
+
+    /// TDP and idle power in watts.
+    pub fn power_w(mut self, tdp: f64, idle: f64) -> Self {
+        self.cfg.tdp_w = tdp;
+        self.cfg.idle_w = idle;
+        self
+    }
+
+    /// Die size in mm^2.
+    pub fn die_mm2(mut self, mm2: f64) -> Self {
+        self.cfg.die_mm2 = mm2;
+        self
+    }
+
+    /// TensorCore count, MXUs per core and MXU dimension.
+    pub fn compute(mut self, cores: u32, mxus_per_core: u32, mxu_dim: u32) -> Self {
+        self.cfg.cores = cores;
+        self.cfg.mxus_per_core = mxus_per_core;
+        self.cfg.mxu_dim = mxu_dim;
+        self
+    }
+
+    /// Vector unit shape.
+    pub fn vpu(mut self, lanes: u32, sublanes: u32) -> Self {
+        self.cfg.vpu_lanes = lanes;
+        self.cfg.vpu_sublanes = sublanes;
+        self
+    }
+
+    /// Vector memory spec.
+    pub fn vmem(mut self, spec: MemSpec) -> Self {
+        self.cfg.vmem = spec;
+        self
+    }
+
+    /// Common memory spec (TPUv4i/v4).
+    pub fn cmem(mut self, spec: MemSpec) -> Self {
+        self.cfg.cmem = Some(spec);
+        self
+    }
+
+    /// Removes CMEM (for the E6 ablation).
+    pub fn no_cmem(mut self) -> Self {
+        self.cfg.cmem = None;
+        self
+    }
+
+    /// Scalar memory spec.
+    pub fn smem(mut self, spec: MemSpec) -> Self {
+        self.cfg.smem = spec;
+        self
+    }
+
+    /// Off-chip memory spec.
+    pub fn hbm(mut self, spec: MemSpec) -> Self {
+        self.cfg.hbm = spec;
+        self
+    }
+
+    /// Inter-chip links and per-link bandwidth (GB/s).
+    pub fn ici(mut self, links: u32, gbps: f64) -> Self {
+        self.cfg.ici_links = links;
+        self.cfg.ici_gbps = gbps;
+        self
+    }
+
+    /// DMA engine count.
+    pub fn dma_engines(mut self, n: u32) -> Self {
+        self.cfg.dma_engines = n;
+        self
+    }
+
+    /// Native compute types and the int8 throughput multiplier.
+    pub fn types(mut self, types: &[DType], int8_speedup: f64) -> Self {
+        self.cfg.native_types = types.to_vec();
+        self.cfg.int8_speedup = int8_speedup;
+        self
+    }
+
+    /// Cooling technology.
+    pub fn cooling(mut self, c: CoolingTech) -> Self {
+        self.cfg.cooling = c;
+        self
+    }
+
+    /// Finishes, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found by [`ChipConfig::validate`].
+    pub fn build(self) -> Result<ChipConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> ChipConfigBuilder {
+        ChipConfig::builder("test", Generation::TpuV4i)
+    }
+
+    #[test]
+    fn builder_defaults_validate() {
+        let c = minimal().build().unwrap();
+        assert_eq!(c.name, "test");
+        assert!(c.peak_flops(DType::Bf16).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn peak_flops_formula() {
+        let c = minimal()
+            .compute(1, 4, 128)
+            .clock_mhz(1050.0)
+            .types(&[DType::Bf16, DType::Int8], 2.0)
+            .build()
+            .unwrap();
+        let bf16 = c.peak_flops(DType::Bf16).unwrap();
+        assert!((bf16 - 4.0 * 128.0 * 128.0 * 2.0 * 1.05e9).abs() / bf16 < 1e-12);
+        let int8 = c.peak_flops(DType::Int8).unwrap();
+        assert_eq!(int8, 2.0 * bf16);
+        assert_eq!(c.peak_flops(DType::Fp16), None);
+        assert_eq!(c.fastest_type(), DType::Int8);
+    }
+
+    #[test]
+    fn ridge_point_is_flops_over_bandwidth() {
+        let c = minimal().build().unwrap();
+        let ridge = c.ridge_flops_per_byte(DType::Bf16).unwrap();
+        let expect = c.peak_flops(DType::Bf16).unwrap() / c.hbm.bandwidth_bps;
+        assert!((ridge - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert_eq!(
+            minimal().clock_mhz(0.0).build().unwrap_err(),
+            ConfigError::NonPositive { field: "clock_hz" }
+        );
+        assert_eq!(
+            minimal().types(&[], 1.0).build().unwrap_err(),
+            ConfigError::NoComputeTypes
+        );
+        assert!(matches!(
+            minimal().power_w(100.0, 150.0).build().unwrap_err(),
+            ConfigError::IdleAboveTdp { .. }
+        ));
+    }
+
+    #[test]
+    fn mem_lookup_by_level() {
+        let e = ProcessNode::N7.energy();
+        let with = minimal().cmem(MemSpec::sram(128, 5000.0, 20.0, &e)).build().unwrap();
+        let without = minimal().build().unwrap();
+        assert!(with.mem(MemLevel::Cmem).is_some());
+        assert!(without.mem(MemLevel::Cmem).is_none());
+        assert!(without.mem(MemLevel::Hbm).is_some());
+        assert!(without.mem(MemLevel::Vmem).is_some());
+    }
+
+    #[test]
+    fn on_chip_sram_sums_levels() {
+        let e = ProcessNode::N7.energy();
+        let c = minimal()
+            .compute(2, 1, 128)
+            .vmem(MemSpec::sram(16, 1000.0, 10.0, &e))
+            .smem(MemSpec::sram(4, 100.0, 5.0, &e))
+            .cmem(MemSpec::sram(128, 5000.0, 20.0, &e))
+            .build()
+            .unwrap();
+        assert_eq!(c.on_chip_sram_bytes(), (2 * (16 + 4) + 128) * (1 << 20));
+    }
+
+    #[test]
+    fn accum_order_tracks_mxu_dim() {
+        use tpu_numerics::accum::AccumOrder;
+        let c = minimal().compute(1, 1, 256).build().unwrap();
+        assert_eq!(c.accum_order(), AccumOrder::Chunked { width: 256 });
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = minimal().build().unwrap();
+        let s = format!("{c}");
+        assert!(s.contains("test"));
+        assert!(s.contains("MXU"));
+        let err = ConfigError::NoComputeTypes;
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn ici_aggregate_bandwidth() {
+        let c = minimal().ici(4, 100.0).build().unwrap();
+        assert!((c.ici_total_bps() - 4e11).abs() < 1.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Cooling technology and deployment envelopes (paper Lesson 5).
+//!
+//! "Inference DSAs need air cooling": Google's inference fleet deploys to
+//! datacenters worldwide, most of which provide only air cooling. A chip
+//! that needs liquid cooling (TPUv3 at 450 W, TPUv4 at ~275 W) can only
+//! live in a minority of sites, so TPUv4i was designed to a 175 W TDP.
+//! Experiment E13 regenerates this argument quantitatively.
+
+use std::fmt;
+
+/// How a chip is cooled in deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoolingTech {
+    /// Forced-air heatsink cooling — available in every datacenter.
+    Air,
+    /// Direct liquid cooling — available only in purpose-built sites.
+    Liquid,
+}
+
+impl CoolingTech {
+    /// The highest per-chip TDP (watts) this technology can remove in a
+    /// standard dense server tray.
+    pub const fn max_chip_tdp_w(self) -> f64 {
+        match self {
+            // TPUv2's 280 W deployed air-cooled; ~300 W is the practical
+            // ceiling for dense air-cooled trays.
+            CoolingTech::Air => 300.0,
+            CoolingTech::Liquid => 600.0,
+        }
+    }
+
+    /// Fraction of the global datacenter fleet that supports this cooling
+    /// technology (air is everywhere; liquid needs plant retrofits).
+    pub const fn fleet_availability(self) -> f64 {
+        match self {
+            CoolingTech::Air => 1.0,
+            CoolingTech::Liquid => 0.15,
+        }
+    }
+
+    /// Cooling-infrastructure overhead as a fraction of chip power
+    /// (fans/pumps/heat exchangers; contributes to PUE and to OpEx).
+    pub const fn overhead_fraction(self) -> f64 {
+        match self {
+            CoolingTech::Air => 0.30,
+            CoolingTech::Liquid => 0.18,
+        }
+    }
+
+    /// Short lowercase name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CoolingTech::Air => "air",
+            CoolingTech::Liquid => "liquid",
+        }
+    }
+}
+
+impl fmt::Display for CoolingTech {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The cheapest cooling technology that can handle `tdp_w`, or `None` if
+/// nothing can (the chip is undeployable as specified).
+pub fn required_cooling(tdp_w: f64) -> Option<CoolingTech> {
+    if tdp_w <= CoolingTech::Air.max_chip_tdp_w() {
+        Some(CoolingTech::Air)
+    } else if tdp_w <= CoolingTech::Liquid.max_chip_tdp_w() {
+        Some(CoolingTech::Liquid)
+    } else {
+        None
+    }
+}
+
+/// A datacenter rack envelope for deployment math (E13).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RackEnvelope {
+    /// Total power budget of the rack in watts (IT load).
+    pub power_budget_w: f64,
+    /// Physical accelerator slots.
+    pub slots: u32,
+    /// Host/infrastructure overhead per accelerator, watts.
+    pub host_overhead_w: f64,
+}
+
+impl Default for RackEnvelope {
+    fn default() -> RackEnvelope {
+        RackEnvelope {
+            power_budget_w: 20_000.0,
+            slots: 64,
+            host_overhead_w: 60.0,
+        }
+    }
+}
+
+impl RackEnvelope {
+    /// How many chips of `tdp_w` fit in this rack (power- and slot-limited).
+    pub fn chips_per_rack(&self, tdp_w: f64) -> u32 {
+        if tdp_w <= 0.0 {
+            return 0;
+        }
+        let by_power = (self.power_budget_w / (tdp_w + self.host_overhead_w)).floor() as u32;
+        by_power.min(self.slots)
+    }
+
+    /// Deployable chips per rack *weighted by fleet availability* of the
+    /// required cooling technology. This is the paper's deployment
+    /// argument in one number: a 450 W liquid-cooled chip deploys to far
+    /// less of the fleet than a 175 W air-cooled one.
+    pub fn fleet_weighted_chips(&self, tdp_w: f64) -> f64 {
+        match required_cooling(tdp_w) {
+            Some(tech) => self.chips_per_rack(tdp_w) as f64 * tech.fleet_availability(),
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_cooling_thresholds() {
+        assert_eq!(required_cooling(75.0), Some(CoolingTech::Air));
+        assert_eq!(required_cooling(175.0), Some(CoolingTech::Air));
+        assert_eq!(required_cooling(280.0), Some(CoolingTech::Air));
+        assert_eq!(required_cooling(450.0), Some(CoolingTech::Liquid));
+        assert_eq!(required_cooling(601.0), None);
+    }
+
+    #[test]
+    fn air_is_universally_available() {
+        assert_eq!(CoolingTech::Air.fleet_availability(), 1.0);
+        assert!(CoolingTech::Liquid.fleet_availability() < 0.5);
+    }
+
+    #[test]
+    fn rack_packing_is_power_limited_for_hot_chips() {
+        let rack = RackEnvelope::default();
+        // 450 W chips: 20 kW / 510 W = 39 chips.
+        assert_eq!(rack.chips_per_rack(450.0), 39);
+        // 175 W chips: 20 kW / 235 W = 85, capped by 64 slots.
+        assert_eq!(rack.chips_per_rack(175.0), 64);
+        assert_eq!(rack.chips_per_rack(0.0), 0);
+    }
+
+    #[test]
+    fn fleet_weighted_deployment_favors_v4i_envelope() {
+        let rack = RackEnvelope::default();
+        let v4i = rack.fleet_weighted_chips(175.0); // air
+        let v3 = rack.fleet_weighted_chips(450.0); // liquid
+        assert!(
+            v4i > 5.0 * v3,
+            "air-cooled 175 W should deploy >5x the fleet-weighted chips \
+             of liquid-cooled 450 W (got {v4i:.1} vs {v3:.1})"
+        );
+        assert_eq!(rack.fleet_weighted_chips(1000.0), 0.0);
+    }
+
+    #[test]
+    fn liquid_has_lower_overhead_but_higher_capacity() {
+        assert!(CoolingTech::Liquid.overhead_fraction() < CoolingTech::Air.overhead_fraction());
+        assert!(CoolingTech::Liquid.max_chip_tdp_w() > CoolingTech::Air.max_chip_tdp_w());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", CoolingTech::Air), "air");
+        assert_eq!(format!("{}", CoolingTech::Liquid), "liquid");
+    }
+}

@@ -1,0 +1,180 @@
+//! First-order floorplan (area) model.
+//!
+//! Used for two things: sanity-checking catalog die sizes, and pricing
+//! dies in `tpu-tco` (bigger dies yield worse, so cost grows
+//! super-linearly in area). The model is deliberately coarse — MAC area,
+//! SRAM macro density and an uncore term per node — but it reproduces the
+//! paper-relevant trade-off: at 7 nm, TPUv4i could afford 128 MiB of CMEM
+//! in roughly the area two extra MXUs would have taken at 16 nm.
+
+use tpu_numerics::DType;
+
+use crate::chip::ChipConfig;
+use crate::tech::ProcessNode;
+
+/// Area of one MAC unit in mm^2 for a given type at a given node.
+pub fn mac_mm2(node: ProcessNode, dtype: DType) -> f64 {
+    // Reference: a bf16 FMA at 45 nm is roughly 0.0035 mm^2; int8 is ~1/4
+    // of that; fp32 ~3x. Logic density doubles per node step.
+    let base = match dtype {
+        DType::Int8 => 0.0009,
+        DType::Bf16 | DType::Fp16 => 0.0035,
+        DType::Int32 => 0.0015,
+        DType::Fp32 => 0.0105,
+    };
+    base / node.logic_density_vs_reference()
+}
+
+/// SRAM area in mm^2 per MiB at a given node.
+///
+/// SRAM density improves *slower* than logic (Lesson 1): roughly 1.6x per
+/// step instead of 2x.
+pub fn sram_mm2_per_mib(node: ProcessNode) -> f64 {
+    const REF_MM2_PER_MIB: f64 = 1.9; // 45 nm, including array overheads
+    const SRAM_DENSITY_STEP: f64 = 1.6;
+    REF_MM2_PER_MIB / SRAM_DENSITY_STEP.powi(node.steps_from_reference() as i32)
+}
+
+/// Fixed area of one off-chip memory PHY (HBM or DDR interface), mm^2.
+pub const MEM_PHY_MM2: f64 = 12.0;
+
+/// Fixed area of one ICI link (SerDes block), mm^2.
+pub const ICI_LINK_MM2: f64 = 4.0;
+
+/// Breakdown of a chip's estimated die area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// All MXU MAC arrays.
+    pub mxu_mm2: f64,
+    /// Vector units (lanes x sublanes ALUs, generously padded).
+    pub vpu_mm2: f64,
+    /// All on-chip SRAM (VMEM + CMEM + SMEM).
+    pub sram_mm2: f64,
+    /// Memory PHYs and ICI SerDes.
+    pub io_mm2: f64,
+    /// Uncore: NoC, scalar cores, DMA, queues, pad ring (fraction of core
+    /// area plus a constant).
+    pub uncore_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total estimated die area in mm^2.
+    pub fn total_mm2(&self) -> f64 {
+        self.mxu_mm2 + self.vpu_mm2 + self.sram_mm2 + self.io_mm2 + self.uncore_mm2
+    }
+}
+
+/// Estimates the die-area breakdown for a configuration.
+pub fn estimate(cfg: &ChipConfig) -> AreaBreakdown {
+    let dtype = if cfg.native_types.contains(&DType::Bf16) {
+        DType::Bf16
+    } else {
+        cfg.native_types[0]
+    };
+    let macs = cfg.cores as f64
+        * cfg.mxus_per_core as f64
+        * (cfg.mxu_dim as f64 * cfg.mxu_dim as f64);
+    let mxu_mm2 = macs * mac_mm2(cfg.node, dtype);
+
+    // Each VPU ALU is ~an fp32 lane; multiply by 2 for register files.
+    let vpu_alus = cfg.cores as f64 * cfg.vpu_lanes as f64 * cfg.vpu_sublanes as f64;
+    let vpu_mm2 = vpu_alus * mac_mm2(cfg.node, DType::Fp32) * 2.0;
+
+    let sram_mib = cfg.on_chip_sram_bytes() as f64 / (1 << 20) as f64;
+    let sram_mm2 = sram_mib * sram_mm2_per_mib(cfg.node);
+
+    // One PHY per ~256 GB/s of off-chip bandwidth, minimum one.
+    let phys = (cfg.hbm.bandwidth_gbps() / 256.0).ceil().max(1.0);
+    let io_mm2 = phys * MEM_PHY_MM2 + cfg.ici_links as f64 * ICI_LINK_MM2;
+
+    let core_area = mxu_mm2 + vpu_mm2 + sram_mm2;
+    let uncore_mm2 = 0.45 * core_area + 40.0;
+
+    AreaBreakdown {
+        mxu_mm2,
+        vpu_mm2,
+        sram_mm2,
+        io_mm2,
+        uncore_mm2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn estimates_are_in_the_ballpark_of_catalog_dies() {
+        // A first-order model that counts compute + SRAM + IO + generic
+        // uncore; it deliberately omits host interfaces, white space and
+        // pad-limited area, which dominate the big training dies (TPUv1's
+        // 28 nm die was famously under-filled, TPUv2/v3 carry large host
+        // and interconnect blocks). So: same order of magnitude, never
+        // larger than ~2x the published die.
+        for cfg in catalog::all_chips() {
+            let est = estimate(&cfg).total_mm2();
+            let ratio = est / cfg.die_mm2;
+            assert!(
+                (0.25..2.0).contains(&ratio),
+                "{}: estimated {est:.0} mm^2 vs catalog {:.0} mm^2",
+                cfg.name,
+                cfg.die_mm2
+            );
+        }
+    }
+
+    #[test]
+    fn cmem_is_affordable_at_7nm_not_16nm() {
+        // The Lesson-1 consequence: 128 MiB of SRAM at 7 nm costs less
+        // area than at 16 nm by ~1.6x, making CMEM a sane 7 nm choice.
+        let at7 = 128.0 * sram_mm2_per_mib(ProcessNode::N7);
+        let at16 = 128.0 * sram_mm2_per_mib(ProcessNode::N16);
+        assert!(at7 < at16 / 1.5);
+        // And it is a modest fraction of the v4i die.
+        let v4i = catalog::tpu_v4i();
+        assert!(at7 < 0.25 * v4i.die_mm2, "CMEM area {at7:.0} mm^2");
+    }
+
+    #[test]
+    fn int8_macs_are_smaller_than_bf16_than_fp32() {
+        for node in ProcessNode::ALL {
+            assert!(mac_mm2(node, DType::Int8) < mac_mm2(node, DType::Bf16));
+            assert!(mac_mm2(node, DType::Bf16) < mac_mm2(node, DType::Fp32));
+        }
+    }
+
+    #[test]
+    fn newer_nodes_shrink_everything() {
+        assert!(mac_mm2(ProcessNode::N7, DType::Bf16) < mac_mm2(ProcessNode::N28, DType::Bf16));
+        assert!(sram_mm2_per_mib(ProcessNode::N7) < sram_mm2_per_mib(ProcessNode::N28));
+    }
+
+    #[test]
+    fn sram_shrinks_slower_than_logic() {
+        let logic_gain = mac_mm2(ProcessNode::N45, DType::Bf16) / mac_mm2(ProcessNode::N7, DType::Bf16);
+        let sram_gain = sram_mm2_per_mib(ProcessNode::N45) / sram_mm2_per_mib(ProcessNode::N7);
+        assert!(logic_gain > 1.5 * sram_gain);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let b = estimate(&catalog::tpu_v4i());
+        let sum = b.mxu_mm2 + b.vpu_mm2 + b.sram_mm2 + b.io_mm2 + b.uncore_mm2;
+        assert!((sum - b.total_mm2()).abs() < 1e-9);
+        assert!(b.sram_mm2 > 0.0 && b.mxu_mm2 > 0.0);
+    }
+
+    #[test]
+    fn v4i_sram_is_a_major_area_consumer() {
+        // With 152 MiB of on-chip SRAM, memory should rival compute area —
+        // the paper's point that v4i spends area on SRAM, not more MXUs.
+        let b = estimate(&catalog::tpu_v4i());
+        assert!(
+            b.sram_mm2 > b.mxu_mm2,
+            "sram {:.0} mm^2 vs mxu {:.0} mm^2",
+            b.sram_mm2,
+            b.mxu_mm2
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Memory-system envelopes: capacities, bandwidths, latencies, energies.
+
+use std::fmt;
+
+use crate::tech::EnergyTable;
+
+/// A level of the on- or off-chip memory hierarchy.
+///
+/// TPUv4i's hierarchy, outermost first: HBM → CMEM (the 128 MiB common
+/// memory the paper's E6 ablation studies) → VMEM (vector memory feeding
+/// the MXUs) → SMEM (scalar memory). Not every generation has every level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemLevel {
+    /// Off-chip DRAM (HBM for v2+, DDR3 for v1, GDDR6 for the GPU baseline).
+    Hbm,
+    /// On-chip common memory (TPUv4i/v4 only).
+    Cmem,
+    /// On-chip vector memory.
+    Vmem,
+    /// On-chip scalar memory.
+    Smem,
+}
+
+impl MemLevel {
+    /// All levels, outermost first.
+    pub const ALL: [MemLevel; 4] = [
+        MemLevel::Hbm,
+        MemLevel::Cmem,
+        MemLevel::Vmem,
+        MemLevel::Smem,
+    ];
+
+    /// Short lowercase name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            MemLevel::Hbm => "hbm",
+            MemLevel::Cmem => "cmem",
+            MemLevel::Vmem => "vmem",
+            MemLevel::Smem => "smem",
+        }
+    }
+
+    /// Whether this level is on the chip die.
+    pub const fn is_on_chip(self) -> bool {
+        !matches!(self, MemLevel::Hbm)
+    }
+}
+
+impl fmt::Display for MemLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The envelope of one memory level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemSpec {
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Peak bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// Access latency in nanoseconds (first-word).
+    pub latency_ns: f64,
+    /// Transfer energy in picojoules per byte.
+    pub pj_per_byte: f64,
+}
+
+impl MemSpec {
+    /// Builds an HBM-class spec from stack count and per-stack bandwidth,
+    /// taking the transfer energy from the node's table.
+    pub fn hbm(stacks: u32, gib_per_stack: u64, gbps_per_stack: f64, e: &EnergyTable) -> MemSpec {
+        MemSpec {
+            capacity_bytes: stacks as u64 * gib_per_stack * GIB,
+            bandwidth_bps: stacks as f64 * gbps_per_stack * 1e9,
+            latency_ns: 120.0,
+            pj_per_byte: e.hbm_pj_per_byte,
+        }
+    }
+
+    /// Builds a DDR/GDDR-class off-chip spec.
+    pub fn ddr(capacity_gib: u64, gbps: f64, e: &EnergyTable) -> MemSpec {
+        MemSpec {
+            capacity_bytes: capacity_gib * GIB,
+            bandwidth_bps: gbps * 1e9,
+            latency_ns: 90.0,
+            pj_per_byte: e.ddr_pj_per_byte,
+        }
+    }
+
+    /// Builds an on-chip SRAM spec (CMEM/VMEM/SMEM) from capacity and
+    /// bandwidth, taking energy from the node's table. CMEM is a large
+    /// array, so we charge an extra wire term for the longer H-tree.
+    pub fn sram(capacity_mib: u64, bandwidth_gbps: f64, latency_ns: f64, e: &EnergyTable) -> MemSpec {
+        MemSpec {
+            capacity_bytes: capacity_mib * MIB,
+            bandwidth_bps: bandwidth_gbps * 1e9,
+            latency_ns,
+            pj_per_byte: e.sram_pj_per_byte,
+        }
+    }
+
+    /// Capacity in MiB (rounded down).
+    pub fn capacity_mib(&self) -> u64 {
+        self.capacity_bytes / MIB
+    }
+
+    /// Capacity in GiB as a float.
+    pub fn capacity_gib(&self) -> f64 {
+        self.capacity_bytes as f64 / GIB as f64
+    }
+
+    /// Bandwidth in GB/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.bandwidth_bps / 1e9
+    }
+
+    /// Time in seconds to move `bytes` at peak bandwidth, plus latency.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.latency_ns * 1e-9 + bytes as f64 / self.bandwidth_bps
+    }
+
+    /// Energy in joules to move `bytes`.
+    pub fn transfer_joules(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.pj_per_byte * 1e-12
+    }
+}
+
+/// One MiB in bytes.
+pub const MIB: u64 = 1 << 20;
+/// One GiB in bytes.
+pub const GIB: u64 = 1 << 30;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::ProcessNode;
+
+    #[test]
+    fn levels_ordered_outermost_first() {
+        assert_eq!(MemLevel::ALL[0], MemLevel::Hbm);
+        assert!(!MemLevel::Hbm.is_on_chip());
+        assert!(MemLevel::Cmem.is_on_chip());
+        assert!(MemLevel::Vmem.is_on_chip());
+        assert_eq!(format!("{}", MemLevel::Cmem), "cmem");
+    }
+
+    #[test]
+    fn hbm_spec_aggregates_stacks() {
+        let e = ProcessNode::N7.energy();
+        let h = MemSpec::hbm(2, 4, 307.0, &e);
+        assert_eq!(h.capacity_bytes, 8 * GIB);
+        assert!((h.bandwidth_gbps() - 614.0).abs() < 1e-9);
+        assert_eq!(h.pj_per_byte, e.hbm_pj_per_byte);
+    }
+
+    #[test]
+    fn sram_is_cheaper_and_faster_than_hbm() {
+        let e = ProcessNode::N7.energy();
+        let cmem = MemSpec::sram(128, 5000.0, 20.0, &e);
+        let hbm = MemSpec::hbm(2, 4, 307.0, &e);
+        assert!(cmem.pj_per_byte < hbm.pj_per_byte / 5.0);
+        assert!(cmem.latency_ns < hbm.latency_ns);
+        assert_eq!(cmem.capacity_mib(), 128);
+    }
+
+    #[test]
+    fn transfer_time_includes_latency_and_bandwidth() {
+        let e = ProcessNode::N7.energy();
+        let m = MemSpec::sram(16, 1000.0, 10.0, &e); // 1 TB/s, 10 ns
+        let t = m.transfer_seconds(1_000_000); // 1 MB at 1 TB/s = 1 us
+        assert!((t - (10e-9 + 1e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_energy_is_linear_in_bytes() {
+        let e = ProcessNode::N16.energy();
+        let m = MemSpec::ddr(8, 34.0, &e);
+        assert!((m.transfer_joules(2_000) - 2.0 * m.transfer_joules(1_000)).abs() < 1e-18);
+        assert!(m.transfer_joules(1_000_000_000) > 0.0);
+    }
+
+    #[test]
+    fn ddr_slower_than_hbm_of_same_era() {
+        let e = ProcessNode::N16.energy();
+        let ddr = MemSpec::ddr(8, 34.0, &e);
+        let hbm = MemSpec::hbm(4, 4, 175.0, &e);
+        assert!(ddr.bandwidth_bps < hbm.bandwidth_bps);
+        assert!(ddr.pj_per_byte > hbm.pj_per_byte);
+    }
+
+    #[test]
+    fn capacity_helpers() {
+        let e = ProcessNode::N7.energy();
+        let m = MemSpec::hbm(2, 16, 600.0, &e);
+        assert!((m.capacity_gib() - 32.0).abs() < 1e-9);
+    }
+}

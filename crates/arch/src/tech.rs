@@ -1,0 +1,253 @@
+//! Process technology and its unequal scaling (paper Lesson 1).
+//!
+//! "Semiconductor technology advances unequally": between 45 nm and 7 nm,
+//! logic energy improved by roughly an order of magnitude, on-chip SRAM
+//! energy by only ~4x, and DRAM-interface energy by ~2x. The consequence
+//! drawn in the paper is that a 2020 inference chip should spend area on
+//! big on-chip SRAM (CMEM) and on compute, because data movement —
+//! especially off-chip — dominates energy.
+//!
+//! The absolute numbers below are first-order figures in the spirit of
+//! Horowitz's ISSCC'14 energy table, scaled per node with *unequal*
+//! factors per resource class. Experiment E2 regenerates the paper's
+//! scaling figure from this table.
+
+use std::fmt;
+
+/// A fabrication process node used by some TPU generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProcessNode {
+    /// 45 nm class (reference point for the energy table).
+    N45,
+    /// 28 nm class (TPUv1).
+    N28,
+    /// 16 nm class (TPUv2, TPUv3; the 12 nm GPU baseline maps here).
+    N16,
+    /// 7 nm class (TPUv4i, TPUv4).
+    N7,
+}
+
+impl ProcessNode {
+    /// All nodes, newest last.
+    pub const ALL: [ProcessNode; 4] = [
+        ProcessNode::N45,
+        ProcessNode::N28,
+        ProcessNode::N16,
+        ProcessNode::N7,
+    ];
+
+    /// Feature size in nanometres (marketing number).
+    pub const fn nanometres(self) -> u32 {
+        match self {
+            ProcessNode::N45 => 45,
+            ProcessNode::N28 => 28,
+            ProcessNode::N16 => 16,
+            ProcessNode::N7 => 7,
+        }
+    }
+
+    /// Number of full-node steps since the 45 nm reference.
+    pub const fn steps_from_reference(self) -> u32 {
+        match self {
+            ProcessNode::N45 => 0,
+            ProcessNode::N28 => 1,
+            ProcessNode::N16 => 2,
+            ProcessNode::N7 => 3,
+        }
+    }
+
+    /// Energy table for this node.
+    pub fn energy(self) -> EnergyTable {
+        EnergyTable::for_node(self)
+    }
+
+    /// Logic (transistor) density relative to 45 nm.
+    ///
+    /// Density roughly doubles per step — logic keeps shrinking even when
+    /// SRAM does not (see [`EnergyTable`] and
+    /// [`crate::floorplan::sram_mm2_per_mib`]).
+    pub fn logic_density_vs_reference(self) -> f64 {
+        2.0f64.powi(self.steps_from_reference() as i32)
+    }
+}
+
+impl fmt::Display for ProcessNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.nanometres())
+    }
+}
+
+/// Per-operation energy at a given node, in picojoules.
+///
+/// Scaling factors per full node step are *deliberately unequal*:
+/// logic x0.45, SRAM x0.72, DRAM interface x0.85, wires x0.90 — this is
+/// the quantitative heart of the paper's Lesson 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyTable {
+    /// The node this table describes.
+    pub node: ProcessNode,
+    /// Energy of one int8 multiply-accumulate (pJ).
+    pub mac_int8_pj: f64,
+    /// Energy of one bf16 multiply with fp32 accumulate (pJ).
+    pub mac_bf16_pj: f64,
+    /// Energy of one fp32 multiply-accumulate (pJ).
+    pub mac_fp32_pj: f64,
+    /// Energy per byte read from a large on-chip SRAM (pJ/B).
+    pub sram_pj_per_byte: f64,
+    /// Energy per byte moved over an HBM interface (pJ/B).
+    pub hbm_pj_per_byte: f64,
+    /// Energy per byte moved over a DDR/GDDR interface (pJ/B).
+    pub ddr_pj_per_byte: f64,
+    /// Energy per byte per millimetre of on-chip wire (pJ/B/mm).
+    pub wire_pj_per_byte_mm: f64,
+}
+
+/// Reference (45 nm) energies, first-order Horowitz-style figures.
+const REF: EnergyTable = EnergyTable {
+    node: ProcessNode::N45,
+    mac_int8_pj: 0.23,  // 0.2 pJ mult + 0.03 pJ add
+    mac_bf16_pj: 1.20,  // ~16b fp mult + fp32 add
+    mac_fp32_pj: 4.60,  // 3.7 pJ mult + 0.9 pJ add
+    sram_pj_per_byte: 5.0,   // multi-megabyte array, incl. H-tree
+    hbm_pj_per_byte: 56.0,   // ~7 pJ/bit (2.5D stacked)
+    ddr_pj_per_byte: 160.0,  // ~20 pJ/bit (off-package)
+    wire_pj_per_byte_mm: 0.50,
+};
+
+/// Per-step scaling factors, by resource class.
+const LOGIC_STEP: f64 = 0.45;
+const SRAM_STEP: f64 = 0.72;
+const DRAM_STEP: f64 = 0.85;
+const WIRE_STEP: f64 = 0.90;
+
+impl EnergyTable {
+    /// The energy table for `node`, derived from the 45 nm reference by
+    /// unequal per-class scaling.
+    pub fn for_node(node: ProcessNode) -> EnergyTable {
+        let s = node.steps_from_reference() as i32;
+        let logic = LOGIC_STEP.powi(s);
+        let sram = SRAM_STEP.powi(s);
+        let dram = DRAM_STEP.powi(s);
+        let wire = WIRE_STEP.powi(s);
+        EnergyTable {
+            node,
+            mac_int8_pj: REF.mac_int8_pj * logic,
+            mac_bf16_pj: REF.mac_bf16_pj * logic,
+            mac_fp32_pj: REF.mac_fp32_pj * logic,
+            sram_pj_per_byte: REF.sram_pj_per_byte * sram,
+            hbm_pj_per_byte: REF.hbm_pj_per_byte * dram,
+            ddr_pj_per_byte: REF.ddr_pj_per_byte * dram,
+            wire_pj_per_byte_mm: REF.wire_pj_per_byte_mm * wire,
+        }
+    }
+
+    /// Ratio of DRAM-interface energy to one bf16 MAC at this node.
+    ///
+    /// This is the "data movement dominates" headline number: at 7 nm one
+    /// HBM byte costs hundreds of MACs' worth of energy.
+    pub fn hbm_byte_per_bf16_mac(&self) -> f64 {
+        self.hbm_pj_per_byte / self.mac_bf16_pj
+    }
+
+    /// How much each resource class improved relative to the 45 nm
+    /// reference: `(logic, sram, dram, wire)` as improvement factors >= 1.
+    pub fn improvement_vs_reference(&self) -> (f64, f64, f64, f64) {
+        (
+            REF.mac_bf16_pj / self.mac_bf16_pj,
+            REF.sram_pj_per_byte / self.sram_pj_per_byte,
+            REF.hbm_pj_per_byte / self.hbm_pj_per_byte,
+            REF.wire_pj_per_byte_mm / self.wire_pj_per_byte_mm,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_ordered_newest_last() {
+        let nm: Vec<u32> = ProcessNode::ALL.iter().map(|n| n.nanometres()).collect();
+        assert_eq!(nm, vec![45, 28, 16, 7]);
+        assert_eq!(ProcessNode::N7.steps_from_reference(), 3);
+    }
+
+    #[test]
+    fn reference_table_is_identity_at_45nm() {
+        let t = EnergyTable::for_node(ProcessNode::N45);
+        assert_eq!(t, REF);
+    }
+
+    #[test]
+    fn all_energies_shrink_with_scaling() {
+        let mut prev = EnergyTable::for_node(ProcessNode::N45);
+        for node in [ProcessNode::N28, ProcessNode::N16, ProcessNode::N7] {
+            let t = EnergyTable::for_node(node);
+            assert!(t.mac_int8_pj < prev.mac_int8_pj);
+            assert!(t.mac_bf16_pj < prev.mac_bf16_pj);
+            assert!(t.mac_fp32_pj < prev.mac_fp32_pj);
+            assert!(t.sram_pj_per_byte < prev.sram_pj_per_byte);
+            assert!(t.hbm_pj_per_byte < prev.hbm_pj_per_byte);
+            assert!(t.wire_pj_per_byte_mm < prev.wire_pj_per_byte_mm);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn scaling_is_unequal_lesson_one() {
+        // The paper's Lesson 1: at 7 nm, logic improved much more than
+        // SRAM, which improved more than DRAM, which beat wires barely.
+        let (logic, sram, dram, wire) =
+            EnergyTable::for_node(ProcessNode::N7).improvement_vs_reference();
+        assert!(
+            logic > 2.0 * sram,
+            "logic ({logic:.1}x) should outpace SRAM ({sram:.1}x) by >2x"
+        );
+        assert!(sram > dram, "SRAM ({sram:.1}x) should outpace DRAM ({dram:.1}x)");
+        assert!(dram > wire, "DRAM ({dram:.1}x) should outpace wire ({wire:.1}x)");
+        assert!(logic > 8.0, "logic should improve ~10x over three steps");
+        assert!(dram < 2.0, "DRAM interface improves <2x over three steps");
+    }
+
+    #[test]
+    fn data_movement_dominates_at_7nm() {
+        let t = EnergyTable::for_node(ProcessNode::N7);
+        // One HBM byte costs hundreds of bf16 MACs at 7 nm.
+        assert!(
+            t.hbm_byte_per_bf16_mac() > 100.0,
+            "got {}",
+            t.hbm_byte_per_bf16_mac()
+        );
+        // And the gap *grows* as technology scales (the motivation for CMEM).
+        let old = EnergyTable::for_node(ProcessNode::N28);
+        assert!(t.hbm_byte_per_bf16_mac() > old.hbm_byte_per_bf16_mac());
+    }
+
+    #[test]
+    fn int8_cheaper_than_bf16_cheaper_than_fp32() {
+        for node in ProcessNode::ALL {
+            let t = EnergyTable::for_node(node);
+            assert!(t.mac_int8_pj < t.mac_bf16_pj);
+            assert!(t.mac_bf16_pj < t.mac_fp32_pj);
+        }
+    }
+
+    #[test]
+    fn ddr_costs_more_than_hbm() {
+        for node in ProcessNode::ALL {
+            let t = EnergyTable::for_node(node);
+            assert!(t.ddr_pj_per_byte > t.hbm_pj_per_byte);
+        }
+    }
+
+    #[test]
+    fn logic_density_doubles_per_step() {
+        assert_eq!(ProcessNode::N45.logic_density_vs_reference(), 1.0);
+        assert_eq!(ProcessNode::N7.logic_density_vs_reference(), 8.0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", ProcessNode::N7), "7nm");
+    }
+}

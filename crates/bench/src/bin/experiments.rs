@@ -1,0 +1,56 @@
+//! Prints the paper's tables and figures, regenerated.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments            # run everything (E1..E14)
+//! experiments e5 e6      # run a subset
+//! experiments --list     # list experiment ids
+//! experiments --ablations  # also run the design-choice ablations A1-A3
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for id in tpu_bench::ALL_EXPERIMENTS
+            .iter()
+            .chain(tpu_bench::ALL_ABLATIONS.iter())
+        {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let with_ablations = args.iter().any(|a| a == "--ablations");
+    let ids: Vec<String> = {
+        let positional: Vec<String> =
+            args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+        if positional.is_empty() {
+            tpu_bench::ALL_EXPERIMENTS
+                .iter()
+                .chain(if with_ablations {
+                    tpu_bench::ALL_ABLATIONS.iter()
+                } else {
+                    [].iter()
+                })
+                .map(|s| (*s).to_owned())
+                .collect()
+        } else {
+            positional
+        }
+    };
+    for id in &ids {
+        match tpu_bench::run_experiment(id) {
+            Some(out) => {
+                println!("{out}");
+            }
+            None => {
+                eprintln!("unknown experiment `{id}` (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

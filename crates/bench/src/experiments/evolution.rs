@@ -1,0 +1,172 @@
+//! E19 (extension): DNN workloads evolve (Lesson 9).
+//!
+//! TPUv1 was designed against a 2015 mix of MLPs, LSTMs and CNNs; by
+//! 2020 transformers carried 29% of the load and several apps had
+//! outgrown post-training int8. A generation's *coverage* of the 2020
+//! production mix — the share it can serve at production quality with
+//! resident weights — quantifies the over-specialization risk the
+//! lesson warns about.
+
+use tpu_arch::{catalog, ChipConfig};
+use tpu_numerics::DType;
+use tpu_workloads::{production_apps, App};
+
+use crate::util::{f, Table};
+
+/// Why a chip cannot serve an app.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Blocker {
+    /// The app needs floating point the chip lacks (Lesson 6 meets 9).
+    NeedsFloat,
+    /// The app's weights exceed the chip's HBM.
+    WeightsTooBig,
+}
+
+/// One generation's coverage of the 2020 production mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageRow {
+    /// Chip name.
+    pub chip: String,
+    /// Deployment year.
+    pub year: u32,
+    /// Share of the 2020 mix the chip serves at production quality.
+    pub servable_share: f64,
+    /// Share of the 2020 mix that did not exist when the chip shipped
+    /// (the chip was designed blind to it).
+    pub unseen_share: f64,
+    /// Apps the chip cannot serve, with reasons.
+    pub blocked: Vec<(String, Blocker)>,
+}
+
+/// Whether a chip can serve an app at production quality with the
+/// weights resident.
+pub fn blocker(app: &App, chip: &ChipConfig) -> Option<Blocker> {
+    let has_float = chip.native_types.iter().any(|t| t.is_float());
+    if !app.spec.int8_servable && !has_float {
+        return Some(Blocker::NeedsFloat);
+    }
+    let dtype = if app.spec.int8_servable && chip.native_types.contains(&DType::Int8) {
+        DType::Int8
+    } else {
+        DType::Bf16
+    };
+    let weights = app
+        .build_with(1, dtype)
+        .expect("zoo apps build")
+        .weight_bytes();
+    if weights > chip.hbm.capacity_bytes {
+        return Some(Blocker::WeightsTooBig);
+    }
+    None
+}
+
+/// E19 data: per-generation coverage of the 2020 mix.
+pub fn e19_data() -> Vec<CoverageRow> {
+    let apps = production_apps();
+    catalog::tpu_generations()
+        .into_iter()
+        .map(|chip| {
+            let mut servable_share = 0.0;
+            let mut unseen_share = 0.0;
+            let mut blocked = Vec::new();
+            for app in &apps {
+                match blocker(app, &chip) {
+                    None => servable_share += app.spec.fleet_share,
+                    Some(b) => blocked.push((app.spec.name.to_owned(), b)),
+                }
+                if app.spec.since_year > chip.year {
+                    unseen_share += app.spec.fleet_share;
+                }
+            }
+            CoverageRow {
+                chip: chip.name.clone(),
+                year: chip.year,
+                servable_share,
+                unseen_share,
+                blocked,
+            }
+        })
+        .collect()
+}
+
+/// E19 — workload evolution: coverage of the 2020 mix per generation.
+pub fn e19_workload_evolution() -> String {
+    let mut t = Table::new(&[
+        "chip", "year", "serves 2020 mix", "unseen at design", "blocked apps",
+    ]);
+    for r in e19_data() {
+        let blocked = if r.blocked.is_empty() {
+            "-".to_owned()
+        } else {
+            r.blocked
+                .iter()
+                .map(|(name, b)| {
+                    format!(
+                        "{name}({})",
+                        match b {
+                            Blocker::NeedsFloat => "fp",
+                            Blocker::WeightsTooBig => "mem",
+                        }
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        t.row(vec![
+            r.chip,
+            r.year.to_string(),
+            format!("{}%", f(r.servable_share * 100.0, 0)),
+            format!("{}%", f(r.unseen_share * 100.0, 0)),
+            blocked,
+        ]);
+    }
+    format!(
+        "E19 (extension) — workloads evolve (Lesson 9): coverage of the 2020 production mix\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpuv1_cannot_serve_the_fp_apps() {
+        let rows = e19_data();
+        let v1 = rows.iter().find(|r| r.chip == "TPUv1").unwrap();
+        // RNN0 + BERT0 + BERT1 = 53% of the 2020 mix needs floating point.
+        assert!((v1.servable_share - 0.47).abs() < 0.01, "{}", v1.servable_share);
+        assert_eq!(v1.blocked.len(), 3);
+        assert!(v1
+            .blocked
+            .iter()
+            .all(|(_, b)| *b == Blocker::NeedsFloat));
+        // 45% of the 2020 load (the BERTs plus the 2016 apps) did not
+        // exist when TPUv1 shipped in 2015.
+        assert!((v1.unseen_share - 0.45).abs() < 0.01);
+    }
+
+    #[test]
+    fn every_fp_capable_generation_covers_everything() {
+        for r in e19_data() {
+            if r.chip != "TPUv1" {
+                assert!(
+                    (r.servable_share - 1.0).abs() < 1e-9,
+                    "{}: {}",
+                    r.chip,
+                    r.servable_share
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unseen_share_shrinks_with_newer_chips() {
+        let rows = e19_data();
+        for pair in rows.windows(2) {
+            assert!(pair[1].unseen_share <= pair[0].unseen_share);
+        }
+        let v4i = rows.iter().find(|r| r.chip == "TPUv4i").unwrap();
+        assert_eq!(v4i.unseen_share, 0.0);
+    }
+}

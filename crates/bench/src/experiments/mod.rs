@@ -1,0 +1,10 @@
+//! The experiments, grouped by flavor.
+
+pub mod ablations;
+pub mod cost_exp;
+pub mod evolution;
+pub mod numerics_exp;
+pub mod perf;
+pub mod scaleout;
+pub mod serving_exp;
+pub mod tables;

@@ -1,0 +1,508 @@
+//! E4–E7: roofline, perf/Watt comparison, CMEM ablation, compiler gains.
+
+use tpu_arch::{catalog, ChipConfig};
+use tpu_hlo::{compile, CompilerOptions, OptLevel};
+use tpu_numerics::DType;
+use tpu_serving::latency::LatencyModel;
+use tpu_serving::slo::max_batch_within_slo;
+use tpu_sim::{SimReport, Simulator};
+use tpu_workloads::{production_apps, App};
+
+use crate::util::{f, geomean, Table};
+
+/// Batch sizes profiled when picking SLO operating points (a reduced
+/// grid keeps the full experiment suite fast).
+const PROFILE_BATCHES: [u64; 5] = [1, 4, 16, 64, 256];
+
+/// Compiles and simulates one app at a batch/precision on a chip.
+fn run_once(
+    app: &App,
+    chip: &ChipConfig,
+    batch: u64,
+    dtype: DType,
+    options: &CompilerOptions,
+) -> SimReport {
+    let graph = app
+        .build_with(batch, dtype)
+        .expect("zoo apps build at any positive batch");
+    let exe = compile(&graph, chip, options).expect("zoo apps compile on catalog chips");
+    Simulator::new(chip.clone())
+        .run(exe.plan())
+        .expect("catalog chips simulate compiled plans")
+}
+
+/// Profiles latency-vs-batch at a precision.
+fn profile(app: &App, chip: &ChipConfig, dtype: DType, options: &CompilerOptions) -> LatencyModel {
+    let points = PROFILE_BATCHES
+        .iter()
+        .map(|&b| (b, run_once(app, chip, b, dtype, options).seconds))
+        .collect();
+    LatencyModel::from_points(points).expect("strictly increasing batches")
+}
+
+/// The largest batch meeting the app's p99 SLO on this chip (1 if none).
+///
+/// Capped at 128: chip service time is only part of the production p99
+/// budget (host, network, queueing), so serving never runs the thousand-
+/// request batches a bare-latency search would admit.
+fn slo_batch(app: &App, chip: &ChipConfig, dtype: DType, options: &CompilerOptions) -> u64 {
+    let model = profile(app, chip, dtype, options);
+    max_batch_within_slo(&model, app.spec.slo_p99_ms / 1e3, 128).unwrap_or(1)
+}
+
+/// Sustained SLO-constrained serving throughput of one app on one chip,
+/// inferences/second: the largest SLO-meeting batch's ideal rate derated
+/// to 70% (headroom for queueing, per E8). Used by the fleet-sizing
+/// experiment (E18).
+pub fn slo_throughput_rps(app: &App, chip: &ChipConfig, options: &CompilerOptions) -> f64 {
+    let dtype = serving_dtype(app, chip);
+    let model = profile(app, chip, dtype, options);
+    let batch = max_batch_within_slo(&model, app.spec.slo_p99_ms / 1e3, 128).unwrap_or(1);
+    0.7 * model.throughput(batch)
+}
+
+/// The serving precision an app uses on a chip: int8 where production
+/// quality allows *and* the chip has native int8, else bf16 (Lesson 6).
+pub fn serving_dtype(app: &App, chip: &ChipConfig) -> DType {
+    if app.spec.int8_servable && chip.native_types.contains(&DType::Int8) {
+        DType::Int8
+    } else {
+        DType::Bf16
+    }
+}
+
+/// One point of the E4 roofline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// App name.
+    pub app: String,
+    /// SLO-derived batch.
+    pub batch: u64,
+    /// HBM operational intensity with weights streamed from HBM (the
+    /// classic roofline x-coordinate), FLOP/byte.
+    pub intensity: f64,
+    /// Achieved TFLOP/s with weights in HBM (on the classic roofline).
+    pub tflops_hbm: f64,
+    /// Achieved TFLOP/s with CMEM enabled (the lift CMEM provides).
+    pub tflops_cmem: f64,
+    /// Fraction of the chip's peak (CMEM run) at the app's precision.
+    pub fraction_of_peak: f64,
+    /// Whether the app sits below the HBM ridge (memory bound without
+    /// CMEM).
+    pub memory_bound: bool,
+}
+
+/// E4 data: the production apps on TPUv4i's roofline.
+///
+/// The roofline proper uses weights-from-HBM (how TPUv2/v3 and the
+/// no-CMEM ablation behave); the `tflops_cmem` column shows how CMEM
+/// lifts the memory-bound apps above the HBM roof — TPUv4i's headline
+/// architectural bet.
+pub fn e4_data() -> Vec<RooflinePoint> {
+    let chip = catalog::tpu_v4i();
+    let no_cmem = CompilerOptions::no_cmem();
+    let with_cmem = CompilerOptions::default();
+    production_apps()
+        .iter()
+        .map(|app| {
+            let dtype = serving_dtype(app, &chip);
+            let batch = slo_batch(app, &chip, dtype, &no_cmem);
+            let hbm_run = run_once(app, &chip, batch, dtype, &no_cmem);
+            let cmem_run = run_once(app, &chip, batch, dtype, &with_cmem);
+            let peak = chip.peak_flops(dtype).expect("serving dtype is native");
+            let ridge = chip.ridge_flops_per_byte(dtype).expect("native");
+            let intensity = hbm_run.achieved_intensity();
+            RooflinePoint {
+                app: app.spec.name.to_owned(),
+                batch,
+                intensity,
+                tflops_hbm: hbm_run.tflops(),
+                tflops_cmem: cmem_run.tflops(),
+                fraction_of_peak: cmem_run.flops_per_second() / peak,
+                memory_bound: intensity < ridge,
+            }
+        })
+        .collect()
+}
+
+/// E4 — the TPUv4i roofline with the production apps.
+pub fn e4_roofline() -> String {
+    let chip = catalog::tpu_v4i();
+    let ridge_bf16 = chip.ridge_flops_per_byte(DType::Bf16).expect("native");
+    let ridge_int8 = chip.ridge_flops_per_byte(DType::Int8).expect("native");
+    let mut t = Table::new(&[
+        "app", "SLO batch", "FLOP/byte", "TFLOP/s (HBM)", "TFLOP/s (CMEM)",
+        "% of peak", "bound (vs HBM roof)",
+    ]);
+    for p in e4_data() {
+        t.row(vec![
+            p.app,
+            p.batch.to_string(),
+            if p.intensity.is_finite() {
+                f(p.intensity, 1)
+            } else {
+                "inf".into()
+            },
+            f(p.tflops_hbm, 1),
+            f(p.tflops_cmem, 1),
+            f(p.fraction_of_peak * 100.0, 1),
+            if p.memory_bound { "memory" } else { "compute" }.to_owned(),
+        ]);
+    }
+    format!(
+        "E4 / Fig — TPUv4i roofline (ridge: {:.0} FLOP/B bf16, {:.0} FLOP/B int8; peak {:.0} bf16 / {:.0} int8 TFLOPS)\n{}",
+        ridge_bf16,
+        ridge_int8,
+        chip.peak_flops(DType::Bf16).unwrap() / 1e12,
+        chip.peak_flops(DType::Int8).unwrap() / 1e12,
+        t.render()
+    )
+}
+
+/// One row of the E5 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRow {
+    /// Chip name.
+    pub chip: String,
+    /// App name.
+    pub app: String,
+    /// Serving precision used.
+    pub dtype: DType,
+    /// SLO-derived batch.
+    pub batch: u64,
+    /// Inferences per second at that batch.
+    pub inferences_per_sec: f64,
+    /// Average power during the run, watts.
+    pub watts: f64,
+    /// Inferences per joule.
+    pub inferences_per_joule: f64,
+}
+
+/// E5 data: every comparison chip x every app at its SLO batch.
+pub fn e5_data() -> Vec<PerfRow> {
+    let options = CompilerOptions::default();
+    let mut rows = Vec::new();
+    for chip in catalog::inference_comparison_set() {
+        for app in production_apps() {
+            let dtype = serving_dtype(&app, &chip);
+            let batch = slo_batch(&app, &chip, dtype, &options);
+            let report = run_once(&app, &chip, batch, dtype, &options);
+            rows.push(PerfRow {
+                chip: chip.name.clone(),
+                app: app.spec.name.to_owned(),
+                dtype,
+                batch,
+                inferences_per_sec: batch as f64 / report.seconds,
+                watts: report.average_watts(),
+                inferences_per_joule: batch as f64 / report.energy_joules,
+            });
+        }
+    }
+    rows
+}
+
+/// Geomean perf and perf/W of each chip relative to TPUv3 from E5 rows.
+pub fn e5_relative_to_v3(rows: &[PerfRow]) -> Vec<(String, f64, f64)> {
+    let v3: Vec<&PerfRow> = rows.iter().filter(|r| r.chip == "TPUv3").collect();
+    let chips: Vec<String> = {
+        let mut v: Vec<String> = rows.iter().map(|r| r.chip.clone()).collect();
+        v.dedup();
+        v
+    };
+    chips
+        .into_iter()
+        .map(|chip| {
+            let mut perf_ratios = Vec::new();
+            let mut ppw_ratios = Vec::new();
+            for r in rows.iter().filter(|r| r.chip == chip) {
+                if let Some(base) = v3.iter().find(|b| b.app == r.app) {
+                    perf_ratios.push(r.inferences_per_sec / base.inferences_per_sec);
+                    ppw_ratios.push(r.inferences_per_joule / base.inferences_per_joule);
+                }
+            }
+            (chip, geomean(&perf_ratios), geomean(&ppw_ratios))
+        })
+        .collect()
+}
+
+/// E5 — perf and perf/Watt across TPUv2, TPUv3, TPUv4i and the GPU.
+pub fn e5_perf_per_watt() -> String {
+    let rows = e5_data();
+    let mut t = Table::new(&[
+        "chip", "app", "dtype", "batch", "inf/s", "avg W", "inf/J",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.chip.clone(),
+            r.app.clone(),
+            r.dtype.to_string(),
+            r.batch.to_string(),
+            f(r.inferences_per_sec, 0),
+            f(r.watts, 0),
+            f(r.inferences_per_joule, 1),
+        ]);
+    }
+    let mut summary = Table::new(&["chip", "geomean perf vs TPUv3", "geomean perf/W vs TPUv3"]);
+    for (chip, perf, ppw) in e5_relative_to_v3(&rows) {
+        summary.row(vec![chip, format!("{}x", f(perf, 2)), format!("{}x", f(ppw, 2))]);
+    }
+    format!(
+        "E5 / Fig — per-app performance and perf/Watt at SLO batch\n{}\nSummary (geomean over the 8 apps):\n{}",
+        t.render(),
+        summary.render()
+    )
+}
+
+/// One point of the E6 CMEM-capacity sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmemPoint {
+    /// CMEM budget in MiB.
+    pub budget_mib: u64,
+    /// Geomean speedup over the 0 MiB baseline across apps.
+    pub geomean_speedup: f64,
+    /// Per-app speedups `(app, speedup)`.
+    pub per_app: Vec<(String, f64)>,
+}
+
+/// E6 data: latency vs CMEM budget on TPUv4i (batch 1, bf16).
+///
+/// Batch 1 is the memory-bound extreme where CMEM matters most; at
+/// larger batches the compute-bound apps pin the geomean near 1x.
+pub fn e6_data() -> Vec<CmemPoint> {
+    let chip = catalog::tpu_v4i();
+    let budgets: [u64; 8] = [0, 16, 32, 64, 96, 128, 160, 192];
+    let apps = production_apps();
+    // Baselines at 0 MiB.
+    let base: Vec<(String, f64)> = apps
+        .iter()
+        .map(|app| {
+            let r = run_once(
+                app,
+                &chip,
+                1,
+                DType::Bf16,
+                &CompilerOptions::with_cmem_budget(0),
+            );
+            (app.spec.name.to_owned(), r.seconds)
+        })
+        .collect();
+    budgets
+        .iter()
+        .map(|&mib| {
+            let options = CompilerOptions::with_cmem_budget(mib << 20);
+            let per_app: Vec<(String, f64)> = apps
+                .iter()
+                .zip(&base)
+                .map(|(app, (name, t0))| {
+                    let t = run_once(app, &chip, 1, DType::Bf16, &options).seconds;
+                    (name.clone(), t0 / t)
+                })
+                .collect();
+            let speedups: Vec<f64> = per_app.iter().map(|(_, s)| *s).collect();
+            CmemPoint {
+                budget_mib: mib,
+                geomean_speedup: geomean(&speedups),
+                per_app,
+            }
+        })
+        .collect()
+}
+
+/// E6 — the CMEM capacity ablation (the 128 MiB design point).
+pub fn e6_cmem_sweep() -> String {
+    let points = e6_data();
+    let apps: Vec<String> = points[0].per_app.iter().map(|(n, _)| n.clone()).collect();
+    let mut header: Vec<&str> = vec!["CMEM MiB", "geomean"];
+    for a in &apps {
+        header.push(a.as_str());
+    }
+    let mut t = Table::new(&header);
+    for p in &points {
+        let mut row = vec![p.budget_mib.to_string(), format!("{}x", f(p.geomean_speedup, 2))];
+        for (_, s) in &p.per_app {
+            row.push(format!("{}x", f(*s, 2)));
+        }
+        t.row(row);
+    }
+    format!(
+        "E6 / Fig — speedup vs CMEM capacity on TPUv4i (batch 1, bf16, vs 0 MiB)\n{}",
+        t.render()
+    )
+}
+
+/// One level of the E7 compiler-gains series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompilerGain {
+    /// Optimization level (stands in for compiler releases over time).
+    pub level: OptLevel,
+    /// Geomean speedup over O0 across the apps.
+    pub geomean_speedup: f64,
+}
+
+/// E7 data: geomean speedup per optimization level on TPUv4i (batch 8).
+pub fn e7_data() -> Vec<CompilerGain> {
+    let chip = catalog::tpu_v4i();
+    let apps = production_apps();
+    let base: Vec<f64> = apps
+        .iter()
+        .map(|app| {
+            run_once(app, &chip, 8, DType::Bf16, &CompilerOptions::level(OptLevel::O0)).seconds
+        })
+        .collect();
+    OptLevel::ALL
+        .iter()
+        .map(|&level| {
+            let speedups: Vec<f64> = apps
+                .iter()
+                .zip(&base)
+                .map(|(app, &t0)| {
+                    let t = run_once(app, &chip, 8, DType::Bf16, &CompilerOptions::level(level))
+                        .seconds;
+                    t0 / t
+                })
+                .collect();
+            CompilerGain {
+                level,
+                geomean_speedup: geomean(&speedups),
+            }
+        })
+        .collect()
+}
+
+/// E7 — compiler gains over time (XLA's pass maturation).
+pub fn e7_compiler_gains() -> String {
+    let mut t = Table::new(&["level", "passes", "geomean speedup vs O0"]);
+    for g in e7_data() {
+        let passes = match g.level {
+            OptLevel::O0 => "naive lowering",
+            OptLevel::O1 => "+ fusion",
+            OptLevel::O2 => "+ double buffering",
+            OptLevel::O3 => "+ CMEM placement",
+        };
+        t.row(vec![
+            format!("{:?}", g.level),
+            passes.to_owned(),
+            format!("{}x", f(g.geomean_speedup, 2)),
+        ]);
+    }
+    format!(
+        "E7 / Fig — compiler gains over time on TPUv4i (batch 8, bf16)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_dtype_rules() {
+        let v4i = catalog::tpu_v4i();
+        let v3 = catalog::tpu_v3();
+        let apps = production_apps();
+        let mlp0 = &apps[0];
+        let rnn0 = &apps[4];
+        assert_eq!(serving_dtype(mlp0, &v4i), DType::Int8);
+        assert_eq!(serving_dtype(mlp0, &v3), DType::Bf16); // no native int8
+        assert_eq!(serving_dtype(rnn0, &v4i), DType::Bf16); // FP required
+    }
+
+    #[test]
+    fn e4_has_both_memory_and_compute_bound_apps() {
+        let points = e4_data();
+        assert_eq!(points.len(), 8);
+        assert!(points.iter().any(|p| p.memory_bound), "MLPs are memory bound");
+        assert!(
+            points.iter().any(|p| !p.memory_bound),
+            "CNN0 should be compute bound"
+        );
+        for p in &points {
+            assert!(p.fraction_of_peak <= 1.0 + 1e-9, "{}: {}", p.app, p.fraction_of_peak);
+            assert!(p.tflops_hbm > 0.0);
+            // CMEM never meaningfully hurts (compute-bound apps can see
+            // sub-percent noise from channel re-serialization).
+            assert!(p.tflops_cmem >= p.tflops_hbm * 0.99, "{}", p.app);
+        }
+    }
+}
+
+/// One app's energy breakdown on TPUv4i (E16, extension).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyRow {
+    /// App name.
+    pub app: String,
+    /// Fraction of total energy that is static (idle power).
+    pub static_frac: f64,
+    /// Fraction spent in the MXUs.
+    pub mxu_frac: f64,
+    /// Fraction spent in the VPU.
+    pub vpu_frac: f64,
+    /// Fraction spent moving data (DMA incl. HBM/CMEM transfer energy).
+    pub dma_frac: f64,
+}
+
+/// E16 data: where each app's energy goes on TPUv4i at batch 8.
+pub fn e16_data() -> Vec<EnergyRow> {
+    let chip = catalog::tpu_v4i();
+    let options = CompilerOptions::default();
+    production_apps()
+        .iter()
+        .map(|app| {
+            let dtype = serving_dtype(app, &chip);
+            let r = run_once(app, &chip, 8, dtype, &options);
+            use tpu_sim::Resource;
+            EnergyRow {
+                app: app.spec.name.to_owned(),
+                static_frac: r.static_fraction(),
+                mxu_frac: r.energy_fraction(Resource::Mxu),
+                vpu_frac: r.energy_fraction(Resource::Vpu),
+                dma_frac: r.energy_fraction(Resource::Dma)
+                    + r.energy_fraction(Resource::Ici),
+            }
+        })
+        .collect()
+}
+
+/// E16 (extension) — energy breakdown per app on TPUv4i.
+pub fn e16_energy_breakdown() -> String {
+    let mut t = Table::new(&["app", "static", "mxu", "vpu", "data movement"]);
+    for r in e16_data() {
+        let pct = |x: f64| format!("{}%", f(x * 100.0, 0));
+        t.row(vec![
+            r.app,
+            pct(r.static_frac),
+            pct(r.mxu_frac),
+            pct(r.vpu_frac),
+            pct(r.dma_frac),
+        ]);
+    }
+    format!(
+        "E16 (extension) — where the energy goes on TPUv4i (batch 8, serving dtype)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod energy_tests {
+    use super::*;
+
+    #[test]
+    fn e16_fractions_form_a_partition() {
+        for r in e16_data() {
+            let total = r.static_frac + r.mxu_frac + r.vpu_frac + r.dma_frac;
+            assert!(
+                (total - 1.0).abs() < 0.02,
+                "{}: fractions sum to {total}",
+                r.app
+            );
+            assert!(r.static_frac > 0.0, "{}", r.app);
+        }
+        // Data movement should dominate the memory-bound MLPs more than
+        // the compute-bound CNN0 (Lesson 1's consequence).
+        let rows = e16_data();
+        let mlp0 = rows.iter().find(|r| r.app == "MLP0").unwrap();
+        let cnn0 = rows.iter().find(|r| r.app == "CNN0").unwrap();
+        assert!(mlp0.dma_frac > cnn0.dma_frac);
+        assert!(cnn0.mxu_frac > mlp0.mxu_frac);
+    }
+}

@@ -1,0 +1,109 @@
+//! E15 (extension): multi-chip pipeline inference over ICI.
+//!
+//! The paper notes TPUv4i deploys in boards of four chips connected by
+//! ICI so that models too large or too slow for one chip can be served
+//! by a pod. This experiment pipelines BERT1 (whose 666 MiB of bf16
+//! weights overflow a single 128 MiB CMEM) across 1–4 TPUv4i chips.
+
+use tpu_arch::catalog;
+use tpu_core::multichip::{simulate_pipeline, PipelineReport};
+use tpu_hlo::CompilerOptions;
+use tpu_numerics::DType;
+use tpu_workloads::zoo::{self, BERT1_CONFIG};
+
+use crate::util::{f, Table};
+
+/// One row of the pod sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleoutPoint {
+    /// Chips in the pipeline.
+    pub chips: u64,
+    /// The pipeline report.
+    pub report: PipelineReport,
+    /// Throughput scaling efficiency vs one chip.
+    pub efficiency: f64,
+}
+
+/// E15 data: BERT1 over 1, 2, 3, 4 TPUv4i chips at batch 8.
+pub fn e15_data() -> Vec<ScaleoutPoint> {
+    let chip = catalog::tpu_v4i();
+    let options = CompilerOptions::default();
+    let batch = 8;
+    let hop = zoo::bert_stage_activation_bytes(&BERT1_CONFIG, batch, DType::Bf16);
+    let single = {
+        let stages = zoo::bert_pipeline(&BERT1_CONFIG, batch, DType::Bf16, 1).expect("builds");
+        simulate_pipeline(&stages, &chip, &options, hop).expect("simulates")
+    };
+    [1u64, 2, 3, 4]
+        .iter()
+        .map(|&chips| {
+            let stages =
+                zoo::bert_pipeline(&BERT1_CONFIG, batch, DType::Bf16, chips).expect("builds");
+            let report = simulate_pipeline(&stages, &chip, &options, hop).expect("simulates");
+            let efficiency = report.scaling_efficiency(&single);
+            ScaleoutPoint {
+                chips,
+                report,
+                efficiency,
+            }
+        })
+        .collect()
+}
+
+/// E15 — pipeline scale-out of BERT1 over a TPUv4i pod.
+pub fn e15_scaleout() -> String {
+    let mut t = Table::new(&[
+        "chips", "latency ms", "batches/s", "efficiency", "CMEM-resident weights",
+        "bottleneck",
+    ]);
+    for p in e15_data() {
+        let max_stage = p
+            .report
+            .stage_seconds
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        let max_hop = p
+            .report
+            .hop_seconds
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        t.row(vec![
+            p.chips.to_string(),
+            f(p.report.latency_s * 1e3, 2),
+            f(p.report.batches_per_sec, 0),
+            format!("{}%", f(p.efficiency * 100.0, 0)),
+            format!("{}%", f(p.report.cmem_fraction * 100.0, 0)),
+            if max_hop > max_stage { "ICI" } else { "compute" }.to_owned(),
+        ]);
+    }
+    format!(
+        "E15 (extension) — BERT1 pipelined over a TPUv4i pod (batch 8, bf16)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e15_throughput_scales_and_cmem_residency_grows() {
+        let points = e15_data();
+        assert_eq!(points.len(), 4);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].report.batches_per_sec > pair[0].report.batches_per_sec,
+                "throughput must grow with chips"
+            );
+            assert!(pair[1].report.cmem_fraction >= pair[0].report.cmem_fraction);
+        }
+        let four = &points[3];
+        assert!(four.efficiency > 0.6, "4-chip efficiency {}", four.efficiency);
+        // Compute, not ICI, should be the bottleneck at seq 128 / batch 8.
+        let max_stage = four.report.stage_seconds.iter().cloned().fold(0.0, f64::max);
+        let max_hop = four.report.hop_seconds.iter().cloned().fold(0.0, f64::max);
+        assert!(max_stage > max_hop);
+    }
+}

@@ -1,0 +1,159 @@
+//! E1–E3: the static tables (generation catalog, technology scaling,
+//! production app table).
+
+use tpu_arch::{catalog, ProcessNode};
+use tpu_numerics::DType;
+use tpu_workloads::production_apps;
+
+use crate::util::{f, Table};
+
+/// E1 — Table 1: key characteristics of the five TPU generations (plus
+/// the GPU baseline used in E5).
+pub fn e1_table1() -> String {
+    let mut t = Table::new(&[
+        "chip", "year", "node", "MHz", "TDP W", "idle W", "die mm2", "MXUs",
+        "bf16 TFLOPS", "int8 TOPS", "HBM GiB", "GB/s", "on-chip MiB", "cooling",
+    ]);
+    for c in catalog::all_chips() {
+        let mxus = c.cores * c.mxus_per_core;
+        let bf16 = c
+            .peak_flops(DType::Bf16)
+            .or_else(|| c.peak_flops(DType::Fp16))
+            .map(|x| f(x / 1e12, 1))
+            .unwrap_or_else(|| "-".to_owned());
+        let int8 = c
+            .peak_flops(DType::Int8)
+            .map(|x| f(x / 1e12, 1))
+            .unwrap_or_else(|| "-".to_owned());
+        t.row(vec![
+            c.name.clone(),
+            c.year.to_string(),
+            c.node.to_string(),
+            f(c.clock_hz / 1e6, 0),
+            f(c.tdp_w, 0),
+            f(c.idle_w, 0),
+            f(c.die_mm2, 0),
+            format!("{mxus}x{}", c.mxu_dim),
+            bf16,
+            int8,
+            f(c.hbm.capacity_gib(), 0),
+            f(c.hbm.bandwidth_gbps(), 0),
+            f(c.on_chip_sram_bytes() as f64 / (1 << 20) as f64, 0),
+            c.cooling.to_string(),
+        ]);
+    }
+    format!("E1 / Table 1 — five TPU generations + GPU baseline\n{}", t.render())
+}
+
+/// One row of the E2 scaling figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechRow {
+    /// Process node.
+    pub node: ProcessNode,
+    /// Improvement factors vs 45 nm: (logic, sram, dram, wire).
+    pub improvement: (f64, f64, f64, f64),
+    /// HBM bytes' cost in bf16-MAC equivalents.
+    pub hbm_byte_per_mac: f64,
+}
+
+/// E2 data: per-node energies and improvement factors.
+pub fn e2_data() -> Vec<TechRow> {
+    ProcessNode::ALL
+        .iter()
+        .map(|&node| {
+            let e = node.energy();
+            TechRow {
+                node,
+                improvement: e.improvement_vs_reference(),
+                hbm_byte_per_mac: e.hbm_byte_per_bf16_mac(),
+            }
+        })
+        .collect()
+}
+
+/// E2 — technology scales unequally (Lesson 1).
+pub fn e2_tech_scaling() -> String {
+    let mut t = Table::new(&[
+        "node", "int8 MAC pJ", "bf16 MAC pJ", "fp32 MAC pJ", "SRAM pJ/B", "HBM pJ/B",
+        "logic gain", "SRAM gain", "DRAM gain", "HBM B / bf16 MAC",
+    ]);
+    for row in e2_data() {
+        let e = row.node.energy();
+        let (l, s, d, _w) = row.improvement;
+        t.row(vec![
+            row.node.to_string(),
+            f(e.mac_int8_pj, 3),
+            f(e.mac_bf16_pj, 3),
+            f(e.mac_fp32_pj, 3),
+            f(e.sram_pj_per_byte, 2),
+            f(e.hbm_pj_per_byte, 1),
+            format!("{}x", f(l, 1)),
+            format!("{}x", f(s, 1)),
+            format!("{}x", f(d, 1)),
+            f(row.hbm_byte_per_mac, 0),
+        ]);
+    }
+    format!(
+        "E2 / Fig — technology advances unequally (energy per op by node)\n{}",
+        t.render()
+    )
+}
+
+/// E3 — the production inference app table.
+pub fn e3_app_table() -> String {
+    let mut t = Table::new(&[
+        "app", "class", "params M", "GFLOP@b=1", "FLOP/byte", "nonlinearity",
+        "p99 SLO ms", "int8 OK", "fleet share",
+    ]);
+    for app in production_apps() {
+        let g = app.build(1).expect("apps build at batch 1");
+        t.row(vec![
+            app.spec.name.to_owned(),
+            app.spec.class.to_string(),
+            f(g.weight_count() as f64 / 1e6, 1),
+            f(g.flops() as f64 / 1e9, 2),
+            f(g.intensity_estimate(), 1),
+            app.spec.nonlinearity.to_owned(),
+            f(app.spec.slo_p99_ms, 0),
+            if app.spec.int8_servable { "yes" } else { "NO" }.to_owned(),
+            format!("{}%", f(app.spec.fleet_share * 100.0, 0)),
+        ]);
+    }
+    format!(
+        "E3 / Table — production inference apps (stand-ins; see DESIGN.md)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_lists_all_chips() {
+        let s = e1_table1();
+        for name in ["TPUv1", "TPUv2", "TPUv3", "TPUv4i", "TPUv4", "GPU-T4"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        assert!(s.contains("137.6") || s.contains("137.5"), "v4i peak");
+    }
+
+    #[test]
+    fn e2_shape_holds() {
+        let rows = e2_data();
+        let last = rows.last().unwrap();
+        let (l, s, d, w) = last.improvement;
+        assert!(l > s && s > d && d > w);
+        assert!(last.hbm_byte_per_mac > 100.0);
+        assert!(e2_tech_scaling().contains("7nm"));
+    }
+
+    #[test]
+    fn e3_lists_all_apps() {
+        let s = e3_app_table();
+        for name in ["MLP0", "CNN0", "RNN0", "BERT1"] {
+            assert!(s.contains(name));
+        }
+        assert!(s.contains("NO"), "some app must require FP");
+    }
+}

@@ -1,0 +1,271 @@
+//! High-level facade over the TPUv4i reproduction workspace.
+//!
+//! Everything the paper's evaluation does is a composition of the same
+//! few moves: *build* a production app's graph, *compile* it for a chip
+//! generation, *simulate* the compiled plan, and fold the results into
+//! serving or cost models. This crate packages those moves:
+//!
+//! - [`run_app`] / [`AppRun`]: one app on one chip at one batch size;
+//! - [`suite`]: all eight production apps on one chip;
+//! - [`slo_operating_point`]: the SLO-derived batch and the simulated
+//!   latency at it (the operating point the paper's comparisons use);
+//! - [`prelude`]: the workspace's main types in one import.
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_core::prelude::*;
+//!
+//! let chip = catalog::tpu_v4i();
+//! let run = tpu_core::run_app(&zoo::mlp0(), &chip, 16, &CompilerOptions::default()).unwrap();
+//! assert!(run.report.seconds > 0.0);
+//! println!("MLP0 @16 on {}: {:.3} ms", chip.name, run.report.seconds * 1e3);
+//! ```
+
+pub mod multichip;
+
+use std::fmt;
+
+use tpu_arch::ChipConfig;
+use tpu_hlo::{compile, CompileError, CompilerOptions, Executable};
+use tpu_serving::latency::{LatencyError, LatencyModel};
+use tpu_serving::slo;
+use tpu_sim::{SimError, SimReport, Simulator};
+use tpu_workloads::{production_apps, App};
+
+/// Everything a typical caller needs, one import away.
+pub mod prelude {
+    pub use tpu_arch::{catalog, ChipConfig, CoolingTech, Generation, MemLevel, ProcessNode};
+    pub use tpu_hlo::{compile, CompilerOptions, Executable, Graph, OptLevel};
+    pub use tpu_numerics::{Bf16, DType};
+    pub use tpu_serving::latency::LatencyModel;
+    pub use tpu_sim::{SimReport, Simulator, StepPlan};
+    pub use tpu_tco::{TcoModel, TcoReport};
+    pub use tpu_workloads::{production_apps, zoo, App, AppClass};
+}
+
+/// Error from the high-level pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Graph construction or compilation failed.
+    Compile(String),
+    /// Simulation failed.
+    Sim(String),
+    /// Latency profiling failed.
+    Latency(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Compile(e) => write!(f, "compile: {e}"),
+            CoreError::Sim(e) => write!(f, "simulate: {e}"),
+            CoreError::Latency(e) => write!(f, "profile: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<CompileError> for CoreError {
+    fn from(e: CompileError) -> CoreError {
+        CoreError::Compile(e.to_string())
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> CoreError {
+        CoreError::Sim(e.to_string())
+    }
+}
+
+impl From<LatencyError> for CoreError {
+    fn from(e: LatencyError) -> CoreError {
+        CoreError::Latency(e.to_string())
+    }
+}
+
+/// The result of compiling and simulating one app on one chip.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// App name.
+    pub app: String,
+    /// Batch size simulated.
+    pub batch: u64,
+    /// The compiled artifact.
+    pub executable: Executable,
+    /// The simulation report.
+    pub report: SimReport,
+}
+
+impl AppRun {
+    /// Inferences per second at this batch size.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.report.seconds <= 0.0 {
+            0.0
+        } else {
+            self.batch as f64 / self.report.seconds
+        }
+    }
+
+    /// Inferences per joule (the E5 efficiency axis).
+    pub fn inferences_per_joule(&self) -> f64 {
+        if self.report.energy_joules <= 0.0 {
+            0.0
+        } else {
+            self.batch as f64 / self.report.energy_joules
+        }
+    }
+}
+
+/// Compiles and simulates one app at a batch size.
+///
+/// # Errors
+///
+/// Propagates compile and simulation errors as [`CoreError`].
+pub fn run_app(
+    app: &App,
+    chip: &ChipConfig,
+    batch: u64,
+    options: &CompilerOptions,
+) -> Result<AppRun, CoreError> {
+    let graph = app.build(batch).map_err(CompileError::Graph)?;
+    let executable = compile(&graph, chip, options)?;
+    let report = Simulator::new(chip.clone()).run(executable.plan())?;
+    Ok(AppRun {
+        app: app.spec.name.to_owned(),
+        batch,
+        executable,
+        report,
+    })
+}
+
+/// Runs all eight production apps on a chip at one batch size.
+///
+/// # Errors
+///
+/// Fails on the first app that cannot compile or simulate.
+pub fn suite(
+    chip: &ChipConfig,
+    batch: u64,
+    options: &CompilerOptions,
+) -> Result<Vec<AppRun>, CoreError> {
+    production_apps()
+        .iter()
+        .map(|app| run_app(app, chip, batch, options))
+        .collect()
+}
+
+/// An app's SLO-derived operating point on a chip (Lesson 10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPoint {
+    /// App name.
+    pub app: String,
+    /// p99 SLO, seconds.
+    pub slo_s: f64,
+    /// Largest batch whose service latency meets the SLO (1 if even
+    /// batch 1 misses — serve degraded rather than not at all).
+    pub batch: u64,
+    /// Whether even batch 1 met the SLO.
+    pub feasible: bool,
+    /// Service latency at the chosen batch, seconds.
+    pub latency_s: f64,
+    /// Ideal throughput at the chosen batch, inferences/s.
+    pub throughput_rps: f64,
+}
+
+/// Profiles an app and finds its largest SLO-meeting batch on a chip.
+///
+/// # Errors
+///
+/// Propagates profiling errors as [`CoreError`].
+pub fn slo_operating_point(
+    app: &App,
+    chip: &ChipConfig,
+    options: &CompilerOptions,
+) -> Result<OperatingPoint, CoreError> {
+    let model = LatencyModel::profile(
+        app,
+        chip,
+        options,
+        &tpu_serving::latency::DEFAULT_BATCHES,
+    )?;
+    let slo_s = app.spec.slo_p99_ms / 1e3;
+    let found = slo::max_batch_within_slo(&model, slo_s, 1024);
+    let batch = found.unwrap_or(1);
+    Ok(OperatingPoint {
+        app: app.spec.name.to_owned(),
+        slo_s,
+        batch,
+        feasible: found.is_some(),
+        latency_s: model.latency(batch),
+        throughput_rps: model.throughput(batch),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_arch::catalog;
+    use tpu_workloads::zoo;
+
+    #[test]
+    fn run_app_produces_consistent_numbers() {
+        let chip = catalog::tpu_v4i();
+        let run = run_app(&zoo::mlp0(), &chip, 8, &CompilerOptions::default()).unwrap();
+        assert_eq!(run.app, "MLP0");
+        assert_eq!(run.batch, 8);
+        assert!(run.report.seconds > 0.0);
+        assert!(run.throughput_rps() > 0.0);
+        assert!(run.inferences_per_joule() > 0.0);
+        // The simulator executed exactly the compiled plan's flops.
+        assert_eq!(run.report.flops, run.executable.plan().total_flops());
+    }
+
+    #[test]
+    fn suite_covers_all_apps() {
+        let chip = catalog::tpu_v4i();
+        let runs = suite(&chip, 4, &CompilerOptions::default()).unwrap();
+        assert_eq!(runs.len(), 8);
+        let names: Vec<&str> = runs.iter().map(|r| r.app.as_str()).collect();
+        assert!(names.contains(&"BERT1"));
+        for r in &runs {
+            assert!(r.report.seconds > 0.0, "{}", r.app);
+        }
+    }
+
+    #[test]
+    fn operating_point_respects_slo() {
+        let chip = catalog::tpu_v4i();
+        let op = slo_operating_point(&zoo::mlp0(), &chip, &CompilerOptions::default()).unwrap();
+        assert!(op.feasible);
+        assert!(op.latency_s <= op.slo_s);
+        assert!(op.batch >= 1);
+        assert!(op.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn bigger_batch_for_looser_slo_app() {
+        // RNN0's 60 ms SLO admits bigger batches than MLP0's 7 ms on the
+        // same chip — Lesson 10's mechanism.
+        let chip = catalog::tpu_v4i();
+        let tight = slo_operating_point(&zoo::mlp0(), &chip, &CompilerOptions::default())
+            .unwrap();
+        let loose = slo_operating_point(&zoo::cnn1(), &chip, &CompilerOptions::default())
+            .unwrap();
+        // CNN1 (32 ms) is heavy per inference; the comparison that's
+        // robust is that each meets its own SLO.
+        assert!(tight.latency_s <= tight.slo_s);
+        assert!(loose.latency_s <= loose.slo_s);
+    }
+
+    #[test]
+    fn errors_convert_and_display() {
+        let e: CoreError = CompileError::WeightsExceedHbm {
+            needed: 2,
+            available: 1,
+        }
+        .into();
+        assert!(format!("{e}").contains("compile"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Analytic cost model: estimate latency without simulating.
+//!
+//! XLA makes fusion/layout decisions with a closed-form cost model long
+//! before anything executes. This module provides the same capability:
+//! a roofline-style estimate of an executable's latency from its step
+//! plan — compute time on the MXU/VPU pools, transfer time on each
+//! memory channel, and the max of the three as the bound (perfect
+//! overlap), with the sum as the no-overlap ceiling.
+//!
+//! The estimate deliberately ignores dependency structure, so it brackets
+//! the simulator: `lower_bound <= simulated <= upper_bound` always — the
+//! lower bound is the busiest pooled resource alone (perfect overlap) and
+//! the upper bound is full serialization of every step, which the greedy
+//! scheduler never exceeds.
+
+use tpu_arch::{ChipConfig, MemLevel};
+use tpu_sim::machine::Machine;
+use tpu_sim::plan::{StepKind, StepPlan};
+
+/// The closed-form latency estimate for one plan on one chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Aggregate MXU busy time divided over the MXU pool, seconds.
+    pub mxu_seconds: f64,
+    /// Aggregate VPU busy time divided over the VPU pool, seconds.
+    pub vpu_seconds: f64,
+    /// HBM-channel transfer time, seconds.
+    pub hbm_seconds: f64,
+    /// CMEM-channel transfer time, seconds.
+    pub cmem_seconds: f64,
+    /// ICI transfer time (per link pool), seconds.
+    pub ici_seconds: f64,
+    /// Sum of every step's unit occupancy, seconds — the true
+    /// full-serialization ceiling (the greedy scheduler never exceeds
+    /// it; see the `makespan_bounds` property test in `tpu-sim`).
+    pub serial_seconds: f64,
+}
+
+impl CostEstimate {
+    /// The perfect-overlap bound: the busiest resource alone.
+    pub fn lower_bound_s(&self) -> f64 {
+        [
+            self.mxu_seconds,
+            self.vpu_seconds,
+            self.hbm_seconds,
+            self.cmem_seconds,
+            self.ici_seconds,
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+
+    /// The no-overlap ceiling: every step serialized.
+    pub fn upper_bound_s(&self) -> f64 {
+        self.serial_seconds
+    }
+
+    /// Which resource bounds the plan (the roofline verdict).
+    pub fn bottleneck(&self) -> &'static str {
+        let lb = self.lower_bound_s();
+        if lb == self.mxu_seconds {
+            "mxu"
+        } else if lb == self.hbm_seconds {
+            "hbm"
+        } else if lb == self.vpu_seconds {
+            "vpu"
+        } else if lb == self.cmem_seconds {
+            "cmem"
+        } else {
+            "ici"
+        }
+    }
+}
+
+/// Estimates a plan's cost on a chip analytically.
+pub fn estimate(plan: &StepPlan, chip: &ChipConfig) -> CostEstimate {
+    let machine = Machine::new(chip.clone());
+    let (mxu_pool, vpu_pool, _dma, ici_pool) = machine.pool_sizes();
+    let mut mxu = 0.0f64;
+    let mut vpu = 0.0f64;
+    let mut hbm = 0.0f64;
+    let mut cmem = 0.0f64;
+    let mut ici = 0.0f64;
+    let mut serial = 0.0f64;
+    for step in plan.steps() {
+        let cost = machine.step_cost(&step.kind);
+        serial += cost.unit_seconds;
+        match step.kind {
+            StepKind::Mxu { .. } => mxu += cost.unit_seconds,
+            StepKind::Vpu { .. } => vpu += cost.unit_seconds,
+            StepKind::Ici { .. } => ici += cost.unit_seconds,
+            StepKind::DmaIn { from, .. } => match from {
+                MemLevel::Cmem => cmem += cost.channel_seconds,
+                _ => hbm += cost.channel_seconds,
+            },
+            StepKind::DmaOut { to, .. } => match to {
+                MemLevel::Cmem => cmem += cost.channel_seconds,
+                _ => hbm += cost.channel_seconds,
+            },
+        }
+    }
+    CostEstimate {
+        mxu_seconds: mxu / mxu_pool as f64,
+        vpu_seconds: vpu / vpu_pool as f64,
+        hbm_seconds: hbm,
+        cmem_seconds: cmem,
+        ici_seconds: ici / ici_pool as f64,
+        serial_seconds: serial,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompilerOptions, Graph};
+    use tpu_arch::catalog;
+    use tpu_numerics::DType;
+    use tpu_sim::Simulator;
+
+    fn mlp(batch: u64, width: u64) -> Graph {
+        let mut g = Graph::new("m", DType::Bf16);
+        let mut x = g.parameter(&[batch, width]).unwrap();
+        for _ in 0..3 {
+            let w = g.constant(&[width, width]).unwrap();
+            x = g.dot(x, w).unwrap();
+            x = g.relu(x).unwrap();
+        }
+        g.mark_output(x);
+        g
+    }
+
+    #[test]
+    fn estimate_brackets_the_simulator() {
+        let chip = catalog::tpu_v4i();
+        let sim = Simulator::new(chip.clone());
+        for (batch, width) in [(1u64, 512u64), (8, 1024), (64, 2048), (256, 1024)] {
+            let g = mlp(batch, width);
+            for options in [CompilerOptions::default(), CompilerOptions::no_cmem()] {
+                let exe = compile(&g, &chip, &options).unwrap();
+                let est = estimate(exe.plan(), &chip);
+                let simulated = sim.run(exe.plan()).unwrap().seconds;
+                assert!(
+                    simulated >= est.lower_bound_s() * 0.999,
+                    "b{batch} w{width}: sim {simulated} < lower {}",
+                    est.lower_bound_s()
+                );
+                assert!(
+                    simulated <= est.upper_bound_s() * 1.001,
+                    "b{batch} w{width}: sim {simulated} > upper {}",
+                    est.upper_bound_s()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bottleneck_verdict_tracks_batch_size() {
+        let chip = catalog::tpu_v4i();
+        let no_cmem = CompilerOptions::no_cmem();
+        // Tiny batch, fat weights from HBM: transfer-dominated.
+        let small = compile(&mlp(1, 2048), &chip, &no_cmem).unwrap();
+        let verdict_small = estimate(small.plan(), &chip).bottleneck();
+        // Huge batch: compute-dominated.
+        let big = compile(&mlp(2048, 2048), &chip, &no_cmem).unwrap();
+        let verdict_big = estimate(big.plan(), &chip).bottleneck();
+        assert_eq!(verdict_small, "hbm");
+        assert_eq!(verdict_big, "mxu");
+    }
+
+    #[test]
+    fn cmem_shifts_transfer_time_between_channels() {
+        let chip = catalog::tpu_v4i();
+        let g = mlp(4, 2048);
+        let with = estimate(
+            compile(&g, &chip, &CompilerOptions::default()).unwrap().plan(),
+            &chip,
+        );
+        let without = estimate(
+            compile(&g, &chip, &CompilerOptions::no_cmem()).unwrap().plan(),
+            &chip,
+        );
+        assert!(with.hbm_seconds < without.hbm_seconds / 4.0);
+        assert!(with.cmem_seconds > 0.0);
+        assert_eq!(without.cmem_seconds, 0.0);
+    }
+
+    #[test]
+    fn empty_plan_costs_nothing() {
+        let chip = catalog::tpu_v4i();
+        let est = estimate(&StepPlan::new("empty"), &chip);
+        assert_eq!(est.lower_bound_s(), 0.0);
+        assert_eq!(est.upper_bound_s(), 0.0);
+    }
+}

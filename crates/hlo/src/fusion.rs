@@ -1,0 +1,188 @@
+//! Operator fusion: elementwise consumers fold into matrix producers.
+//!
+//! XLA's single most valuable TPU optimization class: a `dot` followed by
+//! a bias-add and a ReLU should write VMEM once, not three times. We
+//! model fusion as a map from fused node to its *root* producer; the
+//! lowering pass then emits the fused VPU work in the producer's step
+//! chain with no intermediate DMA.
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, HloOp, OpId};
+
+/// The result of the fusion pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FusionMap {
+    /// Maps a fused node to the matrix op it was folded into.
+    fused_into: HashMap<OpId, OpId>,
+}
+
+impl FusionMap {
+    /// The root producer a node was fused into, if any.
+    pub fn root_of(&self, id: OpId) -> Option<OpId> {
+        self.fused_into.get(&id).copied()
+    }
+
+    /// Whether a node was fused away (emits no standalone steps).
+    pub fn is_fused(&self, id: OpId) -> bool {
+        self.fused_into.contains_key(&id)
+    }
+
+    /// Number of fused nodes.
+    pub fn fused_count(&self) -> usize {
+        self.fused_into.len()
+    }
+
+    /// Nodes fused into `root`, in id order.
+    pub fn cluster_of(&self, root: OpId) -> Vec<OpId> {
+        let mut v: Vec<OpId> = self
+            .fused_into
+            .iter()
+            .filter(|(_, r)| **r == root)
+            .map(|(k, _)| *k)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Runs the fusion pass.
+///
+/// A node fuses into a producer chain when it
+/// (a) is a fusible elementwise/normalization op,
+/// (b) has exactly one consumer path from a matrix op (dot/conv), i.e.
+///     its input either *is* a matrix op or is already fused, and
+/// (c) the producer's output is consumed only by this node (no fan-out —
+///     a second consumer would still need the unfused intermediate).
+///
+/// Graph outputs can be fused: the fused chain's result is what gets
+/// written out.
+pub fn fuse(graph: &Graph) -> FusionMap {
+    let consumers = graph.consumers();
+    let mut map = FusionMap::default();
+    for node in graph.nodes() {
+        if !node.op.is_fusible_consumer() {
+            continue;
+        }
+        // The "main" operand: first non-constant operand.
+        let main = node
+            .op
+            .operands()
+            .into_iter()
+            .find(|&o| !matches!(graph.node(o).op, HloOp::Constant));
+        let Some(main) = main else { continue };
+        // Producer must be a matrix op or already part of a cluster.
+        let root = if graph.node(main).op.is_matrix_op() {
+            Some(main)
+        } else {
+            map.root_of(main)
+        };
+        let Some(root) = root else { continue };
+        // No fan-out from the main operand.
+        if consumers[main.index()].len() != 1 {
+            continue;
+        }
+        // Secondary operands (e.g. the residual in a binary add) must be
+        // cheap to stream: parameters, constants or other finished nodes
+        // are fine in this model — we only require they are not *this*
+        // cluster (which would be a cycle).
+        map.fused_into.insert(node.id, root);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_numerics::activation::Activation;
+    use tpu_numerics::DType;
+
+    fn dot_chain() -> (Graph, OpId, OpId, OpId) {
+        let mut g = Graph::new("t", DType::Bf16);
+        let x = g.parameter(&[8, 128]).unwrap();
+        let w = g.constant(&[128, 256]).unwrap();
+        let d = g.dot(x, w).unwrap();
+        let r = g.relu(d).unwrap();
+        let s = g.softmax(r).unwrap();
+        g.mark_output(s);
+        (g, d, r, s)
+    }
+
+    #[test]
+    fn chain_fuses_into_dot() {
+        let (g, d, r, s) = dot_chain();
+        let f = fuse(&g);
+        assert_eq!(f.root_of(r), Some(d));
+        assert_eq!(f.root_of(s), Some(d));
+        assert!(!f.is_fused(d));
+        assert_eq!(f.fused_count(), 2);
+        assert_eq!(f.cluster_of(d), vec![r, s]);
+    }
+
+    #[test]
+    fn fan_out_blocks_fusion() {
+        let mut g = Graph::new("t", DType::Bf16);
+        let x = g.parameter(&[8, 128]).unwrap();
+        let w = g.constant(&[128, 128]).unwrap();
+        let d = g.dot(x, w).unwrap();
+        let r = g.relu(d).unwrap(); // would fuse...
+        let other = g.softmax(d).unwrap(); // ...but d has two consumers
+        g.mark_output(r);
+        g.mark_output(other);
+        let f = fuse(&g);
+        assert!(!f.is_fused(r));
+        assert!(!f.is_fused(other));
+    }
+
+    #[test]
+    fn elementwise_without_matrix_producer_stays() {
+        let mut g = Graph::new("t", DType::Bf16);
+        let x = g.parameter(&[8, 128]).unwrap();
+        let r = g.relu(x).unwrap();
+        g.mark_output(r);
+        let f = fuse(&g);
+        assert_eq!(f.fused_count(), 0);
+    }
+
+    #[test]
+    fn binary_add_bias_fuses() {
+        let mut g = Graph::new("t", DType::Bf16);
+        let x = g.parameter(&[8, 128]).unwrap();
+        let w = g.constant(&[128, 256]).unwrap();
+        let d = g.dot(x, w).unwrap();
+        let bias = g.parameter(&[8, 256]).unwrap();
+        let sum = g.add(d, bias).unwrap();
+        let act = g.activate(sum, Activation::Gelu).unwrap();
+        g.mark_output(act);
+        let f = fuse(&g);
+        assert_eq!(f.root_of(sum), Some(d));
+        assert_eq!(f.root_of(act), Some(d));
+    }
+
+    #[test]
+    fn conv_chains_fuse_too() {
+        let mut g = Graph::new("t", DType::Bf16);
+        let x = g.parameter(&[1, 28, 28, 64]).unwrap();
+        let k = g.constant(&[3, 3, 64, 64]).unwrap();
+        let c = g.conv2d(x, k, 1).unwrap();
+        let r = g.relu(c).unwrap();
+        g.mark_output(r);
+        let f = fuse(&g);
+        assert_eq!(f.root_of(r), Some(c));
+    }
+
+    #[test]
+    fn reshape_breaks_the_chain() {
+        let mut g = Graph::new("t", DType::Bf16);
+        let x = g.parameter(&[8, 128]).unwrap();
+        let w = g.constant(&[128, 256]).unwrap();
+        let d = g.dot(x, w).unwrap();
+        let rs = g.reshape(d, &[8 * 256]).unwrap();
+        let r = g.relu(rs).unwrap();
+        g.mark_output(r);
+        let f = fuse(&g);
+        // Reshape is not fusible, so relu's producer is not a matrix op
+        // nor fused.
+        assert!(!f.is_fused(r));
+    }
+}

@@ -1,0 +1,57 @@
+//! A miniature XLA: the ahead-of-time compiler of the TPU reproduction.
+//!
+//! Lesson 2 of the paper — *compiler compatibility trumps binary
+//! compatibility* — only makes sense with a compiler in hand. This crate
+//! provides one with the same pass structure as XLA's TPU backend, at
+//! model scale:
+//!
+//! 1. an **HLO graph IR** ([`graph`]) with shape inference over the op
+//!    set the production apps need (dot, conv, elementwise, softmax,
+//!    layer norm, embedding lookup, pooling);
+//! 2. **operator fusion** ([`fusion`]): elementwise consumers fold into
+//!    their matmul/conv producers, eliminating VMEM round trips;
+//! 3. **memory planning** ([`memory`]): weight placement into TPUv4i's
+//!    CMEM by a benefit-per-byte knapsack, plus VMEM tile sizing;
+//! 4. **lowering** ([`lower`]): tiling onto the systolic MXU, double
+//!    buffering, emission of a [`tpu_sim::StepPlan`] for the performance
+//!    simulator *and* a schematic [`tpu_isa::Program`] in the target
+//!    generation's binary encoding.
+//!
+//! The passes can be enabled one at a time ([`CompilerOptions::level`]),
+//! which is how experiment E7 regenerates the paper's "compiler gains
+//! over time" figure; `CompilerOptions::bit_exact_with` implements the
+//! backwards-ML-compatibility mode of E14.
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_hlo::{compile, CompilerOptions, Graph};
+//! use tpu_arch::catalog;
+//! use tpu_numerics::DType;
+//! use tpu_sim::Simulator;
+//!
+//! let mut g = Graph::new("mlp", DType::Bf16);
+//! let x = g.parameter(&[8, 256]).unwrap();
+//! let w = g.constant(&[256, 1024]).unwrap();
+//! let h = g.dot(x, w).unwrap();
+//! let y = g.relu(h).unwrap();
+//! g.mark_output(y);
+//!
+//! let chip = catalog::tpu_v4i();
+//! let exe = compile(&g, &chip, &CompilerOptions::default()).unwrap();
+//! let report = Simulator::new(chip).run(exe.plan()).unwrap();
+//! assert!(report.seconds > 0.0);
+//! ```
+
+pub mod cost;
+pub mod fusion;
+pub mod graph;
+pub mod liveness;
+pub mod lower;
+pub mod memory;
+pub mod pipeline;
+pub mod shape;
+
+pub use graph::{Graph, HloOp, Node, OpId};
+pub use pipeline::{compile, CompileError, CompilerOptions, Executable, OptLevel};
+pub use shape::{ShapeError, TensorShape};

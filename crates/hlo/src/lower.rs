@@ -1,0 +1,799 @@
+//! Lowering: tiling HLO onto the MXU, emitting the simulator step plan
+//! and a schematic VLIW program.
+//!
+//! For each matrix op the lowerer walks the output-column tile loop the
+//! real compiler would generate: DMA a weight tile from its home (HBM or
+//! CMEM) into VMEM, stream activations through the systolic array, apply
+//! fused elementwise work on the VPU, and DMA graph outputs back to HBM.
+//! With double buffering enabled the weight DMA of tile *i+1* does not
+//! wait for compute of tile *i*; without it the loop serializes — the
+//! difference is one of the compiler gains E7 measures.
+
+use tpu_arch::{ChipConfig, Generation, MemLevel};
+use tpu_isa::prelude::*;
+use tpu_numerics::DType;
+use tpu_sim::plan::{StepId, StepKind, StepPlan};
+
+use crate::fusion::FusionMap;
+use crate::graph::{Graph, HloOp, Node, OpId};
+use crate::liveness::{self, Liveness};
+use crate::memory::MemoryPlan;
+use crate::pipeline::CompilerOptions;
+
+/// Intermediates larger than this fraction of VMEM spill to HBM (the
+/// rest of VMEM is needed for weight tiles and double buffering).
+const SPILL_VMEM_FRACTION: f64 = 0.25;
+
+/// Everything lowering produces.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The tile-level schedule for the simulator.
+    pub plan: StepPlan,
+    /// A schematic VLIW program in the target's encoding.
+    pub program: Program,
+    /// Whether matmuls carry extra VPU merge passes to reproduce another
+    /// generation's accumulation order bit-exactly (E14).
+    pub accum_emulated: bool,
+}
+
+/// Per-node bookkeeping: the steps that produce a node's value in VMEM.
+type ProducedBy = Vec<Vec<StepId>>;
+
+/// Where a matmul's right-hand operand comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WeightSource {
+    /// Streamed per tile from HBM or CMEM (weights).
+    Streamed(MemLevel),
+    /// Already resident in VMEM (computed activations).
+    InVmem(OpId),
+}
+
+/// Lowers a graph for a chip.
+pub fn lower(
+    graph: &Graph,
+    chip: &ChipConfig,
+    fusion: &FusionMap,
+    memory: &MemoryPlan,
+    options: &CompilerOptions,
+) -> Lowered {
+    let mut ctx = Ctx {
+        graph,
+        chip,
+        fusion,
+        memory,
+        options,
+        plan: StepPlan::new(graph.name()),
+        program: Program::new(chip.generation),
+        produced: vec![Vec::new(); graph.nodes().len()],
+        spilled: vec![false; graph.nodes().len()],
+        spill_threshold: (chip.vmem.capacity_bytes as f64 * SPILL_VMEM_FRACTION) as u64,
+        liveness: liveness::analyze(graph),
+        next_mxu: 0,
+        accum_emulate: needs_accum_emulation(chip, options.bit_exact_with),
+    };
+
+    // Dead-code elimination: only nodes reachable from the outputs emit
+    // steps (XLA always DCEs; an unused parameter must not cost a DMA).
+    let live = reachable_from_outputs(graph);
+    for node in graph.nodes() {
+        if !live[node.id.index()] {
+            continue;
+        }
+        if fusion.is_fused(node.id) {
+            continue; // emitted with its root
+        }
+        ctx.lower_node(node);
+    }
+
+    // Graph outputs (or their fusion tails) stream back to HBM. A
+    // spilled output is already in HBM — no second write.
+    for &out in graph.outputs() {
+        let node = graph.node(out);
+        let root = fusion.root_of(out).unwrap_or(out);
+        if ctx.spilled[root.index()] {
+            continue;
+        }
+        let deps = ctx.produced[root.index()].clone();
+        let bytes = node.shape.bytes(graph.dtype());
+        ctx.plan.push_tagged(
+            StepKind::DmaOut {
+                to: MemLevel::Hbm,
+                bytes,
+            },
+            &deps,
+            "output",
+        );
+        ctx.program.push(Bundle::new().dma(DmaOp::Start {
+            queue: 1,
+            dir: DmaDirection::new(MemLevel::Vmem, MemLevel::Hbm),
+            bytes: bytes.min(u32::MAX as u64) as u32,
+        }));
+    }
+    ctx.program
+        .push(Bundle::new().scalar(ScalarOp::SyncDma { queue: 1 }));
+    ctx.program.push(Bundle::new().scalar(ScalarOp::Halt));
+
+    Lowered {
+        plan: ctx.plan,
+        program: ctx.program,
+        accum_emulated: ctx.accum_emulate,
+    }
+}
+
+/// Marks every node reachable (transitively) from a graph output.
+fn reachable_from_outputs(graph: &Graph) -> Vec<bool> {
+    let mut live = vec![false; graph.nodes().len()];
+    let mut stack: Vec<OpId> = graph.outputs().to_vec();
+    while let Some(id) = stack.pop() {
+        if live[id.index()] {
+            continue;
+        }
+        live[id.index()] = true;
+        stack.extend(graph.node(id).op.operands());
+    }
+    live
+}
+
+/// Whether bit-exactly reproducing `compat`'s accumulation order on
+/// `chip` requires software emulation (Lesson 4 / E14).
+///
+/// When the systolic widths match, the hardware order *is* the compat
+/// order and compatibility is free. When they differ (TPUv1's 256-wide
+/// array vs everyone else's 128), the compiler must pop partial sums
+/// after each inner tile and merge them on the VPU in the compat order.
+pub fn needs_accum_emulation(chip: &ChipConfig, compat: Option<Generation>) -> bool {
+    match compat {
+        None => false,
+        Some(generation) => {
+            let compat_dim = match generation {
+                Generation::TpuV1 => 256,
+                _ => 128,
+            };
+            compat_dim != chip.mxu_dim
+        }
+    }
+}
+
+struct Ctx<'a> {
+    graph: &'a Graph,
+    chip: &'a ChipConfig,
+    fusion: &'a FusionMap,
+    memory: &'a MemoryPlan,
+    options: &'a CompilerOptions,
+    plan: StepPlan,
+    program: Program,
+    produced: ProducedBy,
+    /// Whether a node's value was written back to HBM because it exceeds
+    /// the VMEM spill threshold; consumers re-load it.
+    spilled: Vec<bool>,
+    spill_threshold: u64,
+    liveness: Liveness,
+    next_mxu: u8,
+    accum_emulate: bool,
+}
+
+impl Ctx<'_> {
+    fn dtype(&self) -> DType {
+        self.graph.dtype()
+    }
+
+    /// Steps producing all operands of a node, re-loading spilled ones
+    /// from HBM.
+    fn operand_steps(&mut self, node: &Node) -> Vec<StepId> {
+        let operands = node.op.operands();
+        let mut deps = Vec::new();
+        for o in operands {
+            deps.extend(self.fetch_operand(o));
+        }
+        deps
+    }
+
+    /// Dependencies for reading one operand's value in VMEM: its
+    /// producing steps, plus a reload DMA if it was spilled to HBM.
+    fn fetch_operand(&mut self, id: OpId) -> Vec<StepId> {
+        if !self.spilled[id.index()] {
+            return self.produced[id.index()].clone();
+        }
+        let bytes = self.graph.node(id).shape.bytes(self.dtype());
+        let deps = self.produced[id.index()].clone();
+        let reload = self.plan.push_tagged(
+            StepKind::DmaIn {
+                from: MemLevel::Hbm,
+                bytes,
+            },
+            &deps,
+            "spill-in",
+        );
+        self.program.push(Bundle::new().dma(DmaOp::Start {
+            queue: 2,
+            dir: DmaDirection::new(MemLevel::Hbm, MemLevel::Vmem),
+            bytes: bytes.min(u32::MAX as u64) as u32,
+        }));
+        vec![reload]
+    }
+
+    /// Spills a freshly produced value to HBM if it exceeds the VMEM
+    /// threshold and is still needed later. Parameters are exempt: their
+    /// pristine copy already lives in HBM, so consumers simply re-read
+    /// (marked spilled with no write-back).
+    fn maybe_spill(&mut self, node: &Node) {
+        let bytes = node.shape.bytes(self.dtype());
+        if bytes <= self.spill_threshold {
+            return;
+        }
+        if !self.liveness.live_after(node.id, node.id.index()) {
+            return; // dying immediately; nothing to keep
+        }
+        if matches!(node.op, HloOp::Parameter) {
+            self.spilled[node.id.index()] = true;
+            return;
+        }
+        let deps = self.produced[node.id.index()].clone();
+        let out = self.plan.push_tagged(
+            StepKind::DmaOut {
+                to: MemLevel::Hbm,
+                bytes,
+            },
+            &deps,
+            "spill-out",
+        );
+        self.program.push(Bundle::new().dma(DmaOp::Start {
+            queue: 2,
+            dir: DmaDirection::new(MemLevel::Vmem, MemLevel::Hbm),
+            bytes: bytes.min(u32::MAX as u64) as u32,
+        }));
+        self.produced[node.id.index()] = vec![out];
+        self.spilled[node.id.index()] = true;
+    }
+
+    fn pick_mxu(&mut self) -> u8 {
+        // ISA MXU indices are per-core (the encoding's mxu_max tracks
+        // mxus_per_core); the simulator's pool covers all cores.
+        let n = self.chip.mxus_per_core.max(1) as u8;
+        let m = self.next_mxu % n;
+        self.next_mxu = self.next_mxu.wrapping_add(1);
+        m
+    }
+
+    fn lower_node(&mut self, node: &Node) {
+        match node.op {
+            HloOp::Parameter => {
+                let bytes = node.shape.bytes(self.dtype());
+                let s = self.plan.push_tagged(
+                    StepKind::DmaIn {
+                        from: MemLevel::Hbm,
+                        bytes,
+                    },
+                    &[],
+                    "param",
+                );
+                self.program.push(Bundle::new().dma(DmaOp::Start {
+                    queue: 0,
+                    dir: DmaDirection::new(MemLevel::Hbm, MemLevel::Vmem),
+                    bytes: bytes.min(u32::MAX as u64) as u32,
+                }));
+                self.produced[node.id.index()] = vec![s];
+                self.maybe_spill(node);
+            }
+            HloOp::Constant => {
+                // Weights are streamed per tile by consumers.
+            }
+            HloOp::Dot { lhs, rhs } => {
+                let k = self.graph.node(rhs).shape.leading();
+                let n = self.graph.node(rhs).shape.trailing();
+                let rows = self.graph.node(lhs).shape.elements() / k;
+                let source = self.weight_source(rhs);
+                self.lower_matmul(node, rows, k, n, source, lhs);
+            }
+            HloOp::Conv2d { input, kernel, .. } => {
+                let ks = &self.graph.node(kernel).shape;
+                let (kh, kw, cin, cout) =
+                    (ks.dims()[0], ks.dims()[1], ks.dims()[2], ks.dims()[3]);
+                let rows = node.shape.elements() / cout; // n*oh*ow
+                let inner = kh * kw * cin;
+                let source = self.weight_source(kernel);
+                self.lower_matmul(node, rows, inner, cout, source, input);
+            }
+            HloOp::BatchMatmul {
+                a, b, batch, m, k, n,
+            } => {
+                self.lower_matmul(node, batch * m, k, n, WeightSource::InVmem(b), a);
+            }
+            HloOp::Embedding { table, .. } => {
+                // Gather: random-access reads; charge 2x for row granularity.
+                let bytes = 2 * node.shape.bytes(self.dtype());
+                let home = match self.weight_source(table) {
+                    WeightSource::Streamed(home) => home,
+                    WeightSource::InVmem(_) => MemLevel::Vmem,
+                };
+                let s = self.plan.push_tagged(
+                    StepKind::DmaIn { from: home, bytes },
+                    &[],
+                    "embed",
+                );
+                self.program.push(Bundle::new().dma(DmaOp::Start {
+                    queue: 0,
+                    dir: DmaDirection::new(home, MemLevel::Vmem),
+                    bytes: bytes.min(u32::MAX as u64) as u32,
+                }));
+                self.produced[node.id.index()] = vec![s];
+                self.maybe_spill(node);
+            }
+            HloOp::Reshape { input } => {
+                self.produced[node.id.index()] = self.produced[input.index()].clone();
+                self.spilled[node.id.index()] = self.spilled[input.index()];
+            }
+            HloOp::Activate { .. }
+            | HloOp::Binary { .. }
+            | HloOp::Softmax { .. }
+            | HloOp::LayerNorm { .. }
+            | HloOp::GateReduce { .. }
+            | HloOp::MaxPool2d { .. } => {
+                // Standalone VPU work (fused instances are skipped upstream).
+                let deps = self.operand_steps(node);
+                let ops = self.graph.node_flops(node).max(1);
+                let s = self.plan.push_tagged(
+                    StepKind::Vpu {
+                        elements: ops,
+                        ops_per_element: 1,
+                    },
+                    &deps,
+                    node.op.mnemonic(),
+                );
+                self.program.push(Bundle::new().vector(VectorOp::VXf {
+                    dst: VReg(1),
+                    a: VReg(0),
+                }));
+                self.produced[node.id.index()] = vec![s];
+                self.maybe_spill(node);
+            }
+        }
+    }
+
+    /// Where a matmul's right-hand operand comes from: constants stream
+    /// from their planned home (HBM or CMEM); computed operands are
+    /// already in VMEM.
+    fn weight_source(&self, id: OpId) -> WeightSource {
+        if matches!(self.graph.node(id).op, HloOp::Constant) {
+            if self.options.cmem {
+                WeightSource::Streamed(self.memory.weight_home(id))
+            } else {
+                WeightSource::Streamed(MemLevel::Hbm)
+            }
+        } else if self.produced[id.index()].is_empty() {
+            // A parameter used directly as weights: stream from HBM.
+            WeightSource::Streamed(MemLevel::Hbm)
+        } else {
+            WeightSource::InVmem(id)
+        }
+    }
+
+    /// The shared matmul/conv/batch-matmul tile loop.
+    fn lower_matmul(
+        &mut self,
+        node: &Node,
+        rows: u64,
+        inner: u64,
+        cols: u64,
+        weights: WeightSource,
+        act_input: OpId,
+    ) {
+        let dtype = self.dtype();
+        let act_deps: Vec<StepId> = self.fetch_operand(act_input);
+
+        // Column tiling: bounded by the VMEM working set (memory plan)
+        // and split across the MXU pool so independent output-column
+        // chunks run on different MXUs, as XLA does.
+        let d = self.chip.mxu_dim as u64;
+        let pool = (self.chip.mxus_per_core * self.chip.cores).max(1) as u64;
+        let mut col_tile = self.memory.col_tile.min(cols.max(1));
+        let target_chunks = pool.min(cols.div_ceil(d)).max(1);
+        let per_mxu = cols.div_ceil(target_chunks).div_ceil(d) * d;
+        col_tile = col_tile.min(per_mxu.max(d));
+        let chunks = cols.div_ceil(col_tile).max(1);
+
+        let mxu = self.pick_mxu();
+        let mut chunk_steps: Vec<StepId> = Vec::with_capacity(chunks as usize);
+        let mut prev_compute: Option<StepId> = None;
+
+        // Emit the ISA tile loop once, with a loop marker for repetition.
+        let weight_tile_bytes = inner * col_tile * dtype.size_bytes();
+        let mut head = Bundle::new().scalar(ScalarOp::LoadImm {
+            dst: SReg(1),
+            imm: chunks.min(i32::MAX as u64) as i32,
+        });
+        if let WeightSource::Streamed(home) = weights {
+            head = head.dma(DmaOp::Start {
+                queue: 0,
+                dir: DmaDirection::new(home, MemLevel::Vmem),
+                bytes: weight_tile_bytes.min(u32::MAX as u64) as u32,
+            });
+        }
+        self.program.push(head);
+        self.program
+            .push(Bundle::new().mxu(MxuOp::PushWeights { mxu }));
+        self.program.push(
+            Bundle::new()
+                .mxu(MxuOp::MatMul {
+                    mxu,
+                    rows: rows.min(u16::MAX as u64) as u16,
+                })
+                .scalar(ScalarOp::LoopEnd {
+                    counter: SReg(1),
+                    offset: 2,
+                }),
+        );
+
+        for c in 0..chunks {
+            let this_cols = col_tile.min(cols - c * col_tile);
+            let mut cdeps: Vec<StepId> = Vec::new();
+            match weights {
+                WeightSource::Streamed(home) => {
+                    let wbytes = inner * this_cols * dtype.size_bytes();
+                    // Weight tile DMA. Without double buffering it waits
+                    // for the previous chunk's compute.
+                    let mut wdeps: Vec<StepId> = Vec::new();
+                    if !self.options.double_buffer {
+                        if let Some(p) = prev_compute {
+                            wdeps.push(p);
+                        }
+                    }
+                    let wdma = self.plan.push_tagged(
+                        StepKind::DmaIn {
+                            from: home,
+                            bytes: wbytes,
+                        },
+                        &wdeps,
+                        "weights",
+                    );
+                    cdeps.push(wdma);
+                }
+                WeightSource::InVmem(op) => {
+                    cdeps.extend(self.fetch_operand(op));
+                }
+            }
+            // Compute depends on its weights and the activations; chunks
+            // of one op are independent and spread over the MXU pool.
+            cdeps.extend(act_deps.iter().copied());
+            let compute = self.plan.push_tagged(
+                StepKind::Mxu {
+                    rows,
+                    cols: this_cols,
+                    inner,
+                    dtype,
+                    weights_resident: false,
+                },
+                &cdeps,
+                node.op.mnemonic(),
+            );
+            prev_compute = Some(compute);
+            let chunk_out = if self.accum_emulate {
+                // Bit-exact emulation of a different systolic width: pop
+                // partial sums after each inner tile and merge on the VPU
+                // in the compat order (see `needs_accum_emulation`).
+                let inner_tiles = inner.div_ceil(d).max(1);
+                self.plan.push_tagged(
+                    StepKind::Vpu {
+                        elements: rows * this_cols * inner_tiles,
+                        ops_per_element: 1,
+                    },
+                    &[compute],
+                    "accum-merge",
+                )
+            } else {
+                compute
+            };
+            chunk_steps.push(chunk_out);
+        }
+
+        // Fused elementwise tail, if any.
+        let cluster = self.fusion.cluster_of(node.id);
+        let mut tail_steps = chunk_steps.clone();
+        if !cluster.is_empty() {
+            let fused_ops: u64 = cluster
+                .iter()
+                .map(|&id| self.graph.node_flops(self.graph.node(id)))
+                .sum();
+            let vpu = self.plan.push_tagged(
+                StepKind::Vpu {
+                    elements: fused_ops.max(1),
+                    ops_per_element: 1,
+                },
+                &tail_steps,
+                "fused",
+            );
+            self.program.push(Bundle::new().vector(VectorOp::VXf {
+                dst: VReg(2),
+                a: VReg(1),
+            }));
+            tail_steps = vec![vpu];
+        }
+
+        self.produced[node.id.index()] = tail_steps.clone();
+        for &id in &cluster {
+            self.produced[id.index()] = tail_steps.clone();
+        }
+        // The materialized value is the cluster tail's (same shape class
+        // as the root); spill if it exceeds the threshold.
+        self.maybe_spill(node);
+        if self.spilled[node.id.index()] {
+            for &id in &cluster {
+                self.produced[id.index()] = self.produced[node.id.index()].clone();
+                self.spilled[id.index()] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::fuse;
+    use crate::memory;
+    use crate::pipeline::CompilerOptions;
+    use tpu_arch::catalog;
+    use tpu_sim::Simulator;
+
+    fn simple_graph() -> Graph {
+        let mut g = Graph::new("t", DType::Bf16);
+        let x = g.parameter(&[64, 512]).unwrap();
+        let w = g.constant(&[512, 2048]).unwrap();
+        let d = g.dot(x, w).unwrap();
+        let r = g.relu(d).unwrap();
+        g.mark_output(r);
+        g
+    }
+
+    fn lower_with(g: &Graph, chip: &tpu_arch::ChipConfig, opt: &CompilerOptions) -> Lowered {
+        let f = if opt.fusion {
+            fuse(g)
+        } else {
+            FusionMap::default()
+        };
+        let m = memory::plan(g, chip, opt.cmem_budget_override);
+        lower(g, chip, &f, &m, opt)
+    }
+
+    #[test]
+    fn plan_has_dma_compute_output() {
+        let g = simple_graph();
+        let chip = catalog::tpu_v4i();
+        let l = lower_with(&g, &chip, &CompilerOptions::default());
+        let tags: Vec<&str> = l.plan.steps().iter().map(|s| s.tag.as_str()).collect();
+        assert!(tags.contains(&"param"));
+        assert!(tags.contains(&"weights"));
+        assert!(tags.contains(&"dot"));
+        assert!(tags.contains(&"fused"));
+        assert!(tags.contains(&"output"));
+    }
+
+    #[test]
+    fn plan_flops_match_graph_flops_for_matmuls() {
+        let g = simple_graph();
+        let chip = catalog::tpu_v4i();
+        let l = lower_with(&g, &chip, &CompilerOptions::default());
+        // The MXU flops in the plan must equal the graph's dot flops.
+        let mxu_flops: u64 = l
+            .plan
+            .steps()
+            .iter()
+            .filter(|s| matches!(s.kind, StepKind::Mxu { .. }))
+            .map(|s| s.kind.flops())
+            .sum();
+        let dot_flops = 2 * 64 * 512 * 2048;
+        assert_eq!(mxu_flops, dot_flops);
+    }
+
+    #[test]
+    fn program_verifies_and_encodes_per_generation() {
+        let g = simple_graph();
+        for chip in catalog::all_chips() {
+            let l = lower_with(&g, &chip, &CompilerOptions::no_cmem());
+            l.program
+                .verify()
+                .unwrap_or_else(|e| panic!("{}: {e}", chip.name));
+            tpu_isa::encode(&l.program).unwrap();
+        }
+    }
+
+    #[test]
+    fn cmem_option_moves_weight_traffic() {
+        let g = simple_graph();
+        let chip = catalog::tpu_v4i();
+        let with = lower_with(&g, &chip, &CompilerOptions::default());
+        let without = lower_with(&g, &chip, &CompilerOptions::no_cmem());
+        let (hbm_with, cmem_with) = with.plan.channel_traffic();
+        let (hbm_without, cmem_without) = without.plan.channel_traffic();
+        assert_eq!(cmem_without, 0);
+        assert!(cmem_with > 0);
+        assert!(hbm_with < hbm_without);
+        // Total weight bytes conserved across placements.
+        assert_eq!(hbm_with + cmem_with, hbm_without + cmem_without);
+    }
+
+    #[test]
+    fn double_buffering_speeds_up_simulation() {
+        let mut g = Graph::new("big", DType::Bf16);
+        let x = g.parameter(&[256, 4096]).unwrap();
+        let w = g.constant(&[4096, 8192]).unwrap();
+        let d = g.dot(x, w).unwrap();
+        g.mark_output(d);
+        let chip = catalog::tpu_v4i();
+        let mut on = CompilerOptions::no_cmem();
+        on.double_buffer = true;
+        let mut off = CompilerOptions::no_cmem();
+        off.double_buffer = false;
+        let sim = Simulator::new(chip.clone());
+        let t_on = sim.run(&lower_with(&g, &chip, &on).plan).unwrap().seconds;
+        let t_off = sim.run(&lower_with(&g, &chip, &off).plan).unwrap().seconds;
+        assert!(t_on < t_off, "double buffering must help: {t_on} vs {t_off}");
+    }
+
+    #[test]
+    fn fusion_removes_standalone_vpu_round_trips() {
+        let g = simple_graph();
+        let chip = catalog::tpu_v4i();
+        let no_fuse = CompilerOptions {
+            fusion: false,
+            ..CompilerOptions::default()
+        };
+        let fused = lower_with(&g, &chip, &CompilerOptions::default());
+        let unfused = lower_with(&g, &chip, &no_fuse);
+        let count = |l: &Lowered, tag: &str| {
+            l.plan.steps().iter().filter(|s| s.tag == tag).count()
+        };
+        assert_eq!(count(&fused, "fused"), 1);
+        assert_eq!(count(&fused, "act"), 0);
+        assert_eq!(count(&unfused, "fused"), 0);
+        assert_eq!(count(&unfused, "act"), 1);
+    }
+
+    #[test]
+    fn accum_emulation_rules() {
+        let v4i = catalog::tpu_v4i();
+        assert!(!needs_accum_emulation(&v4i, None));
+        // v2/v3 use the same 128-wide order as v4i: free.
+        assert!(!needs_accum_emulation(&v4i, Some(Generation::TpuV3)));
+        // v1's 256-wide order must be emulated.
+        assert!(needs_accum_emulation(&v4i, Some(Generation::TpuV1)));
+        let v1 = catalog::tpu_v1();
+        assert!(!needs_accum_emulation(&v1, Some(Generation::TpuV1)));
+    }
+
+    #[test]
+    fn accum_emulation_adds_merge_steps() {
+        let g = simple_graph();
+        let chip = catalog::tpu_v4i();
+        let opts = CompilerOptions {
+            bit_exact_with: Some(Generation::TpuV1),
+            ..CompilerOptions::default()
+        };
+        let l = lower_with(&g, &chip, &opts);
+        assert!(l.accum_emulated);
+        assert!(l.plan.steps().iter().any(|s| s.tag == "accum-merge"));
+        let native = lower_with(&g, &chip, &CompilerOptions::default());
+        assert!(!native.accum_emulated);
+        assert!(!native.plan.steps().iter().any(|s| s.tag == "accum-merge"));
+    }
+
+    #[test]
+    fn reshape_is_free() {
+        let mut g = Graph::new("t", DType::Bf16);
+        let x = g.parameter(&[8, 64]).unwrap();
+        let r = g.reshape(x, &[512]).unwrap();
+        g.mark_output(r);
+        let chip = catalog::tpu_v4i();
+        let l = lower_with(&g, &chip, &CompilerOptions::default());
+        // param DMA + output DMA only.
+        assert_eq!(l.plan.len(), 2);
+    }
+
+    #[test]
+    fn large_intermediates_spill_and_reload() {
+        // A 16 MiB intermediate exceeds v4i's 4 MiB spill threshold.
+        let mut g = Graph::new("big", DType::Bf16);
+        let x = g.parameter(&[1024, 1024]).unwrap(); // 2 MiB: stays
+        let w = g.constant(&[1024, 8192]).unwrap();
+        let h = g.dot(x, w).unwrap(); // 16 MiB: spills
+        let w2 = g.constant(&[8192, 64]).unwrap();
+        let y = g.dot(h, w2).unwrap();
+        g.mark_output(y);
+        let chip = catalog::tpu_v4i();
+        let l = lower_with(&g, &chip, &CompilerOptions::default());
+        let count = |tag: &str| l.plan.steps().iter().filter(|s| s.tag == tag).count();
+        assert_eq!(count("spill-out"), 1);
+        assert_eq!(count("spill-in"), 1);
+        // The small model spills nothing.
+        let small = simple_graph();
+        let ls = lower_with(&small, &chip, &CompilerOptions::default());
+        assert!(!ls.plan.steps().iter().any(|s| s.tag.starts_with("spill")));
+    }
+
+    #[test]
+    fn spilled_outputs_are_not_written_twice() {
+        let mut g = Graph::new("big-out", DType::Bf16);
+        let x = g.parameter(&[2048, 1024]).unwrap();
+        let w = g.constant(&[1024, 8192]).unwrap();
+        let h = g.dot(x, w).unwrap(); // 32 MiB, spilled...
+        let r = g.relu(h).unwrap(); // ...as the fusion tail
+        g.mark_output(r);
+        let chip = catalog::tpu_v4i();
+        let l = lower_with(&g, &chip, &CompilerOptions::default());
+        let spills = l.plan.steps().iter().filter(|s| s.tag == "spill-out").count();
+        let outputs = l.plan.steps().iter().filter(|s| s.tag == "output").count();
+        assert_eq!(spills, 1);
+        assert_eq!(outputs, 0, "spilled output is already in HBM");
+    }
+
+    #[test]
+    fn spilling_costs_simulated_time() {
+        // Same matmul chain; fatter intermediate => disproportionate time.
+        let build = |n: u64| {
+            let mut g = Graph::new("sp", DType::Bf16);
+            let x = g.parameter(&[512, 512]).unwrap();
+            let w = g.constant(&[512, n]).unwrap();
+            let h = g.dot(x, w).unwrap();
+            let w2 = g.constant(&[n, 64]).unwrap();
+            let y = g.dot(h, w2).unwrap();
+            g.mark_output(y);
+            g
+        };
+        let chip = catalog::tpu_v4i();
+        let sim = Simulator::new(chip.clone());
+        // 512x4096x2B = 4 MiB exactly at threshold: no spill.
+        let small = lower_with(&build(4096), &chip, &CompilerOptions::default());
+        // 512x16384x2B = 16 MiB: spills.
+        let big = lower_with(&build(16384), &chip, &CompilerOptions::default());
+        assert!(!small.plan.steps().iter().any(|s| s.tag.starts_with("spill")));
+        assert!(big.plan.steps().iter().any(|s| s.tag.starts_with("spill")));
+        let t_small = sim.run(&small.plan).unwrap().seconds;
+        let t_big = sim.run(&big.plan).unwrap().seconds;
+        assert!(t_big > t_small);
+    }
+
+    #[test]
+    fn dead_nodes_emit_no_steps() {
+        let mut g = Graph::new("dead", DType::Bf16);
+        let x = g.parameter(&[8, 128]).unwrap();
+        let w = g.constant(&[128, 128]).unwrap();
+        let y = g.dot(x, w).unwrap();
+        // A dead branch: unused parameter and an unused dot.
+        let dead_x = g.parameter(&[64, 512]).unwrap();
+        let dead_w = g.constant(&[512, 512]).unwrap();
+        let _dead = g.dot(dead_x, dead_w).unwrap();
+        g.mark_output(y);
+        let chip = catalog::tpu_v4i();
+        let l = lower_with(&g, &chip, &CompilerOptions::default());
+        // Two param DMAs would exist without DCE; only one must remain.
+        let params = l.plan.steps().iter().filter(|s| s.tag == "param").count();
+        assert_eq!(params, 1);
+        // And no MXU work for the dead dot (512-inner tiles absent).
+        let mxu_flops: u64 = l
+            .plan
+            .steps()
+            .iter()
+            .filter(|s| matches!(s.kind, StepKind::Mxu { .. }))
+            .map(|s| s.kind.flops())
+            .sum();
+        assert_eq!(mxu_flops, 2 * 8 * 128 * 128);
+    }
+
+    #[test]
+    fn conv_lowered_as_implicit_gemm() {
+        let mut g = Graph::new("t", DType::Bf16);
+        let x = g.parameter(&[1, 28, 28, 64]).unwrap();
+        let k = g.constant(&[3, 3, 64, 128]).unwrap();
+        let c = g.conv2d(x, k, 1).unwrap();
+        g.mark_output(c);
+        let chip = catalog::tpu_v4i();
+        let l = lower_with(&g, &chip, &CompilerOptions::default());
+        let mxu_flops: u64 = l
+            .plan
+            .steps()
+            .iter()
+            .filter(|s| matches!(s.kind, StepKind::Mxu { .. }))
+            .map(|s| s.kind.flops())
+            .sum();
+        assert_eq!(mxu_flops, 2 * (28 * 28) * (3 * 3 * 64) * 128);
+    }
+}

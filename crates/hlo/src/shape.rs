@@ -1,0 +1,160 @@
+//! Tensor shapes and shape errors.
+
+use std::fmt;
+
+use tpu_numerics::DType;
+
+/// A dense row-major tensor shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TensorShape {
+    dims: Vec<u64>,
+}
+
+/// Error produced by shape inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// A dimension was zero.
+    ZeroDim,
+    /// A shape had no dimensions.
+    Scalar,
+    /// Two shapes that must match do not.
+    Mismatch {
+        /// Description of the constraint that failed.
+        context: &'static str,
+        /// Left-hand shape.
+        lhs: TensorShape,
+        /// Right-hand shape.
+        rhs: TensorShape,
+    },
+    /// The op requires a different rank.
+    BadRank {
+        /// Description of the op.
+        context: &'static str,
+        /// Rank found.
+        found: usize,
+        /// Rank expected.
+        expected: usize,
+    },
+    /// A reshape changed the element count.
+    ElementCountChanged {
+        /// Elements before.
+        from: u64,
+        /// Elements requested.
+        to: u64,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::ZeroDim => write!(f, "shape has a zero dimension"),
+            ShapeError::Scalar => write!(f, "shape must have at least one dimension"),
+            ShapeError::Mismatch { context, lhs, rhs } => {
+                write!(f, "{context}: {lhs} vs {rhs}")
+            }
+            ShapeError::BadRank {
+                context,
+                found,
+                expected,
+            } => write!(f, "{context}: rank {found}, expected {expected}"),
+            ShapeError::ElementCountChanged { from, to } => {
+                write!(f, "reshape changes element count {from} -> {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl TensorShape {
+    /// Creates a shape, validating that it is non-scalar with no zero dims.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::Scalar`] or [`ShapeError::ZeroDim`].
+    pub fn new(dims: &[u64]) -> Result<TensorShape, ShapeError> {
+        if dims.is_empty() {
+            return Err(ShapeError::Scalar);
+        }
+        if dims.contains(&0) {
+            return Err(ShapeError::ZeroDim);
+        }
+        Ok(TensorShape {
+            dims: dims.to_vec(),
+        })
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[u64] {
+        &self.dims
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total element count.
+    pub fn elements(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// Storage size in bytes at the given precision.
+    pub fn bytes(&self, dtype: DType) -> u64 {
+        self.elements() * dtype.size_bytes()
+    }
+
+    /// The leading (batch) dimension.
+    pub fn leading(&self) -> u64 {
+        self.dims[0]
+    }
+
+    /// The trailing (feature) dimension.
+    pub fn trailing(&self) -> u64 {
+        *self.dims.last().expect("shapes are non-scalar")
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(TensorShape::new(&[2, 3]).is_ok());
+        assert_eq!(TensorShape::new(&[]), Err(ShapeError::Scalar));
+        assert_eq!(TensorShape::new(&[4, 0]), Err(ShapeError::ZeroDim));
+    }
+
+    #[test]
+    fn accessors() {
+        let s = TensorShape::new(&[4, 8, 16]).unwrap();
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.elements(), 512);
+        assert_eq!(s.bytes(DType::Bf16), 1024);
+        assert_eq!(s.bytes(DType::Int8), 512);
+        assert_eq!(s.leading(), 4);
+        assert_eq!(s.trailing(), 16);
+    }
+
+    #[test]
+    fn display() {
+        let s = TensorShape::new(&[1, 128]).unwrap();
+        assert_eq!(format!("{s}"), "[1, 128]");
+        let e = ShapeError::ElementCountChanged { from: 4, to: 5 };
+        assert!(format!("{e}").contains("4 -> 5"));
+    }
+}

@@ -1,0 +1,454 @@
+//! Textual assembler and disassembler.
+//!
+//! The text format is the generation-independent common ground: unlike
+//! the binary encodings, the same assembly source can be assembled for
+//! any generation (and will fail cleanly where the target lacks a
+//! feature). One bundle per line; slots separated by `|`; comments start
+//! with `;`.
+//!
+//! ```text
+//! s.li s0, 42 | d.start q0, hbm->vmem, 4096
+//! v.add v2, v0, v1 | m.mm 0, 128
+//! s.halt
+//! ```
+
+use std::fmt::Write as _;
+
+use tpu_arch::{Generation, MemLevel};
+
+use crate::bundle::Bundle;
+use crate::inst::{DmaDirection, DmaOp, MxuOp, ScalarOp, SReg, VectorOp, VReg, XposeOp};
+use crate::program::Program;
+
+/// Error produced by the assembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Formats one bundle as assembly text (`"nop"` if empty).
+pub fn format_bundle(b: &Bundle) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    match b.scalar {
+        ScalarOp::Nop => {}
+        ScalarOp::LoadImm { dst, imm } => parts.push(format!("s.li {dst}, {imm}")),
+        ScalarOp::Add { dst, a, b } => parts.push(format!("s.add {dst}, {a}, {b}")),
+        ScalarOp::Sub { dst, a, b } => parts.push(format!("s.sub {dst}, {a}, {b}")),
+        ScalarOp::Mul { dst, a, b } => parts.push(format!("s.mul {dst}, {a}, {b}")),
+        ScalarOp::LoopEnd { counter, offset } => {
+            parts.push(format!("s.loopend {counter}, {offset}"))
+        }
+        ScalarOp::SyncDma { queue } => parts.push(format!("s.syncdma q{queue}")),
+        ScalarOp::Halt => parts.push("s.halt".to_owned()),
+    }
+    for (prefix, op) in [("v", &b.vector0), ("w", &b.vector1)] {
+        match *op {
+            VectorOp::Nop => {}
+            VectorOp::VAdd { dst, a, b } => parts.push(format!("{prefix}.add {dst}, {a}, {b}")),
+            VectorOp::VMul { dst, a, b } => parts.push(format!("{prefix}.mul {dst}, {a}, {b}")),
+            VectorOp::VMax { dst, a, b } => parts.push(format!("{prefix}.max {dst}, {a}, {b}")),
+            VectorOp::VRelu { dst, a } => parts.push(format!("{prefix}.relu {dst}, {a}")),
+            VectorOp::VXf { dst, a } => parts.push(format!("{prefix}.xf {dst}, {a}")),
+            VectorOp::VLoad { dst, addr } => parts.push(format!("{prefix}.ld {dst}, {addr}")),
+            VectorOp::VStore { src, addr } => parts.push(format!("{prefix}.st {src}, {addr}")),
+            VectorOp::VReduce { dst, a } => parts.push(format!("{prefix}.red {dst}, {a}")),
+        }
+    }
+    match b.mxu {
+        MxuOp::Nop => {}
+        MxuOp::PushWeights { mxu } => parts.push(format!("m.push {mxu}")),
+        MxuOp::MatMul { mxu, rows } => parts.push(format!("m.mm {mxu}, {rows}")),
+        MxuOp::PopResults { mxu } => parts.push(format!("m.pop {mxu}")),
+    }
+    match b.xpose {
+        XposeOp::Nop => {}
+        XposeOp::Transpose { src, dst } => parts.push(format!("x.t {src}, {dst}")),
+        XposeOp::Permute { src, dst } => parts.push(format!("x.p {src}, {dst}")),
+    }
+    match b.dma {
+        DmaOp::Nop => {}
+        DmaOp::Start { queue, dir, bytes } => {
+            parts.push(format!("d.start q{queue}, {dir}, {bytes}"))
+        }
+    }
+    if parts.is_empty() {
+        "nop".to_owned()
+    } else {
+        parts.join(" | ")
+    }
+}
+
+/// Formats a whole program as assembly text.
+pub fn format_program(p: &Program) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "; target: {}", p.generation());
+    for b in p.bundles() {
+        let _ = writeln!(s, "{}", format_bundle(b));
+    }
+    s
+}
+
+/// Assembles source text into a program for `generation`.
+///
+/// The same source may target any generation; whether the result is
+/// *legal* for that generation is checked by [`Program::verify`] /
+/// [`crate::encode`], not here.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with the offending line on syntax errors.
+pub fn assemble(source: &str, generation: Generation) -> Result<Program, AsmError> {
+    let mut program = Program::new(generation);
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut bundle = Bundle::new();
+        if line != "nop" {
+            for slot in line.split('|') {
+                parse_slot(slot.trim(), &mut bundle, line_no)?;
+            }
+        }
+        program.push(bundle);
+    }
+    Ok(program)
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_slot(text: &str, bundle: &mut Bundle, line: usize) -> Result<(), AsmError> {
+    let (head, rest) = match text.split_once(' ') {
+        Some((h, r)) => (h, r.trim()),
+        None => (text, ""),
+    };
+    let (unit, op) = head
+        .split_once('.')
+        .ok_or_else(|| err(line, format!("malformed op `{text}`")))?;
+    let args: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    match unit {
+        "s" => bundle.scalar = parse_scalar(op, &args, line)?,
+        "v" => bundle.vector0 = parse_vector(op, &args, line)?,
+        "w" => bundle.vector1 = parse_vector(op, &args, line)?,
+        "m" => bundle.mxu = parse_mxu(op, &args, line)?,
+        "x" => bundle.xpose = parse_xpose(op, &args, line)?,
+        "d" => bundle.dma = parse_dma(op, &args, line)?,
+        other => return Err(err(line, format!("unknown unit `{other}`"))),
+    }
+    Ok(())
+}
+
+fn parse_sreg(s: &str, line: usize) -> Result<SReg, AsmError> {
+    s.strip_prefix('s')
+        .and_then(|n| n.parse::<u8>().ok())
+        .map(SReg)
+        .ok_or_else(|| err(line, format!("bad scalar register `{s}`")))
+}
+
+fn parse_vreg(s: &str, line: usize) -> Result<VReg, AsmError> {
+    s.strip_prefix('v')
+        .and_then(|n| n.parse::<u8>().ok())
+        .map(VReg)
+        .ok_or_else(|| err(line, format!("bad vector register `{s}`")))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, line: usize) -> Result<T, AsmError> {
+    s.parse::<T>()
+        .map_err(|_| err(line, format!("bad number `{s}`")))
+}
+
+fn expect_argc(args: &[&str], n: usize, line: usize, op: &str) -> Result<(), AsmError> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(err(
+            line,
+            format!("`{op}` expects {n} operands, found {}", args.len()),
+        ))
+    }
+}
+
+fn parse_scalar(op: &str, args: &[&str], line: usize) -> Result<ScalarOp, AsmError> {
+    Ok(match op {
+        "nop" => ScalarOp::Nop,
+        "li" => {
+            expect_argc(args, 2, line, op)?;
+            ScalarOp::LoadImm {
+                dst: parse_sreg(args[0], line)?,
+                imm: parse_num(args[1], line)?,
+            }
+        }
+        "add" | "sub" | "mul" => {
+            expect_argc(args, 3, line, op)?;
+            let dst = parse_sreg(args[0], line)?;
+            let a = parse_sreg(args[1], line)?;
+            let b = parse_sreg(args[2], line)?;
+            match op {
+                "add" => ScalarOp::Add { dst, a, b },
+                "sub" => ScalarOp::Sub { dst, a, b },
+                _ => ScalarOp::Mul { dst, a, b },
+            }
+        }
+        "loopend" => {
+            expect_argc(args, 2, line, op)?;
+            ScalarOp::LoopEnd {
+                counter: parse_sreg(args[0], line)?,
+                offset: parse_num(args[1], line)?,
+            }
+        }
+        "syncdma" => {
+            expect_argc(args, 1, line, op)?;
+            let q = args[0]
+                .strip_prefix('q')
+                .and_then(|n| n.parse::<u8>().ok())
+                .ok_or_else(|| err(line, format!("bad queue `{}`", args[0])))?;
+            ScalarOp::SyncDma { queue: q }
+        }
+        "halt" => ScalarOp::Halt,
+        other => return Err(err(line, format!("unknown scalar op `{other}`"))),
+    })
+}
+
+fn parse_vector(op: &str, args: &[&str], line: usize) -> Result<VectorOp, AsmError> {
+    Ok(match op {
+        "nop" => VectorOp::Nop,
+        "add" | "mul" | "max" => {
+            expect_argc(args, 3, line, op)?;
+            let dst = parse_vreg(args[0], line)?;
+            let a = parse_vreg(args[1], line)?;
+            let b = parse_vreg(args[2], line)?;
+            match op {
+                "add" => VectorOp::VAdd { dst, a, b },
+                "mul" => VectorOp::VMul { dst, a, b },
+                _ => VectorOp::VMax { dst, a, b },
+            }
+        }
+        "relu" | "xf" | "red" => {
+            expect_argc(args, 2, line, op)?;
+            let dst = parse_vreg(args[0], line)?;
+            let a = parse_vreg(args[1], line)?;
+            match op {
+                "relu" => VectorOp::VRelu { dst, a },
+                "xf" => VectorOp::VXf { dst, a },
+                _ => VectorOp::VReduce { dst, a },
+            }
+        }
+        "ld" => {
+            expect_argc(args, 2, line, op)?;
+            VectorOp::VLoad {
+                dst: parse_vreg(args[0], line)?,
+                addr: parse_sreg(args[1], line)?,
+            }
+        }
+        "st" => {
+            expect_argc(args, 2, line, op)?;
+            VectorOp::VStore {
+                src: parse_vreg(args[0], line)?,
+                addr: parse_sreg(args[1], line)?,
+            }
+        }
+        other => return Err(err(line, format!("unknown vector op `{other}`"))),
+    })
+}
+
+fn parse_mxu(op: &str, args: &[&str], line: usize) -> Result<MxuOp, AsmError> {
+    Ok(match op {
+        "nop" => MxuOp::Nop,
+        "push" => {
+            expect_argc(args, 1, line, op)?;
+            MxuOp::PushWeights {
+                mxu: parse_num(args[0], line)?,
+            }
+        }
+        "mm" => {
+            expect_argc(args, 2, line, op)?;
+            MxuOp::MatMul {
+                mxu: parse_num(args[0], line)?,
+                rows: parse_num(args[1], line)?,
+            }
+        }
+        "pop" => {
+            expect_argc(args, 1, line, op)?;
+            MxuOp::PopResults {
+                mxu: parse_num(args[0], line)?,
+            }
+        }
+        other => return Err(err(line, format!("unknown mxu op `{other}`"))),
+    })
+}
+
+fn parse_xpose(op: &str, args: &[&str], line: usize) -> Result<XposeOp, AsmError> {
+    Ok(match op {
+        "nop" => XposeOp::Nop,
+        "t" | "p" => {
+            expect_argc(args, 2, line, op)?;
+            let src = parse_vreg(args[0], line)?;
+            let dst = parse_vreg(args[1], line)?;
+            if op == "t" {
+                XposeOp::Transpose { src, dst }
+            } else {
+                XposeOp::Permute { src, dst }
+            }
+        }
+        other => return Err(err(line, format!("unknown xpose op `{other}`"))),
+    })
+}
+
+fn parse_mem_level(s: &str, line: usize) -> Result<MemLevel, AsmError> {
+    match s {
+        "hbm" => Ok(MemLevel::Hbm),
+        "cmem" => Ok(MemLevel::Cmem),
+        "vmem" => Ok(MemLevel::Vmem),
+        "smem" => Ok(MemLevel::Smem),
+        other => Err(err(line, format!("unknown memory level `{other}`"))),
+    }
+}
+
+fn parse_dma(op: &str, args: &[&str], line: usize) -> Result<DmaOp, AsmError> {
+    Ok(match op {
+        "nop" => DmaOp::Nop,
+        "start" => {
+            expect_argc(args, 3, line, op)?;
+            let queue = args[0]
+                .strip_prefix('q')
+                .and_then(|n| n.parse::<u8>().ok())
+                .ok_or_else(|| err(line, format!("bad queue `{}`", args[0])))?;
+            let (src, dst) = args[1]
+                .split_once("->")
+                .ok_or_else(|| err(line, format!("bad direction `{}`", args[1])))?;
+            DmaOp::Start {
+                queue,
+                dir: DmaDirection::new(parse_mem_level(src, line)?, parse_mem_level(dst, line)?),
+                bytes: parse_num(args[2], line)?,
+            }
+        }
+        other => return Err(err(line, format!("unknown dma op `{other}`"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SOURCE: &str = "\
+; a tiny kernel
+s.li s0, 42 | d.start q0, hbm->vmem, 4096
+v.add v2, v0, v1 | m.push 0
+w.relu v3, v2 | m.mm 0, 128 | x.t v3, v4
+s.syncdma q0
+nop
+s.halt
+";
+
+    #[test]
+    fn assemble_disassemble_round_trip() {
+        let p = assemble(SOURCE, Generation::TpuV4i).unwrap();
+        assert_eq!(p.len(), 6);
+        let text = format_program(&p);
+        let q = assemble(&text, Generation::TpuV4i).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn same_source_assembles_for_every_generation() {
+        // Compiler compatibility: one source, many targets. (Legality for
+        // a target is a separate verify/encode question.)
+        for generation in [
+            Generation::TpuV1,
+            Generation::TpuV2,
+            Generation::TpuV3,
+            Generation::TpuV4i,
+            Generation::TpuV4,
+        ] {
+            let p = assemble(SOURCE, generation).unwrap();
+            assert_eq!(p.generation(), generation);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let p = assemble("; only a comment\n\n  \ns.halt\n", Generation::TpuV2).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn nop_line_is_an_empty_bundle() {
+        let p = assemble("nop", Generation::TpuV2).unwrap();
+        assert!(p.bundles()[0].is_nop());
+        assert_eq!(format_bundle(&Bundle::new()), "nop");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("s.halt\nq.bogus v1\n", Generation::TpuV2).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(format!("{e}").contains("line 2"));
+    }
+
+    #[test]
+    fn bad_operands_are_rejected() {
+        assert!(assemble("s.li s0", Generation::TpuV2).is_err()); // argc
+        assert!(assemble("s.li x0, 3", Generation::TpuV2).is_err()); // reg
+        assert!(assemble("s.li s0, abc", Generation::TpuV2).is_err()); // num
+        assert!(assemble("d.start q0, hbm>vmem, 8", Generation::TpuV2).is_err()); // arrow
+        assert!(assemble("d.start q0, hbm->foo, 8", Generation::TpuV2).is_err()); // level
+        assert!(assemble("v.frobnicate v0, v1", Generation::TpuV2).is_err()); // op
+        assert!(assemble("halt", Generation::TpuV2).is_err()); // missing unit
+    }
+
+    #[test]
+    fn every_op_formats_and_parses() {
+        // Exhaustive per-slot round trip through text.
+        let lines = [
+            "s.li s1, -9",
+            "s.add s0, s1, s2",
+            "s.sub s0, s1, s2",
+            "s.mul s0, s1, s2",
+            "s.loopend s3, 17",
+            "s.syncdma q2",
+            "s.halt",
+            "v.add v1, v2, v3",
+            "v.mul v1, v2, v3",
+            "v.max v1, v2, v3",
+            "v.relu v1, v2",
+            "v.xf v1, v2",
+            "v.red v1, v2",
+            "v.ld v1, s2",
+            "v.st v1, s2",
+            "w.add v1, v2, v3",
+            "m.push 2",
+            "m.mm 1, 64",
+            "m.pop 3",
+            "x.t v1, v2",
+            "x.p v1, v2",
+            "d.start q1, cmem->vmem, 123456",
+        ];
+        for line in lines {
+            let p = assemble(line, Generation::TpuV4i).unwrap();
+            let text = format_bundle(&p.bundles()[0]);
+            let q = assemble(&text, Generation::TpuV4i).unwrap();
+            assert_eq!(p.bundles()[0], q.bundles()[0], "round trip of `{line}`");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The VLIW bundle: one issue packet across all functional-unit slots.
+
+use std::fmt;
+
+use crate::inst::{DmaOp, MxuOp, ScalarOp, VectorOp, XposeOp};
+
+/// One VLIW bundle.
+///
+/// Slots not used in a cycle hold `Nop`s; the compiler's job (and the
+/// reason VLIW binary compatibility is so brittle) is to fill as many
+/// slots as possible per cycle for a *specific* generation's unit mix.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bundle {
+    /// Scalar-unit slot.
+    pub scalar: ScalarOp,
+    /// First vector ALU slot.
+    pub vector0: VectorOp,
+    /// Second vector ALU slot (absent on TPUv1 — see
+    /// [`crate::encoding::EncodingSpec`]).
+    pub vector1: VectorOp,
+    /// Matrix-unit slot.
+    pub mxu: MxuOp,
+    /// Transpose/permute slot (absent on TPUv1).
+    pub xpose: XposeOp,
+    /// DMA-queue slot.
+    pub dma: DmaOp,
+}
+
+impl Default for Bundle {
+    fn default() -> Bundle {
+        Bundle::new()
+    }
+}
+
+impl Bundle {
+    /// An all-`Nop` bundle.
+    pub fn new() -> Bundle {
+        Bundle {
+            scalar: ScalarOp::Nop,
+            vector0: VectorOp::Nop,
+            vector1: VectorOp::Nop,
+            mxu: MxuOp::Nop,
+            xpose: XposeOp::Nop,
+            dma: DmaOp::Nop,
+        }
+    }
+
+    /// Sets the scalar slot.
+    pub fn scalar(mut self, op: ScalarOp) -> Bundle {
+        self.scalar = op;
+        self
+    }
+
+    /// Sets the first vector slot.
+    pub fn vector(mut self, op: VectorOp) -> Bundle {
+        self.vector0 = op;
+        self
+    }
+
+    /// Sets the second vector slot.
+    pub fn vector1(mut self, op: VectorOp) -> Bundle {
+        self.vector1 = op;
+        self
+    }
+
+    /// Sets the matrix slot.
+    pub fn mxu(mut self, op: MxuOp) -> Bundle {
+        self.mxu = op;
+        self
+    }
+
+    /// Sets the transpose slot.
+    pub fn xpose(mut self, op: XposeOp) -> Bundle {
+        self.xpose = op;
+        self
+    }
+
+    /// Sets the DMA slot.
+    pub fn dma(mut self, op: DmaOp) -> Bundle {
+        self.dma = op;
+        self
+    }
+
+    /// Whether every slot is a `Nop`.
+    pub fn is_nop(&self) -> bool {
+        self == &Bundle::new()
+    }
+
+    /// Number of non-`Nop` slots (the bundle's static "fullness").
+    pub fn occupancy(&self) -> usize {
+        let mut n = 0;
+        if self.scalar != ScalarOp::Nop {
+            n += 1;
+        }
+        if self.vector0 != VectorOp::Nop {
+            n += 1;
+        }
+        if self.vector1 != VectorOp::Nop {
+            n += 1;
+        }
+        if self.mxu != MxuOp::Nop {
+            n += 1;
+        }
+        if self.xpose != XposeOp::Nop {
+            n += 1;
+        }
+        if self.dma != DmaOp::Nop {
+            n += 1;
+        }
+        n
+    }
+
+    /// Total slot count of the bundle format.
+    pub const SLOTS: usize = 6;
+}
+
+impl fmt::Display for Bundle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::asm::format_bundle(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{SReg, VReg};
+
+    #[test]
+    fn new_is_all_nops() {
+        let b = Bundle::new();
+        assert!(b.is_nop());
+        assert_eq!(b.occupancy(), 0);
+    }
+
+    #[test]
+    fn builder_sets_slots() {
+        let b = Bundle::new()
+            .scalar(ScalarOp::Halt)
+            .vector(VectorOp::VRelu {
+                dst: VReg(0),
+                a: VReg(1),
+            })
+            .mxu(MxuOp::MatMul { mxu: 0, rows: 128 });
+        assert_eq!(b.occupancy(), 3);
+        assert!(!b.is_nop());
+        assert_eq!(b.scalar, ScalarOp::Halt);
+    }
+
+    #[test]
+    fn occupancy_counts_all_six_slots() {
+        let b = Bundle::new()
+            .scalar(ScalarOp::LoadImm {
+                dst: SReg(0),
+                imm: 1,
+            })
+            .vector(VectorOp::VRelu {
+                dst: VReg(0),
+                a: VReg(0),
+            })
+            .vector1(VectorOp::VRelu {
+                dst: VReg(1),
+                a: VReg(1),
+            })
+            .mxu(MxuOp::PushWeights { mxu: 0 })
+            .xpose(XposeOp::Transpose {
+                src: VReg(0),
+                dst: VReg(1),
+            })
+            .dma(DmaOp::Start {
+                queue: 0,
+                dir: crate::inst::DmaDirection::new(
+                    tpu_arch::MemLevel::Hbm,
+                    tpu_arch::MemLevel::Vmem,
+                ),
+                bytes: 64,
+            });
+        assert_eq!(b.occupancy(), Bundle::SLOTS);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Bundle::new()).is_empty());
+    }
+}

@@ -1,0 +1,332 @@
+//! Operations for each VLIW slot.
+
+use std::fmt;
+
+use tpu_arch::MemLevel;
+
+/// A scalar register index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SReg(pub u8);
+
+/// A vector register index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u8);
+
+impl fmt::Display for SReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Scalar-unit operations (control flow, address math, synchronization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarOp {
+    /// No operation.
+    Nop,
+    /// `dst = imm`.
+    LoadImm {
+        /// Destination register.
+        dst: SReg,
+        /// Immediate value (sign-extended at execution).
+        imm: i32,
+    },
+    /// `dst = a + b`.
+    Add {
+        /// Destination register.
+        dst: SReg,
+        /// First operand.
+        a: SReg,
+        /// Second operand.
+        b: SReg,
+    },
+    /// `dst = a - b`.
+    Sub {
+        /// Destination register.
+        dst: SReg,
+        /// First operand.
+        a: SReg,
+        /// Second operand.
+        b: SReg,
+    },
+    /// `dst = a * b`.
+    Mul {
+        /// Destination register.
+        dst: SReg,
+        /// First operand.
+        a: SReg,
+        /// Second operand.
+        b: SReg,
+    },
+    /// Decrement `counter`; jump back `offset` bundles if nonzero.
+    LoopEnd {
+        /// Loop counter register.
+        counter: SReg,
+        /// Backward branch distance in bundles.
+        offset: u16,
+    },
+    /// Block until the DMA queue `queue` drains.
+    SyncDma {
+        /// DMA queue index.
+        queue: u8,
+    },
+    /// Stop the program.
+    Halt,
+}
+
+/// Vector-unit operations (8 sublanes x 128 lanes on TPUv2+).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VectorOp {
+    /// No operation.
+    Nop,
+    /// `dst = a + b`, elementwise.
+    VAdd {
+        /// Destination register.
+        dst: VReg,
+        /// First operand.
+        a: VReg,
+        /// Second operand.
+        b: VReg,
+    },
+    /// `dst = a * b`, elementwise.
+    VMul {
+        /// Destination register.
+        dst: VReg,
+        /// First operand.
+        a: VReg,
+        /// Second operand.
+        b: VReg,
+    },
+    /// `dst = max(a, b)`, elementwise.
+    VMax {
+        /// Destination register.
+        dst: VReg,
+        /// First operand.
+        a: VReg,
+        /// Second operand.
+        b: VReg,
+    },
+    /// `dst = max(a, 0)` (fused ReLU).
+    VRelu {
+        /// Destination register.
+        dst: VReg,
+        /// Input register.
+        a: VReg,
+    },
+    /// Transcendental approximation step (sigmoid/tanh/gelu sequences).
+    VXf {
+        /// Destination register.
+        dst: VReg,
+        /// Input register.
+        a: VReg,
+    },
+    /// Load a vector from VMEM at an address held in a scalar register.
+    VLoad {
+        /// Destination register.
+        dst: VReg,
+        /// Scalar register holding the VMEM byte address.
+        addr: SReg,
+    },
+    /// Store a vector to VMEM at an address held in a scalar register.
+    VStore {
+        /// Source register.
+        src: VReg,
+        /// Scalar register holding the VMEM byte address.
+        addr: SReg,
+    },
+    /// Horizontal reduction (sum) of a vector into sublane 0.
+    VReduce {
+        /// Destination register.
+        dst: VReg,
+        /// Input register.
+        a: VReg,
+    },
+}
+
+/// Matrix-unit operations (systolic 128x128 array; 256x256 on TPUv1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MxuOp {
+    /// No operation.
+    Nop,
+    /// Push a tile of weights into the array (weight-stationary load).
+    PushWeights {
+        /// Which MXU (0..mxus_per_core).
+        mxu: u8,
+    },
+    /// Stream activation vectors through; accumulate into the output FIFO.
+    MatMul {
+        /// Which MXU.
+        mxu: u8,
+        /// Number of activation rows streamed by this instruction.
+        rows: u16,
+    },
+    /// Pop accumulated results into vector registers.
+    PopResults {
+        /// Which MXU.
+        mxu: u8,
+    },
+}
+
+/// Transpose/permute-unit operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XposeOp {
+    /// No operation.
+    Nop,
+    /// Transpose a 128x128 tile in VMEM.
+    Transpose {
+        /// Source register (tile handle).
+        src: VReg,
+        /// Destination register (tile handle).
+        dst: VReg,
+    },
+    /// Cross-lane permutation.
+    Permute {
+        /// Source register.
+        src: VReg,
+        /// Destination register.
+        dst: VReg,
+    },
+}
+
+/// Direction of a DMA transfer between two memory levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DmaDirection {
+    /// Source level.
+    pub src: MemLevel,
+    /// Destination level.
+    pub dst: MemLevel,
+}
+
+impl DmaDirection {
+    /// Creates a direction, e.g. HBM→VMEM.
+    pub fn new(src: MemLevel, dst: MemLevel) -> DmaDirection {
+        DmaDirection { src, dst }
+    }
+}
+
+impl fmt::Display for DmaDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.src, self.dst)
+    }
+}
+
+/// DMA-queue operations (asynchronous copies between memory levels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmaOp {
+    /// No operation.
+    Nop,
+    /// Enqueue an asynchronous copy.
+    Start {
+        /// Queue index.
+        queue: u8,
+        /// Transfer direction.
+        dir: DmaDirection,
+        /// Transfer length in bytes.
+        bytes: u32,
+    },
+}
+
+impl ScalarOp {
+    /// Registers read by this operation.
+    pub fn reads(&self) -> Vec<SReg> {
+        match *self {
+            ScalarOp::Add { a, b, .. } | ScalarOp::Sub { a, b, .. } | ScalarOp::Mul { a, b, .. } => {
+                vec![a, b]
+            }
+            ScalarOp::LoopEnd { counter, .. } => vec![counter],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Register written by this operation, if any.
+    pub fn writes(&self) -> Option<SReg> {
+        match *self {
+            ScalarOp::LoadImm { dst, .. }
+            | ScalarOp::Add { dst, .. }
+            | ScalarOp::Sub { dst, .. }
+            | ScalarOp::Mul { dst, .. } => Some(dst),
+            ScalarOp::LoopEnd { counter, .. } => Some(counter),
+            _ => None,
+        }
+    }
+}
+
+impl VectorOp {
+    /// Vector registers read by this operation.
+    pub fn reads(&self) -> Vec<VReg> {
+        match *self {
+            VectorOp::VAdd { a, b, .. } | VectorOp::VMul { a, b, .. } | VectorOp::VMax { a, b, .. } => {
+                vec![a, b]
+            }
+            VectorOp::VRelu { a, .. } | VectorOp::VXf { a, .. } | VectorOp::VReduce { a, .. } => {
+                vec![a]
+            }
+            VectorOp::VStore { src, .. } => vec![src],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Vector register written by this operation, if any.
+    pub fn writes(&self) -> Option<VReg> {
+        match *self {
+            VectorOp::VAdd { dst, .. }
+            | VectorOp::VMul { dst, .. }
+            | VectorOp::VMax { dst, .. }
+            | VectorOp::VRelu { dst, .. }
+            | VectorOp::VXf { dst, .. }
+            | VectorOp::VLoad { dst, .. }
+            | VectorOp::VReduce { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_display() {
+        assert_eq!(format!("{}", SReg(3)), "s3");
+        assert_eq!(format!("{}", VReg(17)), "v17");
+    }
+
+    #[test]
+    fn scalar_def_use() {
+        let op = ScalarOp::Add {
+            dst: SReg(0),
+            a: SReg(1),
+            b: SReg(2),
+        };
+        assert_eq!(op.reads(), vec![SReg(1), SReg(2)]);
+        assert_eq!(op.writes(), Some(SReg(0)));
+        assert_eq!(ScalarOp::Halt.writes(), None);
+        assert!(ScalarOp::Nop.reads().is_empty());
+    }
+
+    #[test]
+    fn vector_def_use() {
+        let op = VectorOp::VStore {
+            src: VReg(4),
+            addr: SReg(0),
+        };
+        assert_eq!(op.reads(), vec![VReg(4)]);
+        assert_eq!(op.writes(), None);
+        let load = VectorOp::VLoad {
+            dst: VReg(9),
+            addr: SReg(1),
+        };
+        assert_eq!(load.writes(), Some(VReg(9)));
+    }
+
+    #[test]
+    fn dma_direction_display() {
+        let d = DmaDirection::new(MemLevel::Hbm, MemLevel::Vmem);
+        assert_eq!(format!("{d}"), "hbm->vmem");
+    }
+}

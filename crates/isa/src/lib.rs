@@ -1,0 +1,60 @@
+//! A VLIW instruction set for the TPU generations.
+//!
+//! TPUs are VLIW machines: the compiler statically packs operations for
+//! the scalar unit, two vector ALUs, the matrix unit, the transpose/
+//! permute unit and the DMA queues into one wide bundle per cycle. The
+//! paper's Lesson 2 — "compiler compatibility trumps binary
+//! compatibility" — exists because every generation changed the bundle
+//! format, the functional-unit mix and the register files, yet software
+//! kept working: XLA recompiles the same HLO for each chip.
+//!
+//! This crate makes that concrete:
+//!
+//! - [`inst`] and [`bundle`] define the operations and the VLIW bundle.
+//! - [`encoding`] defines **per-generation binary formats** that are
+//!   mutually incompatible on purpose (different magic, field widths,
+//!   opcode numbering). A TPUv3 binary does not decode on TPUv4i —
+//!   exactly the situation the paper describes.
+//! - [`asm`] is a small textual assembler/disassembler, the
+//!   human-readable common ground across generations.
+//! - [`program`] holds verified programs and their static statistics.
+//! - [`interp`] is a functional interpreter: programs execute against
+//!   architectural state and compute real values (the reproduction's
+//!   stand-in for a functional chip model).
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_isa::prelude::*;
+//! use tpu_arch::Generation;
+//!
+//! let mut p = Program::new(Generation::TpuV4i);
+//! p.push(Bundle::new().scalar(ScalarOp::LoadImm { dst: SReg(0), imm: 42 }));
+//! p.push(Bundle::new().vector(VectorOp::VAdd { dst: VReg(1), a: VReg(1), b: VReg(2) }));
+//! p.verify().unwrap();
+//!
+//! let bytes = tpu_isa::encoding::encode(&p).unwrap();
+//! let back = tpu_isa::encoding::decode(&bytes, Generation::TpuV4i).unwrap();
+//! assert_eq!(p, back);
+//! // The same bytes are *not* a TPUv3 program:
+//! assert!(tpu_isa::encoding::decode(&bytes, Generation::TpuV3).is_err());
+//! ```
+
+pub mod asm;
+pub mod bundle;
+pub mod encoding;
+pub mod inst;
+pub mod interp;
+pub mod program;
+
+pub use bundle::Bundle;
+pub use encoding::{decode, encode, EncodeError};
+pub use inst::{DmaDirection, DmaOp, MxuOp, ScalarOp, SReg, VectorOp, VReg, XposeOp};
+pub use program::{Program, VerifyError};
+
+/// Convenient glob import for building programs.
+pub mod prelude {
+    pub use crate::bundle::Bundle;
+    pub use crate::inst::{DmaDirection, DmaOp, MxuOp, ScalarOp, SReg, VectorOp, VReg, XposeOp};
+    pub use crate::program::Program;
+}

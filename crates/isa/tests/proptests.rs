@@ -1,0 +1,140 @@
+//! Property tests: arbitrary programs round-trip through binary and text,
+//! and never decode under another generation's spec.
+
+use proptest::prelude::*;
+use tpu_arch::{Generation, MemLevel};
+use tpu_isa::prelude::*;
+use tpu_isa::{asm, decode, encode};
+
+const GENS: [Generation; 6] = [
+    Generation::TpuV1,
+    Generation::TpuV2,
+    Generation::TpuV3,
+    Generation::TpuV4i,
+    Generation::TpuV4,
+    Generation::GpuT4Like,
+];
+
+fn sreg() -> impl Strategy<Value = SReg> {
+    (0u8..16).prop_map(SReg)
+}
+
+fn vreg() -> impl Strategy<Value = VReg> {
+    (0u8..16).prop_map(VReg)
+}
+
+fn scalar_op() -> impl Strategy<Value = ScalarOp> {
+    prop_oneof![
+        Just(ScalarOp::Nop),
+        (sreg(), any::<i32>()).prop_map(|(dst, imm)| ScalarOp::LoadImm { dst, imm }),
+        (sreg(), sreg(), sreg()).prop_map(|(dst, a, b)| ScalarOp::Add { dst, a, b }),
+        (sreg(), sreg(), sreg()).prop_map(|(dst, a, b)| ScalarOp::Sub { dst, a, b }),
+        (sreg(), sreg(), sreg()).prop_map(|(dst, a, b)| ScalarOp::Mul { dst, a, b }),
+        (0u8..4).prop_map(|queue| ScalarOp::SyncDma { queue }),
+        Just(ScalarOp::Halt),
+    ]
+}
+
+fn vector_op() -> impl Strategy<Value = VectorOp> {
+    prop_oneof![
+        Just(VectorOp::Nop),
+        (vreg(), vreg(), vreg()).prop_map(|(dst, a, b)| VectorOp::VAdd { dst, a, b }),
+        (vreg(), vreg(), vreg()).prop_map(|(dst, a, b)| VectorOp::VMul { dst, a, b }),
+        (vreg(), vreg(), vreg()).prop_map(|(dst, a, b)| VectorOp::VMax { dst, a, b }),
+        (vreg(), vreg()).prop_map(|(dst, a)| VectorOp::VRelu { dst, a }),
+        (vreg(), vreg()).prop_map(|(dst, a)| VectorOp::VXf { dst, a }),
+        (vreg(), vreg()).prop_map(|(dst, a)| VectorOp::VReduce { dst, a }),
+        (vreg(), sreg()).prop_map(|(dst, addr)| VectorOp::VLoad { dst, addr }),
+        (vreg(), sreg()).prop_map(|(src, addr)| VectorOp::VStore { src, addr }),
+    ]
+}
+
+fn mem_level() -> impl Strategy<Value = MemLevel> {
+    prop_oneof![Just(MemLevel::Hbm), Just(MemLevel::Vmem), Just(MemLevel::Smem)]
+}
+
+fn dma_op() -> impl Strategy<Value = DmaOp> {
+    prop_oneof![
+        Just(DmaOp::Nop),
+        (0u8..4, mem_level(), mem_level(), any::<u32>()).prop_map(|(queue, src, dst, bytes)| {
+            DmaOp::Start {
+                queue,
+                dir: DmaDirection::new(src, dst),
+                bytes,
+            }
+        }),
+    ]
+}
+
+fn bundle() -> impl Strategy<Value = Bundle> {
+    // vector1/xpose omitted so the bundle is legal on every generation.
+    (scalar_op(), vector_op(), dma_op()).prop_map(|(s, v, d)| {
+        Bundle::new().scalar(s).vector(v).dma(d)
+    })
+}
+
+fn program(generation: Generation) -> impl Strategy<Value = Program> {
+    prop::collection::vec(bundle(), 0..24).prop_map(move |bs| {
+        let mut p = Program::new(generation);
+        for b in bs {
+            p.push(b);
+        }
+        p
+    })
+}
+
+proptest! {
+    /// encode→decode is the identity for every generation.
+    #[test]
+    fn binary_round_trip(idx in 0usize..GENS.len(), p in program(Generation::TpuV2)) {
+        let generation = GENS[idx];
+        let mut q = Program::new(generation);
+        for b in p.bundles() {
+            q.push(b.clone());
+        }
+        let bytes = encode(&q).unwrap();
+        prop_assert_eq!(decode(&bytes, generation).unwrap(), q);
+    }
+
+    /// A binary never decodes under a different generation.
+    #[test]
+    fn cross_generation_always_fails(
+        a in 0usize..GENS.len(),
+        b in 0usize..GENS.len(),
+        p in program(Generation::TpuV2),
+    ) {
+        prop_assume!(a != b);
+        let mut q = Program::new(GENS[a]);
+        for bundle in p.bundles() {
+            q.push(bundle.clone());
+        }
+        let bytes = encode(&q).unwrap();
+        prop_assert!(decode(&bytes, GENS[b]).is_err());
+    }
+
+    /// Assembly text round-trips for arbitrary programs.
+    #[test]
+    fn asm_round_trip(p in program(Generation::TpuV4i)) {
+        let text = asm::format_program(&p);
+        let q = asm::assemble(&text, Generation::TpuV4i).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// Truncating an encoded program at any point fails to decode.
+    #[test]
+    fn truncation_always_detected(p in program(Generation::TpuV4i), frac in 0.0f64..1.0) {
+        let bytes = encode(&p).unwrap();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assume!(cut < bytes.len());
+        prop_assert!(decode(&bytes[..cut], Generation::TpuV4i).is_err());
+    }
+
+    /// Stats never exceed structural bounds.
+    #[test]
+    fn stats_are_bounded(p in program(Generation::TpuV4i)) {
+        let s = p.stats();
+        prop_assert_eq!(s.bundles, p.len());
+        prop_assert!(s.occupied_slots <= p.len() * Bundle::SLOTS);
+        prop_assert!(s.mean_occupancy() <= Bundle::SLOTS as f64);
+    }
+}

@@ -1,0 +1,233 @@
+//! Floating-point accumulation-order emulation.
+//!
+//! Floating-point addition is not associative, so two chips that both
+//! "compute a dot product in fp32" can disagree in the last bits if their
+//! accumulation trees differ. The paper's Lesson 4 ("backwards ML
+//! compatibility helps deploy DNNs quickly") is about exactly this: TPUv4i
+//! can reproduce the numerics of earlier generations so that a model
+//! validated on TPUv2/v3 serves on v4i without quality re-validation.
+//!
+//! This module emulates the accumulation orders of the generations'
+//! matrix units and provides the bit-exactness check experiment E14 uses.
+
+use crate::bf16::Bf16;
+
+/// The order in which a reduction sums its partial products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccumOrder {
+    /// Strict left-to-right sequential accumulation (a 1-wide MAC chain,
+    /// like the TPUv1 systolic column for int accumulate, and the
+    /// reference semantics for backwards-compatible mode).
+    Sequential,
+    /// Fixed-width chunked accumulation: partials are summed sequentially
+    /// within chunks of `width`, then chunk sums are added sequentially.
+    /// A systolic array of height `width` behaves this way when a longer
+    /// inner dimension is folded over the array.
+    Chunked {
+        /// Chunk width, e.g. 128 for a 128x128 MXU, 256 for TPUv1's MXU.
+        width: usize,
+    },
+    /// Balanced binary-tree reduction (typical of a wide SIMD reducer).
+    PairwiseTree,
+}
+
+impl AccumOrder {
+    /// The native accumulation order of a systolic MXU of dimension `d`.
+    pub fn systolic(d: usize) -> AccumOrder {
+        AccumOrder::Chunked { width: d.max(1) }
+    }
+}
+
+/// Sums `xs` in fp32 following the given order.
+pub fn sum_f32(xs: &[f32], order: AccumOrder) -> f32 {
+    match order {
+        AccumOrder::Sequential => xs.iter().fold(0.0f32, |acc, &x| acc + x),
+        AccumOrder::Chunked { width } => {
+            let width = width.max(1);
+            let mut total = 0.0f32;
+            for chunk in xs.chunks(width) {
+                let mut partial = 0.0f32;
+                for &x in chunk {
+                    partial += x;
+                }
+                total += partial;
+            }
+            total
+        }
+        AccumOrder::PairwiseTree => pairwise(xs),
+    }
+}
+
+fn pairwise(xs: &[f32]) -> f32 {
+    match xs.len() {
+        0 => 0.0,
+        1 => xs[0],
+        n => {
+            let mid = n / 2;
+            pairwise(&xs[..mid]) + pairwise(&xs[mid..])
+        }
+    }
+}
+
+/// Dot product with bf16 multiplication and fp32 accumulation in the given
+/// order — the TPUv2+ MXU datapath.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_bf16(a: &[f32], b: &[f32], order: AccumOrder) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot operand length mismatch");
+    let products: Vec<f32> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (Bf16::from_f32(x).to_f32()) * (Bf16::from_f32(y).to_f32()))
+        .collect();
+    sum_f32(&products, order)
+}
+
+/// Dot product entirely in fp32 with the given accumulation order.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_f32(a: &[f32], b: &[f32], order: AccumOrder) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot operand length mismatch");
+    let products: Vec<f32> = a.iter().zip(b).map(|(&x, &y)| x * y).collect();
+    sum_f32(&products, order)
+}
+
+/// Whether two accumulation orders produce bit-identical results for the
+/// given inputs (the backwards-ML-compatibility check).
+pub fn bit_exact(a: &[f32], b: &[f32], lhs: AccumOrder, rhs: AccumOrder) -> bool {
+    dot_bf16(a, b, lhs).to_bits() == dot_bf16(a, b, rhs).to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn awkward_inputs(n: usize) -> (Vec<f32>, Vec<f32>) {
+        // Values with widely varying magnitudes so that accumulation order
+        // matters: alternating large/small with sign flips.
+        let a: Vec<f32> = (0..n)
+            .map(|i| {
+                let m = if i % 2 == 0 { 1.0e4 } else { 1.0e-3 };
+                let s = if i % 3 == 0 { -1.0 } else { 1.0 };
+                s * m * (1.0 + (i as f32) * 0.001)
+            })
+            .collect();
+        let b: Vec<f32> = (0..n).map(|i| 1.0 + (i as f32 * 0.37).sin()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn empty_and_single_sums() {
+        for order in [
+            AccumOrder::Sequential,
+            AccumOrder::Chunked { width: 128 },
+            AccumOrder::PairwiseTree,
+        ] {
+            assert_eq!(sum_f32(&[], order), 0.0);
+            assert_eq!(sum_f32(&[3.5], order), 3.5);
+        }
+    }
+
+    #[test]
+    fn orders_agree_on_exact_values() {
+        // Small integers: every intermediate is exact, so all orders match.
+        let xs: Vec<f32> = (1..=64).map(|i| i as f32).collect();
+        let expect = (64 * 65 / 2) as f32;
+        assert_eq!(sum_f32(&xs, AccumOrder::Sequential), expect);
+        assert_eq!(sum_f32(&xs, AccumOrder::Chunked { width: 8 }), expect);
+        assert_eq!(sum_f32(&xs, AccumOrder::PairwiseTree), expect);
+    }
+
+    #[test]
+    fn orders_disagree_on_awkward_values() {
+        let (a, b) = awkward_inputs(1024);
+        let seq = dot_f32(&a, &b, AccumOrder::Sequential);
+        let tree = dot_f32(&a, &b, AccumOrder::PairwiseTree);
+        // Both are "correct" fp32 dots, but not bit-identical.
+        assert_ne!(
+            seq.to_bits(),
+            tree.to_bits(),
+            "expected accumulation order to be observable"
+        );
+        // ... while being close in relative terms.
+        let rel = ((seq - tree) / seq).abs();
+        assert!(rel < 1e-2, "orders should agree approximately, rel={rel}");
+    }
+
+    #[test]
+    fn same_order_is_always_bit_exact() {
+        let (a, b) = awkward_inputs(512);
+        for order in [
+            AccumOrder::Sequential,
+            AccumOrder::systolic(128),
+            AccumOrder::PairwiseTree,
+        ] {
+            assert!(bit_exact(&a, &b, order, order));
+        }
+    }
+
+    #[test]
+    fn different_mxu_sizes_break_bit_exactness() {
+        // TPUv1 had a 256x256 MXU, TPUv2+ use 128x128: folding a long
+        // inner dimension over the array yields different chunk sums for
+        // *some* inputs. Search a few deterministic input scales for a
+        // witness; rounding coincidences can hide the effect for any one.
+        let mut found_difference = false;
+        for scale_exp in 0..16 {
+            let (mut a, b) = awkward_inputs(2048);
+            let scale = (1.25f32).powi(scale_exp);
+            for (i, x) in a.iter_mut().enumerate() {
+                *x *= scale * (1.0 + (i % 7) as f32 * 0.13);
+            }
+            if !bit_exact(&a, &b, AccumOrder::systolic(256), AccumOrder::systolic(128)) {
+                found_difference = true;
+                break;
+            }
+        }
+        assert!(
+            found_difference,
+            "expected some input where 256-wide and 128-wide systolic \
+             accumulation orders are observable"
+        );
+    }
+
+    #[test]
+    fn chunk_width_of_one_is_sequential() {
+        let (a, b) = awkward_inputs(300);
+        assert!(bit_exact(
+            &a,
+            &b,
+            AccumOrder::Sequential,
+            AccumOrder::Chunked { width: 1 }
+        ));
+    }
+
+    #[test]
+    fn chunked_equals_sequential_when_chunk_covers_input() {
+        let (a, b) = awkward_inputs(100);
+        assert!(bit_exact(
+            &a,
+            &b,
+            AccumOrder::Sequential,
+            AccumOrder::Chunked { width: 128 }
+        ));
+    }
+
+    #[test]
+    fn bf16_dot_loses_precision_vs_f32_dot() {
+        let (a, b) = awkward_inputs(256);
+        let lo = dot_bf16(&a, &b, AccumOrder::Sequential);
+        let hi = dot_f32(&a, &b, AccumOrder::Sequential);
+        assert_ne!(lo, hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_dot_panics() {
+        dot_f32(&[1.0], &[1.0, 2.0], AccumOrder::Sequential);
+    }
+}

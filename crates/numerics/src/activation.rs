@@ -1,0 +1,198 @@
+//! Nonlinearities used by the production inference apps.
+//!
+//! The paper's app table lists the nonlinear functions of each workload
+//! (ReLU for the MLPs/CNNs, sigmoid/tanh for the LSTMs, GELU/softmax for
+//! BERT). The serving-quality experiment needs faithful scalar
+//! implementations; the VPU cost model in `tpu-sim` charges for them by
+//! kind.
+
+/// A nonlinear (or normalization) function a VPU evaluates elementwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// Identity (no-op, e.g. final logits).
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Gaussian error linear unit (tanh approximation, as served).
+    Gelu,
+}
+
+impl Activation {
+    /// Applies the function to one value.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Gelu => {
+                // tanh approximation used in production BERT serving.
+                const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+                0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+            }
+        }
+    }
+
+    /// Applies the function in place to a slice.
+    pub fn apply_slice(self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+
+    /// Relative VPU cost in vector-ops per element (transcendentals are
+    /// multi-instruction sequences on a TPU VPU).
+    pub const fn vpu_ops_per_element(self) -> u64 {
+        match self {
+            Activation::Identity => 0,
+            Activation::Relu => 1,
+            Activation::Sigmoid | Activation::Tanh => 6,
+            Activation::Gelu => 10,
+        }
+    }
+
+    /// Short lowercase name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Activation::Identity => "identity",
+            Activation::Relu => "relu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Gelu => "gelu",
+        }
+    }
+}
+
+/// Numerically stable softmax over a slice (subtracts the max first).
+///
+/// Returns all-zeros for an empty slice.
+pub fn softmax(xs: &[f32]) -> Vec<f32> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = xs.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Layer normalization with learned scale `gamma` and shift `beta`.
+///
+/// # Panics
+///
+/// Panics if `gamma` or `beta` lengths differ from `xs`.
+pub fn layer_norm(xs: &[f32], gamma: &[f32], beta: &[f32], eps: f32) -> Vec<f32> {
+    assert_eq!(xs.len(), gamma.len(), "gamma length mismatch");
+    assert_eq!(xs.len(), beta.len(), "beta length mismatch");
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let n = xs.len() as f32;
+    let mean = xs.iter().sum::<f32>() / n;
+    let var = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n;
+    let inv = 1.0 / (var + eps).sqrt();
+    xs.iter()
+        .zip(gamma.iter().zip(beta))
+        .map(|(&x, (&g, &b))| (x - mean) * inv * g + b)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+        assert_eq!(Activation::Relu.apply(0.0), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_centered() {
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!(Activation::Sigmoid.apply(20.0) > 0.999_99);
+        assert!(Activation::Sigmoid.apply(-20.0) < 1e-5);
+    }
+
+    #[test]
+    fn tanh_matches_std() {
+        for x in [-2.0f32, -0.5, 0.0, 1.0, 3.0] {
+            assert_eq!(Activation::Tanh.apply(x), x.tanh());
+        }
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        // GELU(0) = 0; GELU is ~identity for large x, ~0 for very negative x.
+        assert_eq!(Activation::Gelu.apply(0.0), 0.0);
+        assert!((Activation::Gelu.apply(10.0) - 10.0).abs() < 1e-3);
+        assert!(Activation::Gelu.apply(-10.0).abs() < 1e-3);
+        // Reference value of the tanh approximation at 1.0 (~0.8412).
+        assert!((Activation::Gelu.apply(1.0) - 0.8412).abs() < 1e-3);
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar() {
+        let mut xs = [-1.0f32, 0.0, 2.0];
+        Activation::Relu.apply_slice(&mut xs);
+        assert_eq!(xs, [0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1001.0, 1002.0]); // would overflow naively
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        assert!(p.iter().all(|&x| x.is_finite()));
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn softmax_uniform_for_equal_logits() {
+        let p = softmax(&[3.0; 4]);
+        for &x in &p {
+            assert!((x - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0];
+        let ones = [1.0f32; 4];
+        let zeros = [0.0f32; 4];
+        let y = layer_norm(&xs, &ones, &zeros, 1e-6);
+        let mean: f32 = y.iter().sum::<f32>() / 4.0;
+        let var: f32 = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_applies_gamma_beta() {
+        let xs = [1.0f32, 3.0];
+        let y = layer_norm(&xs, &[2.0, 2.0], &[10.0, 10.0], 1e-6);
+        // normalized = [-1, 1] (approx) → scaled/shifted = [8, 12].
+        assert!((y[0] - 8.0).abs() < 1e-2);
+        assert!((y[1] - 12.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn vpu_costs_are_monotone_in_complexity() {
+        assert!(
+            Activation::Identity.vpu_ops_per_element()
+                < Activation::Relu.vpu_ops_per_element()
+        );
+        assert!(
+            Activation::Relu.vpu_ops_per_element() < Activation::Tanh.vpu_ops_per_element()
+        );
+        assert!(
+            Activation::Tanh.vpu_ops_per_element() < Activation::Gelu.vpu_ops_per_element()
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Brain-float 16 implemented from scratch.
+//!
+//! bf16 keeps fp32's 8-bit exponent and truncates the mantissa to 7 bits,
+//! so its dynamic range matches fp32 — the property that let TPUv2 drop
+//! loss-scaling machinery and that makes bf16 a drop-in serving format for
+//! models trained in fp32 (paper Lesson 6).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 16-bit brain float: 1 sign bit, 8 exponent bits, 7 mantissa bits.
+///
+/// Conversion from `f32` uses round-to-nearest-even, matching TPU hardware.
+/// Arithmetic promotes to `f32`, computes, and rounds back — exactly how a
+/// bf16 multiplier with fp32 accumulate behaves for a single operation.
+///
+/// # Example
+///
+/// ```
+/// use tpu_numerics::Bf16;
+/// let a = Bf16::from_f32(3.0);
+/// let b = Bf16::from_f32(0.5);
+/// assert_eq!((a * b).to_f32(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Smallest positive normal value (2^-126).
+    pub const MIN_POSITIVE: Bf16 = Bf16(0x0080);
+    /// Largest finite value (~3.39e38).
+    pub const MAX: Bf16 = Bf16(0x7F7F);
+    /// Positive infinity.
+    pub const INFINITY: Bf16 = Bf16(0x7F80);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Bf16 = Bf16(0xFF80);
+    /// A quiet NaN.
+    pub const NAN: Bf16 = Bf16(0x7FC0);
+    /// Machine epsilon: 2^-7, the gap between 1.0 and the next value.
+    pub const EPSILON: Bf16 = Bf16(0x3C00);
+
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> Bf16 {
+        let bits = x.to_bits();
+        // NaN: preserve sign and set a quiet-NaN payload so the result is
+        // still a NaN after truncation.
+        if x.is_nan() {
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the truncated 16 bits.
+        let round_bit = 0x0000_8000u32;
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x0000_7FFF + lsb);
+        let _ = round_bit;
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Converts to `f32` exactly (every bf16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Reinterprets raw bits as a `Bf16`.
+    pub const fn from_bits(bits: u16) -> Bf16 {
+        Bf16(bits)
+    }
+
+    /// The raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Whether the value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7F80) == 0x7F80 && (self.0 & 0x007F) != 0
+    }
+
+    /// Whether the value is +/- infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7F80
+    }
+
+    /// Whether the value is neither NaN nor infinite.
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7F80) != 0x7F80
+    }
+
+    /// Whether the sign bit is set (true for -0.0).
+    pub const fn is_sign_negative(self) -> bool {
+        self.0 & 0x8000 != 0
+    }
+
+    /// Absolute value.
+    pub const fn abs(self) -> Bf16 {
+        Bf16(self.0 & 0x7FFF)
+    }
+
+    /// The relative rounding error bound when converting from f32:
+    /// one half ULP at 7 mantissa bits, i.e. 2^-8.
+    pub const RELATIVE_ERROR_BOUND: f32 = 1.0 / 256.0;
+}
+
+impl From<f32> for Bf16 {
+    fn from(x: f32) -> Bf16 {
+        Bf16::from_f32(x)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(x: Bf16) -> f32 {
+        x.to_f32()
+    }
+}
+
+impl PartialEq for Bf16 {
+    fn eq(&self, other: &Bf16) -> bool {
+        self.to_f32() == other.to_f32()
+    }
+}
+
+impl PartialOrd for Bf16 {
+    fn partial_cmp(&self, other: &Bf16) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl Add for Bf16 {
+    type Output = Bf16;
+    fn add(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl Sub for Bf16 {
+    type Output = Bf16;
+    fn sub(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl Mul for Bf16 {
+    type Output = Bf16;
+    fn mul(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl Div for Bf16 {
+    type Output = Bf16;
+    fn div(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() / rhs.to_f32())
+    }
+}
+
+impl Neg for Bf16 {
+    type Output = Bf16;
+    fn neg(self) -> Bf16 {
+        Bf16(self.0 ^ 0x8000)
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Converts a whole slice to bf16 and back, returning the lossy `f32`s.
+///
+/// This models what serving a fp32-trained model in bf16 does to weights.
+pub fn round_trip_slice(xs: &[f32]) -> Vec<f32> {
+    xs.iter().map(|&x| Bf16::from_f32(x).to_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers() {
+        for i in -256i32..=256 {
+            let x = i as f32;
+            assert_eq!(Bf16::from_f32(x).to_f32(), x, "integer {i} must be exact");
+        }
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(Bf16::ZERO.to_f32(), 0.0);
+        assert_eq!(Bf16::ONE.to_f32(), 1.0);
+        assert_eq!(Bf16::EPSILON.to_f32(), 1.0 / 128.0);
+        assert_eq!(Bf16::MIN_POSITIVE.to_f32(), f32::MIN_POSITIVE);
+        assert!(Bf16::NAN.is_nan());
+        assert!(Bf16::INFINITY.is_infinite());
+        assert!(Bf16::NEG_INFINITY.is_infinite());
+        assert!(Bf16::MAX.is_finite());
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-8 is exactly halfway between 1.0 and 1 + 2^-7;
+        // ties go to even (1.0 has even mantissa).
+        assert_eq!(Bf16::from_f32(1.0 + 1.0 / 256.0).to_f32(), 1.0);
+        // 1 + 3*2^-8 is halfway between 1+2^-7 and 1+2^-6; even is 1+2^-6.
+        assert_eq!(Bf16::from_f32(1.0 + 3.0 / 256.0).to_f32(), 1.0 + 1.0 / 64.0);
+        // Just above the halfway point rounds up.
+        assert_eq!(
+            Bf16::from_f32(1.0 + 1.0 / 256.0 + 1.0 / 65536.0).to_f32(),
+            1.0 + 1.0 / 128.0
+        );
+    }
+
+    #[test]
+    fn dynamic_range_matches_f32() {
+        // The key bf16 property: huge and tiny f32 values survive.
+        assert!(Bf16::from_f32(1e38).is_finite());
+        assert!(Bf16::from_f32(1e-38).to_f32() > 0.0);
+        // fp16 would overflow at 65504; bf16 must not.
+        assert!(Bf16::from_f32(70000.0).is_finite());
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert!(Bf16::from_f32(f32::MAX).is_infinite());
+        assert!(!Bf16::from_f32(f32::MAX).is_sign_negative());
+        assert!(Bf16::from_f32(f32::MIN).is_infinite());
+        assert!(Bf16::from_f32(f32::MIN).is_sign_negative());
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert!((Bf16::NAN + Bf16::ONE).is_nan());
+        assert!(Bf16::NAN.to_f32().is_nan());
+    }
+
+    #[test]
+    fn negation_flips_sign_bit_only() {
+        let x = Bf16::from_f32(2.5);
+        assert_eq!((-x).to_f32(), -2.5);
+        assert_eq!((-(-x)).to_bits(), x.to_bits());
+        assert!((-Bf16::ZERO).is_sign_negative());
+    }
+
+    #[test]
+    fn arithmetic_rounds_back() {
+        let a = Bf16::from_f32(1.0);
+        let b = Bf16::from_f32(1.0 / 128.0); // = epsilon, representable
+        assert_eq!((a + b).to_f32(), 1.0 + 1.0 / 128.0);
+        let tiny = Bf16::from_f32(1.0 / 512.0);
+        // Adding a quarter-epsilon to 1.0 is lost to rounding.
+        assert_eq!((a + tiny).to_f32(), 1.0);
+    }
+
+    #[test]
+    fn relative_error_bound_holds_on_grid() {
+        let mut x = 1.0e-10f32;
+        while x < 1.0e10 {
+            let err = (Bf16::from_f32(x).to_f32() - x).abs() / x;
+            assert!(
+                err <= Bf16::RELATIVE_ERROR_BOUND,
+                "relative error {err} too large at {x}"
+            );
+            x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn ordering_matches_f32() {
+        let vals = [-3.5f32, -1.0, 0.0, 0.25, 1.0, 7.0];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    Bf16::from_f32(a).partial_cmp(&Bf16::from_f32(b)),
+                    a.partial_cmp(&b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_slice_is_elementwise() {
+        let xs = [0.1f32, 0.2, 0.3];
+        let rt = round_trip_slice(&xs);
+        assert_eq!(rt.len(), 3);
+        for (orig, lossy) in xs.iter().zip(&rt) {
+            assert!((orig - lossy).abs() / orig <= Bf16::RELATIVE_ERROR_BOUND);
+        }
+    }
+}

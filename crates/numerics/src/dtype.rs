@@ -1,0 +1,133 @@
+//! Architectural data types supported by the TPU generations.
+
+use std::fmt;
+
+/// A data type a TPU functional unit can operate on.
+///
+/// The set mirrors the types the paper discusses: TPUv1 is an int8 design;
+/// TPUv2/v3 compute in bf16 with fp32 accumulation; TPUv4i supports int8
+/// *and* bf16 because "some inference tasks require floating point"
+/// (Lesson 6).
+///
+/// # Example
+///
+/// ```
+/// use tpu_numerics::DType;
+/// assert!(DType::Bf16.is_float());
+/// assert_eq!(DType::Int8.size_bytes(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// 8-bit signed integer (quantized inference).
+    Int8,
+    /// 32-bit signed integer (accumulators for int8 MACs).
+    Int32,
+    /// Brain float: 1 sign, 8 exponent, 7 mantissa bits.
+    Bf16,
+    /// IEEE 754 half precision (present on the GPU baseline, not TPUs).
+    Fp16,
+    /// IEEE 754 single precision.
+    Fp32,
+}
+
+impl DType {
+    /// All types, in ascending width order for a given class.
+    pub const ALL: [DType; 5] = [
+        DType::Int8,
+        DType::Int32,
+        DType::Bf16,
+        DType::Fp16,
+        DType::Fp32,
+    ];
+
+    /// Storage size in bytes of one element.
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DType::Int8 => 1,
+            DType::Bf16 | DType::Fp16 => 2,
+            DType::Int32 | DType::Fp32 => 4,
+        }
+    }
+
+    /// Whether this is a floating-point type.
+    pub const fn is_float(self) -> bool {
+        matches!(self, DType::Bf16 | DType::Fp16 | DType::Fp32)
+    }
+
+    /// Whether this is an integer type.
+    pub const fn is_int(self) -> bool {
+        !self.is_float()
+    }
+
+    /// The accumulator type a TPU MXU uses when multiplying in `self`.
+    ///
+    /// bf16 multiplies accumulate in fp32; int8 multiplies accumulate in
+    /// int32. Wider types accumulate in themselves.
+    pub const fn accumulator(self) -> DType {
+        match self {
+            DType::Int8 => DType::Int32,
+            DType::Bf16 | DType::Fp16 => DType::Fp32,
+            DType::Int32 => DType::Int32,
+            DType::Fp32 => DType::Fp32,
+        }
+    }
+
+    /// Short lowercase name, e.g. `"bf16"`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DType::Int8 => "int8",
+            DType::Int32 => "int32",
+            DType::Bf16 => "bf16",
+            DType::Fp16 => "fp16",
+            DType::Fp32 => "fp32",
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_correct() {
+        assert_eq!(DType::Int8.size_bytes(), 1);
+        assert_eq!(DType::Bf16.size_bytes(), 2);
+        assert_eq!(DType::Fp16.size_bytes(), 2);
+        assert_eq!(DType::Int32.size_bytes(), 4);
+        assert_eq!(DType::Fp32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(DType::Bf16.is_float());
+        assert!(DType::Fp32.is_float());
+        assert!(DType::Fp16.is_float());
+        assert!(DType::Int8.is_int());
+        assert!(DType::Int32.is_int());
+        assert!(!DType::Int8.is_float());
+    }
+
+    #[test]
+    fn accumulators_widen() {
+        assert_eq!(DType::Int8.accumulator(), DType::Int32);
+        assert_eq!(DType::Bf16.accumulator(), DType::Fp32);
+        assert_eq!(DType::Fp32.accumulator(), DType::Fp32);
+        for dt in DType::ALL {
+            assert!(dt.accumulator().size_bytes() >= dt.size_bytes());
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for dt in DType::ALL {
+            assert_eq!(format!("{dt}"), dt.name());
+            assert!(!dt.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Numeric formats and quantization machinery for TPU-generation modeling.
+//!
+//! This crate is the numerics substrate of the TPUv4i reproduction. It
+//! implements, from scratch, the data formats the paper's Lesson 6 ("some
+//! inference apps require floating point") and Lesson 4 ("backwards ML
+//! compatibility") turn on:
+//!
+//! - [`Bf16`]: the brain-float 16 format used by TPUv2+ matrix units
+//!   (1 sign, 8 exponent, 7 mantissa bits), with round-to-nearest-even
+//!   conversion from `f32`.
+//! - [`quant`]: symmetric int8 quantization (per-tensor and per-channel)
+//!   with error statistics, used to decide which production apps can be
+//!   served in int8 and which need floating point.
+//! - [`accum`]: floating-point accumulation-order emulation. TPU MXUs
+//!   accumulate in fp32 in a fixed systolic order; *backwards ML
+//!   compatibility* means a newer chip reproduces the older chip's
+//!   accumulation order bit-for-bit so models deploy without re-validation.
+//! - [`activation`]: the nonlinearities of the production apps (ReLU, GELU,
+//!   sigmoid, tanh, softmax, layer norm).
+//! - [`tensor`]: a minimal row-major `f32` tensor with matmul, enough to
+//!   run quality experiments without pulling in an array library.
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_numerics::{Bf16, DType};
+//!
+//! let x = Bf16::from_f32(1.0 + 1.0 / 256.0);
+//! // bf16 has 7 mantissa bits: 1 + 2^-8 rounds back to 1.0
+//! assert_eq!(x.to_f32(), 1.0);
+//! assert_eq!(DType::Bf16.size_bytes(), 2);
+//! ```
+
+pub mod accum;
+pub mod activation;
+pub mod bf16;
+pub mod dtype;
+pub mod quant;
+pub mod stats;
+pub mod tensor;
+
+pub use accum::{dot_f32, AccumOrder};
+pub use bf16::Bf16;
+pub use dtype::DType;
+pub use quant::{QuantError, QuantParams, Quantized};
+pub use stats::ErrorStats;
+pub use tensor::Tensor;

@@ -1,0 +1,386 @@
+//! Symmetric int8 quantization, per-tensor and per-channel.
+//!
+//! TPUv1 served everything in int8; the paper's Lesson 6 observes that by
+//! 2020 some production apps could no longer absorb quantization error (or
+//! could not afford the re-validation time), so TPUv4i supports bf16. This
+//! module provides the quantizer and the error statistics that experiment
+//! E9 uses to classify apps as int8-servable or FP-requiring.
+
+use std::fmt;
+
+use crate::stats::ErrorStats;
+
+/// Error produced by quantization routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// The input slice was empty.
+    EmptyInput,
+    /// A non-finite value (NaN or infinity) was encountered.
+    NonFinite,
+    /// Per-channel quantization was asked for with a channel count that
+    /// does not divide the input length.
+    ChannelMismatch {
+        /// Number of elements in the tensor.
+        len: usize,
+        /// Number of channels requested.
+        channels: usize,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::EmptyInput => write!(f, "cannot quantize an empty tensor"),
+            QuantError::NonFinite => write!(f, "input contains NaN or infinity"),
+            QuantError::ChannelMismatch { len, channels } => write!(
+                f,
+                "channel count {channels} does not divide tensor length {len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// Scale parameters of a symmetric int8 quantizer (zero point fixed at 0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Real value represented by int8 code 127.
+    pub scale: f32,
+}
+
+impl QuantParams {
+    /// Fits a symmetric quantizer to the maximum absolute value of `xs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::EmptyInput`] for empty input and
+    /// [`QuantError::NonFinite`] if any value is NaN/inf.
+    pub fn fit(xs: &[f32]) -> Result<QuantParams, QuantError> {
+        if xs.is_empty() {
+            return Err(QuantError::EmptyInput);
+        }
+        let mut max_abs = 0.0f32;
+        for &x in xs {
+            if !x.is_finite() {
+                return Err(QuantError::NonFinite);
+            }
+            max_abs = max_abs.max(x.abs());
+        }
+        // An all-zero tensor quantizes with any scale; use 1.0.
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        Ok(QuantParams { scale })
+    }
+
+    /// Quantizes one value to int8 with round-to-nearest, saturating.
+    pub fn quantize(self, x: f32) -> i8 {
+        let q = (x / self.scale).round();
+        q.clamp(-127.0, 127.0) as i8
+    }
+
+    /// Dequantizes one int8 code back to a real value.
+    pub fn dequantize(self, q: i8) -> f32 {
+        q as f32 * self.scale
+    }
+}
+
+/// A quantized tensor: int8 codes plus their scale(s).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantized {
+    /// Int8 codes, row-major.
+    pub codes: Vec<i8>,
+    /// One scale for per-tensor, `channels` scales for per-channel.
+    pub scales: Vec<f32>,
+    /// Number of channels (1 for per-tensor).
+    pub channels: usize,
+}
+
+impl Quantized {
+    /// Per-tensor symmetric quantization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuantParams::fit`] errors.
+    pub fn per_tensor(xs: &[f32]) -> Result<Quantized, QuantError> {
+        let p = QuantParams::fit(xs)?;
+        Ok(Quantized {
+            codes: xs.iter().map(|&x| p.quantize(x)).collect(),
+            scales: vec![p.scale],
+            channels: 1,
+        })
+    }
+
+    /// Per-channel symmetric quantization.
+    ///
+    /// The tensor is interpreted as `channels` equal contiguous chunks
+    /// (e.g. output channels of a weight matrix), each with its own scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ChannelMismatch`] if `channels` does not
+    /// divide `xs.len()`, and propagates fit errors.
+    pub fn per_channel(xs: &[f32], channels: usize) -> Result<Quantized, QuantError> {
+        if channels == 0 || !xs.len().is_multiple_of(channels) {
+            return Err(QuantError::ChannelMismatch {
+                len: xs.len(),
+                channels,
+            });
+        }
+        let chunk = xs.len() / channels;
+        let mut codes = Vec::with_capacity(xs.len());
+        let mut scales = Vec::with_capacity(channels);
+        for c in 0..channels {
+            let slice = &xs[c * chunk..(c + 1) * chunk];
+            let p = QuantParams::fit(slice)?;
+            scales.push(p.scale);
+            codes.extend(slice.iter().map(|&x| p.quantize(x)));
+        }
+        Ok(Quantized {
+            codes,
+            scales,
+            channels,
+        })
+    }
+
+    /// Dequantizes back to `f32`.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let chunk = self.codes.len() / self.channels.max(1);
+        self.codes
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                let c = if self.channels <= 1 { 0 } else { i / chunk };
+                QuantParams {
+                    scale: self.scales[c],
+                }
+                .dequantize(q)
+            })
+            .collect()
+    }
+
+    /// Error statistics of a quantize→dequantize round trip against `xs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len()` differs from the stored code count.
+    pub fn error_vs(&self, xs: &[f32]) -> ErrorStats {
+        assert_eq!(xs.len(), self.codes.len(), "length mismatch");
+        ErrorStats::between(xs, &self.dequantize())
+    }
+}
+
+impl QuantParams {
+    /// Fits a *clipped* symmetric quantizer: the scale covers the
+    /// `quantile`-th percentile of |x| instead of the maximum, trading
+    /// saturation of rare outliers for resolution on the bulk — the
+    /// other standard rescue (besides per-channel scales) for
+    /// heavy-tailed tensors.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuantParams::fit`].
+    pub fn fit_clipped(xs: &[f32], quantile: f64) -> Result<QuantParams, QuantError> {
+        if xs.is_empty() {
+            return Err(QuantError::EmptyInput);
+        }
+        let mut mags = Vec::with_capacity(xs.len());
+        for &x in xs {
+            if !x.is_finite() {
+                return Err(QuantError::NonFinite);
+            }
+            mags.push(x.abs());
+        }
+        mags.sort_by(f32::total_cmp);
+        let q = quantile.clamp(0.0, 1.0);
+        let rank = ((q * mags.len() as f64).ceil() as usize).clamp(1, mags.len());
+        let clip = mags[rank - 1];
+        let scale = if clip == 0.0 { 1.0 } else { clip / 127.0 };
+        Ok(QuantParams { scale })
+    }
+}
+
+impl Quantized {
+    /// Per-tensor quantization with percentile clipping (see
+    /// [`QuantParams::fit_clipped`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fit errors.
+    pub fn per_tensor_clipped(xs: &[f32], quantile: f64) -> Result<Quantized, QuantError> {
+        let p = QuantParams::fit_clipped(xs, quantile)?;
+        Ok(Quantized {
+            codes: xs.iter().map(|&x| p.quantize(x)).collect(),
+            scales: vec![p.scale],
+            channels: 1,
+        })
+    }
+}
+
+/// One-shot helper: per-tensor round trip error of `xs`.
+///
+/// # Errors
+///
+/// Propagates quantization errors.
+pub fn round_trip_error(xs: &[f32]) -> Result<ErrorStats, QuantError> {
+    let q = Quantized::per_tensor(xs)?;
+    Ok(q.error_vs(xs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, lo: f32, hi: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| lo + (hi - lo) * i as f32 / (n - 1) as f32)
+            .collect()
+    }
+
+    #[test]
+    fn fit_rejects_empty_and_nonfinite() {
+        assert_eq!(QuantParams::fit(&[]), Err(QuantError::EmptyInput));
+        assert_eq!(
+            QuantParams::fit(&[1.0, f32::NAN]),
+            Err(QuantError::NonFinite)
+        );
+        assert_eq!(
+            QuantParams::fit(&[f32::INFINITY]),
+            Err(QuantError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn all_zero_tensor_is_fine() {
+        let q = Quantized::per_tensor(&[0.0, 0.0]).unwrap();
+        assert_eq!(q.dequantize(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_abs_maps_to_127() {
+        let q = Quantized::per_tensor(&[-2.0, 1.0, 2.0]).unwrap();
+        assert_eq!(q.codes, vec![-127, 64, 127]);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let xs = ramp(1001, -3.0, 3.0);
+        let q = Quantized::per_tensor(&xs).unwrap();
+        let step = q.scales[0];
+        for (x, y) in xs.iter().zip(q.dequantize()) {
+            assert!((x - y).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn per_channel_beats_per_tensor_on_mismatched_ranges() {
+        // Channel 0 in [-1,1], channel 1 in [-100,100]: per-tensor wastes
+        // almost all codes on channel 1's range.
+        let mut xs = ramp(512, -1.0, 1.0);
+        xs.extend(ramp(512, -100.0, 100.0));
+        let pt = Quantized::per_tensor(&xs).unwrap().dequantize();
+        let pc = Quantized::per_channel(&xs, 2).unwrap().dequantize();
+        // The small channel (first 512 elements) is where per-channel wins:
+        // per-tensor wastes its codes on the large channel's range.
+        let pt_small = ErrorStats::between(&xs[..512], &pt[..512]);
+        let pc_small = ErrorStats::between(&xs[..512], &pc[..512]);
+        assert!(
+            pc_small.rmse < pt_small.rmse / 10.0,
+            "per-channel rmse {} should be much smaller than per-tensor {}",
+            pc_small.rmse,
+            pt_small.rmse
+        );
+        // The large channel is unchanged (same scale either way).
+        let pt_large = ErrorStats::between(&xs[512..], &pt[512..]);
+        let pc_large = ErrorStats::between(&xs[512..], &pc[512..]);
+        assert!((pt_large.rmse - pc_large.rmse).abs() < 1e-6);
+    }
+
+    #[test]
+    fn channel_mismatch_is_rejected() {
+        let err = Quantized::per_channel(&[1.0, 2.0, 3.0], 2).unwrap_err();
+        assert_eq!(
+            err,
+            QuantError::ChannelMismatch {
+                len: 3,
+                channels: 2
+            }
+        );
+        assert!(Quantized::per_channel(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        for e in [
+            QuantError::EmptyInput,
+            QuantError::NonFinite,
+            QuantError::ChannelMismatch {
+                len: 3,
+                channels: 2,
+            },
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+
+    #[test]
+    fn clipped_fit_ignores_outliers() {
+        // 4095 small values plus one huge outlier: the max-fit scale is
+        // dominated by the outlier, the 99.9%-clipped one is not.
+        let mut xs = ramp(4095, -0.01, 0.01);
+        xs.push(10.0);
+        let max_fit = QuantParams::fit(&xs).unwrap();
+        let clipped = QuantParams::fit_clipped(&xs, 0.999).unwrap();
+        assert!((max_fit.scale - 10.0 / 127.0).abs() < 1e-9);
+        assert!(clipped.scale < max_fit.scale / 100.0);
+        // The clipped quantizer saturates the outlier...
+        assert_eq!(clipped.quantize(10.0), 127);
+        // ...and resolves the bulk far better.
+        let q_max = Quantized::per_tensor(&xs).unwrap().dequantize();
+        let q_clip = Quantized::per_tensor_clipped(&xs, 0.999)
+            .unwrap()
+            .dequantize();
+        let bulk_err = |deq: &[f32]| -> f64 {
+            xs[..4095]
+                .iter()
+                .zip(deq)
+                .map(|(a, b)| ((a - b) as f64).abs())
+                .sum::<f64>()
+        };
+        assert!(bulk_err(&q_clip) < bulk_err(&q_max) / 20.0);
+    }
+
+    #[test]
+    fn clipped_fit_edge_cases() {
+        assert_eq!(
+            QuantParams::fit_clipped(&[], 0.99),
+            Err(QuantError::EmptyInput)
+        );
+        assert_eq!(
+            QuantParams::fit_clipped(&[f32::NAN], 0.99),
+            Err(QuantError::NonFinite)
+        );
+        // quantile 1.0 == plain max fit.
+        let xs = ramp(100, -3.0, 3.0);
+        assert_eq!(
+            QuantParams::fit_clipped(&xs, 1.0).unwrap(),
+            QuantParams::fit(&xs).unwrap()
+        );
+        // All-zero is fine.
+        assert_eq!(QuantParams::fit_clipped(&[0.0; 4], 0.5).unwrap().scale, 1.0);
+    }
+
+    #[test]
+    fn sqnr_improves_with_narrow_distributions() {
+        // Uniform full-range data has the best SQNR an 8-bit code allows
+        // (~50 dB); heavy-tailed data (mostly small values with one large
+        // outlier) fares much worse — the effect that breaks int8 serving
+        // for some production apps.
+        let uniform = ramp(4096, -1.0, 1.0);
+        let mut outliers: Vec<f32> = ramp(4095, -0.01, 0.01);
+        outliers.push(1.0);
+        let u = round_trip_error(&uniform).unwrap();
+        let o = round_trip_error(&outliers).unwrap();
+        assert!(u.sqnr_db > 45.0, "uniform sqnr {}", u.sqnr_db);
+        assert!(o.sqnr_db < u.sqnr_db - 10.0, "outlier sqnr {}", o.sqnr_db);
+    }
+}

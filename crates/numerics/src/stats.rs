@@ -1,0 +1,138 @@
+//! Error statistics between a reference signal and an approximation.
+
+/// Summary statistics of the error `approx - reference`.
+///
+/// Used to score quantization and reduced-precision serving quality in
+/// experiment E9 (int8 vs bf16).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Maximum absolute error.
+    pub max_abs: f64,
+    /// Signal-to-quantization-noise ratio in dB
+    /// (`10 log10(signal_power / noise_power)`); infinite if the error is 0.
+    pub sqnr_db: f64,
+    /// Cosine similarity between the two vectors (1.0 = identical
+    /// direction); NaN-free: zero vectors give 0.
+    pub cosine: f64,
+    /// Number of elements compared.
+    pub n: usize,
+}
+
+impl ErrorStats {
+    /// Computes statistics between `reference` and `approx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn between(reference: &[f32], approx: &[f32]) -> ErrorStats {
+        assert_eq!(reference.len(), approx.len(), "length mismatch");
+        let n = reference.len();
+        if n == 0 {
+            return ErrorStats {
+                rmse: 0.0,
+                max_abs: 0.0,
+                sqnr_db: f64::INFINITY,
+                cosine: 0.0,
+                n: 0,
+            };
+        }
+        let mut err_sq = 0.0f64;
+        let mut sig_sq = 0.0f64;
+        let mut max_abs = 0.0f64;
+        let mut dot = 0.0f64;
+        let mut norm_a = 0.0f64;
+        let mut norm_b = 0.0f64;
+        for (&r, &a) in reference.iter().zip(approx) {
+            let (r, a) = (r as f64, a as f64);
+            let e = a - r;
+            err_sq += e * e;
+            sig_sq += r * r;
+            max_abs = max_abs.max(e.abs());
+            dot += r * a;
+            norm_a += r * r;
+            norm_b += a * a;
+        }
+        let rmse = (err_sq / n as f64).sqrt();
+        let sqnr_db = if err_sq == 0.0 {
+            f64::INFINITY
+        } else if sig_sq == 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            10.0 * (sig_sq / err_sq).log10()
+        };
+        let cosine = if norm_a == 0.0 || norm_b == 0.0 {
+            0.0
+        } else {
+            dot / (norm_a.sqrt() * norm_b.sqrt())
+        };
+        ErrorStats {
+            rmse,
+            max_abs,
+            sqnr_db,
+            cosine,
+            n,
+        }
+    }
+
+    /// Whether the approximation is "servable" at a given SQNR threshold.
+    ///
+    /// The paper's apps that tolerate int8 have high post-quantization
+    /// quality; we proxy that with an SQNR floor (dB).
+    pub fn meets_sqnr(&self, threshold_db: f64) -> bool {
+        self.sqnr_db >= threshold_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_signals_have_infinite_sqnr() {
+        let x = [1.0f32, -2.0, 3.0];
+        let s = ErrorStats::between(&x, &x);
+        assert_eq!(s.rmse, 0.0);
+        assert_eq!(s.max_abs, 0.0);
+        assert!(s.sqnr_db.is_infinite() && s.sqnr_db > 0.0);
+        assert!((s.cosine - 1.0).abs() < 1e-12);
+        assert!(s.meets_sqnr(1000.0));
+    }
+
+    #[test]
+    fn known_error_values() {
+        let r = [0.0f32, 0.0, 0.0, 0.0];
+        let a = [1.0f32, -1.0, 1.0, -1.0];
+        let s = ErrorStats::between(&r, &a);
+        assert!((s.rmse - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_abs, 1.0);
+        // Zero signal, nonzero noise → -inf dB.
+        assert!(s.sqnr_db.is_infinite() && s.sqnr_db < 0.0);
+        assert_eq!(s.cosine, 0.0);
+    }
+
+    #[test]
+    fn sqnr_scales_with_noise() {
+        let r: Vec<f32> = (0..1000).map(|i| (i as f32 / 50.0).sin()).collect();
+        let small: Vec<f32> = r.iter().map(|x| x + 0.001).collect();
+        let large: Vec<f32> = r.iter().map(|x| x + 0.1).collect();
+        let s_small = ErrorStats::between(&r, &small);
+        let s_large = ErrorStats::between(&r, &large);
+        // 100x noise amplitude = 40 dB SQNR difference.
+        assert!((s_small.sqnr_db - s_large.sqnr_db - 40.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn empty_is_degenerate_but_defined() {
+        let s = ErrorStats::between(&[], &[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.rmse, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        ErrorStats::between(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the numerics substrate.
+
+use proptest::prelude::*;
+use tpu_numerics::accum::{bit_exact, dot_f32, sum_f32, AccumOrder};
+use tpu_numerics::activation::softmax;
+use tpu_numerics::{Bf16, ErrorStats, QuantParams, Quantized};
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    // Stay within bf16's comfortable range to avoid inf-vs-max edge noise.
+    prop::num::f32::NORMAL.prop_map(|x| x.clamp(-1e30, 1e30))
+}
+
+/// Exhaustive, not property-based: every one of the 65536 bf16 bit
+/// patterns round-trips through f32 (NaNs stay NaN, everything else is
+/// bit-exact) — the whole format verified, not a sample.
+#[test]
+fn bf16_exhaustive_round_trip() {
+    for bits in 0..=u16::MAX {
+        let x = Bf16::from_bits(bits);
+        if x.is_nan() {
+            assert!(Bf16::from_f32(x.to_f32()).is_nan(), "bits {bits:#06x}");
+        } else {
+            assert_eq!(
+                Bf16::from_f32(x.to_f32()).to_bits(),
+                bits,
+                "bits {bits:#06x}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Every bf16 bit pattern that is not NaN round-trips exactly through f32.
+    #[test]
+    fn bf16_bits_round_trip(bits in any::<u16>()) {
+        let x = Bf16::from_bits(bits);
+        if !x.is_nan() {
+            let back = Bf16::from_f32(x.to_f32());
+            prop_assert_eq!(back.to_bits(), bits);
+        } else {
+            prop_assert!(Bf16::from_f32(x.to_f32()).is_nan());
+        }
+    }
+
+    /// Conversion from f32 keeps relative error within half an ULP (2^-8).
+    #[test]
+    fn bf16_relative_error_bound(x in finite_f32()) {
+        let y = Bf16::from_f32(x);
+        if y.is_finite() && x != 0.0 {
+            let rel = ((y.to_f32() - x) / x).abs();
+            prop_assert!(rel <= Bf16::RELATIVE_ERROR_BOUND,
+                "x={x} y={} rel={rel}", y.to_f32());
+        }
+    }
+
+    /// bf16 conversion is monotone: a <= b implies bf16(a) <= bf16(b).
+    #[test]
+    fn bf16_is_monotone(a in finite_f32(), b in finite_f32()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Bf16::from_f32(lo) <= Bf16::from_f32(hi));
+    }
+
+    /// Quantize→dequantize error never exceeds half a quantization step.
+    #[test]
+    fn quant_round_trip_error_bound(
+        xs in prop::collection::vec(-1000.0f32..1000.0, 1..200)
+    ) {
+        let q = Quantized::per_tensor(&xs).unwrap();
+        let step = q.scales[0];
+        for (x, y) in xs.iter().zip(q.dequantize()) {
+            prop_assert!((x - y).abs() <= step / 2.0 + step * 1e-4);
+        }
+    }
+
+    /// Quantized codes always lie in [-127, 127].
+    #[test]
+    fn quant_codes_saturate(xs in prop::collection::vec(-1e6f32..1e6, 1..100)) {
+        let q = Quantized::per_tensor(&xs).unwrap();
+        prop_assert!(q.codes.iter().all(|&c| (-127..=127).contains(&c)));
+    }
+
+    /// The fitted scale maps the max-abs element to exactly +/-127.
+    #[test]
+    fn quant_scale_uses_full_range(
+        xs in prop::collection::vec(-100.0f32..100.0, 1..100)
+    ) {
+        let max_abs = xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        prop_assume!(max_abs > 0.0);
+        let p = QuantParams::fit(&xs).unwrap();
+        prop_assert!((p.scale - max_abs / 127.0).abs() < 1e-9);
+    }
+
+    /// All accumulation orders agree to within a loose relative tolerance.
+    #[test]
+    fn accum_orders_agree_approximately(
+        xs in prop::collection::vec(-100.0f32..100.0, 1..300)
+    ) {
+        let seq = sum_f32(&xs, AccumOrder::Sequential) as f64;
+        let tree = sum_f32(&xs, AccumOrder::PairwiseTree) as f64;
+        let chunk = sum_f32(&xs, AccumOrder::Chunked { width: 128 }) as f64;
+        let magnitude: f64 = xs.iter().map(|&x| x.abs() as f64).sum::<f64>().max(1.0);
+        prop_assert!((seq - tree).abs() / magnitude < 1e-4);
+        prop_assert!((seq - chunk).abs() / magnitude < 1e-4);
+    }
+
+    /// An order is always bit-exact with itself (determinism).
+    #[test]
+    fn accum_self_bit_exact(
+        pairs in prop::collection::vec((-10.0f32..10.0, -10.0f32..10.0), 1..256),
+        width in 1usize..300
+    ) {
+        let (a, b): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        let order = AccumOrder::Chunked { width };
+        prop_assert!(bit_exact(&a, &b, order, order));
+    }
+
+    /// dot(a, b) == dot(b, a) for every order (products commute).
+    #[test]
+    fn dot_is_commutative(
+        pairs in prop::collection::vec((-10.0f32..10.0, -10.0f32..10.0), 1..128)
+    ) {
+        let (a, b): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        for order in [AccumOrder::Sequential, AccumOrder::PairwiseTree] {
+            prop_assert_eq!(
+                dot_f32(&a, &b, order).to_bits(),
+                dot_f32(&b, &a, order).to_bits()
+            );
+        }
+    }
+
+    /// Softmax outputs are a probability distribution for any finite input.
+    #[test]
+    fn softmax_is_distribution(xs in prop::collection::vec(-50.0f32..50.0, 1..64)) {
+        let p = softmax(&xs);
+        prop_assert_eq!(p.len(), xs.len());
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    /// ErrorStats: rmse is zero iff signals match; cosine is within [-1, 1].
+    #[test]
+    fn error_stats_basics(xs in prop::collection::vec(-100.0f32..100.0, 1..100)) {
+        let s = ErrorStats::between(&xs, &xs);
+        prop_assert_eq!(s.rmse, 0.0);
+        let shifted: Vec<f32> = xs.iter().map(|&x| x + 1.0).collect();
+        let s2 = ErrorStats::between(&xs, &shifted);
+        prop_assert!(s2.rmse > 0.0);
+        prop_assert!(s2.cosine <= 1.0 + 1e-9 && s2.cosine >= -1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,474 @@
+//! The discrete-event serving loop: Poisson arrivals, dynamic batching.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::latency::LatencyModel;
+use crate::stats::LatencyStats;
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingConfig {
+    /// Mean request arrival rate (Poisson), requests/second.
+    pub arrival_rate_rps: f64,
+    /// Largest batch the server will form.
+    pub max_batch: u64,
+    /// How long the server waits for a batch to fill before launching a
+    /// partial one, seconds.
+    pub batch_timeout_s: f64,
+    /// Number of requests to simulate.
+    pub requests: usize,
+    /// RNG seed (runs are deterministic given a seed).
+    pub seed: u64,
+}
+
+impl ServingConfig {
+    /// The same configuration served by a pool of `servers` identical
+    /// chips behind one queue (see [`simulate_pool`]).
+    pub fn with_servers(self, servers: usize) -> PoolConfig {
+        PoolConfig {
+            base: self,
+            servers: servers.max(1),
+        }
+    }
+}
+
+/// A pool of identical servers behind one queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolConfig {
+    /// Per-run knobs shared with the single-server simulation.
+    pub base: ServingConfig,
+    /// Number of identical chips serving the queue.
+    pub servers: usize,
+}
+
+/// Failure-injection knobs: occasional slow service (thermal throttling,
+/// host interference). A batch is independently a straggler with
+/// probability `probability`, multiplying its service time by `factor`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stragglers {
+    /// Per-batch straggler probability in [0, 1].
+    pub probability: f64,
+    /// Service-time multiplier for straggler batches (>= 1).
+    pub factor: f64,
+}
+
+impl Default for Stragglers {
+    fn default() -> Stragglers {
+        Stragglers {
+            probability: 0.0,
+            factor: 1.0,
+        }
+    }
+}
+
+/// The result of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// End-to-end (queue + service) latency statistics.
+    pub stats: LatencyStats,
+    /// p50 shorthand, seconds.
+    pub p50_s: f64,
+    /// p99 shorthand, seconds (the SLO metric, Lesson 10).
+    pub p99_s: f64,
+    /// Achieved throughput, requests/second.
+    pub throughput_rps: f64,
+    /// Mean formed batch size.
+    pub mean_batch: f64,
+    /// Fraction of the run the server was busy.
+    pub server_utilization: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    Arrival(usize),
+    Deadline,
+    /// A batch finished; the payload indexes `in_service`.
+    Done(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimeKey(f64);
+
+impl Eq for TimeKey {}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+// Event ordering tie-break: arrivals before deadlines before completions
+// at identical times is irrelevant to correctness; any total order works.
+fn key(t: f64, seq: u64) -> (TimeKey, u64) {
+    (TimeKey(t), seq)
+}
+
+/// Runs the serving simulation.
+///
+/// Dynamic batching policy: a batch launches when the server is idle and
+/// either `max_batch` requests are queued or `batch_timeout_s` has
+/// elapsed since the oldest queued request arrived. This is the standard
+/// production policy the paper's latency-vs-batch trade-off lives in.
+pub fn simulate(latency: &LatencyModel, cfg: &ServingConfig) -> ServingReport {
+    simulate_pool_with_stragglers(
+        latency,
+        &cfg.with_servers(1),
+        &Stragglers::default(),
+    )
+}
+
+/// Simulates a pool of identical servers draining one queue (the
+/// fleet-level view behind E18): a batch launches on any free server.
+pub fn simulate_pool(latency: &LatencyModel, cfg: &PoolConfig) -> ServingReport {
+    simulate_pool_with_stragglers(latency, cfg, &Stragglers::default())
+}
+
+/// Like [`simulate`] with failure injection: some batches run slow.
+///
+/// Tail latency under stragglers is what production SLOs are actually
+/// set against; a policy that looks fine at p99 with uniform service can
+/// blow its SLO with 1% of batches running 3x slow.
+pub fn simulate_with_stragglers(
+    latency: &LatencyModel,
+    cfg: &ServingConfig,
+    stragglers: &Stragglers,
+) -> ServingReport {
+    simulate_pool_with_stragglers(latency, &cfg.with_servers(1), stragglers)
+}
+
+/// The full-featured entry point: pool of servers plus stragglers.
+pub fn simulate_pool_with_stragglers(
+    latency: &LatencyModel,
+    pool: &PoolConfig,
+    stragglers: &Stragglers,
+) -> ServingReport {
+    let cfg = &pool.base;
+    let servers = pool.servers.max(1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.requests.max(1);
+    // Pre-draw Poisson arrivals.
+    let mut arrivals = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    for _ in 0..n {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / cfg.arrival_rate_rps.max(1e-9);
+        arrivals.push(t);
+    }
+    // Pre-draw straggler multipliers (there can never be more batches
+    // than requests).
+    let straggler_mults: Vec<f64> = (0..n)
+        .map(|_| {
+            if stragglers.probability > 0.0
+                && rng.gen_bool(stragglers.probability.clamp(0.0, 1.0))
+            {
+                stragglers.factor.max(1.0)
+            } else {
+                1.0
+            }
+        })
+        .collect();
+
+    let mut events: BinaryHeap<Reverse<((TimeKey, u64), Event)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push_event = |events: &mut BinaryHeap<Reverse<((TimeKey, u64), Event)>>,
+                          seq: &mut u64,
+                          t: f64,
+                          e: Event| {
+        events.push(Reverse((key(t, *seq), e)));
+        *seq += 1;
+    };
+    push_event(&mut events, &mut seq, arrivals[0], Event::Arrival(0));
+
+    let mut queue: VecDeque<f64> = VecDeque::new(); // arrival times
+    let mut busy_servers = 0usize;
+    let mut latencies: Vec<f64> = Vec::with_capacity(n);
+    let mut batches: Vec<u64> = Vec::new();
+    let mut busy_time = 0.0f64;
+    let mut in_service: Vec<Vec<f64>> = Vec::new();
+    let mut end_time = 0.0f64;
+
+    // Launches one batch on a free server; returns false if the launch
+    // conditions do not hold.
+    let try_launch = |now: f64,
+                          queue: &mut VecDeque<f64>,
+                          busy_servers: &mut usize,
+                          busy_time: &mut f64,
+                          batches: &mut Vec<u64>,
+                          in_service: &mut Vec<Vec<f64>>,
+                          events: &mut BinaryHeap<Reverse<((TimeKey, u64), Event)>>,
+                          seq: &mut u64|
+     -> bool {
+        if *busy_servers >= servers || queue.is_empty() {
+            return false;
+        }
+        let oldest = *queue.front().expect("nonempty");
+        let full = queue.len() as u64 >= cfg.max_batch;
+        let timed_out = now + 1e-12 >= oldest + cfg.batch_timeout_s;
+        if !full && !timed_out {
+            return false;
+        }
+        let take = (queue.len() as u64).min(cfg.max_batch) as usize;
+        let batch: Vec<f64> = queue.drain(..take).collect();
+        let service = latency.latency(take as u64) * straggler_mults[batches.len()];
+        *busy_servers += 1;
+        *busy_time += service;
+        batches.push(take as u64);
+        let idx = in_service.len();
+        in_service.push(batch);
+        events.push(Reverse((key(now + service, *seq), Event::Done(idx))));
+        *seq += 1;
+        true
+    };
+
+    while let Some(Reverse(((TimeKey(now), _), event))) = events.pop() {
+        end_time = end_time.max(now);
+        match event {
+            Event::Arrival(i) => {
+                queue.push_back(now);
+                if i + 1 < n {
+                    push_event(&mut events, &mut seq, arrivals[i + 1], Event::Arrival(i + 1));
+                }
+                if !try_launch(
+                    now, &mut queue, &mut busy_servers, &mut busy_time, &mut batches,
+                    &mut in_service, &mut events, &mut seq,
+                ) && queue.len() == 1
+                {
+                    push_event(&mut events, &mut seq, now + cfg.batch_timeout_s, Event::Deadline);
+                }
+            }
+            Event::Deadline => {
+                // With every server busy there is nothing to do: the next
+                // Done event re-checks the queue (re-arming here would
+                // spin the event loop).
+                if !queue.is_empty() && busy_servers < servers {
+                    let launched = try_launch(
+                        now, &mut queue, &mut busy_servers, &mut busy_time, &mut batches,
+                        &mut in_service, &mut events, &mut seq,
+                    );
+                    if !launched {
+                        // A server is free but the (new) oldest request
+                        // has not waited out the timeout yet.
+                        let oldest = *queue.front().expect("nonempty");
+                        push_event(
+                            &mut events,
+                            &mut seq,
+                            oldest + cfg.batch_timeout_s,
+                            Event::Deadline,
+                        );
+                    }
+                }
+            }
+            Event::Done(idx) => {
+                busy_servers -= 1;
+                for &arr in &in_service[idx] {
+                    latencies.push(now - arr);
+                }
+                in_service[idx].clear();
+                // The freed server may immediately take another batch.
+                if !try_launch(
+                    now, &mut queue, &mut busy_servers, &mut busy_time, &mut batches,
+                    &mut in_service, &mut events, &mut seq,
+                ) && !queue.is_empty()
+                {
+                    let oldest = *queue.front().expect("nonempty");
+                    let fire = (oldest + cfg.batch_timeout_s).max(now);
+                    push_event(&mut events, &mut seq, fire, Event::Deadline);
+                }
+            }
+        }
+    }
+
+    let stats = LatencyStats::from_samples(&latencies);
+    let total_time = end_time.max(1e-12);
+    ServingReport {
+        p50_s: stats.p50_s,
+        p99_s: stats.p99_s,
+        throughput_rps: latencies.len() as f64 / total_time,
+        mean_batch: if batches.is_empty() {
+            0.0
+        } else {
+            batches.iter().sum::<u64>() as f64 / batches.len() as f64
+        },
+        server_utilization: (busy_time / (total_time * servers as f64)).min(1.0),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_model() -> LatencyModel {
+        // 1 ms fixed + 0.05 ms per item.
+        LatencyModel::from_points(vec![(1, 0.00105), (100, 0.006)]).unwrap()
+    }
+
+    fn cfg(rate: f64) -> ServingConfig {
+        ServingConfig {
+            arrival_rate_rps: rate,
+            max_batch: 16,
+            batch_timeout_s: 0.001,
+            requests: 4000,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn all_requests_complete() {
+        let r = simulate(&linear_model(), &cfg(2000.0));
+        assert_eq!(r.stats.n, 4000);
+        assert!(r.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = simulate(&linear_model(), &cfg(2000.0));
+        let b = simulate(&linear_model(), &cfg(2000.0));
+        assert_eq!(a, b);
+        let mut c2 = cfg(2000.0);
+        c2.seed = 43;
+        let c = simulate(&linear_model(), &c2);
+        // Different arrival draws shift the mean (p99 may coincide when
+        // dominated by the batch timeout).
+        assert_ne!(a.stats.mean_s, c.stats.mean_s);
+    }
+
+    #[test]
+    fn light_load_latency_is_service_plus_timeout() {
+        // At very light load, each request waits out the batch timeout
+        // alone, then is served at batch 1.
+        let m = linear_model();
+        let mut c = cfg(10.0);
+        c.requests = 500;
+        let r = simulate(&m, &c);
+        let expected = 0.001 + m.latency(1);
+        assert!(
+            (r.p50_s - expected).abs() < 0.3e-3,
+            "p50 {} vs expected {expected}",
+            r.p50_s
+        );
+        assert!(r.mean_batch < 1.3);
+    }
+
+    #[test]
+    fn heavy_load_forms_big_batches() {
+        let r_light = simulate(&linear_model(), &cfg(200.0));
+        let r_heavy = simulate(&linear_model(), &cfg(8000.0));
+        assert!(r_heavy.mean_batch > 4.0 * r_light.mean_batch.max(1.0));
+        assert!(r_heavy.server_utilization > r_light.server_utilization);
+    }
+
+    #[test]
+    fn p99_explodes_past_saturation() {
+        // Capacity with batch 16: 16 / latency(16) ≈ 9k rps.
+        let below = simulate(&linear_model(), &cfg(5000.0));
+        let mut over = cfg(20000.0);
+        over.requests = 6000;
+        let above = simulate(&linear_model(), &over);
+        assert!(
+            above.p99_s > 5.0 * below.p99_s,
+            "saturation must blow up p99: {} vs {}",
+            above.p99_s,
+            below.p99_s
+        );
+    }
+
+    #[test]
+    fn p99_grows_with_load() {
+        let mut last = 0.0;
+        for rate in [500.0, 2000.0, 6000.0] {
+            let r = simulate(&linear_model(), &cfg(rate));
+            assert!(
+                r.p99_s >= last * 0.8,
+                "p99 should broadly grow with load"
+            );
+            last = r.p99_s;
+        }
+    }
+
+    #[test]
+    fn stragglers_inflate_the_tail_more_than_the_median() {
+        let m = linear_model();
+        let base = simulate(&m, &cfg(2000.0));
+        let slow = simulate_with_stragglers(
+            &m,
+            &cfg(2000.0),
+            &Stragglers {
+                probability: 0.02,
+                factor: 10.0,
+            },
+        );
+        // All requests still complete.
+        assert_eq!(slow.stats.n, base.stats.n);
+        // The tail suffers disproportionately.
+        let p99_blowup = slow.p99_s / base.p99_s;
+        let p50_blowup = slow.p50_s / base.p50_s;
+        assert!(p99_blowup > 2.0, "p99 blowup {p99_blowup}");
+        assert!(
+            p99_blowup > 2.0 * p50_blowup,
+            "tail must suffer more: p99 {p99_blowup:.2}x vs p50 {p50_blowup:.2}x"
+        );
+    }
+
+    #[test]
+    fn zero_probability_stragglers_change_nothing() {
+        let m = linear_model();
+        let a = simulate(&m, &cfg(3000.0));
+        let b = simulate_with_stragglers(&m, &cfg(3000.0), &Stragglers::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_servers_cut_queueing_latency() {
+        // Load that saturates one server comfortably fits four.
+        let m = linear_model();
+        let mut c = cfg(12000.0);
+        c.requests = 6000;
+        let one = simulate_pool(&m, &c.with_servers(1));
+        let four = simulate_pool(&m, &c.with_servers(4));
+        assert_eq!(one.stats.n, four.stats.n);
+        assert!(
+            four.p99_s < one.p99_s / 3.0,
+            "four servers must slash the tail: {} vs {}",
+            four.p99_s,
+            one.p99_s
+        );
+        assert!(four.server_utilization < one.server_utilization);
+    }
+
+    #[test]
+    fn pool_of_one_matches_single_server_api() {
+        let m = linear_model();
+        let c = cfg(2000.0);
+        let a = simulate(&m, &c);
+        let b = simulate_pool(&m, &c.with_servers(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_throughput_scales_until_arrival_limited() {
+        let m = linear_model();
+        let mut c = cfg(50_000.0); // far past single-server capacity
+        c.requests = 8000;
+        let t1 = simulate_pool(&m, &c.with_servers(1)).throughput_rps;
+        let t4 = simulate_pool(&m, &c.with_servers(4)).throughput_rps;
+        assert!(t4 > 2.5 * t1, "{t4} vs {t1}");
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let r = simulate(&linear_model(), &cfg(100000.0));
+        assert!(r.server_utilization <= 1.0);
+        assert!(r.server_utilization > 0.9);
+    }
+}

@@ -1,0 +1,218 @@
+//! Batch→latency curves, profiled through the compiler and simulator.
+
+use std::fmt;
+
+use tpu_arch::ChipConfig;
+use tpu_hlo::{compile, CompileError, CompilerOptions};
+use tpu_sim::Simulator;
+use tpu_workloads::App;
+
+/// A piecewise-linear model of single-inference latency versus batch
+/// size (monotone non-decreasing in batch by construction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// `(batch, seconds)` knots in increasing batch order.
+    points: Vec<(u64, f64)>,
+}
+
+/// Error building a latency model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyError {
+    /// No profile points were provided.
+    Empty,
+    /// Points must have strictly increasing batch sizes.
+    NotIncreasing,
+    /// Compilation of a profile point failed.
+    Compile(CompileError),
+    /// Simulation of a profile point failed.
+    Sim(String),
+}
+
+impl fmt::Display for LatencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatencyError::Empty => write!(f, "no profile points"),
+            LatencyError::NotIncreasing => write!(f, "batch sizes must strictly increase"),
+            LatencyError::Compile(e) => write!(f, "profiling compile failed: {e}"),
+            LatencyError::Sim(e) => write!(f, "profiling simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LatencyError {}
+
+impl From<CompileError> for LatencyError {
+    fn from(e: CompileError) -> LatencyError {
+        LatencyError::Compile(e)
+    }
+}
+
+/// Batch sizes profiled by default: powers of two up to 256.
+pub const DEFAULT_BATCHES: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+impl LatencyModel {
+    /// Builds a model from explicit `(batch, seconds)` knots.
+    ///
+    /// Latency values are made monotone (a larger batch never reports
+    /// *less* total latency than a smaller one — queueing theory demands
+    /// it and simulator noise can violate it by epsilons).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatencyError::Empty`] or [`LatencyError::NotIncreasing`].
+    pub fn from_points(points: Vec<(u64, f64)>) -> Result<LatencyModel, LatencyError> {
+        if points.is_empty() {
+            return Err(LatencyError::Empty);
+        }
+        if points.windows(2).any(|w| w[1].0 <= w[0].0) {
+            return Err(LatencyError::NotIncreasing);
+        }
+        let mut points = points;
+        for i in 1..points.len() {
+            if points[i].1 < points[i - 1].1 {
+                points[i].1 = points[i - 1].1;
+            }
+        }
+        Ok(LatencyModel { points })
+    }
+
+    /// Profiles an app on a chip by compiling and simulating it at each
+    /// batch size in `batches`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile/simulation failures.
+    pub fn profile(
+        app: &App,
+        chip: &ChipConfig,
+        options: &CompilerOptions,
+        batches: &[u64],
+    ) -> Result<LatencyModel, LatencyError> {
+        let sim = Simulator::new(chip.clone());
+        let mut points = Vec::with_capacity(batches.len());
+        for &b in batches {
+            let graph = app.build(b).map_err(CompileError::Graph)?;
+            let exe = compile(&graph, chip, options)?;
+            let report = sim
+                .run(exe.plan())
+                .map_err(|e| LatencyError::Sim(e.to_string()))?;
+            points.push((b, report.seconds));
+        }
+        LatencyModel::from_points(points)
+    }
+
+    /// Latency in seconds of serving one batch of `batch` requests.
+    ///
+    /// Linear interpolation between knots; linear extrapolation beyond
+    /// the last knot using the final marginal cost per item.
+    pub fn latency(&self, batch: u64) -> f64 {
+        let batch = batch.max(1);
+        let first = self.points[0];
+        if batch <= first.0 {
+            return first.1;
+        }
+        for w in self.points.windows(2) {
+            let (b0, t0) = w[0];
+            let (b1, t1) = w[1];
+            if batch <= b1 {
+                let frac = (batch - b0) as f64 / (b1 - b0) as f64;
+                return t0 + frac * (t1 - t0);
+            }
+        }
+        // Extrapolate.
+        let (b_last, t_last) = *self.points.last().expect("non-empty");
+        let slope = if self.points.len() >= 2 {
+            let (b_prev, t_prev) = self.points[self.points.len() - 2];
+            (t_last - t_prev) / (b_last - b_prev) as f64
+        } else {
+            t_last / b_last as f64
+        };
+        t_last + slope.max(0.0) * (batch - b_last) as f64
+    }
+
+    /// Throughput in requests/second at a given batch size.
+    pub fn throughput(&self, batch: u64) -> f64 {
+        let batch = batch.max(1);
+        batch as f64 / self.latency(batch)
+    }
+
+    /// The profiled knots.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Returns a copy with all latencies scaled by `factor` (used to
+    /// model per-tenant CMEM-partition slowdowns without re-profiling).
+    pub fn scaled(&self, factor: f64) -> LatencyModel {
+        LatencyModel {
+            points: self
+                .points
+                .iter()
+                .map(|&(b, t)| (b, t * factor.max(0.0)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_arch::catalog;
+    use tpu_workloads::zoo;
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(
+            LatencyModel::from_points(vec![]).unwrap_err(),
+            LatencyError::Empty
+        );
+        assert_eq!(
+            LatencyModel::from_points(vec![(4, 1.0), (4, 2.0)]).unwrap_err(),
+            LatencyError::NotIncreasing
+        );
+    }
+
+    #[test]
+    fn monotone_repair() {
+        let m = LatencyModel::from_points(vec![(1, 2.0), (2, 1.0)]).unwrap();
+        assert_eq!(m.latency(2), 2.0);
+    }
+
+    #[test]
+    fn interpolation_and_extrapolation() {
+        let m = LatencyModel::from_points(vec![(1, 1.0), (3, 3.0)]).unwrap();
+        assert_eq!(m.latency(1), 1.0);
+        assert_eq!(m.latency(2), 2.0);
+        assert_eq!(m.latency(3), 3.0);
+        // Extrapolation at slope 1/batch.
+        assert!((m.latency(5) - 5.0).abs() < 1e-12);
+        // Below first knot clamps.
+        assert_eq!(m.latency(0), 1.0);
+    }
+
+    #[test]
+    fn throughput_grows_with_batch_when_sublinear() {
+        let m = LatencyModel::from_points(vec![(1, 1.0), (10, 2.0)]).unwrap();
+        assert!(m.throughput(10) > m.throughput(1));
+    }
+
+    #[test]
+    fn scaled_multiplies_latency() {
+        let m = LatencyModel::from_points(vec![(1, 1.0), (2, 2.0)]).unwrap();
+        let s = m.scaled(1.5);
+        assert!((s.latency(2) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_real_app_is_monotone() {
+        let app = zoo::mlp0();
+        let chip = catalog::tpu_v4i();
+        let m = LatencyModel::profile(&app, &chip, &CompilerOptions::default(), &[1, 8, 64])
+            .unwrap();
+        assert_eq!(m.points().len(), 3);
+        assert!(m.latency(1) > 0.0);
+        assert!(m.latency(64) >= m.latency(1));
+        // Batching amortizes: latency grows sublinearly with batch.
+        assert!(m.latency(64) < 64.0 * m.latency(1));
+    }
+}

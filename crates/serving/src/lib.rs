@@ -1,0 +1,46 @@
+//! Discrete-event inference serving on simulated TPUs.
+//!
+//! The paper's Lessons 7 and 10 are serving-system lessons, not chip
+//! lessons: production inference must hit a **p99 latency SLO** (which
+//! limits batch size long before chip memory does), and it must support
+//! **multi-tenancy** (several models resident on one accelerator). This
+//! crate provides the queueing substrate those experiments need:
+//!
+//! - [`latency`]: batch→latency curves profiled through the compiler and
+//!   simulator, with linear interpolation between profiled batch sizes;
+//! - [`des`]: a discrete-event server with Poisson arrivals and dynamic
+//!   batching (batch forms on size or timeout);
+//! - [`stats`]: exact percentile computation over recorded latencies;
+//! - [`slo`]: SLO-constrained search — the largest batch and the highest
+//!   arrival rate that still meet a p99 target (E8);
+//! - [`multitenant`]: several models sharing one chip, with HBM
+//!   residency checks, weight-swap costs for non-resident models and
+//!   per-tenant CMEM partitions (E11).
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_serving::latency::LatencyModel;
+//! use tpu_serving::des::{simulate, ServingConfig};
+//!
+//! // A synthetic 1 ms + 0.1 ms/item service curve.
+//! let lat = LatencyModel::from_points(vec![(1, 0.0011), (64, 0.0074)]).unwrap();
+//! let report = simulate(&lat, &ServingConfig {
+//!     arrival_rate_rps: 1000.0,
+//!     max_batch: 16,
+//!     batch_timeout_s: 0.002,
+//!     requests: 2000,
+//!     seed: 7,
+//! });
+//! assert!(report.p99_s >= report.p50_s);
+//! ```
+
+pub mod des;
+pub mod latency;
+pub mod multitenant;
+pub mod slo;
+pub mod stats;
+
+pub use des::{simulate, ServingConfig, ServingReport};
+pub use latency::LatencyModel;
+pub use stats::LatencyStats;

@@ -1,0 +1,153 @@
+//! SLO-constrained search: Lesson 10 quantified.
+//!
+//! "Applications limit latency, not batch size": the interesting
+//! operating point of an inference accelerator is the largest batch (and
+//! the highest arrival rate) at which the p99 latency still meets the
+//! application's SLO. These searches regenerate experiment E8.
+
+use crate::des::{simulate, ServingConfig, ServingReport};
+use crate::latency::LatencyModel;
+
+/// The largest batch size whose *service latency alone* meets the SLO
+/// (an upper bound for any serving policy), or `None` if even batch 1
+/// misses it.
+pub fn max_batch_within_slo(latency: &LatencyModel, slo_s: f64, limit: u64) -> Option<u64> {
+    if latency.latency(1) > slo_s {
+        return None;
+    }
+    let mut best = 1;
+    let mut b = 1u64;
+    while b <= limit {
+        if latency.latency(b) <= slo_s {
+            best = b;
+        } else {
+            break;
+        }
+        b *= 2;
+    }
+    // Refine between best and 2*best by binary search.
+    let (mut lo, mut hi) = (best, (best * 2).min(limit));
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if latency.latency(mid) <= slo_s {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
+}
+
+/// Result of the throughput-under-SLO search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloThroughput {
+    /// Highest sustainable arrival rate meeting the SLO, requests/s.
+    pub max_rps: f64,
+    /// The serving report at that rate.
+    pub report: ServingReport,
+    /// The batch cap used.
+    pub max_batch: u64,
+}
+
+/// Finds the highest Poisson arrival rate whose simulated p99 meets
+/// `slo_s`, by bisection over the rate.
+///
+/// `max_batch` caps batch formation (use [`max_batch_within_slo`] to
+/// pick it); `requests` controls simulation length (more = tighter p99).
+pub fn max_throughput_under_slo(
+    latency: &LatencyModel,
+    slo_s: f64,
+    max_batch: u64,
+    requests: usize,
+    seed: u64,
+) -> SloThroughput {
+    let cfg = |rate: f64| ServingConfig {
+        arrival_rate_rps: rate,
+        max_batch,
+        // Wait at most a fraction of the SLO for a batch to fill.
+        batch_timeout_s: slo_s * 0.1,
+        requests,
+        seed,
+    };
+    // Upper bound: ideal service rate at the capped batch.
+    let mut hi = latency.throughput(max_batch) * 1.05;
+    let mut lo = 0.0f64;
+    let mut best_rate = 0.0;
+    let mut best_report = simulate(latency, &cfg(1.0));
+    for _ in 0..18 {
+        let mid = (lo + hi) / 2.0;
+        let r = simulate(latency, &cfg(mid.max(1e-3)));
+        if r.p99_s <= slo_s {
+            best_rate = mid;
+            best_report = r;
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    SloThroughput {
+        max_rps: best_rate,
+        report: best_report,
+        max_batch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LatencyModel {
+        // 2 ms fixed + 0.1 ms per item.
+        LatencyModel::from_points(vec![(1, 0.0021), (200, 0.022)]).unwrap()
+    }
+
+    #[test]
+    fn max_batch_math() {
+        let m = model();
+        // latency(b) = 2 + 0.1b ms <= 10 ms → b <= 80.
+        let b = max_batch_within_slo(&m, 0.010, 1024).unwrap();
+        assert!((75..=85).contains(&b), "{b}");
+        // SLO below batch-1 latency: impossible.
+        assert_eq!(max_batch_within_slo(&m, 0.001, 1024), None);
+        // Limit caps the answer.
+        assert_eq!(max_batch_within_slo(&m, 0.010, 16), Some(16));
+    }
+
+    #[test]
+    fn tighter_slo_means_smaller_batch() {
+        let m = model();
+        let loose = max_batch_within_slo(&m, 0.020, 1024).unwrap();
+        let tight = max_batch_within_slo(&m, 0.005, 1024).unwrap();
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn throughput_search_meets_slo() {
+        let m = model();
+        let slo = 0.015;
+        let cap = max_batch_within_slo(&m, slo, 1024).unwrap();
+        let r = max_throughput_under_slo(&m, slo, cap, 3000, 11);
+        assert!(r.report.p99_s <= slo, "p99 {} > slo {slo}", r.report.p99_s);
+        assert!(r.max_rps > 0.0);
+        // Should achieve a decent fraction of ideal capacity.
+        let ideal = m.throughput(cap);
+        assert!(
+            r.max_rps > 0.3 * ideal,
+            "rate {} vs ideal {ideal}",
+            r.max_rps
+        );
+    }
+
+    #[test]
+    fn tighter_slo_means_lower_throughput() {
+        let m = model();
+        let loose = max_throughput_under_slo(&m, 0.020, 128, 2000, 5);
+        let tight = max_throughput_under_slo(&m, 0.004, 16, 2000, 5);
+        assert!(
+            tight.max_rps < loose.max_rps,
+            "tight {} vs loose {}",
+            tight.max_rps,
+            loose.max_rps
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Exact latency statistics.
+
+/// Summary statistics over a set of request latencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Mean latency, seconds.
+    pub mean_s: f64,
+    /// Median latency, seconds.
+    pub p50_s: f64,
+    /// 95th percentile, seconds.
+    pub p95_s: f64,
+    /// 99th percentile, seconds.
+    pub p99_s: f64,
+    /// Maximum, seconds.
+    pub max_s: f64,
+}
+
+impl LatencyStats {
+    /// Computes exact percentiles by sorting (nearest-rank method).
+    ///
+    /// Returns all-zero stats for an empty input.
+    pub fn from_samples(samples: &[f64]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats {
+                n: 0,
+                mean_s: 0.0,
+                p50_s: 0.0,
+                p95_s: 0.0,
+                p99_s: 0.0,
+                max_s: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        let pick = |q: f64| {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            sorted[rank - 1]
+        };
+        LatencyStats {
+            n,
+            mean_s: sorted.iter().sum::<f64>() / n as f64,
+            p50_s: pick(0.50),
+            p95_s: pick(0.95),
+            p99_s: pick(0.99),
+            max_s: sorted[n - 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let s = LatencyStats::from_samples(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.p99_s, 0.0);
+    }
+
+    #[test]
+    fn known_percentiles() {
+        // 1..=100 in some order.
+        let mut v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        v.reverse();
+        let s = LatencyStats::from_samples(&v);
+        assert_eq!(s.n, 100);
+        assert_eq!(s.p50_s, 50.0);
+        assert_eq!(s.p95_s, 95.0);
+        assert_eq!(s.p99_s, 99.0);
+        assert_eq!(s.max_s, 100.0);
+        assert!((s.mean_s - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencyStats::from_samples(&[0.42]);
+        assert_eq!(s.p50_s, 0.42);
+        assert_eq!(s.p99_s, 0.42);
+        assert_eq!(s.max_s, 0.42);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let v: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let s = LatencyStats::from_samples(&v);
+        assert!(s.p50_s <= s.p95_s);
+        assert!(s.p95_s <= s.p99_s);
+        assert!(s.p99_s <= s.max_s);
+    }
+}

@@ -1,0 +1,162 @@
+//! CapEx: die cost with yield, memory, package, board, cooling infra.
+
+use tpu_arch::{ChipConfig, CoolingTech, MemLevel, ProcessNode};
+
+/// Wafer cost in USD for a 300 mm wafer at a node (public estimates).
+pub fn wafer_cost_usd(node: ProcessNode) -> f64 {
+    match node {
+        ProcessNode::N45 => 1_800.0,
+        ProcessNode::N28 => 2_900.0,
+        ProcessNode::N16 => 6_000.0,
+        ProcessNode::N7 => 9_500.0,
+    }
+}
+
+/// Defect density in defects/cm^2 at a (mature) node.
+pub fn defect_density_per_cm2(node: ProcessNode) -> f64 {
+    match node {
+        ProcessNode::N45 => 0.05,
+        ProcessNode::N28 => 0.07,
+        ProcessNode::N16 => 0.09,
+        ProcessNode::N7 => 0.12,
+    }
+}
+
+/// Usable area of a 300 mm wafer, mm^2 (edge exclusion applied).
+pub const WAFER_AREA_MM2: f64 = 66_000.0;
+
+/// Seeds yield model: fraction of good dies for a die of `die_mm2` at
+/// defect density `d0` (defects/cm^2).
+pub fn die_yield(die_mm2: f64, d0_per_cm2: f64) -> f64 {
+    let a_cm2 = die_mm2 / 100.0;
+    (-(a_cm2 * d0_per_cm2).sqrt()).exp()
+}
+
+/// Cost of one *good* die in USD.
+pub fn die_cost_usd(node: ProcessNode, die_mm2: f64) -> f64 {
+    // Rectangular dicing loss folded into a 0.9 packing factor.
+    let dies_per_wafer = (WAFER_AREA_MM2 / die_mm2 * 0.9).floor().max(1.0);
+    let y = die_yield(die_mm2, defect_density_per_cm2(node));
+    wafer_cost_usd(node) / (dies_per_wafer * y)
+}
+
+/// Memory price per GiB by class, USD (period-appropriate estimates).
+pub fn memory_usd_per_gib(is_hbm: bool) -> f64 {
+    if is_hbm {
+        12.0
+    } else {
+        3.0 // DDR/GDDR class
+    }
+}
+
+/// Cooling-infrastructure CapEx attributable to one chip, USD.
+pub fn cooling_capex_usd(cooling: CoolingTech) -> f64 {
+    match cooling {
+        CoolingTech::Air => 40.0,     // heatsink + fan share
+        CoolingTech::Liquid => 450.0, // cold plate + loop + plant share
+    }
+}
+
+/// CapEx breakdown for one deployed accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipCapex {
+    /// Good-die cost.
+    pub die_usd: f64,
+    /// Off-chip memory (HBM stacks or DDR/GDDR).
+    pub memory_usd: f64,
+    /// Package, substrate (interposer for HBM), test.
+    pub package_usd: f64,
+    /// Board and host-machine share.
+    pub board_usd: f64,
+    /// Cooling infrastructure share.
+    pub cooling_usd: f64,
+}
+
+impl ChipCapex {
+    /// Total CapEx in USD.
+    pub fn total_usd(&self) -> f64 {
+        self.die_usd + self.memory_usd + self.package_usd + self.board_usd + self.cooling_usd
+    }
+}
+
+/// Prices a catalog chip.
+pub fn capex(chip: &ChipConfig) -> ChipCapex {
+    let die_usd = die_cost_usd(chip.node, chip.die_mm2);
+    // HBM specs carry the node's HBM transfer energy; DDR/GDDR carry the
+    // (higher) DDR energy — a reliable class discriminator.
+    let e = chip.node.energy();
+    let is_hbm = (chip.mem(MemLevel::Hbm).expect("always present").pj_per_byte
+        - e.hbm_pj_per_byte)
+        .abs()
+        < 1e-9;
+    let gib = chip.hbm.capacity_bytes as f64 / (1u64 << 30) as f64;
+    let memory_usd = gib * memory_usd_per_gib(is_hbm);
+    // 2.5D interposer packaging for HBM parts costs notably more.
+    let package_usd = if is_hbm { 120.0 } else { 40.0 };
+    let board_usd = 150.0;
+    ChipCapex {
+        die_usd,
+        memory_usd,
+        package_usd,
+        board_usd,
+        cooling_usd: cooling_capex_usd(chip.cooling),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_arch::catalog;
+
+    #[test]
+    fn yield_decreases_with_area_and_density() {
+        assert!(die_yield(100.0, 0.1) > die_yield(600.0, 0.1));
+        assert!(die_yield(400.0, 0.05) > die_yield(400.0, 0.12));
+        let y = die_yield(400.0, 0.1);
+        assert!((0.0..=1.0).contains(&y));
+    }
+
+    #[test]
+    fn die_cost_grows_superlinearly_in_area() {
+        // Doubling area more than doubles cost (fewer dies AND lower
+        // yield) — why TPUv4i stayed at ~400 mm^2.
+        let small = die_cost_usd(ProcessNode::N7, 300.0);
+        let big = die_cost_usd(ProcessNode::N7, 600.0);
+        assert!(big > 2.0 * small, "big {big:.0} vs small {small:.0}");
+    }
+
+    #[test]
+    fn newer_nodes_cost_more_per_die() {
+        assert!(die_cost_usd(ProcessNode::N7, 400.0) > die_cost_usd(ProcessNode::N28, 400.0));
+    }
+
+    #[test]
+    fn capex_breakdowns_are_sane() {
+        for chip in catalog::all_chips() {
+            let c = capex(&chip);
+            assert!(c.die_usd > 0.0, "{}", chip.name);
+            assert!(c.total_usd() > c.die_usd);
+            assert!(
+                (100.0..5000.0).contains(&c.total_usd()),
+                "{}: ${:.0}",
+                chip.name,
+                c.total_usd()
+            );
+        }
+    }
+
+    #[test]
+    fn liquid_cooling_costs_capex_too() {
+        let v3 = capex(&catalog::tpu_v3());
+        let v4i = capex(&catalog::tpu_v4i());
+        assert!(v3.cooling_usd > 5.0 * v4i.cooling_usd);
+    }
+
+    #[test]
+    fn hbm_parts_cost_more_memory_and_package() {
+        let v1 = capex(&catalog::tpu_v1()); // DDR3
+        let v2 = capex(&catalog::tpu_v2()); // HBM
+        assert!(v2.memory_usd > v1.memory_usd);
+        assert!(v2.package_usd > v1.package_usd);
+    }
+}

@@ -1,0 +1,103 @@
+//! Deployment timelines: backwards ML compatibility buys time (Lesson 4).
+//!
+//! The paper's point is temporal: models grow 1.5x/year, so every month
+//! spent re-validating (or re-quantizing) a model on new hardware is a
+//! month of lost capability. With backwards ML compatibility (bit-exact
+//! numerics vs the previous generation), a validated model deploys
+//! almost immediately; without it, quality re-validation gates launch;
+//! int8 deployment adds quantization and a second validation.
+
+/// How a model's numerics relate to what was already validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeploymentPath {
+    /// Bit-exact with the generation the model was validated on:
+    /// deploy after hardware qualification only.
+    BitExactCompatible,
+    /// Same format (e.g. bf16) but different accumulation numerics:
+    /// needs quality re-validation.
+    Revalidate,
+    /// Quantized to int8: needs quantization engineering plus
+    /// re-validation (Lesson 6's hidden cost).
+    QuantizeInt8,
+}
+
+/// Engineering-time model, in days (fleet-average estimates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeployModel {
+    /// Hardware/serving qualification common to every path.
+    pub hardware_qual_days: f64,
+    /// Model-quality re-validation (A/B tests, human eval).
+    pub revalidation_days: f64,
+    /// Quantization engineering (calibration, per-layer exceptions).
+    pub quantization_days: f64,
+}
+
+impl Default for DeployModel {
+    fn default() -> DeployModel {
+        DeployModel {
+            hardware_qual_days: 14.0,
+            revalidation_days: 90.0,
+            quantization_days: 120.0,
+        }
+    }
+}
+
+impl DeployModel {
+    /// Days from "hardware available" to "model serving in production".
+    pub fn time_to_deploy_days(&self, path: DeploymentPath) -> f64 {
+        match path {
+            DeploymentPath::BitExactCompatible => self.hardware_qual_days,
+            DeploymentPath::Revalidate => self.hardware_qual_days + self.revalidation_days,
+            DeploymentPath::QuantizeInt8 => {
+                self.hardware_qual_days + self.quantization_days + self.revalidation_days
+            }
+        }
+    }
+
+    /// Model-capability growth forgone while waiting to deploy, as a
+    /// multiplier (1.5x/year compounding — Lesson 8 applied to Lesson 4).
+    pub fn capability_cost(&self, path: DeploymentPath) -> f64 {
+        let years = self.time_to_deploy_days(path) / 365.25;
+        1.5f64.powf(years)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_are_ordered() {
+        let m = DeployModel::default();
+        let exact = m.time_to_deploy_days(DeploymentPath::BitExactCompatible);
+        let reval = m.time_to_deploy_days(DeploymentPath::Revalidate);
+        let quant = m.time_to_deploy_days(DeploymentPath::QuantizeInt8);
+        assert!(exact < reval);
+        assert!(reval < quant);
+        // Bit-exact deployment is ~7x faster than re-validation.
+        assert!(reval / exact > 5.0);
+    }
+
+    #[test]
+    fn capability_cost_compounds() {
+        let m = DeployModel::default();
+        let exact = m.capability_cost(DeploymentPath::BitExactCompatible);
+        let quant = m.capability_cost(DeploymentPath::QuantizeInt8);
+        assert!(exact < 1.05, "two weeks costs almost nothing: {exact}");
+        assert!(
+            quant > 1.2,
+            "7+ months of quantization work costs real capability: {quant}"
+        );
+    }
+
+    #[test]
+    fn custom_model_parameters() {
+        let m = DeployModel {
+            hardware_qual_days: 10.0,
+            revalidation_days: 50.0,
+            quantization_days: 100.0,
+        };
+        assert_eq!(m.time_to_deploy_days(DeploymentPath::Revalidate), 60.0);
+        assert_eq!(m.time_to_deploy_days(DeploymentPath::QuantizeInt8), 160.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Total cost of ownership for accelerator deployment.
+//!
+//! The paper's Lesson 3: design for **performance per TCO**, not per
+//! CapEx. A chip's purchase price is only part of its cost; a 450 W
+//! liquid-cooled part keeps costing money (power, cooling, stranded rack
+//! capacity) for its whole service life, while a 175 W air-cooled part
+//! does not. This crate prices that out:
+//!
+//! - [`cost`]: CapEx — die cost through a wafer-yield model, memory,
+//!   package, board and cooling-infrastructure shares;
+//! - [`tco`]: OpEx over a service life (power x cooling overhead x
+//!   electricity) and the perf/CapEx vs perf/TCO rankings of E10;
+//! - [`deploy`]: time-to-deploy with and without backwards ML
+//!   compatibility and quantization (Lessons 4 and 6, E14).
+//!
+//! All dollar figures are public-domain engineering estimates; the
+//! experiments depend on their *ratios*, which are robust.
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_arch::catalog;
+//! use tpu_tco::{cost, tco};
+//!
+//! let v4i = catalog::tpu_v4i();
+//! let v3 = catalog::tpu_v3();
+//! let m = tco::TcoModel::default();
+//! // TPUv3 burns far more OpEx than TPUv4i over 3 years.
+//! assert!(m.opex_usd(&v3) > 2.0 * m.opex_usd(&v4i));
+//! assert!(cost::capex(&v4i).total_usd() > 0.0);
+//! ```
+
+pub mod cost;
+pub mod deploy;
+pub mod tco;
+
+pub use cost::{capex, ChipCapex};
+pub use tco::{TcoModel, TcoReport};

@@ -1,0 +1,172 @@
+//! OpEx and the perf/CapEx vs perf/TCO comparison (Lesson 3, E10).
+
+use tpu_arch::ChipConfig;
+
+use crate::cost::{capex, ChipCapex};
+
+/// Parameters of the ownership-cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcoModel {
+    /// Electricity price, USD per kWh.
+    pub usd_per_kwh: f64,
+    /// Service life in years.
+    pub years: f64,
+    /// Fraction of TDP drawn on average in production (chips are not
+    /// pegged at TDP; Google reports well under 100%).
+    pub average_power_fraction: f64,
+    /// Datacenter overhead multiplier excluding chip-specific cooling
+    /// (power delivery losses, networking, building).
+    pub facility_overhead: f64,
+}
+
+impl Default for TcoModel {
+    fn default() -> TcoModel {
+        TcoModel {
+            usd_per_kwh: 0.08,
+            years: 3.0,
+            average_power_fraction: 0.6,
+            facility_overhead: 1.15,
+        }
+    }
+}
+
+/// The per-chip cost report of E10.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcoReport {
+    /// Chip name.
+    pub chip: String,
+    /// CapEx breakdown.
+    pub capex: ChipCapex,
+    /// Operating expense over the service life, USD.
+    pub opex_usd: f64,
+    /// CapEx + OpEx, USD.
+    pub tco_usd: f64,
+}
+
+impl TcoModel {
+    /// Lifetime operating expense of a chip, USD: average power times the
+    /// cooling-technology overhead times facility overhead, at the
+    /// electricity price, over the service life.
+    pub fn opex_usd(&self, chip: &ChipConfig) -> f64 {
+        let avg_w = chip.tdp_w * self.average_power_fraction;
+        let cooled_w = avg_w * (1.0 + chip.cooling.overhead_fraction()) * self.facility_overhead;
+        let hours = self.years * 365.25 * 24.0;
+        cooled_w / 1000.0 * hours * self.usd_per_kwh
+    }
+
+    /// Full cost report for a chip.
+    pub fn report(&self, chip: &ChipConfig) -> TcoReport {
+        let capex = capex(chip);
+        let opex_usd = self.opex_usd(chip);
+        TcoReport {
+            chip: chip.name.clone(),
+            tco_usd: capex.total_usd() + opex_usd,
+            capex,
+            opex_usd,
+        }
+    }
+
+    /// Performance per CapEx dollar (the metric Lesson 3 warns against).
+    pub fn perf_per_capex(&self, chip: &ChipConfig, perf: f64) -> f64 {
+        perf / capex(chip).total_usd()
+    }
+
+    /// Performance per TCO dollar (the metric Lesson 3 recommends).
+    pub fn perf_per_tco(&self, chip: &ChipConfig, perf: f64) -> f64 {
+        perf / self.report(chip).tco_usd
+    }
+}
+
+/// Ranks `(name, perf, chip)` triples by a metric, best first.
+pub fn rank_by<F>(entries: &[(String, f64, ChipConfig)], metric: F) -> Vec<String>
+where
+    F: Fn(&ChipConfig, f64) -> f64,
+{
+    let mut scored: Vec<(String, f64)> = entries
+        .iter()
+        .map(|(name, perf, chip)| (name.clone(), metric(chip, *perf)))
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    scored.into_iter().map(|(n, _)| n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_arch::catalog;
+
+    #[test]
+    fn opex_scales_with_tdp_and_years() {
+        let m = TcoModel::default();
+        let v3 = catalog::tpu_v3();
+        let v4i = catalog::tpu_v4i();
+        assert!(m.opex_usd(&v3) > 2.0 * m.opex_usd(&v4i));
+        let longer = TcoModel {
+            years: 6.0,
+            ..TcoModel::default()
+        };
+        assert!((longer.opex_usd(&v4i) / m.opex_usd(&v4i) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opex_magnitude_is_plausible() {
+        // TPUv3 at 450 W: roughly $1k over 3 years at $0.08/kWh.
+        let m = TcoModel::default();
+        let o = m.opex_usd(&catalog::tpu_v3());
+        assert!((500.0..2000.0).contains(&o), "${o:.0}");
+    }
+
+    #[test]
+    fn tco_is_capex_plus_opex() {
+        let m = TcoModel::default();
+        for chip in catalog::all_chips() {
+            let r = m.report(&chip);
+            assert!((r.tco_usd - r.capex.total_usd() - r.opex_usd).abs() < 1e-9);
+            assert!(r.tco_usd > r.capex.total_usd());
+        }
+    }
+
+    #[test]
+    fn opex_matters_lesson_three() {
+        // For the hot liquid-cooled chip, OpEx rivals CapEx — ignoring
+        // it (perf/CapEx) misprices the design space.
+        let m = TcoModel::default();
+        let r = m.report(&catalog::tpu_v3());
+        assert!(
+            r.opex_usd > 0.5 * r.capex.total_usd(),
+            "opex {:.0} vs capex {:.0}",
+            r.opex_usd,
+            r.capex.total_usd()
+        );
+        // For the cool air-cooled inference chip, much less so.
+        let r4 = m.report(&catalog::tpu_v4i());
+        assert!(r4.opex_usd < r.opex_usd / 2.0);
+    }
+
+    #[test]
+    fn ranking_flip_between_metrics_is_possible() {
+        // Construct two chips with equal perf: one cheap-and-hot, one
+        // pricier-and-cool. CapEx prefers the first, TCO the second.
+        let m = TcoModel::default();
+        let hot = catalog::tpu_v3(); // big OpEx
+        let cool = catalog::tpu_v4i();
+        let entries = vec![
+            ("hot".to_owned(), 1.0, hot),
+            ("cool".to_owned(), 1.0, cool),
+        ];
+        let by_tco = rank_by(&entries, |c, p| m.perf_per_tco(c, p));
+        // At equal performance, TCO must prefer the cool chip.
+        assert_eq!(by_tco[0], "cool");
+    }
+
+    #[test]
+    fn rank_by_orders_best_first() {
+        let entries = vec![
+            ("a".to_owned(), 1.0, catalog::tpu_v4i()),
+            ("b".to_owned(), 3.0, catalog::tpu_v4i()),
+        ];
+        let m = TcoModel::default();
+        let ranked = rank_by(&entries, |c, p| m.perf_per_tco(c, p));
+        assert_eq!(ranked, vec!["b".to_owned(), "a".to_owned()]);
+    }
+}

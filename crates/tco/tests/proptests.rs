@@ -1,0 +1,74 @@
+//! Property tests for the cost models.
+
+use proptest::prelude::*;
+use tpu_arch::{catalog, ProcessNode};
+use tpu_tco::cost::{die_cost_usd, die_yield};
+use tpu_tco::deploy::{DeployModel, DeploymentPath};
+use tpu_tco::TcoModel;
+
+proptest! {
+    /// Yield is a probability and decreases monotonically in both area
+    /// and defect density.
+    #[test]
+    fn yield_is_monotone(area in 10.0f64..900.0, d0 in 0.01f64..0.5) {
+        let y = die_yield(area, d0);
+        prop_assert!((0.0..=1.0).contains(&y));
+        prop_assert!(die_yield(area * 1.5, d0) <= y);
+        prop_assert!(die_yield(area, d0 * 1.5) <= y);
+    }
+
+    /// Good-die cost increases super-linearly with area.
+    #[test]
+    fn die_cost_superlinear(area in 50.0f64..400.0) {
+        for node in ProcessNode::ALL {
+            let c1 = die_cost_usd(node, area);
+            let c2 = die_cost_usd(node, area * 2.0);
+            prop_assert!(c2 > 1.9 * c1, "{node}: {c1} -> {c2}");
+        }
+    }
+
+    /// OpEx scales linearly with electricity price and service life.
+    #[test]
+    fn opex_is_linear_in_price_and_years(
+        price in 0.01f64..1.0,
+        years in 0.5f64..10.0,
+    ) {
+        let chip = catalog::tpu_v4i();
+        let base = TcoModel { usd_per_kwh: price, years, ..TcoModel::default() };
+        let double_price = TcoModel { usd_per_kwh: 2.0 * price, ..base };
+        let double_years = TcoModel { years: 2.0 * years, ..base };
+        let o = base.opex_usd(&chip);
+        prop_assert!((double_price.opex_usd(&chip) - 2.0 * o).abs() < 1e-9 * o);
+        prop_assert!((double_years.opex_usd(&chip) - 2.0 * o).abs() < 1e-9 * o);
+    }
+
+    /// perf/TCO is monotone in performance and antitone in price.
+    #[test]
+    fn perf_per_tco_monotonicity(perf in 1.0f64..1e9, price in 0.02f64..0.5) {
+        let chip = catalog::tpu_v3();
+        let m = TcoModel { usd_per_kwh: price, ..TcoModel::default() };
+        prop_assert!(m.perf_per_tco(&chip, perf * 2.0) > m.perf_per_tco(&chip, perf));
+        let pricier = TcoModel { usd_per_kwh: price * 2.0, ..m };
+        prop_assert!(pricier.perf_per_tco(&chip, perf) < m.perf_per_tco(&chip, perf));
+    }
+
+    /// Deployment paths are strictly ordered for any positive durations.
+    #[test]
+    fn deploy_paths_ordered(
+        qual in 1.0f64..60.0,
+        reval in 1.0f64..365.0,
+        quant in 1.0f64..365.0,
+    ) {
+        let m = DeployModel {
+            hardware_qual_days: qual,
+            revalidation_days: reval,
+            quantization_days: quant,
+        };
+        let a = m.time_to_deploy_days(DeploymentPath::BitExactCompatible);
+        let b = m.time_to_deploy_days(DeploymentPath::Revalidate);
+        let c = m.time_to_deploy_days(DeploymentPath::QuantizeInt8);
+        prop_assert!(a < b && b < c);
+        prop_assert!(m.capability_cost(DeploymentPath::QuantizeInt8)
+            >= m.capability_cost(DeploymentPath::BitExactCompatible));
+    }
+}

@@ -1,0 +1,239 @@
+//! Lesson 8: production DNNs grow ~1.5x per year.
+//!
+//! The paper's argument: between designing a DSA and deploying it,
+//! models grow ~1.5x/year in both memory footprint and compute, so a
+//! chip must provide headroom at design time or be obsolete at launch.
+//! Experiment E12 regenerates the demand-vs-capability series from this
+//! module.
+
+use tpu_arch::{catalog, ChipConfig};
+use tpu_hlo::{Graph, ShapeError};
+use tpu_numerics::DType;
+
+use crate::zoo::{self, BertConfig};
+
+/// Annual multiplicative growth of model memory and compute.
+pub const ANNUAL_GROWTH: f64 = 1.5;
+
+/// Demand multiplier after `years` of growth.
+pub fn demand_multiplier(years: f64) -> f64 {
+    ANNUAL_GROWTH.powf(years)
+}
+
+/// One point of the demand-vs-capability series (E12).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowthPoint {
+    /// Calendar year.
+    pub year: u32,
+    /// Projected model footprint, GiB.
+    pub model_gib: f64,
+    /// Projected model compute per inference, GFLOP.
+    pub model_gflop: f64,
+    /// Newest deployed TPU that year.
+    pub chip: String,
+    /// That chip's HBM capacity, GiB.
+    pub chip_hbm_gib: f64,
+    /// That chip's peak throughput, TFLOPS (fastest native type).
+    pub chip_tflops: f64,
+}
+
+/// The newest TPU generation deployed by `year` (TPUv1 before 2017).
+pub fn newest_chip_in(year: u32) -> ChipConfig {
+    let mut best = catalog::tpu_v1();
+    for chip in catalog::tpu_generations() {
+        if chip.year <= year && chip.year >= best.year {
+            best = chip;
+        }
+    }
+    best
+}
+
+/// Builds the demand-vs-capability series from `start` to `end`
+/// (inclusive), seeding model demand at `base_gib` / `base_gflop` in
+/// `start`.
+pub fn demand_vs_capability(
+    base_gib: f64,
+    base_gflop: f64,
+    start: u32,
+    end: u32,
+) -> Vec<GrowthPoint> {
+    (start..=end)
+        .map(|year| {
+            let m = demand_multiplier((year - start) as f64);
+            let chip = newest_chip_in(year);
+            let dtype = chip.fastest_type();
+            GrowthPoint {
+                year,
+                model_gib: base_gib * m,
+                model_gflop: base_gflop * m,
+                chip_hbm_gib: chip.hbm.capacity_gib(),
+                chip_tflops: chip.peak_flops(dtype).unwrap_or(0.0) / 1e12,
+                chip: chip.name,
+            }
+        })
+        .collect()
+}
+
+/// Years of headroom a chip's HBM provides for a model of `model_gib`
+/// growing at the standard rate (can be negative: already too small).
+pub fn hbm_headroom_years(chip: &ChipConfig, model_gib: f64) -> f64 {
+    let capacity = chip.hbm.capacity_gib();
+    (capacity / model_gib).ln() / ANNUAL_GROWTH.ln()
+}
+
+/// Whether a model of `bytes` at `dtype` fits a chip's HBM after
+/// `years` of growth.
+pub fn fits_after_growth(chip: &ChipConfig, bytes: u64, dtype: DType, years: f64) -> bool {
+    let _ = dtype; // footprint already at dtype; kept for call-site clarity
+    (bytes as f64) * demand_multiplier(years) <= chip.hbm.capacity_bytes as f64
+}
+
+/// Rounds a dimension up to a multiple of the 128-wide MXU tile.
+fn round_dim(d: f64) -> u64 {
+    ((d / 128.0).ceil() as u64).max(1) * 128
+}
+
+/// MLP0's descendant after `years` of 1.5x/yr growth: layer widths scale
+/// by `sqrt(1.5^years)` so the parameter count scales by ~`1.5^years`.
+///
+/// # Errors
+///
+/// Propagates shape errors (none for sane years).
+pub fn mlp0_grown(batch: u64, years: f64) -> Result<Graph, ShapeError> {
+    let width = round_dim(2048.0 * demand_multiplier(years).sqrt());
+    let mut g = Graph::new("MLP0-grown", DType::Bf16);
+    let mut x = g.parameter(&[batch.max(1), width])?;
+    for _ in 0..4 {
+        let w = g.constant(&[width, width])?;
+        x = g.dot(x, w)?;
+        x = g.relu(x)?;
+    }
+    let w_out = g.constant(&[width, 256])?;
+    let y = g.dot(x, w_out)?;
+    g.mark_output(y);
+    Ok(g)
+}
+
+/// BERT0's descendant after `years` of growth (hidden and FF widths
+/// scale by `sqrt(1.5^years)`; depth and sequence stay fixed).
+///
+/// # Errors
+///
+/// Propagates shape errors (none for sane years).
+pub fn bert0_grown(batch: u64, years: f64) -> Result<Graph, ShapeError> {
+    let s = demand_multiplier(years).sqrt();
+    let base = zoo::BERT0_CONFIG;
+    let hidden = round_dim(base.hidden as f64 * s);
+    let cfg = BertConfig {
+        layers: base.layers,
+        hidden,
+        // Keep 64-wide heads so the head count always divides hidden.
+        heads: hidden / 64,
+        ff: round_dim(base.ff as f64 * s),
+        seq: base.seq,
+        vocab: base.vocab,
+    };
+    let stages = zoo::bert_pipeline(&cfg, batch.max(1), DType::Bf16, 1)?;
+    Ok(stages.into_iter().next().expect("one stage"))
+}
+
+/// The first whole year at which a grown model no longer fits a memory
+/// budget (`None` within `horizon` years).
+pub fn outgrows_in_years<F>(mut weight_bytes_at: F, budget_bytes: u64, horizon: u32) -> Option<u32>
+where
+    F: FnMut(f64) -> u64,
+{
+    (0..=horizon).find(|&y| weight_bytes_at(y as f64) > budget_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_arch::catalog;
+
+    #[test]
+    fn multiplier_compounds() {
+        assert_eq!(demand_multiplier(0.0), 1.0);
+        assert!((demand_multiplier(1.0) - 1.5).abs() < 1e-12);
+        assert!((demand_multiplier(2.0) - 2.25).abs() < 1e-12);
+        // Doubling time just under 2 years.
+        assert!(demand_multiplier(2.0) > 2.0);
+    }
+
+    #[test]
+    fn newest_chip_progression() {
+        assert_eq!(newest_chip_in(2015).name, "TPUv1");
+        assert_eq!(newest_chip_in(2016).name, "TPUv1");
+        assert_eq!(newest_chip_in(2017).name, "TPUv2");
+        assert_eq!(newest_chip_in(2019).name, "TPUv3");
+        // 2020 ships both v4i and v4; either is acceptable, both are 2020.
+        assert_eq!(newest_chip_in(2021).year, 2020);
+    }
+
+    #[test]
+    fn series_spans_years_and_grows() {
+        let s = demand_vs_capability(1.0, 10.0, 2016, 2020);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0].year, 2016);
+        assert!((s[0].model_gib - 1.0).abs() < 1e-12);
+        assert!(s[4].model_gib > 5.0); // 1.5^4 ≈ 5.06
+        for pair in s.windows(2) {
+            assert!(pair[1].model_gib > pair[0].model_gib);
+            assert!(pair[1].model_gflop > pair[0].model_gflop);
+        }
+    }
+
+    #[test]
+    fn demand_outgrows_hbm_lesson_eight() {
+        // A 2 GiB 2016 model outgrows TPUv4i's 8 GiB HBM by 2020 —
+        // 2*1.5^4 = 10.1 GiB — the headroom squeeze the paper warns of.
+        let s = demand_vs_capability(2.0, 50.0, 2016, 2020);
+        let last = s.last().unwrap();
+        assert!(last.model_gib > 8.0);
+    }
+
+    #[test]
+    fn headroom_math() {
+        let v4i = catalog::tpu_v4i();
+        // 1 GiB model in 8 GiB HBM: log1.5(8) ≈ 5.1 years.
+        let y = hbm_headroom_years(&v4i, 1.0);
+        assert!((4.9..5.3).contains(&y), "{y}");
+        // Model bigger than HBM: negative headroom.
+        assert!(hbm_headroom_years(&v4i, 16.0) < 0.0);
+    }
+
+    #[test]
+    fn grown_models_track_the_growth_rate() {
+        let base = mlp0_grown(1, 0.0).unwrap().weight_count() as f64;
+        let grown = mlp0_grown(1, 4.0).unwrap().weight_count() as f64;
+        // 1.5^4 = 5.06; dimension rounding adds slack.
+        let ratio = grown / base;
+        assert!((4.0..6.5).contains(&ratio), "mlp ratio {ratio}");
+        let b0 = bert0_grown(1, 0.0).unwrap().weight_count() as f64;
+        let b4 = bert0_grown(1, 4.0).unwrap().weight_count() as f64;
+        let bratio = b4 / b0;
+        assert!((3.5..7.0).contains(&bratio), "bert ratio {bratio}");
+    }
+
+    #[test]
+    fn bert0_outgrows_v4i_cmem_quickly_and_hbm_eventually() {
+        let v4i = catalog::tpu_v4i();
+        let cmem = v4i.cmem.unwrap().capacity_bytes;
+        let hbm = v4i.hbm.capacity_bytes;
+        let bytes_at = |y: f64| bert0_grown(1, y).unwrap().weight_bytes();
+        // BERT0 already exceeds 128 MiB CMEM at year 0.
+        assert_eq!(outgrows_in_years(bytes_at, cmem, 12), Some(0));
+        // And outgrows the 8 GiB HBM within the chip's service life era.
+        let hbm_year = outgrows_in_years(|y| bert0_grown(1, y).unwrap().weight_bytes(), hbm, 12);
+        assert!(hbm_year.is_some());
+        assert!((6..=10).contains(&hbm_year.unwrap()), "{hbm_year:?}");
+    }
+
+    #[test]
+    fn fits_after_growth_checks() {
+        let v4i = catalog::tpu_v4i();
+        let one_gib = 1u64 << 30;
+        assert!(fits_after_growth(&v4i, one_gib, DType::Bf16, 3.0));
+        assert!(!fits_after_growth(&v4i, one_gib, DType::Bf16, 6.0));
+    }
+}

@@ -1,0 +1,30 @@
+//! The model zoo: Google's production inference apps as HLO graphs.
+//!
+//! The paper (like the TPUv1 paper before it) evaluates on the DNNs that
+//! actually dominate Google's inference fleet: two multi-layer
+//! perceptrons, two convolutional networks, two recurrent networks and
+//! two BERT-class transformers — together ~90%+ of inference load.
+//! Google's production models are proprietary, so this crate builds
+//! **stand-ins** with matched layer structure, parameter counts and
+//! operational intensity (see DESIGN.md's substitution table); the
+//! experiments depend only on those properties.
+//!
+//! [`zoo`] defines the eight apps and their serving metadata (p99 SLO,
+//! int8 servability, fleet share); [`growth`] implements Lesson 8's
+//! "DNNs grow 1.5x per year" demand model.
+//!
+//! # Example
+//!
+//! ```
+//! use tpu_workloads::zoo;
+//!
+//! let apps = zoo::production_apps();
+//! assert_eq!(apps.len(), 8);
+//! let bert = zoo::bert0().build(4).unwrap();
+//! assert!(bert.weight_count() > 50_000_000);
+//! ```
+
+pub mod growth;
+pub mod zoo;
+
+pub use zoo::{production_apps, App, AppClass, AppSpec};

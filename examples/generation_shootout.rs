@@ -1,0 +1,58 @@
+//! Generation shootout (the E5 story): run one production app across
+//! TPUv2, TPUv3, TPUv4i and the GPU baseline, comparing latency,
+//! throughput and perf/Watt — recompiling the *same* HLO graph for each
+//! target (Lesson 2: compiler compatibility).
+//!
+//! ```text
+//! cargo run --release --example generation_shootout [app]
+//! ```
+
+use tpugen::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "MLP0".to_owned());
+    let app = production_apps()
+        .into_iter()
+        .find(|a| a.spec.name.eq_ignore_ascii_case(&name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown app `{name}`, using MLP0");
+            zoo::mlp0()
+        });
+    let batch = 16;
+    println!("{} at batch {batch} across the generations:\n", app.spec.name);
+    println!(
+        "{:<8} {:>6} {:>12} {:>12} {:>10} {:>12}",
+        "chip", "dtype", "latency ms", "inf/s", "avg W", "inf/J"
+    );
+
+    for chip in catalog::inference_comparison_set() {
+        // Serve int8 where quality allows and the chip supports it.
+        let dtype = if app.spec.int8_servable && chip.native_types.contains(&DType::Int8) {
+            DType::Int8
+        } else {
+            DType::Bf16
+        };
+        let graph = app.build_with(batch, dtype).expect("builds");
+        let exe = compile(&graph, &chip, &CompilerOptions::default()).expect("compiles");
+        let report = Simulator::new(chip.clone()).run(exe.plan()).expect("simulates");
+        println!(
+            "{:<8} {:>6} {:>12.3} {:>12.0} {:>10.0} {:>12.2}",
+            chip.name,
+            dtype.to_string(),
+            report.seconds * 1e3,
+            batch as f64 / report.seconds,
+            report.average_watts(),
+            batch as f64 / report.energy_joules,
+        );
+    }
+
+    // The binary-compatibility lesson, demonstrated on the side: the
+    // TPUv3 binary from this same graph does not load on TPUv4i.
+    let graph = app.build(batch).expect("builds");
+    let v3_exe = compile(&graph, &catalog::tpu_v3(), &CompilerOptions::no_cmem()).expect("compiles");
+    let bytes = v3_exe.binary().expect("encodes");
+    match tpugen::isa::decode(&bytes, Generation::TpuV4i) {
+        Err(e) => println!("\nTPUv3 binary on TPUv4i: {e}"),
+        Ok(_) => unreachable!("cross-generation decode must fail"),
+    }
+}

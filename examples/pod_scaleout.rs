@@ -1,0 +1,65 @@
+//! Pod scale-out: serving BERT1 on 1–4 TPUv4i chips two ways —
+//! pipeline parallelism (split the layers) vs data parallelism (split
+//! the batch) — over the board's ICI ring.
+//!
+//! ```text
+//! cargo run --release --example pod_scaleout
+//! ```
+
+use tpugen::arch::IciTopology;
+use tpugen::core::multichip::{simulate_data_parallel, simulate_pipeline};
+use tpugen::prelude::*;
+use tpugen::workloads::zoo::{self, BERT1_CONFIG};
+
+fn main() {
+    let chip = catalog::tpu_v4i();
+    let options = CompilerOptions::default();
+    let batch = 8;
+    println!(
+        "BERT1 (batch {batch}) on TPUv4i pods; chip has {} ICI links at {} GB/s\n",
+        chip.ici_links, chip.ici_gbps
+    );
+
+    println!("pipeline parallelism (split layers; throughput scales):");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>16}",
+        "chips", "topology", "latency ms", "batches/s", "weights in CMEM"
+    );
+    let hop = zoo::bert_stage_activation_bytes(&BERT1_CONFIG, batch, DType::Bf16);
+    for chips in [1u64, 2, 4] {
+        let stages = zoo::bert_pipeline(&BERT1_CONFIG, batch, DType::Bf16, chips)
+            .expect("stages build");
+        let r = simulate_pipeline(&stages, &chip, &options, hop).expect("simulates");
+        println!(
+            "{:>6} {:>10} {:>12.2} {:>12.0} {:>15.0}%",
+            chips,
+            IciTopology::recommended(chips as u32).to_string(),
+            r.latency_s * 1e3,
+            r.batches_per_sec,
+            r.cmem_fraction * 100.0
+        );
+    }
+
+    println!("\ndata parallelism (split batch; latency drops):");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12}",
+        "chips", "topology", "latency ms", "batches/s", "gather us"
+    );
+    for chips in [1u64, 2, 4] {
+        let r = simulate_data_parallel(&zoo::bert1(), &chip, &options, chips, batch)
+            .expect("simulates");
+        println!(
+            "{:>6} {:>10} {:>12.2} {:>12.0} {:>12.1}",
+            chips,
+            r.topology.to_string(),
+            r.latency_s * 1e3,
+            r.batches_per_sec,
+            r.gather_seconds * 1e6
+        );
+    }
+    println!(
+        "\nPipelining pools CMEM (weights shard across chips); data \
+         parallelism replicates weights but cuts per-inference latency — \
+         the two tools a TPUv4i board offers (see E15)."
+    );
+}

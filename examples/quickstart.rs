@@ -1,0 +1,38 @@
+//! Quickstart: compile a production model for TPUv4i and simulate one
+//! inference batch.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tpugen::prelude::*;
+
+fn main() {
+    // 1. Pick a chip from the generation catalog (the paper's Table 1).
+    let chip = catalog::tpu_v4i();
+    println!("chip: {chip}");
+
+    // 2. Build a production app's HLO graph at a batch size.
+    let app = zoo::bert0();
+    let graph = app.build(4).expect("BERT0 builds at batch 4");
+    println!(
+        "model: {} — {:.1}M params, {:.2} GFLOP/batch",
+        graph.name(),
+        graph.weight_count() as f64 / 1e6,
+        graph.flops() as f64 / 1e9
+    );
+
+    // 3. Compile: fusion, CMEM placement, tiling, double buffering.
+    let exe = compile(&graph, &chip, &CompilerOptions::default()).expect("compiles");
+    println!("compiled: {exe}");
+
+    // 4. Simulate the step plan on the chip.
+    let report = Simulator::new(chip).run(exe.plan()).expect("simulates");
+    println!("{report}");
+    println!(
+        "=> {:.2} ms/batch, {:.0} inferences/s, {:.1} GFLOPS/W",
+        report.seconds * 1e3,
+        4.0 / report.seconds,
+        report.gflops_per_watt()
+    );
+}

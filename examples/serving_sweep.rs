@@ -1,0 +1,62 @@
+//! Serving scenario (Lesson 10): find the batch size an application's
+//! p99 SLO admits, then simulate a serving day at increasing load and
+//! watch the tail.
+//!
+//! ```text
+//! cargo run --release --example serving_sweep
+//! ```
+
+use tpugen::prelude::*;
+use tpugen::serving::des::{simulate, ServingConfig};
+use tpugen::serving::slo::{max_batch_within_slo, max_throughput_under_slo};
+
+fn main() {
+    let chip = catalog::tpu_v4i();
+    let app = zoo::bert0();
+    let slo_s = app.spec.slo_p99_ms / 1e3;
+    println!(
+        "app {} on {}: p99 SLO {} ms",
+        app.spec.name, chip.name, app.spec.slo_p99_ms
+    );
+
+    // Profile latency vs batch through the compiler + simulator.
+    let model = LatencyModel::profile(&app, &chip, &CompilerOptions::default(), &[1, 4, 16, 64])
+        .expect("profiles");
+    for &(b, t) in model.points() {
+        println!("  batch {b:>3}: {:.2} ms service latency", t * 1e3);
+    }
+
+    // The SLO picks the batch (Lesson 10), not memory size.
+    let cap = max_batch_within_slo(&model, slo_s, 256).unwrap_or(1);
+    println!("largest batch within SLO: {cap}");
+
+    // Load sweep: p99 vs arrival rate.
+    let capacity = model.throughput(cap);
+    for frac in [0.3, 0.6, 0.8, 0.95] {
+        let report = simulate(
+            &model,
+            &ServingConfig {
+                arrival_rate_rps: capacity * frac,
+                max_batch: cap,
+                batch_timeout_s: slo_s * 0.1,
+                requests: 4000,
+                seed: 3,
+            },
+        );
+        println!(
+            "  load {:>3.0}%: p50 {:.2} ms, p99 {:.2} ms, mean batch {:.1} ({})",
+            frac * 100.0,
+            report.p50_s * 1e3,
+            report.p99_s * 1e3,
+            report.mean_batch,
+            if report.p99_s <= slo_s { "meets SLO" } else { "VIOLATES SLO" },
+        );
+    }
+
+    // And the headline number: max sustainable throughput under the SLO.
+    let best = max_throughput_under_slo(&model, slo_s, cap, 4000, 3);
+    println!(
+        "max throughput under {} ms p99: {:.0} inferences/s",
+        app.spec.slo_p99_ms, best.max_rps
+    );
+}

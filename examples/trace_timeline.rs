@@ -1,0 +1,35 @@
+//! Execution-timeline example: trace a compiled model through the
+//! simulator and render a Gantt chart of every unit — the quickest way
+//! to *see* whether a model is memory- or compute-bound and what double
+//! buffering buys.
+//!
+//! ```text
+//! cargo run --release --example trace_timeline
+//! ```
+
+use tpugen::prelude::*;
+
+fn main() {
+    let chip = catalog::tpu_v4i();
+    let graph = zoo::rnn0().build(8).expect("builds");
+    let sim = Simulator::new(chip.clone());
+
+    for (label, options) in [
+        ("without double buffering (O1)", CompilerOptions::level(OptLevel::O1)),
+        ("full pipeline (O3)", CompilerOptions::default()),
+    ] {
+        let exe = compile(&graph, &chip, &options).expect("compiles");
+        let (report, trace) = sim.run_traced(exe.plan()).expect("simulates");
+        println!("== RNN0 batch 8 on {}, {label} ==", chip.name);
+        println!(
+            "{:.3} ms, mxu {:.0}%, dma {:.0}%, hbm {:.0}%, cmem {:.0}%",
+            report.seconds * 1e3,
+            report.utilization(tpugen::sim::Resource::Mxu) * 100.0,
+            report.utilization(tpugen::sim::Resource::Dma) * 100.0,
+            report.utilization(tpugen::sim::Resource::HbmChannel) * 100.0,
+            report.utilization(tpugen::sim::Resource::CmemChannel) * 100.0,
+        );
+        assert_eq!(trace.find_overlap(), None, "schedule must be consistent");
+        println!("{}", trace.render_gantt(100));
+    }
+}

@@ -1,0 +1,72 @@
+//! VLIW playground: write TPU assembly by hand, assemble it, execute it
+//! on the functional interpreter, and watch the per-generation binary
+//! encodings refuse to cross (Lesson 2 at the instruction level).
+//!
+//! ```text
+//! cargo run --release --example vliw_playground
+//! ```
+
+use tpugen::isa::asm::assemble;
+use tpugen::isa::interp::{InterpConfig, Interpreter};
+use tpugen::isa::{decode, encode};
+use tpugen::prelude::*;
+
+const SOURCE: &str = "\
+; 4x4 matmul on the MXU: weights at vmem[0], activations at vmem[16],
+; results to vmem[64], then a ReLU over the first result vector.
+s.li s12, 0
+s.li s13, 16
+s.li s14, 64
+m.push 0
+m.mm 0, 4
+m.pop 0
+s.li s0, 64
+v.ld v1, s0
+v.relu v2, v1
+s.li s0, 128 | v.st v2, s0   ; scalar slot reads pre-bundle s0
+s.halt
+";
+
+fn main() {
+    // 1. One assembly source...
+    println!("source:\n{SOURCE}");
+    let program = assemble(SOURCE, Generation::TpuV4i).expect("assembles");
+    program.verify().expect("verifies");
+    println!(
+        "assembled: {} bundles, mean occupancy {:.2} slots",
+        program.len(),
+        program.stats().mean_occupancy()
+    );
+
+    // 2. ...executes functionally on the interpreter.
+    let mut m = Interpreter::new(InterpConfig::default());
+    let weights: Vec<f32> = (0..16).map(|i| if i % 5 == 0 { 1.0 } else { -0.25 }).collect();
+    let acts: Vec<f32> = (0..16).map(|i| i as f32).collect();
+    m.write_mem(MemLevel::Vmem, 0, &weights).expect("in range");
+    m.write_mem(MemLevel::Vmem, 16, &acts).expect("in range");
+    let stats = m.run(&program).expect("executes");
+    println!(
+        "executed {} bundles, {} MACs; relu(result row 0) = {:?}",
+        stats.bundles_executed,
+        stats.macs,
+        m.read_mem(MemLevel::Vmem, 128, 4).expect("in range"),
+    );
+
+    // 3. The binary is generation-specific.
+    let bytes = encode(&program).expect("encodes");
+    println!("\nTPUv4i binary: {} bytes", bytes.len());
+    for generation in [Generation::TpuV3, Generation::TpuV1, Generation::GpuT4Like] {
+        match decode(&bytes, generation) {
+            Err(e) => println!("  decode as {generation}: {e}"),
+            Ok(_) => unreachable!("cross-generation decode must fail"),
+        }
+    }
+    // The same *source* retargets fine — that's the compatibility that
+    // actually matters (Lesson 2).
+    let for_v3 = assemble(SOURCE, Generation::TpuV3).expect("assembles");
+    println!(
+        "  same source assembled for TPUv3: {} bundles, verifies: {}",
+        for_v3.len(),
+        for_v3.verify().is_ok()
+    );
+}

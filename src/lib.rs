@@ -1,0 +1,44 @@
+//! `tpugen` — a reproduction of *"Ten Lessons From Three Generations
+//! Shaped Google's TPUv4i"* (ISCA 2021) as a Rust workspace.
+//!
+//! This root crate re-exports the whole workspace so examples, tests and
+//! downstream users can depend on one name. The per-subsystem crates:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`arch`] | `tpu-arch` | chip catalog, technology scaling, cooling |
+//! | [`numerics`] | `tpu-numerics` | bf16, int8 quantization, accumulation order |
+//! | [`isa`] | `tpu-isa` | VLIW bundles, per-generation binary encodings |
+//! | [`sim`] | `tpu-sim` | event-driven performance/energy simulator |
+//! | [`hlo`] | `tpu-hlo` | mini-XLA compiler (fusion, CMEM planning, lowering) |
+//! | [`workloads`] | `tpu-workloads` | the eight production inference apps |
+//! | [`serving`] | `tpu-serving` | batching, p99 SLOs, multi-tenancy |
+//! | [`tco`] | `tpu-tco` | CapEx/OpEx/TCO and deployment timelines |
+//! | [`core`] | `tpu-core` | high-level run/suite/SLO helpers |
+//!
+//! See `DESIGN.md` for the system inventory and the per-experiment index
+//! (E1–E14), and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tpugen::prelude::*;
+//!
+//! let chip = catalog::tpu_v4i();
+//! let run = tpugen::core::run_app(
+//!     &zoo::mlp1(), &chip, 4, &CompilerOptions::default(),
+//! ).unwrap();
+//! assert!(run.report.tflops() > 0.0);
+//! ```
+
+pub use tpu_arch as arch;
+pub use tpu_core as core;
+pub use tpu_hlo as hlo;
+pub use tpu_isa as isa;
+pub use tpu_numerics as numerics;
+pub use tpu_serving as serving;
+pub use tpu_sim as sim;
+pub use tpu_tco as tco;
+pub use tpu_workloads as workloads;
+
+pub use tpu_core::prelude;

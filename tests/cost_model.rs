@@ -1,0 +1,48 @@
+//! The analytic cost model brackets the simulator for every production
+//! app on every TPU generation — the property that makes it usable for
+//! compile-time decisions (as XLA uses its own).
+
+use tpugen::hlo::compile;
+use tpugen::prelude::*;
+
+#[test]
+fn cost_model_brackets_simulation_for_all_apps() {
+    for chip in catalog::tpu_generations() {
+        let sim = Simulator::new(chip.clone());
+        for app in production_apps() {
+            for batch in [1u64, 16] {
+                let graph = app.build(batch).expect("builds");
+                let exe = compile(&graph, &chip, &CompilerOptions::default())
+                    .expect("compiles");
+                let est = exe.cost_estimate(&chip);
+                let simulated = sim.run(exe.plan()).expect("simulates").seconds;
+                assert!(
+                    simulated >= est.lower_bound_s() * 0.999,
+                    "{} b{batch} on {}: sim {simulated} < lower bound {}",
+                    app.spec.name,
+                    chip.name,
+                    est.lower_bound_s()
+                );
+                assert!(
+                    simulated <= est.upper_bound_s() * 1.001,
+                    "{} b{batch} on {}: sim {simulated} > upper bound {}",
+                    app.spec.name,
+                    chip.name,
+                    est.upper_bound_s()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cost_model_agrees_with_simulator_on_bottlenecks() {
+    // At batch 1 with no CMEM the MLPs are HBM-bound; at batch 256 CNN0
+    // is MXU-bound — the verdicts the roofline (E4) reports.
+    let chip = catalog::tpu_v4i();
+    let no_cmem = CompilerOptions::no_cmem();
+    let mlp = compile(&zoo::mlp0().build(1).unwrap(), &chip, &no_cmem).unwrap();
+    assert_eq!(mlp.cost_estimate(&chip).bottleneck(), "hbm");
+    let cnn = compile(&zoo::cnn0().build(256).unwrap(), &chip, &no_cmem).unwrap();
+    assert_eq!(cnn.cost_estimate(&chip).bottleneck(), "mxu");
+}

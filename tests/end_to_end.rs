@@ -1,0 +1,208 @@
+//! Cross-crate integration: every production app compiles and simulates
+//! on every catalog generation, with conservation checks tying the
+//! graph, the compiler, and the simulator together.
+
+use tpugen::prelude::*;
+use tpugen::hlo::compile;
+
+#[test]
+fn every_app_runs_on_every_generation() {
+    for chip in catalog::all_chips() {
+        for app in production_apps() {
+            let graph = app.build(4).expect("builds");
+            let exe = compile(&graph, &chip, &CompilerOptions::default())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", app.spec.name, chip.name));
+            let report = Simulator::new(chip.clone())
+                .run(exe.plan())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", app.spec.name, chip.name));
+            assert!(report.seconds > 0.0, "{} on {}", app.spec.name, chip.name);
+            assert!(
+                report.seconds < 10.0,
+                "{} on {} took {} simulated seconds — timing model broken?",
+                app.spec.name,
+                chip.name,
+                report.seconds
+            );
+        }
+    }
+}
+
+#[test]
+fn flops_are_conserved_from_graph_to_simulator() {
+    // The simulator must execute exactly the work the plan contains, and
+    // the plan's MXU work must equal the graph's matrix-op work.
+    let chip = catalog::tpu_v4i();
+    for app in production_apps() {
+        let graph = app.build(8).expect("builds");
+        let exe = compile(&graph, &chip, &CompilerOptions::default()).expect("compiles");
+        let report = Simulator::new(chip.clone()).run(exe.plan()).expect("simulates");
+        assert_eq!(
+            report.flops,
+            exe.plan().total_flops(),
+            "{}: simulator executed different work than planned",
+            app.spec.name
+        );
+        let planned_mxu: u64 = exe
+            .plan()
+            .steps()
+            .iter()
+            .filter(|s| matches!(s.kind, tpugen::sim::StepKind::Mxu { .. }))
+            .map(|s| s.kind.flops())
+            .sum();
+        let graph_mxu: u64 = graph
+            .nodes()
+            .iter()
+            .filter(|n| n.op.is_matrix_op())
+            .map(|n| graph.node_flops(n))
+            .sum();
+        assert_eq!(
+            planned_mxu, graph_mxu,
+            "{}: lowering changed the matrix work",
+            app.spec.name
+        );
+    }
+}
+
+#[test]
+fn hbm_traffic_covers_streamed_weights_when_cmem_disabled() {
+    // Without CMEM every *matmul/conv* weight byte must cross HBM at
+    // least once per inference. Embedding tables are exempt: a gather
+    // reads only the looked-up rows, not the whole table.
+    let chip = catalog::tpu_v4i();
+    for app in production_apps() {
+        let graph = app.build(4).expect("builds");
+        let exe = compile(&graph, &chip, &CompilerOptions::no_cmem()).expect("compiles");
+        let (hbm, cmem) = exe.plan().channel_traffic();
+        assert_eq!(cmem, 0, "{}: no CMEM traffic allowed", app.spec.name);
+        let consumers = graph.consumers();
+        let streamed: u64 = graph
+            .nodes()
+            .iter()
+            .filter(|n| {
+                matches!(n.op, tpugen::hlo::HloOp::Constant)
+                    && consumers[n.id.index()]
+                        .iter()
+                        .any(|&c| graph.node(c).op.is_matrix_op())
+            })
+            .map(|n| n.shape.bytes(graph.dtype()))
+            .sum();
+        assert!(
+            hbm >= streamed,
+            "{}: HBM traffic {hbm} below streamed weight bytes {streamed}",
+            app.spec.name,
+        );
+    }
+}
+
+#[test]
+fn cmem_moves_traffic_but_conserves_total_weight_bytes() {
+    let chip = catalog::tpu_v4i();
+    for app in production_apps() {
+        let graph = app.build(4).expect("builds");
+        let with = compile(&graph, &chip, &CompilerOptions::default()).expect("compiles");
+        let without = compile(&graph, &chip, &CompilerOptions::no_cmem()).expect("compiles");
+        let (h1, c1) = with.plan().channel_traffic();
+        let (h0, c0) = without.plan().channel_traffic();
+        assert_eq!(c0, 0);
+        assert_eq!(
+            h1 + c1,
+            h0 + c0,
+            "{}: weight placement must not create or destroy traffic",
+            app.spec.name
+        );
+        assert!(h1 <= h0, "{}", app.spec.name);
+    }
+}
+
+#[test]
+fn one_source_many_targets_but_binaries_do_not_cross() {
+    // Lesson 2 end to end: the same graph compiles for every generation;
+    // each binary decodes only under its own generation.
+    let graph = zoo::mlp0().build(8).expect("builds");
+    let chips = catalog::all_chips();
+    let mut binaries = Vec::new();
+    for chip in &chips {
+        let exe = compile(&graph, chip, &CompilerOptions::no_cmem()).expect("compiles");
+        binaries.push((chip.generation, exe.binary().expect("encodes")));
+    }
+    for (gen_a, bytes) in &binaries {
+        for chip in &chips {
+            let result = tpugen::isa::decode(bytes, chip.generation);
+            if chip.generation == *gen_a {
+                assert!(result.is_ok(), "{gen_a} binary must decode on itself");
+            } else {
+                assert!(
+                    result.is_err(),
+                    "{gen_a} binary must not decode on {}",
+                    chip.generation
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn vliw_programs_verify_for_all_apps_and_targets() {
+    for chip in catalog::all_chips() {
+        for app in production_apps() {
+            let graph = app.build(2).expect("builds");
+            let exe = compile(&graph, &chip, &CompilerOptions::no_cmem()).expect("compiles");
+            exe.program()
+                .verify()
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", app.spec.name, chip.name));
+            let stats = exe.program().stats();
+            assert!(stats.bundles > 0);
+            assert!(stats.mxu_ops > 0, "{} should use the MXU", app.spec.name);
+        }
+    }
+}
+
+#[test]
+fn latency_is_monotone_in_batch_for_all_apps() {
+    let chip = catalog::tpu_v4i();
+    for app in production_apps() {
+        let model = LatencyModel::profile(&app, &chip, &CompilerOptions::default(), &[1, 8, 64])
+            .expect("profiles");
+        assert!(model.latency(8) >= model.latency(1), "{}", app.spec.name);
+        assert!(model.latency(64) >= model.latency(8), "{}", app.spec.name);
+        // Weight-dominated apps (MLPs, RNNs) amortize strongly: the
+        // systolic weight-push floor makes batch nearly free. The big
+        // transformers scale ~linearly (and slightly worse once VMEM
+        // spilling kicks in), which is realistic — bound the overhead.
+        match app.spec.class {
+            AppClass::Mlp | AppClass::Rnn => assert!(
+                model.latency(8) < 2.0 * model.latency(1),
+                "{}: weight-bound app must amortize batching",
+                app.spec.name
+            ),
+            _ => assert!(
+                model.latency(8) < 12.0 * model.latency(1),
+                "{}: batch-8 overhead out of bounds",
+                app.spec.name
+            ),
+        }
+    }
+}
+
+#[test]
+fn bigger_chips_are_not_slower() {
+    // TPUv4 (2 cores) must never lose to TPUv4i (1 core) on throughput.
+    let v4i = catalog::tpu_v4i();
+    let v4 = catalog::tpu_v4();
+    for app in production_apps() {
+        let graph = app.build(32).expect("builds");
+        let t_v4i = Simulator::new(v4i.clone())
+            .run(compile(&graph, &v4i, &CompilerOptions::default()).expect("compiles").plan())
+            .expect("simulates")
+            .seconds;
+        let t_v4 = Simulator::new(v4.clone())
+            .run(compile(&graph, &v4, &CompilerOptions::default()).expect("compiles").plan())
+            .expect("simulates")
+            .seconds;
+        assert!(
+            t_v4 <= t_v4i * 1.01,
+            "{}: TPUv4 ({t_v4}s) slower than TPUv4i ({t_v4i}s)",
+            app.spec.name
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! The paper's headline result *shapes*, asserted: who wins, by roughly
+//! what factor, where the crossovers fall. Absolute numbers are
+//! simulator-dependent; these relationships are what the reproduction
+//! must preserve (see EXPERIMENTS.md).
+
+use tpu_bench::experiments::{cost_exp, numerics_exp, perf, serving_exp, tables};
+
+#[test]
+fn lesson1_technology_scales_unequally() {
+    let rows = tables::e2_data();
+    let (logic, sram, dram, wire) = rows.last().unwrap().improvement;
+    assert!(logic > 2.0 * sram, "logic must far outpace SRAM");
+    assert!(sram > dram && dram > wire);
+    // The CMEM motivation: HBM bytes get *relatively* more expensive.
+    let first = rows.first().unwrap().hbm_byte_per_mac;
+    let last = rows.last().unwrap().hbm_byte_per_mac;
+    assert!(last > 3.0 * first);
+}
+
+#[test]
+fn e4_roofline_shape() {
+    let points = perf::e4_data();
+    let by_name = |n: &str| points.iter().find(|p| p.app == n).unwrap();
+    // MLPs and big RNNs are memory bound; CNN0 is compute bound.
+    assert!(by_name("MLP0").memory_bound);
+    assert!(by_name("RNN0").memory_bound);
+    assert!(!by_name("CNN0").memory_bound);
+    // CMEM lifts the memory-bound apps meaningfully, and never hurts.
+    for p in &points {
+        assert!(p.tflops_cmem >= 0.99 * p.tflops_hbm, "{}", p.app);
+    }
+    assert!(
+        by_name("MLP0").tflops_cmem > 1.1 * by_name("MLP0").tflops_hbm,
+        "CMEM should lift MLP0 above the HBM roof"
+    );
+}
+
+#[test]
+fn e5_tpuv4i_wins_perf_per_watt_by_about_2x_or_more() {
+    let rows = perf::e5_data();
+    let rel = perf::e5_relative_to_v3(&rows);
+    let v4i = rel.iter().find(|(c, _, _)| c == "TPUv4i").unwrap();
+    let v2 = rel.iter().find(|(c, _, _)| c == "TPUv2").unwrap();
+    // Paper shape: TPUv4i ≈ 1.3-1.7x TPUv3 perf and >2x perf/W.
+    assert!(
+        v4i.1 > 1.0 && v4i.1 < 3.0,
+        "v4i perf vs v3 = {:.2}x out of expected band",
+        v4i.1
+    );
+    assert!(v4i.2 > 2.0, "v4i perf/W vs v3 = {:.2}x, expected > 2x", v4i.2);
+    // TPUv2 is slower than TPUv3 (fewer MXUs, lower clock).
+    assert!(v2.1 < 1.0);
+}
+
+#[test]
+fn e6_cmem_speedup_is_monotone_and_saturates() {
+    let points = perf::e6_data();
+    // Monotone non-decreasing geomean (within simulation noise).
+    for pair in points.windows(2) {
+        assert!(
+            pair[1].geomean_speedup >= pair[0].geomean_speedup * 0.97,
+            "CMEM sweep regressed: {:?} -> {:?}",
+            pair[0].budget_mib,
+            pair[1].budget_mib
+        );
+    }
+    // Real benefit by 128 MiB, and diminishing returns beyond.
+    let at = |mib: u64| {
+        points
+            .iter()
+            .find(|p| p.budget_mib == mib)
+            .unwrap()
+            .geomean_speedup
+    };
+    assert!(at(128) > 1.2, "128 MiB gives {:.2}x", at(128));
+    let marginal = at(192) - at(128);
+    let early = at(32) - at(0);
+    assert!(
+        marginal < early,
+        "returns must diminish: early {early:.3} vs late {marginal:.3}"
+    );
+}
+
+#[test]
+fn e7_compiler_gains_accumulate() {
+    let gains = perf::e7_data();
+    assert_eq!(gains.len(), 4);
+    for pair in gains.windows(2) {
+        assert!(
+            pair[1].geomean_speedup >= pair[0].geomean_speedup * 0.999,
+            "opt levels must not regress"
+        );
+    }
+    let total = gains.last().unwrap().geomean_speedup;
+    // Paper shape: compiler work roughly doubled delivered performance.
+    assert!(
+        total > 1.5 && total < 5.0,
+        "cumulative compiler gain {total:.2}x out of expected band"
+    );
+}
+
+#[test]
+fn e8_slo_limits_batch_for_heavy_apps() {
+    let rows = serving_exp::e8_data();
+    let bert1 = rows.iter().find(|r| r.app == "BERT1").unwrap();
+    let mlp0 = rows.iter().find(|r| r.app == "MLP0").unwrap();
+    // Heavy transformer: the SLO caps batch well below memory limits.
+    assert!(
+        bert1.max_batch < 64,
+        "BERT1 SLO batch {} should be small",
+        bert1.max_batch
+    );
+    // Light MLP: the SLO admits big batches.
+    assert!(mlp0.max_batch > bert1.max_batch);
+    // Every app meets its SLO at 70% load.
+    for r in &rows {
+        assert!(
+            r.p99_at_load_ms <= r.slo_ms,
+            "{}: p99 {}ms > SLO {}ms",
+            r.app,
+            r.p99_at_load_ms,
+            r.slo_ms
+        );
+    }
+}
+
+#[test]
+fn e9_quality_proxy_agrees_with_production_verdicts() {
+    for row in numerics_exp::e9_data() {
+        assert_eq!(
+            row.int8_ok, row.production_verdict,
+            "{}: proxy and production verdict disagree",
+            row.app
+        );
+        // int8 is never slower.
+        assert!(row.int8_speedup >= 0.99, "{}", row.app);
+    }
+}
+
+#[test]
+fn e10_tco_favors_the_cool_inference_chip() {
+    let rows = cost_exp::e10_data();
+    let v4i = rows.iter().find(|r| r.chip == "TPUv4i").unwrap();
+    let v3 = rows.iter().find(|r| r.chip == "TPUv3").unwrap();
+    assert!(v4i.perf_per_tco > 2.0 * v3.perf_per_tco);
+    // OpEx is a first-order term for the hot chip (Lesson 3).
+    assert!(v3.opex_usd > 0.4 * v3.capex_usd);
+}
+
+#[test]
+fn e11_multitenancy_cliff_at_hbm_capacity() {
+    let data = serving_exp::e11_data();
+    let v4i: Vec<_> = data.iter().filter(|p| p.chip == "TPUv4i").collect();
+    let resident_max = v4i
+        .iter()
+        .filter(|p| p.all_resident)
+        .map(|p| p.worst_p99_ms)
+        .fold(0.0f64, f64::max);
+    let swapping_min = v4i
+        .iter()
+        .filter(|p| !p.all_resident)
+        .map(|p| p.worst_p99_ms)
+        .fold(f64::MAX, f64::min);
+    assert!(
+        swapping_min > 10.0 * resident_max,
+        "the residency cliff must be dramatic: {resident_max:.2} vs {swapping_min:.2}"
+    );
+}
+
+#[test]
+fn e13_air_cooling_dominates_fleet_deployment() {
+    let rows = cost_exp::e13_data();
+    let v4i = rows.iter().find(|r| r.chip == "TPUv4i").unwrap();
+    let v3 = rows.iter().find(|r| r.chip == "TPUv3").unwrap();
+    let v2 = rows.iter().find(|r| r.chip == "TPUv2").unwrap();
+    assert_eq!(v4i.cooling, "air");
+    assert_eq!(v2.cooling, "air"); // 280 W still deployed air-cooled
+    assert_eq!(v3.cooling, "liquid");
+    assert!(v4i.fleet_weighted > 5.0 * v3.fleet_weighted);
+}
+
+#[test]
+fn e14_backwards_compat_end_to_end() {
+    let r = numerics_exp::e14_data();
+    assert!(r.v3_order_bit_exact, "v2/v3 numerics must be free on v4i");
+    assert!(r.v1_order_differs, "v1 numerics must differ natively");
+    assert!(
+        r.v1_emulation_overhead >= 1.0 && r.v1_emulation_overhead < 1.5,
+        "emulation should cost a little, not a lot: {:.3}x",
+        r.v1_emulation_overhead
+    );
+    let (exact, reval, quant) = r.deploy_days;
+    assert!(exact * 5.0 < reval && reval < quant);
+}
+
+#[test]
+fn all_experiments_render() {
+    for id in tpu_bench::ALL_EXPERIMENTS {
+        let out = tpu_bench::run_experiment(id).unwrap_or_else(|| panic!("missing {id}"));
+        assert!(out.len() > 100, "{id} output suspiciously short");
+    }
+    assert!(tpu_bench::run_experiment("nope").is_none());
+}

@@ -1,0 +1,157 @@
+//! Cross-crate property tests: arbitrary graphs through the whole
+//! compile→simulate pipeline, and serving-statistics invariants.
+
+use proptest::prelude::*;
+
+use tpugen::hlo::{compile, CompilerOptions, Graph};
+use tpugen::prelude::*;
+use tpugen::serving::des::{simulate, ServingConfig};
+
+/// Strategy: a random MLP-shaped graph (chain of dot+relu layers).
+fn random_mlp() -> impl Strategy<Value = Graph> {
+    (
+        1u64..48,                                // batch
+        prop::collection::vec(1u64..300, 2..6), // layer widths
+    )
+        .prop_map(|(batch, widths)| {
+            let mut g = Graph::new("prop-mlp", DType::Bf16);
+            let mut x = g.parameter(&[batch, widths[0]]).expect("valid dims");
+            for w in widths.windows(2) {
+                let wt = g.constant(&[w[0], w[1]]).expect("valid dims");
+                x = g.dot(x, wt).expect("chained dims match");
+                x = g.relu(x).expect("same shape");
+            }
+            g.mark_output(x);
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any well-formed graph compiles and simulates on every generation,
+    /// and the simulator executes exactly the planned work.
+    #[test]
+    fn compile_simulate_conserves_flops(g in random_mlp()) {
+        for chip in [catalog::tpu_v4i(), catalog::tpu_v3(), catalog::tpu_v1()] {
+            let exe = compile(&g, &chip, &CompilerOptions::default()).unwrap();
+            let report = Simulator::new(chip.clone()).run(exe.plan()).unwrap();
+            prop_assert_eq!(report.flops, exe.plan().total_flops());
+            prop_assert!(report.seconds > 0.0);
+            prop_assert!(report.seconds.is_finite());
+        }
+    }
+
+    /// Weight placement moves traffic between channels without creating
+    /// or destroying bytes.
+    #[test]
+    fn traffic_is_conserved_across_placement(g in random_mlp()) {
+        let chip = catalog::tpu_v4i();
+        let with = compile(&g, &chip, &CompilerOptions::default()).unwrap();
+        let without = compile(&g, &chip, &CompilerOptions::no_cmem()).unwrap();
+        let (h1, c1) = with.plan().channel_traffic();
+        let (h0, c0) = without.plan().channel_traffic();
+        prop_assert_eq!(c0, 0);
+        prop_assert_eq!(h1 + c1, h0);
+        prop_assert!(h1 <= h0);
+    }
+
+    /// Simulated latency is monotone in batch size.
+    #[test]
+    fn latency_monotone_in_batch(
+        widths in prop::collection::vec(8u64..200, 2..5),
+        batch in 1u64..32,
+    ) {
+        let build = |b: u64| {
+            let mut g = Graph::new("m", DType::Bf16);
+            let mut x = g.parameter(&[b, widths[0]]).unwrap();
+            for w in widths.windows(2) {
+                let wt = g.constant(&[w[0], w[1]]).unwrap();
+                x = g.dot(x, wt).unwrap();
+            }
+            g.mark_output(x);
+            g
+        };
+        let chip = catalog::tpu_v4i();
+        let sim = Simulator::new(chip.clone());
+        let t_small = sim
+            .run(compile(&build(batch), &chip, &CompilerOptions::default()).unwrap().plan())
+            .unwrap()
+            .seconds;
+        let t_big = sim
+            .run(compile(&build(batch * 4), &chip, &CompilerOptions::default()).unwrap().plan())
+            .unwrap()
+            .seconds;
+        prop_assert!(t_big >= t_small * 0.999, "batch {batch}: {t_small} -> {t_big}");
+    }
+
+    /// Compiled programs round-trip their generation's binary encoding
+    /// and refuse the others.
+    #[test]
+    fn binaries_round_trip_and_do_not_cross(g in random_mlp()) {
+        let v4i = catalog::tpu_v4i();
+        let v2 = catalog::tpu_v2();
+        let exe = compile(&g, &v4i, &CompilerOptions::default()).unwrap();
+        let bytes = exe.binary().unwrap();
+        let back = tpugen::isa::decode(&bytes, Generation::TpuV4i).unwrap();
+        prop_assert_eq!(&back, exe.program());
+        prop_assert!(tpugen::isa::decode(&bytes, Generation::TpuV2).is_err());
+        let exe2 = compile(&g, &v2, &CompilerOptions::no_cmem()).unwrap();
+        prop_assert!(tpugen::isa::decode(&exe2.binary().unwrap(), Generation::TpuV4i).is_err());
+    }
+
+    /// More CMEM budget never slows a model down.
+    #[test]
+    fn cmem_budget_monotonicity(g in random_mlp(), budget_mib in 0u64..128) {
+        let chip = catalog::tpu_v4i();
+        let sim = Simulator::new(chip.clone());
+        let t_small = sim
+            .run(
+                compile(&g, &chip, &CompilerOptions::with_cmem_budget(budget_mib << 20))
+                    .unwrap()
+                    .plan(),
+            )
+            .unwrap()
+            .seconds;
+        let t_big = sim
+            .run(
+                compile(&g, &chip, &CompilerOptions::with_cmem_budget((budget_mib + 64) << 20))
+                    .unwrap()
+                    .plan(),
+            )
+            .unwrap()
+            .seconds;
+        prop_assert!(t_big <= t_small * 1.001, "{t_small} -> {t_big}");
+    }
+
+    /// Serving statistics invariants: percentile ordering, request
+    /// conservation, throughput bounded by arrival rate.
+    #[test]
+    fn serving_statistics_invariants(
+        rate in 50.0f64..20_000.0,
+        max_batch in 1u64..64,
+        requests in 200usize..2000,
+        seed in any::<u64>(),
+    ) {
+        let model = LatencyModel::from_points(vec![(1, 0.001), (64, 0.004)]).unwrap();
+        let report = simulate(
+            &model,
+            &ServingConfig {
+                arrival_rate_rps: rate,
+                max_batch,
+                batch_timeout_s: 0.002,
+                requests,
+                seed,
+            },
+        );
+        prop_assert_eq!(report.stats.n, requests);
+        prop_assert!(report.p50_s <= report.p99_s + 1e-12);
+        prop_assert!(report.p99_s <= report.stats.max_s + 1e-12);
+        prop_assert!(report.mean_batch >= 1.0 - 1e-9);
+        prop_assert!(report.mean_batch <= max_batch as f64 + 1e-9);
+        prop_assert!(report.server_utilization <= 1.0);
+        // Completed work cannot outpace arrivals by more than the final
+        // drain (loose bound: 2x).
+        prop_assert!(report.throughput_rps <= 2.0 * rate);
+    }
+}
