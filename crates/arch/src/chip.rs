@@ -491,7 +491,10 @@ mod tests {
     #[test]
     fn mem_lookup_by_level() {
         let e = ProcessNode::N7.energy();
-        let with = minimal().cmem(MemSpec::sram(128, 5000.0, 20.0, &e)).build().unwrap();
+        let with = minimal()
+            .cmem(MemSpec::sram(128, 5000.0, 20.0, &e))
+            .build()
+            .unwrap();
         let without = minimal().build().unwrap();
         assert!(with.mem(MemLevel::Cmem).is_some());
         assert!(without.mem(MemLevel::Cmem).is_none());

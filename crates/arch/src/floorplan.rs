@@ -71,9 +71,8 @@ pub fn estimate(cfg: &ChipConfig) -> AreaBreakdown {
     } else {
         cfg.native_types[0]
     };
-    let macs = cfg.cores as f64
-        * cfg.mxus_per_core as f64
-        * (cfg.mxu_dim as f64 * cfg.mxu_dim as f64);
+    let macs =
+        cfg.cores as f64 * cfg.mxus_per_core as f64 * (cfg.mxu_dim as f64 * cfg.mxu_dim as f64);
     let mxu_mm2 = macs * mac_mm2(cfg.node, dtype);
 
     // Each VPU ALU is ~an fp32 lane; multiply by 2 for register files.
@@ -152,7 +151,8 @@ mod tests {
 
     #[test]
     fn sram_shrinks_slower_than_logic() {
-        let logic_gain = mac_mm2(ProcessNode::N45, DType::Bf16) / mac_mm2(ProcessNode::N7, DType::Bf16);
+        let logic_gain =
+            mac_mm2(ProcessNode::N45, DType::Bf16) / mac_mm2(ProcessNode::N7, DType::Bf16);
         let sram_gain = sram_mm2_per_mib(ProcessNode::N45) / sram_mm2_per_mib(ProcessNode::N7);
         assert!(logic_gain > 1.5 * sram_gain);
     }

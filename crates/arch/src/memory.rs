@@ -90,7 +90,12 @@ impl MemSpec {
     /// Builds an on-chip SRAM spec (CMEM/VMEM/SMEM) from capacity and
     /// bandwidth, taking energy from the node's table. CMEM is a large
     /// array, so we charge an extra wire term for the longer H-tree.
-    pub fn sram(capacity_mib: u64, bandwidth_gbps: f64, latency_ns: f64, e: &EnergyTable) -> MemSpec {
+    pub fn sram(
+        capacity_mib: u64,
+        bandwidth_gbps: f64,
+        latency_ns: f64,
+        e: &EnergyTable,
+    ) -> MemSpec {
         MemSpec {
             capacity_bytes: capacity_mib * MIB,
             bandwidth_bps: bandwidth_gbps * 1e9,

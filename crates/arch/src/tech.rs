@@ -105,12 +105,12 @@ pub struct EnergyTable {
 /// Reference (45 nm) energies, first-order Horowitz-style figures.
 const REF: EnergyTable = EnergyTable {
     node: ProcessNode::N45,
-    mac_int8_pj: 0.23,  // 0.2 pJ mult + 0.03 pJ add
-    mac_bf16_pj: 1.20,  // ~16b fp mult + fp32 add
-    mac_fp32_pj: 4.60,  // 3.7 pJ mult + 0.9 pJ add
-    sram_pj_per_byte: 5.0,   // multi-megabyte array, incl. H-tree
-    hbm_pj_per_byte: 56.0,   // ~7 pJ/bit (2.5D stacked)
-    ddr_pj_per_byte: 160.0,  // ~20 pJ/bit (off-package)
+    mac_int8_pj: 0.23,      // 0.2 pJ mult + 0.03 pJ add
+    mac_bf16_pj: 1.20,      // ~16b fp mult + fp32 add
+    mac_fp32_pj: 4.60,      // 3.7 pJ mult + 0.9 pJ add
+    sram_pj_per_byte: 5.0,  // multi-megabyte array, incl. H-tree
+    hbm_pj_per_byte: 56.0,  // ~7 pJ/bit (2.5D stacked)
+    ddr_pj_per_byte: 160.0, // ~20 pJ/bit (off-package)
     wire_pj_per_byte_mm: 0.50,
 };
 
@@ -203,8 +203,14 @@ mod tests {
             logic > 2.0 * sram,
             "logic ({logic:.1}x) should outpace SRAM ({sram:.1}x) by >2x"
         );
-        assert!(sram > dram, "SRAM ({sram:.1}x) should outpace DRAM ({dram:.1}x)");
-        assert!(dram > wire, "DRAM ({dram:.1}x) should outpace wire ({wire:.1}x)");
+        assert!(
+            sram > dram,
+            "SRAM ({sram:.1}x) should outpace DRAM ({dram:.1}x)"
+        );
+        assert!(
+            dram > wire,
+            "DRAM ({dram:.1}x) should outpace wire ({wire:.1}x)"
+        );
         assert!(logic > 8.0, "logic should improve ~10x over three steps");
         assert!(dram < 2.0, "DRAM interface improves <2x over three steps");
     }

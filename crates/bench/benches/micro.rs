@@ -4,9 +4,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use tpu_arch::{catalog, Generation};
+use tpu_bench::quick::Group;
 use tpu_hlo::{compile, CompilerOptions};
 use tpu_numerics::{Bf16, Quantized};
 use tpu_serving::des::{simulate, ServingConfig};
@@ -14,110 +13,84 @@ use tpu_serving::latency::LatencyModel;
 use tpu_sim::Simulator;
 use tpu_workloads::production_apps;
 
-fn bench_compile(c: &mut Criterion) {
+fn bench_compile() {
     let chip = catalog::tpu_v4i();
     let options = CompilerOptions::default();
-    let mut group = c.benchmark_group("compile");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let group = Group::new("compile").measurement_time(Duration::from_secs(2));
     for app in production_apps() {
         let graph = app.build(8).expect("builds");
-        group.bench_function(BenchmarkId::from_parameter(app.spec.name), |b| {
-            b.iter(|| {
-                let exe = compile(&graph, &chip, &options).expect("compiles");
-                std::hint::black_box(exe.plan().len())
-            })
+        group.bench(app.spec.name, || {
+            let exe = compile(&graph, &chip, &options).expect("compiles");
+            exe.plan().len()
         });
     }
-    group.finish();
 }
 
-fn bench_simulate(c: &mut Criterion) {
+fn bench_simulate() {
     let chip = catalog::tpu_v4i();
     let options = CompilerOptions::default();
     let sim = Simulator::new(chip.clone());
-    let mut group = c.benchmark_group("simulate");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let group = Group::new("simulate").measurement_time(Duration::from_secs(2));
     for app in production_apps() {
         let graph = app.build(8).expect("builds");
         let exe = compile(&graph, &chip, &options).expect("compiles");
-        group.bench_function(BenchmarkId::from_parameter(app.spec.name), |b| {
-            b.iter(|| {
-                let report = sim.run(exe.plan()).expect("simulates");
-                std::hint::black_box(report.seconds)
-            })
+        group.bench(app.spec.name, || {
+            sim.run(exe.plan()).expect("simulates").seconds
         });
     }
-    group.finish();
 }
 
-fn bench_isa_round_trip(c: &mut Criterion) {
+fn bench_isa_round_trip() {
     let chip = catalog::tpu_v4i();
     let graph = production_apps()[0].build(8).expect("builds");
     let exe = compile(&graph, &chip, &CompilerOptions::default()).expect("compiles");
-    let mut group = c.benchmark_group("isa");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
-    group.bench_function("encode+decode", |b| {
-        b.iter(|| {
-            let bytes = exe.binary().expect("encodes");
-            let p = tpu_isa::decode(&bytes, Generation::TpuV4i).expect("decodes");
-            std::hint::black_box(p.len())
-        })
+    let group = Group::new("isa").measurement_time(Duration::from_secs(2));
+    group.bench("encode+decode", || {
+        let bytes = exe.binary().expect("encodes");
+        tpu_isa::decode(&bytes, Generation::TpuV4i)
+            .expect("decodes")
+            .len()
     });
-    group.finish();
 }
 
-fn bench_numerics(c: &mut Criterion) {
+fn bench_numerics() {
     let xs: Vec<f32> = (0..1_000_000)
         .map(|i| ((i * 2_654_435_761usize) % 1000) as f32 / 500.0 - 1.0)
         .collect();
-    let mut group = c.benchmark_group("numerics");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    group.bench_function("quantize/per-tensor-1M", |b| {
-        b.iter(|| {
-            let q = Quantized::per_tensor(&xs).expect("finite");
-            std::hint::black_box(q.codes.len())
-        })
+    let group = Group::new("numerics").measurement_time(Duration::from_secs(2));
+    group.bench("quantize/per-tensor-1M", || {
+        Quantized::per_tensor(&xs).expect("finite").codes.len()
     });
-    group.bench_function("bf16/convert-1M", |b| {
-        b.iter(|| {
-            let sum: u32 = xs
-                .iter()
-                .map(|&x| Bf16::from_f32(x).to_bits() as u32)
-                .sum();
-            std::hint::black_box(sum)
-        })
+    group.bench("bf16/convert-1M", || {
+        xs.iter()
+            .map(|&x| Bf16::from_f32(x).to_bits() as u32)
+            .sum::<u32>()
     });
-    group.finish();
 }
 
-fn bench_serving(c: &mut Criterion) {
+fn bench_serving() {
     let model = LatencyModel::from_points(vec![(1, 0.001), (128, 0.008)]).expect("valid");
-    let mut group = c.benchmark_group("serving");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    group.bench_function("des-10k-requests", |b| {
-        b.iter(|| {
-            let r = simulate(
-                &model,
-                &ServingConfig {
-                    arrival_rate_rps: 5000.0,
-                    max_batch: 32,
-                    batch_timeout_s: 0.002,
-                    requests: 10_000,
-                    seed: 1,
-                },
-            );
-            std::hint::black_box(r.p99_s)
-        })
+    let group = Group::new("serving").measurement_time(Duration::from_secs(2));
+    group.bench("des-10k-requests", || {
+        simulate(
+            &model,
+            &ServingConfig {
+                arrival_rate_rps: 5000.0,
+                max_batch: 32,
+                batch_timeout_s: 0.002,
+                requests: 10_000,
+                seed: 1,
+            },
+        )
+        .expect("valid config")
+        .p99_s
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_compile,
-    bench_simulate,
-    bench_isa_round_trip,
-    bench_numerics,
-    bench_serving
-);
-criterion_main!(benches);
+fn main() {
+    bench_compile();
+    bench_simulate();
+    bench_isa_round_trip();
+    bench_numerics();
+    bench_serving();
+}

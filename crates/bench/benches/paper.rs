@@ -1,26 +1,17 @@
-//! One criterion bench per paper table/figure: times the regeneration of
-//! each experiment (E1–E14). `cargo bench -p tpu-bench --bench paper`.
+//! One timed run per paper table/figure: times the regeneration of each
+//! experiment. `cargo bench -p tpu-bench --bench paper`.
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tpu_bench::quick::Group;
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paper");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
+fn main() {
+    let group = Group::new("paper").measurement_time(Duration::from_secs(2));
     for id in tpu_bench::ALL_EXPERIMENTS {
-        group.bench_function(id, |b| {
-            b.iter(|| {
-                let out = tpu_bench::run_experiment(id).expect("known experiment id");
-                std::hint::black_box(out.len())
-            })
+        group.bench(id, || {
+            tpu_bench::run_experiment(id)
+                .expect("known experiment id")
+                .len()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

@@ -25,8 +25,11 @@ fn main() -> ExitCode {
     }
     let with_ablations = args.iter().any(|a| a == "--ablations");
     let ids: Vec<String> = {
-        let positional: Vec<String> =
-            args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+        let positional: Vec<String> = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .collect();
         if positional.is_empty() {
             tpu_bench::ALL_EXPERIMENTS
                 .iter()

@@ -129,9 +129,7 @@ pub fn a2_data_no_cmem() -> Vec<AblationPoint> {
 pub fn a2_hbm_bandwidth() -> String {
     let with = a2_data();
     let without = a2_data_no_cmem();
-    let mut t = Table::new(&[
-        "HBM BW", "with CMEM (vs 614)", "without CMEM (vs 614)",
-    ]);
+    let mut t = Table::new(&["HBM BW", "with CMEM (vs 614)", "without CMEM (vs 614)"]);
     for (w, wo) in with.iter().zip(&without) {
         t.row(vec![
             w.label.clone(),
@@ -200,12 +198,20 @@ mod tests {
         let with = a2_data();
         let without = a2_data_no_cmem();
         // With CMEM, halving HBM barely hurts; without, it hurts a lot.
-        assert!(with[0].vs_shipped > 0.9, "with CMEM: {}", with[0].vs_shipped);
+        assert!(
+            with[0].vs_shipped > 0.9,
+            "with CMEM: {}",
+            with[0].vs_shipped
+        );
         assert!(
             without[0].vs_shipped < with[0].vs_shipped,
             "no-CMEM must be more bandwidth-sensitive"
         );
-        assert!(without[0].vs_shipped < 0.9, "no CMEM: {}", without[0].vs_shipped);
+        assert!(
+            without[0].vs_shipped < 0.9,
+            "no CMEM: {}",
+            without[0].vs_shipped
+        );
         // Doubling helps little in either steady state at batch 8.
         assert!(with[2].vs_shipped < 1.5);
     }

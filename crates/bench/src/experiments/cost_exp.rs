@@ -69,8 +69,13 @@ pub fn e10_data() -> Vec<TcoRow> {
 pub fn e10_tco() -> String {
     let rows = e10_data();
     let mut t = Table::new(&[
-        "chip", "geomean inf/s", "CapEx $", "OpEx $ (3y)", "TCO $",
-        "perf/CapEx$", "perf/TCO$",
+        "chip",
+        "geomean inf/s",
+        "CapEx $",
+        "OpEx $ (3y)",
+        "TCO $",
+        "perf/CapEx$",
+        "perf/TCO$",
     ]);
     for r in &rows {
         t.row(vec![
@@ -91,12 +96,8 @@ pub fn e10_tco() -> String {
     // Quantify Lesson 3: judging by CapEx alone understates how much the
     // coolest chip beats the hottest one, because it ignores the OpEx
     // the hot chip keeps burning for its whole service life.
-    let hot = rows
-        .iter()
-        .max_by(|a, b| a.opex_usd.total_cmp(&b.opex_usd));
-    let cool = rows
-        .iter()
-        .min_by(|a, b| a.opex_usd.total_cmp(&b.opex_usd));
+    let hot = rows.iter().max_by(|a, b| a.opex_usd.total_cmp(&b.opex_usd));
+    let cool = rows.iter().min_by(|a, b| a.opex_usd.total_cmp(&b.opex_usd));
     let lesson = match (hot, cool) {
         (Some(hot), Some(cool)) if hot.chip != cool.chip => format!(
             "{cool} vs {hot}: {capex_adv}x by perf/CapEx but {tco_adv}x by perf/TCO — \
@@ -121,7 +122,12 @@ pub fn e10_tco() -> String {
 pub fn e12_growth() -> String {
     let series = growth::demand_vs_capability(0.5, 50.0, 2016, 2021);
     let mut t = Table::new(&[
-        "year", "model GiB", "model GFLOP", "newest chip", "HBM GiB", "peak TFLOPS",
+        "year",
+        "model GiB",
+        "model GFLOP",
+        "newest chip",
+        "HBM GiB",
+        "peak TFLOPS",
     ]);
     for p in &series {
         t.row(vec![
@@ -200,7 +206,12 @@ pub fn e13_data() -> Vec<CoolingRow> {
 /// E13 — inference DSAs need air cooling (Lesson 5).
 pub fn e13_cooling() -> String {
     let mut t = Table::new(&[
-        "chip", "TDP W", "cooling", "chips/rack", "fleet-weighted", "cooling CapEx $",
+        "chip",
+        "TDP W",
+        "cooling",
+        "chips/rack",
+        "fleet-weighted",
+        "cooling CapEx $",
     ]);
     for r in e13_data() {
         t.row(vec![
@@ -270,7 +281,11 @@ pub fn e18_data(target_total_rps: f64) -> Vec<FleetRow> {
 pub fn e18_fleet_sizing() -> String {
     let target = 1e6;
     let mut t = Table::new(&[
-        "chip", "chips for 1M inf/s", "racks", "fleet CapEx $M", "fleet TCO $M (3y)",
+        "chip",
+        "chips for 1M inf/s",
+        "racks",
+        "fleet CapEx $M",
+        "fleet TCO $M (3y)",
     ]);
     for r in e18_data(target) {
         t.row(vec![
@@ -296,7 +311,10 @@ pub fn a4_electricity() -> String {
     // electricity price visibly moves the ranking gap.
     let rows = e10_data();
     let mut t = Table::new(&[
-        "$/kWh", "TPUv3 perf/TCO$", "GPU-T4 perf/TCO$", "GPU advantage",
+        "$/kWh",
+        "TPUv3 perf/TCO$",
+        "GPU-T4 perf/TCO$",
+        "GPU advantage",
     ]);
     for price in [0.04f64, 0.08, 0.16, 0.32] {
         let model = TcoModel {
@@ -368,7 +386,10 @@ mod tests {
         let chips = catalog::inference_comparison_set();
         let mut last = 0.0f64;
         for price in [0.04f64, 0.32] {
-            let model = TcoModel { usd_per_kwh: price, ..TcoModel::default() };
+            let model = TcoModel {
+                usd_per_kwh: price,
+                ..TcoModel::default()
+            };
             let get = |name: &str| {
                 let r = rows.iter().find(|r| r.chip == name).unwrap();
                 let chip = chips.iter().find(|c| c.name == name).unwrap();

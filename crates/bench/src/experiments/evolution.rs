@@ -92,7 +92,11 @@ pub fn e19_data() -> Vec<CoverageRow> {
 /// E19 — workload evolution: coverage of the 2020 mix per generation.
 pub fn e19_workload_evolution() -> String {
     let mut t = Table::new(&[
-        "chip", "year", "serves 2020 mix", "unseen at design", "blocked apps",
+        "chip",
+        "year",
+        "serves 2020 mix",
+        "unseen at design",
+        "blocked apps",
     ]);
     for r in e19_data() {
         let blocked = if r.blocked.is_empty() {
@@ -135,12 +139,13 @@ mod tests {
         let rows = e19_data();
         let v1 = rows.iter().find(|r| r.chip == "TPUv1").unwrap();
         // RNN0 + BERT0 + BERT1 = 53% of the 2020 mix needs floating point.
-        assert!((v1.servable_share - 0.47).abs() < 0.01, "{}", v1.servable_share);
+        assert!(
+            (v1.servable_share - 0.47).abs() < 0.01,
+            "{}",
+            v1.servable_share
+        );
         assert_eq!(v1.blocked.len(), 3);
-        assert!(v1
-            .blocked
-            .iter()
-            .all(|(_, b)| *b == Blocker::NeedsFloat));
+        assert!(v1.blocked.iter().all(|(_, b)| *b == Blocker::NeedsFloat));
         // 45% of the 2020 load (the BERTs plus the 2016 apps) did not
         // exist when TPUv1 shipped in 2015.
         assert!((v1.unseen_share - 0.45).abs() < 0.01);

@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod cost_exp;
 pub mod evolution;
 pub mod numerics_exp;
+pub mod overload;
 pub mod perf;
 pub mod scaleout;
 pub mod serving_exp;

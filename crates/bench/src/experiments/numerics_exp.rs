@@ -78,7 +78,9 @@ fn bulk_stats(y_ref: &Tensor, y_q: &Tensor, outlier_every: usize) -> ErrorStats 
         t.data()
             .iter()
             .enumerate()
-            .filter(|(i, _)| outlier_every == usize::MAX || !(i % cols).is_multiple_of(outlier_every))
+            .filter(|(i, _)| {
+                outlier_every == usize::MAX || !(i % cols).is_multiple_of(outlier_every)
+            })
             .map(|(_, &v)| v)
             .collect()
     };
@@ -156,8 +158,13 @@ pub fn e9_data() -> Vec<QuantRow> {
 /// E9 — int8 vs bf16: the speedup is real, but some apps cannot take it.
 pub fn e9_int8_vs_bf16() -> String {
     let mut t = Table::new(&[
-        "app", "int8 speedup", "weight SQNR dB", "output SQNR dB",
-        "per-channel dB", "proxy int8 OK", "production verdict",
+        "app",
+        "int8 speedup",
+        "weight SQNR dB",
+        "output SQNR dB",
+        "per-channel dB",
+        "proxy int8 OK",
+        "production verdict",
     ]);
     for r in e9_data() {
         t.row(vec![

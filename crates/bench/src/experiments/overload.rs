@@ -1,0 +1,150 @@
+//! E21: the goodput cliff — overload behavior with and without load
+//! shedding.
+//!
+//! Lesson 10 at fleet scale: a server that keeps serving every request
+//! under overload spends its cycles on work that already blew the SLO,
+//! so *goodput* (in-deadline completions) collapses past saturation
+//! even though throughput stays flat. Shedding expired requests and
+//! capping the queue turns the cliff into a plateau: offered load
+//! beyond capacity is turned away (some retried) and everything that is
+//! served still counts.
+
+use tpu_arch::catalog;
+use tpu_core::slo_operating_point_under_overload;
+use tpu_hlo::CompilerOptions;
+use tpu_workloads::zoo;
+
+use crate::util::{f, Table};
+
+/// One point of the E21 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadSweepPoint {
+    /// Offered load as a multiple of ideal capacity.
+    pub load_factor: f64,
+    /// Whether overload protection (shed + cap + retry) was on.
+    pub shedding: bool,
+    /// In-deadline completions per second.
+    pub goodput_rps: f64,
+    /// All completions per second.
+    pub throughput_rps: f64,
+    /// Requests permanently shed.
+    pub shed: usize,
+    /// Retries scheduled.
+    pub retries: u64,
+    /// Completions that missed the deadline.
+    pub late: u64,
+    /// Simulated p99 of completed requests, ms.
+    pub p99_ms: f64,
+}
+
+/// The load factors the sweep visits: below, at, and past saturation.
+pub const LOAD_FACTORS: [f64; 6] = [0.5, 0.8, 1.0, 1.2, 1.5, 2.0];
+
+/// E21 data: BERT0 on TPUv4i, offered 0.5x–2x its SLO-capped capacity,
+/// with and without overload protection.
+pub fn overload_data() -> Vec<OverloadSweepPoint> {
+    let chip = catalog::tpu_v4i();
+    let app = zoo::bert0();
+    let options = CompilerOptions::default();
+    let mut out = Vec::new();
+    for shedding in [false, true] {
+        for factor in LOAD_FACTORS {
+            let p =
+                slo_operating_point_under_overload(&app, &chip, &options, factor, shedding, 4000)
+                    .expect("BERT0 profiles and the sweep config is valid");
+            assert!(p.report.conservation_holds(), "lost requests at {factor}x");
+            out.push(OverloadSweepPoint {
+                load_factor: factor,
+                shedding,
+                goodput_rps: p.report.goodput_rps,
+                throughput_rps: p.report.throughput_rps,
+                shed: p.report.shed,
+                retries: p.report.metrics.retries.get(),
+                late: p.report.metrics.completed_late.get(),
+                p99_ms: p.report.p99_s * 1e3,
+            });
+        }
+    }
+    out
+}
+
+/// E21 (extension) — the goodput cliff with and without shedding.
+pub fn e21_overload() -> String {
+    let mut t = Table::new(&[
+        "policy",
+        "load",
+        "goodput/s",
+        "thpt/s",
+        "shed",
+        "retries",
+        "late",
+        "p99 ms",
+    ]);
+    for p in overload_data() {
+        t.row(vec![
+            if p.shedding {
+                "shed+retry"
+            } else {
+                "serve all"
+            }
+            .to_owned(),
+            format!("{}x", f(p.load_factor, 1)),
+            f(p.goodput_rps, 0),
+            f(p.throughput_rps, 0),
+            p.shed.to_string(),
+            p.retries.to_string(),
+            p.late.to_string(),
+            f(p.p99_ms, 2),
+        ]);
+    }
+    format!(
+        "E21 (extension) — goodput under overload, BERT0 on TPUv4i (Lesson 10 at fleet scale)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e21_shedding_flattens_the_goodput_cliff() {
+        let data = overload_data();
+        let at = |factor: f64, shedding: bool| {
+            data.iter()
+                .find(|p| p.load_factor == factor && p.shedding == shedding)
+                .unwrap()
+        };
+        // Below saturation the policies agree: nothing to shed.
+        let below_plain = at(0.5, false);
+        let below_shed = at(0.5, true);
+        assert_eq!(below_shed.shed, 0);
+        assert!(
+            (below_plain.goodput_rps - below_shed.goodput_rps).abs()
+                < 0.05 * below_plain.goodput_rps
+        );
+        // Past saturation, serve-all collapses: goodput at 2x load falls
+        // far below its sub-saturation peak...
+        let plain_peak = at(0.8, false).goodput_rps;
+        let plain_over = at(2.0, false).goodput_rps;
+        assert!(
+            plain_over < 0.5 * plain_peak,
+            "no cliff without shedding: {plain_over} vs peak {plain_peak}"
+        );
+        // ...while shedding holds goodput near the peak through 2x.
+        let shed_peak = at(0.8, true).goodput_rps;
+        let shed_over = at(2.0, true).goodput_rps;
+        assert!(
+            shed_over > 0.7 * shed_peak,
+            "shedding should hold the plateau: {shed_over} vs peak {shed_peak}"
+        );
+        // The protected fleet visibly sheds and retries under overload.
+        assert!(at(2.0, true).shed > 0);
+        assert!(at(2.0, true).retries > 0);
+        // Serve-all never sheds; it just serves late.
+        for factor in LOAD_FACTORS {
+            assert_eq!(at(factor, false).shed, 0);
+        }
+        assert!(at(2.0, false).late > 0);
+    }
+}

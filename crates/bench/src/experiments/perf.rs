@@ -131,8 +131,13 @@ pub fn e4_roofline() -> String {
     let ridge_bf16 = chip.ridge_flops_per_byte(DType::Bf16).expect("native");
     let ridge_int8 = chip.ridge_flops_per_byte(DType::Int8).expect("native");
     let mut t = Table::new(&[
-        "app", "SLO batch", "FLOP/byte", "TFLOP/s (HBM)", "TFLOP/s (CMEM)",
-        "% of peak", "bound (vs HBM roof)",
+        "app",
+        "SLO batch",
+        "FLOP/byte",
+        "TFLOP/s (HBM)",
+        "TFLOP/s (CMEM)",
+        "% of peak",
+        "bound (vs HBM roof)",
     ]);
     for p in e4_data() {
         t.row(vec![
@@ -228,9 +233,7 @@ pub fn e5_relative_to_v3(rows: &[PerfRow]) -> Vec<(String, f64, f64)> {
 /// E5 — perf and perf/Watt across TPUv2, TPUv3, TPUv4i and the GPU.
 pub fn e5_perf_per_watt() -> String {
     let rows = e5_data();
-    let mut t = Table::new(&[
-        "chip", "app", "dtype", "batch", "inf/s", "avg W", "inf/J",
-    ]);
+    let mut t = Table::new(&["chip", "app", "dtype", "batch", "inf/s", "avg W", "inf/J"]);
     for r in &rows {
         t.row(vec![
             r.chip.clone(),
@@ -244,7 +247,11 @@ pub fn e5_perf_per_watt() -> String {
     }
     let mut summary = Table::new(&["chip", "geomean perf vs TPUv3", "geomean perf/W vs TPUv3"]);
     for (chip, perf, ppw) in e5_relative_to_v3(&rows) {
-        summary.row(vec![chip, format!("{}x", f(perf, 2)), format!("{}x", f(ppw, 2))]);
+        summary.row(vec![
+            chip,
+            format!("{}x", f(perf, 2)),
+            format!("{}x", f(ppw, 2)),
+        ]);
     }
     format!(
         "E5 / Fig — per-app performance and perf/Watt at SLO batch\n{}\nSummary (geomean over the 8 apps):\n{}",
@@ -318,7 +325,10 @@ pub fn e6_cmem_sweep() -> String {
     }
     let mut t = Table::new(&header);
     for p in &points {
-        let mut row = vec![p.budget_mib.to_string(), format!("{}x", f(p.geomean_speedup, 2))];
+        let mut row = vec![
+            p.budget_mib.to_string(),
+            format!("{}x", f(p.geomean_speedup, 2)),
+        ];
         for (_, s) in &p.per_app {
             row.push(format!("{}x", f(*s, 2)));
         }
@@ -346,7 +356,14 @@ pub fn e7_data() -> Vec<CompilerGain> {
     let base: Vec<f64> = apps
         .iter()
         .map(|app| {
-            run_once(app, &chip, 8, DType::Bf16, &CompilerOptions::level(OptLevel::O0)).seconds
+            run_once(
+                app,
+                &chip,
+                8,
+                DType::Bf16,
+                &CompilerOptions::level(OptLevel::O0),
+            )
+            .seconds
         })
         .collect();
     OptLevel::ALL
@@ -411,13 +428,21 @@ mod tests {
     fn e4_has_both_memory_and_compute_bound_apps() {
         let points = e4_data();
         assert_eq!(points.len(), 8);
-        assert!(points.iter().any(|p| p.memory_bound), "MLPs are memory bound");
+        assert!(
+            points.iter().any(|p| p.memory_bound),
+            "MLPs are memory bound"
+        );
         assert!(
             points.iter().any(|p| !p.memory_bound),
             "CNN0 should be compute bound"
         );
         for p in &points {
-            assert!(p.fraction_of_peak <= 1.0 + 1e-9, "{}: {}", p.app, p.fraction_of_peak);
+            assert!(
+                p.fraction_of_peak <= 1.0 + 1e-9,
+                "{}: {}",
+                p.app,
+                p.fraction_of_peak
+            );
             assert!(p.tflops_hbm > 0.0);
             // CMEM never meaningfully hurts (compute-bound apps can see
             // sub-percent noise from channel re-serialization).
@@ -456,8 +481,7 @@ pub fn e16_data() -> Vec<EnergyRow> {
                 static_frac: r.static_fraction(),
                 mxu_frac: r.energy_fraction(Resource::Mxu),
                 vpu_frac: r.energy_fraction(Resource::Vpu),
-                dma_frac: r.energy_fraction(Resource::Dma)
-                    + r.energy_fraction(Resource::Ici),
+                dma_frac: r.energy_fraction(Resource::Dma) + r.energy_fraction(Resource::Ici),
             }
         })
         .collect()

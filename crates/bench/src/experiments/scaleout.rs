@@ -53,7 +53,11 @@ pub fn e15_data() -> Vec<ScaleoutPoint> {
 /// E15 — pipeline scale-out of BERT1 over a TPUv4i pod.
 pub fn e15_scaleout() -> String {
     let mut t = Table::new(&[
-        "chips", "latency ms", "batches/s", "efficiency", "CMEM-resident weights",
+        "chips",
+        "latency ms",
+        "batches/s",
+        "efficiency",
+        "CMEM-resident weights",
         "bottleneck",
     ]);
     for p in e15_data() {
@@ -63,19 +67,19 @@ pub fn e15_scaleout() -> String {
             .iter()
             .cloned()
             .fold(0.0f64, f64::max);
-        let max_hop = p
-            .report
-            .hop_seconds
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let max_hop = p.report.hop_seconds.iter().cloned().fold(0.0f64, f64::max);
         t.row(vec![
             p.chips.to_string(),
             f(p.report.latency_s * 1e3, 2),
             f(p.report.batches_per_sec, 0),
             format!("{}%", f(p.efficiency * 100.0, 0)),
             format!("{}%", f(p.report.cmem_fraction * 100.0, 0)),
-            if max_hop > max_stage { "ICI" } else { "compute" }.to_owned(),
+            if max_hop > max_stage {
+                "ICI"
+            } else {
+                "compute"
+            }
+            .to_owned(),
         ]);
     }
     format!(
@@ -100,9 +104,18 @@ mod tests {
             assert!(pair[1].report.cmem_fraction >= pair[0].report.cmem_fraction);
         }
         let four = &points[3];
-        assert!(four.efficiency > 0.6, "4-chip efficiency {}", four.efficiency);
+        assert!(
+            four.efficiency > 0.6,
+            "4-chip efficiency {}",
+            four.efficiency
+        );
         // Compute, not ICI, should be the bottleneck at seq 128 / batch 8.
-        let max_stage = four.report.stage_seconds.iter().cloned().fold(0.0, f64::max);
+        let max_stage = four
+            .report
+            .stage_seconds
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
         let max_hop = four.report.hop_seconds.iter().cloned().fold(0.0, f64::max);
         assert!(max_stage > max_hop);
     }

@@ -35,8 +35,8 @@ pub fn e8_data() -> Vec<LatencyVsBatch> {
     production_apps()
         .iter()
         .map(|app| {
-            let model =
-                LatencyModel::profile(app, &chip, &options, &[1, 8, 32, 128, 256]).expect("profiles");
+            let model = LatencyModel::profile(app, &chip, &options, &[1, 8, 32, 128, 256])
+                .expect("profiles");
             let slo_s = app.spec.slo_p99_ms / 1e3;
             let max_batch = max_batch_within_slo(&model, slo_s, 512).unwrap_or(1);
             let rate = 0.7 * model.throughput(max_batch);
@@ -49,7 +49,8 @@ pub fn e8_data() -> Vec<LatencyVsBatch> {
                     requests: 3000,
                     seed: 9,
                 },
-            );
+            )
+            .expect("valid serving config");
             LatencyVsBatch {
                 app: app.spec.name.to_owned(),
                 slo_ms: app.spec.slo_p99_ms,
@@ -70,8 +71,15 @@ pub fn e8_data() -> Vec<LatencyVsBatch> {
 /// E8 — latency vs batch: applications limit latency, not batch size.
 pub fn e8_latency_vs_batch() -> String {
     let mut t = Table::new(&[
-        "app", "SLO ms", "lat@1", "lat@8", "lat@32", "lat@128", "max batch",
-        "p99@70% ms", "inf/s",
+        "app",
+        "SLO ms",
+        "lat@1",
+        "lat@8",
+        "lat@32",
+        "lat@128",
+        "max batch",
+        "p99@70% ms",
+        "inf/s",
     ]);
     for r in e8_data() {
         t.row(vec![
@@ -150,7 +158,12 @@ pub fn e11_data() -> Vec<TenancyPoint> {
 /// E11 — multi-tenancy: tail latency vs resident tenant count.
 pub fn e11_multitenancy() -> String {
     let mut t = Table::new(&[
-        "chip", "tenants", "all resident", "swaps", "worst p99 ms", "inf/s",
+        "chip",
+        "tenants",
+        "all resident",
+        "swaps",
+        "worst p99 ms",
+        "inf/s",
     ]);
     for p in e11_data() {
         t.row(vec![
@@ -219,8 +232,7 @@ pub fn e17_data() -> Vec<PolicyPoint> {
     let chip = catalog::tpu_v4i();
     let app = zoo::bert0();
     let options = CompilerOptions::default();
-    let model =
-        LatencyModel::profile(&app, &chip, &options, &[1, 8, 32, 128]).expect("profiles");
+    let model = LatencyModel::profile(&app, &chip, &options, &[1, 8, 32, 128]).expect("profiles");
     let slo_s = app.spec.slo_p99_ms / 1e3;
     let cap = max_batch_within_slo(&model, slo_s, 256).unwrap_or(1);
     // Fixed offered load: 60% of the capped capacity.
@@ -244,7 +256,8 @@ pub fn e17_data() -> Vec<PolicyPoint> {
                     requests: 4000,
                     seed: 21,
                 },
-            );
+            )
+            .expect("valid serving config");
             PolicyPoint {
                 policy,
                 p50_ms: r.p50_s * 1e3,
@@ -281,12 +294,7 @@ mod policy_tests {
     #[test]
     fn e17_policy_tradeoffs() {
         let points = e17_data();
-        let by = |name: &str| {
-            points
-                .iter()
-                .find(|p| p.policy.starts_with(name))
-                .unwrap()
-        };
+        let by = |name: &str| points.iter().find(|p| p.policy.starts_with(name)).unwrap();
         // Longer waits form bigger batches...
         assert!(by("timeout 50%").mean_batch > by("greedy").mean_batch);
         // ...and cost tail latency.
@@ -328,13 +336,16 @@ pub fn e20_data() -> Vec<InterferencePoint> {
     let sim = Simulator::new(chip.clone());
     let plan_of = |app: &tpu_workloads::App| {
         let g = app.build(8).expect("builds");
-        compile(&g, &chip, &options).expect("compiles").plan().clone()
+        compile(&g, &chip, &options)
+            .expect("compiles")
+            .plan()
+            .clone()
     };
     let pairs = [
-        (zoo::mlp0(), zoo::mlp0()),   // two bandwidth-hungry tenants
-        (zoo::mlp0(), zoo::cnn0()),   // bandwidth + compute: complementary
-        (zoo::cnn0(), zoo::cnn0()),   // two compute-bound tenants
-        (zoo::bert0(), zoo::mlp1()),  // heavyweight + lightweight
+        (zoo::mlp0(), zoo::mlp0()),  // two bandwidth-hungry tenants
+        (zoo::mlp0(), zoo::cnn0()),  // bandwidth + compute: complementary
+        (zoo::cnn0(), zoo::cnn0()),  // two compute-bound tenants
+        (zoo::bert0(), zoo::mlp1()), // heavyweight + lightweight
     ];
     pairs
         .iter()
@@ -359,7 +370,11 @@ pub fn e20_data() -> Vec<InterferencePoint> {
 /// E20 (extension) — co-location interference at the chip level.
 pub fn e20_interference() -> String {
     let mut t = Table::new(&[
-        "tenants", "A alone ms", "B alone ms", "together ms", "interference",
+        "tenants",
+        "A alone ms",
+        "B alone ms",
+        "together ms",
+        "interference",
     ]);
     for p in e20_data() {
         t.row(vec![
@@ -386,12 +401,7 @@ mod interference_tests {
         for p in &points {
             // Co-location is never free lunch below the slower tenant and
             // never worse than full serialization (within engine noise).
-            assert!(
-                p.interference >= 0.99,
-                "{:?}: {}",
-                p.pair,
-                p.interference
-            );
+            assert!(p.interference >= 0.99, "{:?}: {}", p.pair, p.interference);
             let serial = p.alone_ms.0 + p.alone_ms.1;
             assert!(
                 p.together_ms <= serial * 1.01,

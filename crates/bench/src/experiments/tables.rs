@@ -11,8 +11,20 @@ use crate::util::{f, Table};
 /// the GPU baseline used in E5).
 pub fn e1_table1() -> String {
     let mut t = Table::new(&[
-        "chip", "year", "node", "MHz", "TDP W", "idle W", "die mm2", "MXUs",
-        "bf16 TFLOPS", "int8 TOPS", "HBM GiB", "GB/s", "on-chip MiB", "cooling",
+        "chip",
+        "year",
+        "node",
+        "MHz",
+        "TDP W",
+        "idle W",
+        "die mm2",
+        "MXUs",
+        "bf16 TFLOPS",
+        "int8 TOPS",
+        "HBM GiB",
+        "GB/s",
+        "on-chip MiB",
+        "cooling",
     ]);
     for c in catalog::all_chips() {
         let mxus = c.cores * c.mxus_per_core;
@@ -42,7 +54,10 @@ pub fn e1_table1() -> String {
             c.cooling.to_string(),
         ]);
     }
-    format!("E1 / Table 1 — five TPU generations + GPU baseline\n{}", t.render())
+    format!(
+        "E1 / Table 1 — five TPU generations + GPU baseline\n{}",
+        t.render()
+    )
 }
 
 /// One row of the E2 scaling figure.
@@ -74,8 +89,16 @@ pub fn e2_data() -> Vec<TechRow> {
 /// E2 — technology scales unequally (Lesson 1).
 pub fn e2_tech_scaling() -> String {
     let mut t = Table::new(&[
-        "node", "int8 MAC pJ", "bf16 MAC pJ", "fp32 MAC pJ", "SRAM pJ/B", "HBM pJ/B",
-        "logic gain", "SRAM gain", "DRAM gain", "HBM B / bf16 MAC",
+        "node",
+        "int8 MAC pJ",
+        "bf16 MAC pJ",
+        "fp32 MAC pJ",
+        "SRAM pJ/B",
+        "HBM pJ/B",
+        "logic gain",
+        "SRAM gain",
+        "DRAM gain",
+        "HBM B / bf16 MAC",
     ]);
     for row in e2_data() {
         let e = row.node.energy();
@@ -102,8 +125,15 @@ pub fn e2_tech_scaling() -> String {
 /// E3 — the production inference app table.
 pub fn e3_app_table() -> String {
     let mut t = Table::new(&[
-        "app", "class", "params M", "GFLOP@b=1", "FLOP/byte", "nonlinearity",
-        "p99 SLO ms", "int8 OK", "fleet share",
+        "app",
+        "class",
+        "params M",
+        "GFLOP@b=1",
+        "FLOP/byte",
+        "nonlinearity",
+        "p99 SLO ms",
+        "int8 OK",
+        "fleet share",
     ]);
     for app in production_apps() {
         let g = app.build(1).expect("apps build at batch 1");

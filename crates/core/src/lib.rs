@@ -28,6 +28,10 @@ use std::fmt;
 
 use tpu_arch::ChipConfig;
 use tpu_hlo::{compile, CompileError, CompilerOptions, Executable};
+use tpu_serving::des::{
+    simulate_fleet, ConfigError, FleetConfig, FleetPolicy, RetryPolicy, ServingConfig,
+    ServingReport,
+};
 use tpu_serving::latency::{LatencyError, LatencyModel};
 use tpu_serving::slo;
 use tpu_sim::{SimError, SimReport, Simulator};
@@ -53,6 +57,8 @@ pub enum CoreError {
     Sim(String),
     /// Latency profiling failed.
     Latency(String),
+    /// The serving simulation rejected its configuration.
+    Serving(String),
 }
 
 impl fmt::Display for CoreError {
@@ -61,6 +67,7 @@ impl fmt::Display for CoreError {
             CoreError::Compile(e) => write!(f, "compile: {e}"),
             CoreError::Sim(e) => write!(f, "simulate: {e}"),
             CoreError::Latency(e) => write!(f, "profile: {e}"),
+            CoreError::Serving(e) => write!(f, "serving: {e}"),
         }
     }
 }
@@ -82,6 +89,12 @@ impl From<SimError> for CoreError {
 impl From<LatencyError> for CoreError {
     fn from(e: LatencyError) -> CoreError {
         CoreError::Latency(e.to_string())
+    }
+}
+
+impl From<ConfigError> for CoreError {
+    fn from(e: ConfigError) -> CoreError {
+        CoreError::Serving(e.to_string())
     }
 }
 
@@ -184,22 +197,134 @@ pub fn slo_operating_point(
     chip: &ChipConfig,
     options: &CompilerOptions,
 ) -> Result<OperatingPoint, CoreError> {
-    let model = LatencyModel::profile(
-        app,
-        chip,
-        options,
-        &tpu_serving::latency::DEFAULT_BATCHES,
-    )?;
+    profiled_operating_point(app, chip, options).map(|(_, op)| op)
+}
+
+fn profiled_operating_point(
+    app: &App,
+    chip: &ChipConfig,
+    options: &CompilerOptions,
+) -> Result<(LatencyModel, OperatingPoint), CoreError> {
+    let model = LatencyModel::profile(app, chip, options, &tpu_serving::latency::DEFAULT_BATCHES)?;
     let slo_s = app.spec.slo_p99_ms / 1e3;
     let found = slo::max_batch_within_slo(&model, slo_s, 1024);
     let batch = found.unwrap_or(1);
-    Ok(OperatingPoint {
+    let op = OperatingPoint {
         app: app.spec.name.to_owned(),
         slo_s,
         batch,
         feasible: found.is_some(),
         latency_s: model.latency(batch),
         throughput_rps: model.throughput(batch),
+    };
+    Ok((model, op))
+}
+
+/// An app's behavior when offered *more* load than its operating point
+/// sustains: the overload-aware companion to [`slo_operating_point`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadPoint {
+    /// The underlying SLO operating point.
+    pub operating_point: OperatingPoint,
+    /// The batch cap actually served at: the largest batch whose service
+    /// latency fits *half* the SLO, leaving the other half as queueing
+    /// headroom (serving at the full-SLO batch leaves no room to queue
+    /// at all — any wait is a violation).
+    pub serving_batch: u64,
+    /// Offered load as a multiple of the ideal capacity at
+    /// `serving_batch` (1.0 = exactly capacity).
+    pub load_factor: f64,
+    /// The offered arrival rate, requests/s.
+    pub offered_rps: f64,
+    /// Whether load shedding (deadline expiry + queue cap) was enabled.
+    pub shedding: bool,
+    /// The full serving report at that load.
+    pub report: ServingReport,
+}
+
+impl OverloadPoint {
+    /// Fraction of offered requests that completed within the SLO.
+    pub fn good_fraction(&self) -> f64 {
+        let good = self.report.completed - self.report.metrics.completed_late.get() as usize;
+        good as f64 / self.report.arrivals.max(1) as f64
+    }
+}
+
+/// Simulates an app's SLO operating point under `load_factor` times its
+/// ideal capacity, with or without overload protection.
+///
+/// With `shedding` enabled the fleet sheds queued requests past the SLO
+/// deadline, caps the queue at four full batches, and lets shed
+/// requests retry once — the policy that keeps goodput flat through the
+/// cliff. Without it, every request is served eventually, mostly too
+/// late, and goodput collapses (the paper's Lesson 10 failure mode at
+/// fleet scale).
+///
+/// `requests` sets the run length; overload only shows once the run
+/// lasts many deadlines, so size it to the app's rate (a few thousand
+/// for BERT-class apps, far more for sub-millisecond MLPs).
+///
+/// # Errors
+///
+/// Propagates profiling errors and serving-config rejections as
+/// [`CoreError`].
+pub fn slo_operating_point_under_overload(
+    app: &App,
+    chip: &ChipConfig,
+    options: &CompilerOptions,
+    load_factor: f64,
+    shedding: bool,
+    requests: usize,
+) -> Result<OverloadPoint, CoreError> {
+    let (model, op) = profiled_operating_point(app, chip, options)?;
+    // Serve with headroom: batch sized to half the SLO, so a request can
+    // wait the other half and still finish in time.
+    let serving_batch = slo::max_batch_within_slo(&model, op.slo_s * 0.5, 1024).unwrap_or(1);
+    let offered_rps = load_factor * model.throughput(serving_batch);
+    let base = ServingConfig {
+        arrival_rate_rps: offered_rps,
+        max_batch: serving_batch,
+        batch_timeout_s: op.slo_s * 0.1,
+        requests,
+        seed: 17,
+    };
+    let policy = if shedding {
+        // A queued request is shed once the service time of a full batch
+        // no longer fits its remaining budget; admission rejections get
+        // one retry after a short backoff. The queue is capped at the
+        // depth that can drain within the budget — anything deeper would
+        // expire anyway, so reject it at the door instead.
+        let queue_budget = (op.slo_s - model.latency(serving_batch)).max(op.slo_s * 0.05);
+        let drainable = (model.throughput(serving_batch) * queue_budget).ceil() as usize;
+        FleetPolicy {
+            deadline_s: Some(op.slo_s),
+            shed_expired: true,
+            queue_budget_s: Some(queue_budget),
+            queue_cap: Some(drainable.max(serving_batch as usize)),
+            retry: RetryPolicy {
+                max_retries: 1,
+                backoff_s: op.slo_s * 0.1,
+                backoff_mult: 2.0,
+            },
+        }
+    } else {
+        // The deadline still defines goodput; nothing is ever shed.
+        FleetPolicy {
+            deadline_s: Some(op.slo_s),
+            ..FleetPolicy::default()
+        }
+    };
+    let report = simulate_fleet(
+        &model,
+        &FleetConfig::new(base.with_servers(1)).with_policy(policy),
+    )?;
+    Ok(OverloadPoint {
+        operating_point: op,
+        serving_batch,
+        load_factor,
+        offered_rps,
+        shedding,
+        report,
     })
 }
 
@@ -249,10 +374,8 @@ mod tests {
         // RNN0's 60 ms SLO admits bigger batches than MLP0's 7 ms on the
         // same chip — Lesson 10's mechanism.
         let chip = catalog::tpu_v4i();
-        let tight = slo_operating_point(&zoo::mlp0(), &chip, &CompilerOptions::default())
-            .unwrap();
-        let loose = slo_operating_point(&zoo::cnn1(), &chip, &CompilerOptions::default())
-            .unwrap();
+        let tight = slo_operating_point(&zoo::mlp0(), &chip, &CompilerOptions::default()).unwrap();
+        let loose = slo_operating_point(&zoo::cnn1(), &chip, &CompilerOptions::default()).unwrap();
         // CNN1 (32 ms) is heavy per inference; the comparison that's
         // robust is that each meets its own SLO.
         assert!(tight.latency_s <= tight.slo_s);
@@ -267,5 +390,36 @@ mod tests {
         }
         .into();
         assert!(format!("{e}").contains("compile"));
+        let e: CoreError = ConfigError::ZeroMaxBatch.into();
+        assert!(matches!(e, CoreError::Serving(_)));
+        assert!(format!("{e}").contains("serving"));
+    }
+
+    #[test]
+    fn overload_point_sheds_only_when_asked() {
+        // BERT0's SLO binds its batch, so 1.5x capacity genuinely
+        // overloads the server within a few thousand requests.
+        let chip = catalog::tpu_v4i();
+        let options = CompilerOptions::default();
+        let plain =
+            slo_operating_point_under_overload(&zoo::bert0(), &chip, &options, 1.5, false, 4000)
+                .unwrap();
+        let shed =
+            slo_operating_point_under_overload(&zoo::bert0(), &chip, &options, 1.5, true, 4000)
+                .unwrap();
+        // Without shedding everything completes (late); with it some load
+        // is turned away and what's served meets the deadline.
+        assert_eq!(plain.report.shed, 0);
+        assert_eq!(plain.report.completed, plain.report.arrivals);
+        assert!(shed.report.shed > 0);
+        assert!(plain.report.conservation_holds());
+        assert!(shed.report.conservation_holds());
+        assert!(
+            shed.report.goodput_rps > plain.report.goodput_rps,
+            "shedding goodput {} vs unprotected {}",
+            shed.report.goodput_rps,
+            plain.report.goodput_rps
+        );
+        assert!(shed.good_fraction() <= 1.0);
     }
 }

@@ -62,7 +62,9 @@ pub fn simulate_pipeline(
     hop_bytes: u64,
 ) -> Result<PipelineReport, CoreError> {
     if stages.is_empty() {
-        return Err(CoreError::Compile("pipeline needs at least one stage".into()));
+        return Err(CoreError::Compile(
+            "pipeline needs at least one stage".into(),
+        ));
     }
     if stages.len() > 1 && chip.ici_links == 0 {
         return Err(CoreError::Sim(format!(
@@ -101,7 +103,11 @@ pub fn simulate_pipeline(
         stage_seconds,
         hop_seconds,
         latency_s,
-        batches_per_sec: if bottleneck > 0.0 { 1.0 / bottleneck } else { 0.0 },
+        batches_per_sec: if bottleneck > 0.0 {
+            1.0 / bottleneck
+        } else {
+            0.0
+        },
         cmem_fraction: if weight_bytes == 0 {
             0.0
         } else {
@@ -112,9 +118,7 @@ pub fn simulate_pipeline(
 
 /// Whether a model's weights fit the CMEM of `chips` pipelined chips.
 pub fn fits_pooled_cmem(chip: &ChipConfig, weight_bytes: u64, chips: u64) -> bool {
-    let per_chip = chip
-        .mem(MemLevel::Cmem)
-        .map_or(0, |c| c.capacity_bytes);
+    let per_chip = chip.mem(MemLevel::Cmem).map_or(0, |c| c.capacity_bytes);
     weight_bytes <= per_chip * chips
 }
 
@@ -127,8 +131,8 @@ mod tests {
 
     fn bert1_pipeline(chips: u64) -> (Vec<Graph>, u64) {
         let batch = 8;
-        let stages = zoo::bert_pipeline(&BERT1_CONFIG, batch, DType::Bf16, chips)
-            .expect("stages build");
+        let stages =
+            zoo::bert_pipeline(&BERT1_CONFIG, batch, DType::Bf16, chips).expect("stages build");
         let hop = zoo::bert_stage_activation_bytes(&BERT1_CONFIG, batch, DType::Bf16);
         (stages, hop)
     }
@@ -137,8 +141,7 @@ mod tests {
     fn single_stage_matches_monolithic_model() {
         let chip = catalog::tpu_v4i();
         let (stages, hop) = bert1_pipeline(1);
-        let report =
-            simulate_pipeline(&stages, &chip, &CompilerOptions::default(), hop).unwrap();
+        let report = simulate_pipeline(&stages, &chip, &CompilerOptions::default(), hop).unwrap();
         assert_eq!(report.chips, 1);
         assert!(report.hop_seconds.is_empty());
         // One-stage latency ≈ the monolithic BERT1 latency.
@@ -147,7 +150,11 @@ mod tests {
             .report
             .seconds;
         let rel = (report.latency_s - mono).abs() / mono;
-        assert!(rel < 0.05, "pipeline-of-1 {} vs mono {mono}", report.latency_s);
+        assert!(
+            rel < 0.05,
+            "pipeline-of-1 {} vs mono {mono}",
+            report.latency_s
+        );
     }
 
     #[test]
@@ -194,8 +201,9 @@ mod tests {
         assert!(matches!(err, Err(CoreError::Sim(_))));
         // But a single stage is fine on any chip that fits it.
         let (one, hop1) = bert1_pipeline(1);
-        assert!(simulate_pipeline(&one, &catalog::tpu_v3(), &CompilerOptions::default(), hop1)
-            .is_ok());
+        assert!(
+            simulate_pipeline(&one, &catalog::tpu_v3(), &CompilerOptions::default(), hop1).is_ok()
+        );
     }
 
     #[test]
@@ -313,7 +321,11 @@ pub fn simulate_data_parallel(
         shard_seconds,
         gather_seconds,
         latency_s,
-        batches_per_sec: if bottleneck > 0.0 { 1.0 / bottleneck } else { 0.0 },
+        batches_per_sec: if bottleneck > 0.0 {
+            1.0 / bottleneck
+        } else {
+            0.0
+        },
     })
 }
 
@@ -328,8 +340,7 @@ mod data_parallel_tests {
         let chip = catalog::tpu_v4i();
         let options = CompilerOptions::default();
         let app = zoo::cnn0();
-        let single =
-            simulate_data_parallel(&app, &chip, &options, 1, 128).unwrap();
+        let single = simulate_data_parallel(&app, &chip, &options, 1, 128).unwrap();
         let pod = simulate_data_parallel(&app, &chip, &options, 4, 128).unwrap();
         assert_eq!(pod.topology, tpu_arch::IciTopology::Ring(4));
         let speedup = pod.speedup_over(single.latency_s);
@@ -343,14 +354,8 @@ mod data_parallel_tests {
     #[test]
     fn single_chip_pod_has_no_gather() {
         let chip = catalog::tpu_v4i();
-        let r = simulate_data_parallel(
-            &zoo::mlp0(),
-            &chip,
-            &CompilerOptions::default(),
-            1,
-            32,
-        )
-        .unwrap();
+        let r = simulate_data_parallel(&zoo::mlp0(), &chip, &CompilerOptions::default(), 1, 32)
+            .unwrap();
         assert_eq!(r.gather_seconds, 0.0);
         assert_eq!(r.topology, tpu_arch::IciTopology::Single);
     }

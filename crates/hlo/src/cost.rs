@@ -172,11 +172,15 @@ mod tests {
         let chip = catalog::tpu_v4i();
         let g = mlp(4, 2048);
         let with = estimate(
-            compile(&g, &chip, &CompilerOptions::default()).unwrap().plan(),
+            compile(&g, &chip, &CompilerOptions::default())
+                .unwrap()
+                .plan(),
             &chip,
         );
         let without = estimate(
-            compile(&g, &chip, &CompilerOptions::no_cmem()).unwrap().plan(),
+            compile(&g, &chip, &CompilerOptions::no_cmem())
+                .unwrap()
+                .plan(),
             &chip,
         );
         assert!(with.hbm_seconds < without.hbm_seconds / 4.0);

@@ -580,16 +580,11 @@ impl Graph {
             }
             HloOp::Conv2d { kernel, .. } => {
                 let ks = &self.node(kernel).shape;
-                let (kh, kw, cin, _cout) =
-                    (ks.dims()[0], ks.dims()[1], ks.dims()[2], ks.dims()[3]);
+                let (kh, kw, cin, _cout) = (ks.dims()[0], ks.dims()[1], ks.dims()[2], ks.dims()[3]);
                 // Output positions x kernel volume x cout x 2.
-                2 * n.shape.elements() / n.shape.dims()[3]
-                    * (kh * kw * cin)
-                    * n.shape.dims()[3]
+                2 * n.shape.elements() / n.shape.dims()[3] * (kh * kw * cin) * n.shape.dims()[3]
             }
-            HloOp::Activate { act, .. } => {
-                n.shape.elements() * act.vpu_ops_per_element().max(1)
-            }
+            HloOp::Activate { act, .. } => n.shape.elements() * act.vpu_ops_per_element().max(1),
             HloOp::Binary { .. } => n.shape.elements(),
             HloOp::Softmax { .. } | HloOp::LayerNorm { .. } => 8 * n.shape.elements(),
             HloOp::MaxPool2d { window, .. } => n.shape.elements() * window * window,
@@ -715,7 +710,10 @@ mod tests {
             ShapeError::Mismatch { .. }
         ));
         let w3 = g.constant(&[2, 3, 4]).unwrap();
-        assert!(matches!(g.dot(x, w3).unwrap_err(), ShapeError::BadRank { .. }));
+        assert!(matches!(
+            g.dot(x, w3).unwrap_err(),
+            ShapeError::BadRank { .. }
+        ));
     }
 
     #[test]

@@ -287,15 +287,19 @@ impl Ctx<'_> {
             }
             HloOp::Conv2d { input, kernel, .. } => {
                 let ks = &self.graph.node(kernel).shape;
-                let (kh, kw, cin, cout) =
-                    (ks.dims()[0], ks.dims()[1], ks.dims()[2], ks.dims()[3]);
+                let (kh, kw, cin, cout) = (ks.dims()[0], ks.dims()[1], ks.dims()[2], ks.dims()[3]);
                 let rows = node.shape.elements() / cout; // n*oh*ow
                 let inner = kh * kw * cin;
                 let source = self.weight_source(kernel);
                 self.lower_matmul(node, rows, inner, cout, source, input);
             }
             HloOp::BatchMatmul {
-                a, b, batch, m, k, n,
+                a,
+                b,
+                batch,
+                m,
+                k,
+                n,
             } => {
                 self.lower_matmul(node, batch * m, k, n, WeightSource::InVmem(b), a);
             }
@@ -306,11 +310,9 @@ impl Ctx<'_> {
                     WeightSource::Streamed(home) => home,
                     WeightSource::InVmem(_) => MemLevel::Vmem,
                 };
-                let s = self.plan.push_tagged(
-                    StepKind::DmaIn { from: home, bytes },
-                    &[],
-                    "embed",
-                );
+                let s = self
+                    .plan
+                    .push_tagged(StepKind::DmaIn { from: home, bytes }, &[], "embed");
                 self.program.push(Bundle::new().dma(DmaOp::Start {
                     queue: 0,
                     dir: DmaDirection::new(home, MemLevel::Vmem),
@@ -626,7 +628,10 @@ mod tests {
         let sim = Simulator::new(chip.clone());
         let t_on = sim.run(&lower_with(&g, &chip, &on).plan).unwrap().seconds;
         let t_off = sim.run(&lower_with(&g, &chip, &off).plan).unwrap().seconds;
-        assert!(t_on < t_off, "double buffering must help: {t_on} vs {t_off}");
+        assert!(
+            t_on < t_off,
+            "double buffering must help: {t_on} vs {t_off}"
+        );
     }
 
     #[test]
@@ -639,9 +644,7 @@ mod tests {
         };
         let fused = lower_with(&g, &chip, &CompilerOptions::default());
         let unfused = lower_with(&g, &chip, &no_fuse);
-        let count = |l: &Lowered, tag: &str| {
-            l.plan.steps().iter().filter(|s| s.tag == tag).count()
-        };
+        let count = |l: &Lowered, tag: &str| l.plan.steps().iter().filter(|s| s.tag == tag).count();
         assert_eq!(count(&fused, "fused"), 1);
         assert_eq!(count(&fused, "act"), 0);
         assert_eq!(count(&unfused, "fused"), 0);
@@ -719,7 +722,12 @@ mod tests {
         g.mark_output(r);
         let chip = catalog::tpu_v4i();
         let l = lower_with(&g, &chip, &CompilerOptions::default());
-        let spills = l.plan.steps().iter().filter(|s| s.tag == "spill-out").count();
+        let spills = l
+            .plan
+            .steps()
+            .iter()
+            .filter(|s| s.tag == "spill-out")
+            .count();
         let outputs = l.plan.steps().iter().filter(|s| s.tag == "output").count();
         assert_eq!(spills, 1);
         assert_eq!(outputs, 0, "spilled output is already in HBM");
@@ -744,7 +752,11 @@ mod tests {
         let small = lower_with(&build(4096), &chip, &CompilerOptions::default());
         // 512x16384x2B = 16 MiB: spills.
         let big = lower_with(&build(16384), &chip, &CompilerOptions::default());
-        assert!(!small.plan.steps().iter().any(|s| s.tag.starts_with("spill")));
+        assert!(!small
+            .plan
+            .steps()
+            .iter()
+            .any(|s| s.tag.starts_with("spill")));
         assert!(big.plan.steps().iter().any(|s| s.tag.starts_with("spill")));
         let t_small = sim.run(&small.plan).unwrap().seconds;
         let t_big = sim.run(&big.plan).unwrap().seconds;

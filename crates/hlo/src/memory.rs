@@ -62,8 +62,7 @@ impl MemoryPlan {
 /// `cmem_budget_override` lets the E6 ablation sweep capacities without
 /// fabricating chip configs; `None` uses the chip's CMEM (0 if absent).
 pub fn plan(graph: &Graph, chip: &ChipConfig, cmem_budget_override: Option<u64>) -> MemoryPlan {
-    let budget = cmem_budget_override
-        .unwrap_or_else(|| chip.cmem.map_or(0, |c| c.capacity_bytes));
+    let budget = cmem_budget_override.unwrap_or_else(|| chip.cmem.map_or(0, |c| c.capacity_bytes));
 
     // Collect weights, largest first.
     let mut weights: Vec<(OpId, u64)> = graph
@@ -216,6 +215,9 @@ mod tests {
     fn plan_is_deterministic() {
         let g = graph_with_weights(&[512, 512, 512]);
         let chip = catalog::tpu_v4i();
-        assert_eq!(plan(&g, &chip, Some(400_000)), plan(&g, &chip, Some(400_000)));
+        assert_eq!(
+            plan(&g, &chip, Some(400_000)),
+            plan(&g, &chip, Some(400_000))
+        );
     }
 }

@@ -106,10 +106,9 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::Graph(e) => write!(f, "invalid graph: {e}"),
-            CompileError::WeightsExceedHbm { needed, available } => write!(
-                f,
-                "weights need {needed} bytes but HBM holds {available}"
-            ),
+            CompileError::WeightsExceedHbm { needed, available } => {
+                write!(f, "weights need {needed} bytes but HBM holds {available}")
+            }
             CompileError::Program(e) => write!(f, "emitted program invalid: {e}"),
         }
     }
@@ -398,8 +397,7 @@ mod tests {
         let sim = Simulator::new(chip.clone());
         let mut last = f64::INFINITY;
         for mib in [0u64, 8, 16, 32, 64, 128] {
-            let exe =
-                compile(&g, &chip, &CompilerOptions::with_cmem_budget(mib << 20)).unwrap();
+            let exe = compile(&g, &chip, &CompilerOptions::with_cmem_budget(mib << 20)).unwrap();
             let t = sim.run(exe.plan()).unwrap().seconds;
             assert!(
                 t <= last * 1.001,

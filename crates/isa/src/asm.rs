@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 use tpu_arch::{Generation, MemLevel};
 
 use crate::bundle::Bundle;
-use crate::inst::{DmaDirection, DmaOp, MxuOp, ScalarOp, SReg, VectorOp, VReg, XposeOp};
+use crate::inst::{DmaDirection, DmaOp, MxuOp, SReg, ScalarOp, VReg, VectorOp, XposeOp};
 use crate::program::Program;
 
 /// Error produced by the assembler.

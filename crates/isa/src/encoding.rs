@@ -16,7 +16,7 @@ use std::fmt;
 use tpu_arch::{Generation, MemLevel};
 
 use crate::bundle::Bundle;
-use crate::inst::{DmaDirection, DmaOp, MxuOp, ScalarOp, SReg, VectorOp, VReg, XposeOp};
+use crate::inst::{DmaDirection, DmaOp, MxuOp, SReg, ScalarOp, VReg, VectorOp, XposeOp};
 use crate::program::Program;
 
 /// The binary format parameters of one generation.
@@ -780,7 +780,8 @@ fn decode_dma(r: &mut Reader<'_>, spec: &EncodingSpec) -> Result<DmaOp, DecodeEr
         1 => {
             let queue = r.u8()?;
             let levels = r.u8()?;
-            let src = mem_level_from(levels >> 4).ok_or(DecodeError::BadField { field: "dma.src" })?;
+            let src =
+                mem_level_from(levels >> 4).ok_or(DecodeError::BadField { field: "dma.src" })?;
             let dst =
                 mem_level_from(levels & 0xF).ok_or(DecodeError::BadField { field: "dma.dst" })?;
             if !spec.has_cmem && (src == MemLevel::Cmem || dst == MemLevel::Cmem) {
@@ -1024,7 +1025,13 @@ mod tests {
         };
         let s = format!("{e}");
         assert!(s.contains("different chip"));
-        assert!(!format!("{}", EncodeError::CmemUnsupported { generation: Generation::TpuV1 }).is_empty());
+        assert!(!format!(
+            "{}",
+            EncodeError::CmemUnsupported {
+                generation: Generation::TpuV1
+            }
+        )
+        .is_empty());
     }
 
     #[test]

@@ -235,7 +235,9 @@ impl ScalarOp {
     /// Registers read by this operation.
     pub fn reads(&self) -> Vec<SReg> {
         match *self {
-            ScalarOp::Add { a, b, .. } | ScalarOp::Sub { a, b, .. } | ScalarOp::Mul { a, b, .. } => {
+            ScalarOp::Add { a, b, .. }
+            | ScalarOp::Sub { a, b, .. }
+            | ScalarOp::Mul { a, b, .. } => {
                 vec![a, b]
             }
             ScalarOp::LoopEnd { counter, .. } => vec![counter],
@@ -260,7 +262,9 @@ impl VectorOp {
     /// Vector registers read by this operation.
     pub fn reads(&self) -> Vec<VReg> {
         match *self {
-            VectorOp::VAdd { a, b, .. } | VectorOp::VMul { a, b, .. } | VectorOp::VMax { a, b, .. } => {
+            VectorOp::VAdd { a, b, .. }
+            | VectorOp::VMul { a, b, .. }
+            | VectorOp::VMax { a, b, .. } => {
                 vec![a, b]
             }
             VectorOp::VRelu { a, .. } | VectorOp::VXf { a, .. } | VectorOp::VReduce { a, .. } => {

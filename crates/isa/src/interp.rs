@@ -314,7 +314,10 @@ impl Interpreter {
 
     fn exec_scalar(&mut self, op: &ScalarOp) {
         match *op {
-            ScalarOp::Nop | ScalarOp::Halt | ScalarOp::SyncDma { .. } | ScalarOp::LoopEnd { .. } => {}
+            ScalarOp::Nop
+            | ScalarOp::Halt
+            | ScalarOp::SyncDma { .. }
+            | ScalarOp::LoopEnd { .. } => {}
             ScalarOp::LoadImm { dst, imm } => self.sregs[dst.0 as usize] = imm as i64,
             ScalarOp::Add { dst, a, b } => {
                 self.sregs[dst.0 as usize] =
@@ -503,14 +506,12 @@ mod tests {
     #[test]
     fn loop_counts_iterations() {
         // s1 = 5 iterations of s2 += 3.
-        let p = asm(
-            "s.li s1, 5\n\
+        let p = asm("s.li s1, 5\n\
              s.li s2, 0\n\
              s.li s3, 3\n\
              s.add s2, s2, s3\n\
              s.loopend s1, 1\n\
-             s.halt",
-        );
+             s.halt");
         let mut m = machine();
         m.run(&p).unwrap();
         assert_eq!(m.sreg(2), 15);
@@ -522,15 +523,13 @@ mod tests {
         // results to vmem[64].
         let d = 4usize;
         let rows = 3usize;
-        let p = asm(
-            "s.li s12, 0\n\
+        let p = asm("s.li s12, 0\n\
              s.li s13, 16\n\
              s.li s14, 64\n\
              m.push 0\n\
              m.mm 0, 3\n\
              m.pop 0\n\
-             s.halt",
-        );
+             s.halt");
         let mut m = machine();
         let weights: Vec<f32> = (0..d * d).map(|i| (i as f32) * 0.5 - 3.0).collect();
         let acts: Vec<f32> = (0..rows * d).map(|i| (i as f32) * 0.25 + 1.0).collect();
@@ -558,12 +557,10 @@ mod tests {
 
     #[test]
     fn dma_copies_between_levels() {
-        let p = asm(
-            "s.li s10, 0\n\
+        let p = asm("s.li s10, 0\n\
              s.li s11, 50\n\
              d.start q0, hbm->vmem, 32\n\
-             s.halt",
-        );
+             s.halt");
         let mut m = machine();
         let data: Vec<f32> = (0..8).map(|i| i as f32 * 1.5).collect();
         m.write_mem(MemLevel::Hbm, 0, &data).unwrap();

@@ -49,12 +49,12 @@ pub mod program;
 
 pub use bundle::Bundle;
 pub use encoding::{decode, encode, EncodeError};
-pub use inst::{DmaDirection, DmaOp, MxuOp, ScalarOp, SReg, VectorOp, VReg, XposeOp};
+pub use inst::{DmaDirection, DmaOp, MxuOp, SReg, ScalarOp, VReg, VectorOp, XposeOp};
 pub use program::{Program, VerifyError};
 
 /// Convenient glob import for building programs.
 pub mod prelude {
     pub use crate::bundle::Bundle;
-    pub use crate::inst::{DmaDirection, DmaOp, MxuOp, ScalarOp, SReg, VectorOp, VReg, XposeOp};
+    pub use crate::inst::{DmaDirection, DmaOp, MxuOp, SReg, ScalarOp, VReg, VectorOp, XposeOp};
     pub use crate::program::Program;
 }

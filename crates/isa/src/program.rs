@@ -140,8 +140,7 @@ impl Program {
         for (index, b) in self.bundles.iter().enumerate() {
             // Reuse the encoder's legality logic one bundle at a time.
             let mut scratch = Vec::new();
-            if let Err(reason) = crate::encoding::encode_bundle_for_verify(b, &spec, &mut scratch)
-            {
+            if let Err(reason) = crate::encoding::encode_bundle_for_verify(b, &spec, &mut scratch) {
                 return Err(VerifyError::IllegalBundle { index, reason });
             }
             if let ScalarOp::LoopEnd { offset, .. } = b.scalar {

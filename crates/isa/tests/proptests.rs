@@ -50,7 +50,11 @@ fn vector_op() -> impl Strategy<Value = VectorOp> {
 }
 
 fn mem_level() -> impl Strategy<Value = MemLevel> {
-    prop_oneof![Just(MemLevel::Hbm), Just(MemLevel::Vmem), Just(MemLevel::Smem)]
+    prop_oneof![
+        Just(MemLevel::Hbm),
+        Just(MemLevel::Vmem),
+        Just(MemLevel::Smem)
+    ]
 }
 
 fn dma_op() -> impl Strategy<Value = DmaOp> {
@@ -68,9 +72,8 @@ fn dma_op() -> impl Strategy<Value = DmaOp> {
 
 fn bundle() -> impl Strategy<Value = Bundle> {
     // vector1/xpose omitted so the bundle is legal on every generation.
-    (scalar_op(), vector_op(), dma_op()).prop_map(|(s, v, d)| {
-        Bundle::new().scalar(s).vector(v).dma(d)
-    })
+    (scalar_op(), vector_op(), dma_op())
+        .prop_map(|(s, v, d)| Bundle::new().scalar(s).vector(v).dma(d))
 }
 
 fn program(generation: Generation) -> impl Strategy<Value = Program> {

@@ -185,14 +185,9 @@ mod tests {
     #[test]
     fn vpu_costs_are_monotone_in_complexity() {
         assert!(
-            Activation::Identity.vpu_ops_per_element()
-                < Activation::Relu.vpu_ops_per_element()
+            Activation::Identity.vpu_ops_per_element() < Activation::Relu.vpu_ops_per_element()
         );
-        assert!(
-            Activation::Relu.vpu_ops_per_element() < Activation::Tanh.vpu_ops_per_element()
-        );
-        assert!(
-            Activation::Tanh.vpu_ops_per_element() < Activation::Gelu.vpu_ops_per_element()
-        );
+        assert!(Activation::Relu.vpu_ops_per_element() < Activation::Tanh.vpu_ops_per_element());
+        assert!(Activation::Tanh.vpu_ops_per_element() < Activation::Gelu.vpu_ops_per_element());
     }
 }

@@ -1,12 +1,24 @@
-//! The discrete-event serving loop: Poisson arrivals, dynamic batching.
+//! The discrete-event serving loop: Poisson arrivals, dynamic batching,
+//! and the fleet-grade overload machinery production SLOs are set
+//! against — per-request deadlines, admission control (load shedding),
+//! and retry-with-backoff (Lesson 10).
+//!
+//! Every entry point validates its configuration up front and returns a
+//! typed [`ConfigError`] for degenerate inputs (`max_batch: 0`,
+//! non-positive arrival rates, NaNs) instead of hanging or panicking.
+//! Every run satisfies request conservation:
+//! `arrivals == completed + shed + dropped` (see
+//! [`ServingReport::conservation_holds`]).
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::latency::LatencyModel;
+use crate::metrics::ServingMetrics;
 use crate::stats::LatencyStats;
 
 /// Configuration of one serving run.
@@ -34,6 +46,29 @@ impl ServingConfig {
             servers: servers.max(1),
         }
     }
+
+    /// Checks every knob, returning the first problem found.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] for a non-positive or non-finite arrival rate, a
+    /// zero batch cap, a negative or non-finite batch timeout, or a
+    /// zero request count.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.arrival_rate_rps.is_finite() || self.arrival_rate_rps <= 0.0 {
+            return Err(ConfigError::NonPositiveArrivalRate(self.arrival_rate_rps));
+        }
+        if self.max_batch == 0 {
+            return Err(ConfigError::ZeroMaxBatch);
+        }
+        if !self.batch_timeout_s.is_finite() || self.batch_timeout_s < 0.0 {
+            return Err(ConfigError::InvalidBatchTimeout(self.batch_timeout_s));
+        }
+        if self.requests == 0 {
+            return Err(ConfigError::ZeroRequests);
+        }
+        Ok(())
+    }
 }
 
 /// A pool of identical servers behind one queue.
@@ -43,6 +78,22 @@ pub struct PoolConfig {
     pub base: ServingConfig,
     /// Number of identical chips serving the queue.
     pub servers: usize,
+}
+
+impl PoolConfig {
+    /// Validates the base config and the pool size.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServingConfig::validate`] rejects, plus
+    /// [`ConfigError::ZeroServers`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.base.validate()?;
+        if self.servers == 0 {
+            return Err(ConfigError::ZeroServers);
+        }
+        Ok(())
+    }
 }
 
 /// Failure-injection knobs: occasional slow service (thermal throttling,
@@ -65,27 +116,283 @@ impl Default for Stragglers {
     }
 }
 
+impl Stragglers {
+    /// Checks probability and factor ranges.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::InvalidStragglerProbability`] or
+    /// [`ConfigError::InvalidStragglerFactor`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.probability.is_finite() || !(0.0..=1.0).contains(&self.probability) {
+            return Err(ConfigError::InvalidStragglerProbability(self.probability));
+        }
+        if !self.factor.is_finite() || self.factor < 1.0 {
+            return Err(ConfigError::InvalidStragglerFactor(self.factor));
+        }
+        Ok(())
+    }
+}
+
+/// Retry behavior for shed requests: exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// How many times a shed request re-enters the queue before it is
+    /// permanently lost. 0 disables retries.
+    pub max_retries: u32,
+    /// Delay before the first retry, seconds.
+    pub backoff_s: f64,
+    /// Multiplier applied to the delay on each further retry (>= 1).
+    pub backoff_mult: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_s: 0.01,
+            backoff_mult: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Checks the backoff parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::InvalidRetryBackoff`] or
+    /// [`ConfigError::InvalidRetryBackoffMult`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.backoff_s.is_finite() || self.backoff_s < 0.0 {
+            return Err(ConfigError::InvalidRetryBackoff(self.backoff_s));
+        }
+        if !self.backoff_mult.is_finite() || self.backoff_mult < 1.0 {
+            return Err(ConfigError::InvalidRetryBackoffMult(self.backoff_mult));
+        }
+        Ok(())
+    }
+}
+
+/// Fleet-level serving policy: deadlines, load shedding, retries.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FleetPolicy {
+    /// Per-request SLO budget, seconds. Used for goodput accounting
+    /// (a completion later than this is not "good") and — when
+    /// `shed_expired` is set — for shedding requests whose queue wait
+    /// exceeds it.
+    pub deadline_s: Option<f64>,
+    /// If set, a queued request past its deadline is shed from the
+    /// queue instead of being served late. Requires `deadline_s`.
+    pub shed_expired: bool,
+    /// How long an attempt may sit in the queue before `shed_expired`
+    /// sheds it; defaults to `deadline_s`. Set it *below* the deadline
+    /// to reserve end-to-end budget for service time (a request that
+    /// launches right at the wire still has to run).
+    pub queue_budget_s: Option<f64>,
+    /// Admission control: arrivals beyond this many queued requests are
+    /// shed immediately (classic load shedding). `None` = unbounded.
+    pub queue_cap: Option<usize>,
+    /// What happens to shed requests.
+    pub retry: RetryPolicy,
+}
+
+impl FleetPolicy {
+    /// Checks deadline, cap, and retry parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] for a non-positive/non-finite deadline, a zero
+    /// queue cap, shedding without a deadline, or bad retry backoff.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(d) = self.deadline_s {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(ConfigError::InvalidDeadline(d));
+            }
+        }
+        if self.shed_expired && self.deadline_s.is_none() {
+            return Err(ConfigError::SheddingWithoutDeadline);
+        }
+        if let Some(b) = self.queue_budget_s {
+            if !b.is_finite() || b <= 0.0 {
+                return Err(ConfigError::InvalidQueueBudget(b));
+            }
+        }
+        if self.queue_cap == Some(0) {
+            return Err(ConfigError::ZeroQueueCap);
+        }
+        self.retry.validate()
+    }
+}
+
+/// The full-featured run description: a pool, failure injection, and a
+/// fleet policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// The pool of servers and the base serving knobs.
+    pub pool: PoolConfig,
+    /// Failure injection.
+    pub stragglers: Stragglers,
+    /// Deadlines, shedding, retries.
+    pub policy: FleetPolicy,
+}
+
+impl FleetConfig {
+    /// A fleet with no stragglers and no overload policy (plain dynamic
+    /// batching, like [`simulate_pool`]).
+    pub fn new(pool: PoolConfig) -> FleetConfig {
+        FleetConfig {
+            pool,
+            stragglers: Stragglers::default(),
+            policy: FleetPolicy::default(),
+        }
+    }
+
+    /// Replaces the straggler knobs.
+    pub fn with_stragglers(mut self, stragglers: Stragglers) -> FleetConfig {
+        self.stragglers = stragglers;
+        self
+    }
+
+    /// Replaces the fleet policy.
+    pub fn with_policy(mut self, policy: FleetPolicy) -> FleetConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Validates every component.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] found in pool, stragglers, or policy.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.pool.validate()?;
+        self.stragglers.validate()?;
+        self.policy.validate()
+    }
+}
+
+/// A degenerate serving configuration, caught before simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// Arrival rate must be finite and > 0.
+    NonPositiveArrivalRate(f64),
+    /// `max_batch` must be at least 1 (0 can never form a batch).
+    ZeroMaxBatch,
+    /// Batch timeout must be finite and >= 0.
+    InvalidBatchTimeout(f64),
+    /// At least one request must be simulated.
+    ZeroRequests,
+    /// A pool needs at least one server.
+    ZeroServers,
+    /// Straggler probability must be a finite value in [0, 1].
+    InvalidStragglerProbability(f64),
+    /// Straggler factor must be finite and >= 1.
+    InvalidStragglerFactor(f64),
+    /// A deadline must be finite and > 0.
+    InvalidDeadline(f64),
+    /// `shed_expired` requires `deadline_s`.
+    SheddingWithoutDeadline,
+    /// A queue budget must be finite and > 0.
+    InvalidQueueBudget(f64),
+    /// A queue cap of 0 would shed every request.
+    ZeroQueueCap,
+    /// Retry backoff must be finite and >= 0.
+    InvalidRetryBackoff(f64),
+    /// Retry backoff multiplier must be finite and >= 1.
+    InvalidRetryBackoffMult(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositiveArrivalRate(r) => {
+                write!(f, "arrival_rate_rps must be finite and > 0, got {r}")
+            }
+            ConfigError::ZeroMaxBatch => write!(f, "max_batch must be >= 1"),
+            ConfigError::InvalidBatchTimeout(t) => {
+                write!(f, "batch_timeout_s must be finite and >= 0, got {t}")
+            }
+            ConfigError::ZeroRequests => write!(f, "requests must be >= 1"),
+            ConfigError::ZeroServers => write!(f, "servers must be >= 1"),
+            ConfigError::InvalidStragglerProbability(p) => {
+                write!(f, "straggler probability must be in [0, 1], got {p}")
+            }
+            ConfigError::InvalidStragglerFactor(x) => {
+                write!(f, "straggler factor must be finite and >= 1, got {x}")
+            }
+            ConfigError::InvalidDeadline(d) => {
+                write!(f, "deadline_s must be finite and > 0, got {d}")
+            }
+            ConfigError::SheddingWithoutDeadline => {
+                write!(f, "shed_expired requires deadline_s to be set")
+            }
+            ConfigError::InvalidQueueBudget(b) => {
+                write!(f, "queue_budget_s must be finite and > 0, got {b}")
+            }
+            ConfigError::ZeroQueueCap => write!(f, "queue_cap must be >= 1 (or None)"),
+            ConfigError::InvalidRetryBackoff(b) => {
+                write!(f, "retry backoff_s must be finite and >= 0, got {b}")
+            }
+            ConfigError::InvalidRetryBackoffMult(m) => {
+                write!(f, "retry backoff_mult must be finite and >= 1, got {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// The result of one serving run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingReport {
-    /// End-to-end (queue + service) latency statistics.
+    /// End-to-end (queue + service) latency statistics over *completed*
+    /// requests, measured from first arrival (retries included).
     pub stats: LatencyStats,
     /// p50 shorthand, seconds.
     pub p50_s: f64,
     /// p99 shorthand, seconds (the SLO metric, Lesson 10).
     pub p99_s: f64,
-    /// Achieved throughput, requests/second.
+    /// Achieved throughput (all completions), requests/second.
     pub throughput_rps: f64,
+    /// Goodput: completions within the deadline, requests/second.
+    /// Equals `throughput_rps` when no deadline is configured.
+    pub goodput_rps: f64,
     /// Mean formed batch size.
     pub mean_batch: f64,
-    /// Fraction of the run the server was busy.
+    /// Fraction of the run the servers were busy.
     pub server_utilization: f64,
+    /// Unique requests offered.
+    pub arrivals: usize,
+    /// Requests that finished service.
+    pub completed: usize,
+    /// Requests permanently lost to shedding (after exhausting any
+    /// retry budget).
+    pub shed: usize,
+    /// Requests still queued when the event heap drained.
+    pub dropped: usize,
+    /// Counters and histograms collected during the run.
+    pub metrics: ServingMetrics,
+}
+
+impl ServingReport {
+    /// Request conservation: every offered request is accounted for.
+    pub fn conservation_holds(&self) -> bool {
+        self.arrivals == self.completed + self.shed + self.dropped
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
+    /// Fresh request `i` arrives.
     Arrival(usize),
-    Deadline,
+    /// A shed request re-enters admission.
+    Retry { req: usize },
+    /// Re-check batch formation (the batch-timeout timer).
+    Timeout,
+    /// Queued request may have exceeded its deadline; `attempt` guards
+    /// against stale timers from earlier admissions.
+    Expire { req: usize, attempt: u32 },
     /// A batch finished; the payload indexes `in_service`.
     Done(usize),
 }
@@ -107,30 +414,74 @@ impl Ord for TimeKey {
     }
 }
 
-// Event ordering tie-break: arrivals before deadlines before completions
-// at identical times is irrelevant to correctness; any total order works.
-fn key(t: f64, seq: u64) -> (TimeKey, u64) {
-    (TimeKey(t), seq)
+/// Where in its lifecycle a request currently is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Not in the queue: before arrival or awaiting a retry.
+    Idle,
+    /// In the queue.
+    Queued,
+    /// In a launched batch.
+    InService,
+    /// Finished service.
+    Completed,
+    /// Permanently shed.
+    Lost,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReqState {
+    first_arrival: f64,
+    /// Times this request has been offered to admission (arrival +
+    /// retries).
+    tries: u32,
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QEntry {
+    req: usize,
+    enqueued: f64,
+}
+
+#[derive(Debug)]
+struct Batch {
+    server: usize,
+    members: Vec<usize>,
+}
+
+/// Why a request is being shed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ShedReason {
+    QueueFull,
+    DeadlineExpired,
 }
 
 /// Runs the serving simulation.
 ///
-/// Dynamic batching policy: a batch launches when the server is idle and
+/// Dynamic batching policy: a batch launches when a server is idle and
 /// either `max_batch` requests are queued or `batch_timeout_s` has
 /// elapsed since the oldest queued request arrived. This is the standard
 /// production policy the paper's latency-vs-batch trade-off lives in.
-pub fn simulate(latency: &LatencyModel, cfg: &ServingConfig) -> ServingReport {
-    simulate_pool_with_stragglers(
-        latency,
-        &cfg.with_servers(1),
-        &Stragglers::default(),
-    )
+///
+/// # Errors
+///
+/// [`ConfigError`] for degenerate configurations.
+pub fn simulate(latency: &LatencyModel, cfg: &ServingConfig) -> Result<ServingReport, ConfigError> {
+    simulate_fleet(latency, &FleetConfig::new(cfg.with_servers(1)))
 }
 
 /// Simulates a pool of identical servers draining one queue (the
 /// fleet-level view behind E18): a batch launches on any free server.
-pub fn simulate_pool(latency: &LatencyModel, cfg: &PoolConfig) -> ServingReport {
-    simulate_pool_with_stragglers(latency, cfg, &Stragglers::default())
+///
+/// # Errors
+///
+/// [`ConfigError`] for degenerate configurations.
+pub fn simulate_pool(
+    latency: &LatencyModel,
+    cfg: &PoolConfig,
+) -> Result<ServingReport, ConfigError> {
+    simulate_fleet(latency, &FleetConfig::new(*cfg))
 }
 
 /// Like [`simulate`] with failure injection: some batches run slow.
@@ -138,169 +489,344 @@ pub fn simulate_pool(latency: &LatencyModel, cfg: &PoolConfig) -> ServingReport 
 /// Tail latency under stragglers is what production SLOs are actually
 /// set against; a policy that looks fine at p99 with uniform service can
 /// blow its SLO with 1% of batches running 3x slow.
+///
+/// # Errors
+///
+/// [`ConfigError`] for degenerate configurations.
 pub fn simulate_with_stragglers(
     latency: &LatencyModel,
     cfg: &ServingConfig,
     stragglers: &Stragglers,
-) -> ServingReport {
-    simulate_pool_with_stragglers(latency, &cfg.with_servers(1), stragglers)
+) -> Result<ServingReport, ConfigError> {
+    simulate_fleet(
+        latency,
+        &FleetConfig::new(cfg.with_servers(1)).with_stragglers(*stragglers),
+    )
 }
 
-/// The full-featured entry point: pool of servers plus stragglers.
+/// Pool of servers plus stragglers (no overload policy).
+///
+/// # Errors
+///
+/// [`ConfigError`] for degenerate configurations.
 pub fn simulate_pool_with_stragglers(
     latency: &LatencyModel,
     pool: &PoolConfig,
     stragglers: &Stragglers,
-) -> ServingReport {
-    let cfg = &pool.base;
-    let servers = pool.servers.max(1);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let n = cfg.requests.max(1);
-    // Pre-draw Poisson arrivals.
-    let mut arrivals = Vec::with_capacity(n);
-    let mut t = 0.0f64;
-    for _ in 0..n {
-        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-        t += -u.ln() / cfg.arrival_rate_rps.max(1e-9);
-        arrivals.push(t);
+) -> Result<ServingReport, ConfigError> {
+    simulate_fleet(
+        latency,
+        &FleetConfig::new(*pool).with_stragglers(*stragglers),
+    )
+}
+
+/// The full-featured entry point: pool, stragglers, deadlines, load
+/// shedding, and retry-with-backoff.
+///
+/// # Errors
+///
+/// [`ConfigError`] for degenerate configurations.
+pub fn simulate_fleet(
+    latency: &LatencyModel,
+    cfg: &FleetConfig,
+) -> Result<ServingReport, ConfigError> {
+    cfg.validate()?;
+    Ok(Engine::new(latency, cfg).run())
+}
+
+/// The DES state machine. One instance per run.
+struct Engine<'a> {
+    latency: &'a LatencyModel,
+    cfg: FleetConfig,
+    /// Pre-drawn Poisson arrival times.
+    arrivals: Vec<f64>,
+    /// Straggler multipliers draw from their own stream so enabling or
+    /// disabling other features never perturbs them.
+    straggler_rng: StdRng,
+    events: BinaryHeap<Reverse<((TimeKey, u64), Event)>>,
+    seq: u64,
+    queue: VecDeque<QEntry>,
+    /// Free server ids; smallest id first for determinism.
+    free_servers: BinaryHeap<Reverse<usize>>,
+    req: Vec<ReqState>,
+    in_service: Vec<Batch>,
+    latencies: Vec<f64>,
+    completed: usize,
+    good: usize,
+    shed: usize,
+    metrics: ServingMetrics,
+    end_time: f64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(latency: &'a LatencyModel, cfg: &FleetConfig) -> Engine<'a> {
+        let base = &cfg.pool.base;
+        let n = base.requests;
+        let mut rng = StdRng::seed_from_u64(base.seed);
+        let mut arrivals = Vec::with_capacity(n);
+        let mut t = 0.0f64;
+        for _ in 0..n {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / base.arrival_rate_rps;
+            arrivals.push(t);
+        }
+        let mut free_servers = BinaryHeap::with_capacity(cfg.pool.servers);
+        for s in 0..cfg.pool.servers {
+            free_servers.push(Reverse(s));
+        }
+        Engine {
+            latency,
+            cfg: *cfg,
+            arrivals,
+            straggler_rng: StdRng::seed_from_u64(base.seed ^ 0x9E37_79B9_7F4A_7C15),
+            events: BinaryHeap::new(),
+            seq: 0,
+            queue: VecDeque::new(),
+            free_servers,
+            req: vec![
+                ReqState {
+                    first_arrival: 0.0,
+                    tries: 0,
+                    phase: Phase::Idle,
+                };
+                n
+            ],
+            in_service: Vec::new(),
+            latencies: Vec::with_capacity(n),
+            completed: 0,
+            good: 0,
+            shed: 0,
+            metrics: ServingMetrics::new(cfg.pool.servers),
+            end_time: 0.0,
+        }
     }
-    // Pre-draw straggler multipliers (there can never be more batches
-    // than requests).
-    let straggler_mults: Vec<f64> = (0..n)
-        .map(|_| {
-            if stragglers.probability > 0.0
-                && rng.gen_bool(stragglers.probability.clamp(0.0, 1.0))
+
+    fn push_event(&mut self, t: f64, e: Event) {
+        self.events.push(Reverse(((TimeKey(t), self.seq), e)));
+        self.seq += 1;
+    }
+
+    /// Offers a request to admission control; enqueues or sheds it.
+    fn admit(&mut self, req: usize, now: f64) {
+        self.req[req].tries += 1;
+        if let Some(cap) = self.cfg.policy.queue_cap {
+            if self.queue.len() >= cap {
+                self.shed_request(req, now, ShedReason::QueueFull);
+                return;
+            }
+        }
+        self.metrics.admitted.inc();
+        self.req[req].phase = Phase::Queued;
+        self.queue.push_back(QEntry { req, enqueued: now });
+        if let Some(b) = self.expiry_budget() {
+            let attempt = self.req[req].tries;
+            self.push_event(now + b, Event::Expire { req, attempt });
+        }
+        if !self.try_launch(now) && self.queue.len() == 1 {
+            self.push_event(now + self.cfg.pool.base.batch_timeout_s, Event::Timeout);
+        }
+    }
+
+    /// In-queue wait allowed per attempt before shedding, if shedding
+    /// is on.
+    fn expiry_budget(&self) -> Option<f64> {
+        if !self.cfg.policy.shed_expired {
+            return None;
+        }
+        self.cfg
+            .policy
+            .queue_budget_s
+            .or(self.cfg.policy.deadline_s)
+    }
+
+    /// Sheds a request, scheduling a retry if the budget allows.
+    ///
+    /// Only admission rejections retry: a deadline-expired request's SLO
+    /// has already passed, so re-serving it cannot produce good work.
+    fn shed_request(&mut self, req: usize, now: f64, reason: ShedReason) {
+        match reason {
+            ShedReason::QueueFull => self.metrics.shed_queue_full.inc(),
+            ShedReason::DeadlineExpired => self.metrics.shed_deadline.inc(),
+        }
+        let retry = self.cfg.policy.retry;
+        let tries = self.req[req].tries;
+        if reason == ShedReason::QueueFull && tries <= retry.max_retries {
+            let delay = retry.backoff_s * retry.backoff_mult.powi(tries as i32 - 1);
+            self.req[req].phase = Phase::Idle;
+            self.metrics.retries.inc();
+            self.push_event(now + delay, Event::Retry { req });
+        } else {
+            self.req[req].phase = Phase::Lost;
+            self.shed += 1;
+            if reason == ShedReason::QueueFull && retry.max_retries > 0 {
+                self.metrics.retries_exhausted.inc();
+            }
+        }
+    }
+
+    /// Sheds the expired prefix of the queue (entries are enqueued in
+    /// time order, so expiries are a prefix).
+    fn shed_expired_prefix(&mut self, now: f64) {
+        let Some(b) = self.expiry_budget() else {
+            return;
+        };
+        while let Some(front) = self.queue.front() {
+            if front.enqueued + b <= now + 1e-12 {
+                let entry = self.queue.pop_front().expect("nonempty");
+                self.shed_request(entry.req, now, ShedReason::DeadlineExpired);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Greedily launches batches while a server is free and the batching
+    /// policy allows; returns whether at least one batch launched.
+    fn try_launch(&mut self, now: f64) -> bool {
+        let cfg = self.cfg.pool.base;
+        let mut launched = false;
+        loop {
+            self.shed_expired_prefix(now);
+            if self.free_servers.is_empty() || self.queue.is_empty() {
+                return launched;
+            }
+            let oldest = self.queue.front().expect("nonempty").enqueued;
+            let full = self.queue.len() as u64 >= cfg.max_batch;
+            let timed_out = now + 1e-12 >= oldest + cfg.batch_timeout_s;
+            if !full && !timed_out {
+                return launched;
+            }
+            let take = (self.queue.len() as u64).min(cfg.max_batch) as usize;
+            let mut members = Vec::with_capacity(take);
+            for _ in 0..take {
+                let entry = self.queue.pop_front().expect("sized above");
+                self.req[entry.req].phase = Phase::InService;
+                self.metrics.queue_wait_s.observe(now - entry.enqueued);
+                members.push(entry.req);
+            }
+            let mult = if self.cfg.stragglers.probability > 0.0
+                && self.straggler_rng.gen_bool(self.cfg.stragglers.probability)
             {
-                stragglers.factor.max(1.0)
+                self.cfg.stragglers.factor
             } else {
                 1.0
-            }
-        })
-        .collect();
-
-    let mut events: BinaryHeap<Reverse<((TimeKey, u64), Event)>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let push_event = |events: &mut BinaryHeap<Reverse<((TimeKey, u64), Event)>>,
-                          seq: &mut u64,
-                          t: f64,
-                          e: Event| {
-        events.push(Reverse((key(t, *seq), e)));
-        *seq += 1;
-    };
-    push_event(&mut events, &mut seq, arrivals[0], Event::Arrival(0));
-
-    let mut queue: VecDeque<f64> = VecDeque::new(); // arrival times
-    let mut busy_servers = 0usize;
-    let mut latencies: Vec<f64> = Vec::with_capacity(n);
-    let mut batches: Vec<u64> = Vec::new();
-    let mut busy_time = 0.0f64;
-    let mut in_service: Vec<Vec<f64>> = Vec::new();
-    let mut end_time = 0.0f64;
-
-    // Launches one batch on a free server; returns false if the launch
-    // conditions do not hold.
-    let try_launch = |now: f64,
-                          queue: &mut VecDeque<f64>,
-                          busy_servers: &mut usize,
-                          busy_time: &mut f64,
-                          batches: &mut Vec<u64>,
-                          in_service: &mut Vec<Vec<f64>>,
-                          events: &mut BinaryHeap<Reverse<((TimeKey, u64), Event)>>,
-                          seq: &mut u64|
-     -> bool {
-        if *busy_servers >= servers || queue.is_empty() {
-            return false;
+            };
+            let service = self.latency.latency(take as u64) * mult;
+            let Reverse(server) = self.free_servers.pop().expect("checked free");
+            self.metrics.per_server_busy_s[server] += service;
+            self.metrics.batch_sizes.observe(take as f64);
+            let idx = self.in_service.len();
+            self.in_service.push(Batch { server, members });
+            self.push_event(now + service, Event::Done(idx));
+            launched = true;
         }
-        let oldest = *queue.front().expect("nonempty");
-        let full = queue.len() as u64 >= cfg.max_batch;
-        let timed_out = now + 1e-12 >= oldest + cfg.batch_timeout_s;
-        if !full && !timed_out {
-            return false;
-        }
-        let take = (queue.len() as u64).min(cfg.max_batch) as usize;
-        let batch: Vec<f64> = queue.drain(..take).collect();
-        let service = latency.latency(take as u64) * straggler_mults[batches.len()];
-        *busy_servers += 1;
-        *busy_time += service;
-        batches.push(take as u64);
-        let idx = in_service.len();
-        in_service.push(batch);
-        events.push(Reverse((key(now + service, *seq), Event::Done(idx))));
-        *seq += 1;
-        true
-    };
+    }
 
-    while let Some(Reverse(((TimeKey(now), _), event))) = events.pop() {
-        end_time = end_time.max(now);
-        match event {
-            Event::Arrival(i) => {
-                queue.push_back(now);
-                if i + 1 < n {
-                    push_event(&mut events, &mut seq, arrivals[i + 1], Event::Arrival(i + 1));
+    fn run(mut self) -> ServingReport {
+        let n = self.cfg.pool.base.requests;
+        let first = self.arrivals[0];
+        self.push_event(first, Event::Arrival(0));
+
+        while let Some(Reverse(((TimeKey(now), _), event))) = self.events.pop() {
+            self.end_time = self.end_time.max(now);
+            match event {
+                Event::Arrival(i) => {
+                    self.metrics.arrivals.inc();
+                    self.req[i].first_arrival = now;
+                    if i + 1 < n {
+                        let t = self.arrivals[i + 1];
+                        self.push_event(t, Event::Arrival(i + 1));
+                    }
+                    self.admit(i, now);
                 }
-                if !try_launch(
-                    now, &mut queue, &mut busy_servers, &mut busy_time, &mut batches,
-                    &mut in_service, &mut events, &mut seq,
-                ) && queue.len() == 1
-                {
-                    push_event(&mut events, &mut seq, now + cfg.batch_timeout_s, Event::Deadline);
+                Event::Retry { req } => {
+                    self.admit(req, now);
                 }
-            }
-            Event::Deadline => {
-                // With every server busy there is nothing to do: the next
-                // Done event re-checks the queue (re-arming here would
-                // spin the event loop).
-                if !queue.is_empty() && busy_servers < servers {
-                    let launched = try_launch(
-                        now, &mut queue, &mut busy_servers, &mut busy_time, &mut batches,
-                        &mut in_service, &mut events, &mut seq,
-                    );
-                    if !launched {
-                        // A server is free but the (new) oldest request
-                        // has not waited out the timeout yet.
-                        let oldest = *queue.front().expect("nonempty");
-                        push_event(
-                            &mut events,
-                            &mut seq,
-                            oldest + cfg.batch_timeout_s,
-                            Event::Deadline,
-                        );
+                Event::Timeout => {
+                    // With every server busy there is nothing to do: the
+                    // next Done event re-checks the queue (re-arming here
+                    // would spin the event loop).
+                    if !self.queue.is_empty() && !self.free_servers.is_empty() {
+                        let launched = self.try_launch(now);
+                        if !launched {
+                            if let Some(front) = self.queue.front() {
+                                // A server is free but the (new) oldest
+                                // request has not waited out the timeout
+                                // yet; this fire time is strictly in the
+                                // future, else the launch would have
+                                // happened.
+                                let t = front.enqueued + self.cfg.pool.base.batch_timeout_s;
+                                self.push_event(t, Event::Timeout);
+                            }
+                        }
+                    }
+                }
+                Event::Expire { req, attempt } => {
+                    // Stale timers (the request retried, launched, or
+                    // finished since) are no-ops.
+                    if self.req[req].phase == Phase::Queued && self.req[req].tries == attempt {
+                        if let Some(pos) = self.queue.iter().position(|e| e.req == req) {
+                            self.queue.remove(pos);
+                            self.shed_request(req, now, ShedReason::DeadlineExpired);
+                        }
+                    }
+                }
+                Event::Done(idx) => {
+                    let server = self.in_service[idx].server;
+                    self.free_servers.push(Reverse(server));
+                    let members = std::mem::take(&mut self.in_service[idx].members);
+                    for req in members {
+                        let lat = now - self.req[req].first_arrival;
+                        self.req[req].phase = Phase::Completed;
+                        self.latencies.push(lat);
+                        self.completed += 1;
+                        self.metrics.completed.inc();
+                        match self.cfg.policy.deadline_s {
+                            Some(d) if lat > d => self.metrics.completed_late.inc(),
+                            _ => self.good += 1,
+                        }
+                    }
+                    // The freed server may immediately take another batch.
+                    if !self.try_launch(now) && !self.queue.is_empty() {
+                        let front = self.queue.front().expect("nonempty");
+                        let fire = (front.enqueued + self.cfg.pool.base.batch_timeout_s).max(now);
+                        self.push_event(fire, Event::Timeout);
                     }
                 }
             }
-            Event::Done(idx) => {
-                busy_servers -= 1;
-                for &arr in &in_service[idx] {
-                    latencies.push(now - arr);
-                }
-                in_service[idx].clear();
-                // The freed server may immediately take another batch.
-                if !try_launch(
-                    now, &mut queue, &mut busy_servers, &mut busy_time, &mut batches,
-                    &mut in_service, &mut events, &mut seq,
-                ) && !queue.is_empty()
-                {
-                    let oldest = *queue.front().expect("nonempty");
-                    let fire = (oldest + cfg.batch_timeout_s).max(now);
-                    push_event(&mut events, &mut seq, fire, Event::Deadline);
-                }
-            }
         }
-    }
 
-    let stats = LatencyStats::from_samples(&latencies);
-    let total_time = end_time.max(1e-12);
-    ServingReport {
-        p50_s: stats.p50_s,
-        p99_s: stats.p99_s,
-        throughput_rps: latencies.len() as f64 / total_time,
-        mean_batch: if batches.is_empty() {
-            0.0
-        } else {
-            batches.iter().sum::<u64>() as f64 / batches.len() as f64
-        },
-        server_utilization: (busy_time / (total_time * servers as f64)).min(1.0),
-        stats,
+        // Anything still queued when the heap drained is accounted as
+        // dropped — conservation over silent loss.
+        let dropped = self.queue.len();
+        for entry in self.queue.drain(..) {
+            self.req[entry.req].phase = Phase::Lost;
+            self.metrics.dropped_at_drain.inc();
+        }
+        debug_assert_eq!(
+            self.completed + self.shed + dropped,
+            n,
+            "request conservation violated"
+        );
+
+        let stats = LatencyStats::from_samples(&self.latencies);
+        let total_time = self.end_time.max(1e-12);
+        let servers = self.cfg.pool.servers;
+        let busy_total: f64 = self.metrics.per_server_busy_s.iter().sum();
+        ServingReport {
+            p50_s: stats.p50_s,
+            p99_s: stats.p99_s,
+            throughput_rps: self.completed as f64 / total_time,
+            goodput_rps: self.good as f64 / total_time,
+            mean_batch: self.metrics.batch_sizes.mean(),
+            server_utilization: (busy_total / (total_time * servers as f64)).min(1.0),
+            arrivals: n,
+            completed: self.completed,
+            shed: self.shed,
+            dropped,
+            stats,
+            metrics: self.metrics,
+        }
     }
 }
 
@@ -325,19 +851,23 @@ mod tests {
 
     #[test]
     fn all_requests_complete() {
-        let r = simulate(&linear_model(), &cfg(2000.0));
+        let r = simulate(&linear_model(), &cfg(2000.0)).unwrap();
         assert_eq!(r.stats.n, 4000);
+        assert_eq!(r.completed, 4000);
+        assert_eq!(r.shed, 0);
+        assert_eq!(r.dropped, 0);
+        assert!(r.conservation_holds());
         assert!(r.throughput_rps > 0.0);
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = simulate(&linear_model(), &cfg(2000.0));
-        let b = simulate(&linear_model(), &cfg(2000.0));
+        let a = simulate(&linear_model(), &cfg(2000.0)).unwrap();
+        let b = simulate(&linear_model(), &cfg(2000.0)).unwrap();
         assert_eq!(a, b);
         let mut c2 = cfg(2000.0);
         c2.seed = 43;
-        let c = simulate(&linear_model(), &c2);
+        let c = simulate(&linear_model(), &c2).unwrap();
         // Different arrival draws shift the mean (p99 may coincide when
         // dominated by the batch timeout).
         assert_ne!(a.stats.mean_s, c.stats.mean_s);
@@ -350,7 +880,7 @@ mod tests {
         let m = linear_model();
         let mut c = cfg(10.0);
         c.requests = 500;
-        let r = simulate(&m, &c);
+        let r = simulate(&m, &c).unwrap();
         let expected = 0.001 + m.latency(1);
         assert!(
             (r.p50_s - expected).abs() < 0.3e-3,
@@ -362,8 +892,8 @@ mod tests {
 
     #[test]
     fn heavy_load_forms_big_batches() {
-        let r_light = simulate(&linear_model(), &cfg(200.0));
-        let r_heavy = simulate(&linear_model(), &cfg(8000.0));
+        let r_light = simulate(&linear_model(), &cfg(200.0)).unwrap();
+        let r_heavy = simulate(&linear_model(), &cfg(8000.0)).unwrap();
         assert!(r_heavy.mean_batch > 4.0 * r_light.mean_batch.max(1.0));
         assert!(r_heavy.server_utilization > r_light.server_utilization);
     }
@@ -371,10 +901,10 @@ mod tests {
     #[test]
     fn p99_explodes_past_saturation() {
         // Capacity with batch 16: 16 / latency(16) ≈ 9k rps.
-        let below = simulate(&linear_model(), &cfg(5000.0));
+        let below = simulate(&linear_model(), &cfg(5000.0)).unwrap();
         let mut over = cfg(20000.0);
         over.requests = 6000;
-        let above = simulate(&linear_model(), &over);
+        let above = simulate(&linear_model(), &over).unwrap();
         assert!(
             above.p99_s > 5.0 * below.p99_s,
             "saturation must blow up p99: {} vs {}",
@@ -387,11 +917,8 @@ mod tests {
     fn p99_grows_with_load() {
         let mut last = 0.0;
         for rate in [500.0, 2000.0, 6000.0] {
-            let r = simulate(&linear_model(), &cfg(rate));
-            assert!(
-                r.p99_s >= last * 0.8,
-                "p99 should broadly grow with load"
-            );
+            let r = simulate(&linear_model(), &cfg(rate)).unwrap();
+            assert!(r.p99_s >= last * 0.8, "p99 should broadly grow with load");
             last = r.p99_s;
         }
     }
@@ -399,7 +926,7 @@ mod tests {
     #[test]
     fn stragglers_inflate_the_tail_more_than_the_median() {
         let m = linear_model();
-        let base = simulate(&m, &cfg(2000.0));
+        let base = simulate(&m, &cfg(2000.0)).unwrap();
         let slow = simulate_with_stragglers(
             &m,
             &cfg(2000.0),
@@ -407,7 +934,8 @@ mod tests {
                 probability: 0.02,
                 factor: 10.0,
             },
-        );
+        )
+        .unwrap();
         // All requests still complete.
         assert_eq!(slow.stats.n, base.stats.n);
         // The tail suffers disproportionately.
@@ -423,8 +951,8 @@ mod tests {
     #[test]
     fn zero_probability_stragglers_change_nothing() {
         let m = linear_model();
-        let a = simulate(&m, &cfg(3000.0));
-        let b = simulate_with_stragglers(&m, &cfg(3000.0), &Stragglers::default());
+        let a = simulate(&m, &cfg(3000.0)).unwrap();
+        let b = simulate_with_stragglers(&m, &cfg(3000.0), &Stragglers::default()).unwrap();
         assert_eq!(a, b);
     }
 
@@ -434,8 +962,8 @@ mod tests {
         let m = linear_model();
         let mut c = cfg(12000.0);
         c.requests = 6000;
-        let one = simulate_pool(&m, &c.with_servers(1));
-        let four = simulate_pool(&m, &c.with_servers(4));
+        let one = simulate_pool(&m, &c.with_servers(1)).unwrap();
+        let four = simulate_pool(&m, &c.with_servers(4)).unwrap();
         assert_eq!(one.stats.n, four.stats.n);
         assert!(
             four.p99_s < one.p99_s / 3.0,
@@ -450,8 +978,8 @@ mod tests {
     fn pool_of_one_matches_single_server_api() {
         let m = linear_model();
         let c = cfg(2000.0);
-        let a = simulate(&m, &c);
-        let b = simulate_pool(&m, &c.with_servers(1));
+        let a = simulate(&m, &c).unwrap();
+        let b = simulate_pool(&m, &c.with_servers(1)).unwrap();
         assert_eq!(a, b);
     }
 
@@ -460,15 +988,435 @@ mod tests {
         let m = linear_model();
         let mut c = cfg(50_000.0); // far past single-server capacity
         c.requests = 8000;
-        let t1 = simulate_pool(&m, &c.with_servers(1)).throughput_rps;
-        let t4 = simulate_pool(&m, &c.with_servers(4)).throughput_rps;
+        let t1 = simulate_pool(&m, &c.with_servers(1))
+            .unwrap()
+            .throughput_rps;
+        let t4 = simulate_pool(&m, &c.with_servers(4))
+            .unwrap()
+            .throughput_rps;
         assert!(t4 > 2.5 * t1, "{t4} vs {t1}");
     }
 
     #[test]
     fn utilization_bounded() {
-        let r = simulate(&linear_model(), &cfg(100000.0));
+        let r = simulate(&linear_model(), &cfg(100000.0)).unwrap();
         assert!(r.server_utilization <= 1.0);
         assert!(r.server_utilization > 0.9);
+    }
+
+    // ---- config validation regressions --------------------------------
+
+    #[test]
+    fn max_batch_zero_is_a_typed_error() {
+        // Regression: this used to spin forever launching empty batches
+        // and then panic indexing the straggler table out of bounds.
+        let m = linear_model();
+        let mut c = cfg(1000.0);
+        c.max_batch = 0;
+        assert_eq!(simulate(&m, &c), Err(ConfigError::ZeroMaxBatch));
+        assert_eq!(
+            simulate_pool_with_stragglers(&m, &c.with_servers(3), &Stragglers::default()),
+            Err(ConfigError::ZeroMaxBatch)
+        );
+    }
+
+    #[test]
+    fn zero_arrival_rate_is_a_typed_error() {
+        let m = linear_model();
+        let mut c = cfg(0.0);
+        c.arrival_rate_rps = 0.0;
+        assert_eq!(
+            simulate(&m, &c),
+            Err(ConfigError::NonPositiveArrivalRate(0.0))
+        );
+        assert_eq!(
+            simulate_pool_with_stragglers(&m, &c.with_servers(2), &Stragglers::default()),
+            Err(ConfigError::NonPositiveArrivalRate(0.0))
+        );
+        c.arrival_rate_rps = -5.0;
+        assert!(matches!(
+            simulate(&m, &c),
+            Err(ConfigError::NonPositiveArrivalRate(_))
+        ));
+    }
+
+    #[test]
+    fn nan_and_degenerate_knobs_are_typed_errors() {
+        let m = linear_model();
+        let mut c = cfg(1000.0);
+        c.arrival_rate_rps = f64::NAN;
+        assert!(matches!(
+            simulate(&m, &c),
+            Err(ConfigError::NonPositiveArrivalRate(_))
+        ));
+        let mut c = cfg(1000.0);
+        c.batch_timeout_s = f64::NAN;
+        assert!(matches!(
+            simulate(&m, &c),
+            Err(ConfigError::InvalidBatchTimeout(_))
+        ));
+        let mut c = cfg(1000.0);
+        c.batch_timeout_s = -1.0;
+        assert!(matches!(
+            simulate(&m, &c),
+            Err(ConfigError::InvalidBatchTimeout(_))
+        ));
+        let mut c = cfg(1000.0);
+        c.requests = 0;
+        assert_eq!(simulate(&m, &c), Err(ConfigError::ZeroRequests));
+        let pool = PoolConfig {
+            base: cfg(1000.0),
+            servers: 0,
+        };
+        assert_eq!(simulate_pool(&m, &pool), Err(ConfigError::ZeroServers));
+        assert!(matches!(
+            simulate_with_stragglers(
+                &m,
+                &cfg(1000.0),
+                &Stragglers {
+                    probability: 1.5,
+                    factor: 2.0
+                }
+            ),
+            Err(ConfigError::InvalidStragglerProbability(_))
+        ));
+        assert!(matches!(
+            simulate_with_stragglers(
+                &m,
+                &cfg(1000.0),
+                &Stragglers {
+                    probability: 0.1,
+                    factor: 0.5
+                }
+            ),
+            Err(ConfigError::InvalidStragglerFactor(_))
+        ));
+    }
+
+    #[test]
+    fn bad_policy_is_a_typed_error() {
+        let m = linear_model();
+        let fleet =
+            |policy: FleetPolicy| FleetConfig::new(cfg(1000.0).with_servers(1)).with_policy(policy);
+        assert!(matches!(
+            simulate_fleet(
+                &m,
+                &fleet(FleetPolicy {
+                    deadline_s: Some(f64::NAN),
+                    ..FleetPolicy::default()
+                })
+            ),
+            Err(ConfigError::InvalidDeadline(_))
+        ));
+        assert_eq!(
+            simulate_fleet(
+                &m,
+                &fleet(FleetPolicy {
+                    shed_expired: true,
+                    ..FleetPolicy::default()
+                })
+            ),
+            Err(ConfigError::SheddingWithoutDeadline)
+        );
+        assert_eq!(
+            simulate_fleet(
+                &m,
+                &fleet(FleetPolicy {
+                    queue_cap: Some(0),
+                    ..FleetPolicy::default()
+                })
+            ),
+            Err(ConfigError::ZeroQueueCap)
+        );
+        assert!(matches!(
+            simulate_fleet(
+                &m,
+                &fleet(FleetPolicy {
+                    retry: RetryPolicy {
+                        max_retries: 1,
+                        backoff_s: -1.0,
+                        backoff_mult: 2.0
+                    },
+                    ..FleetPolicy::default()
+                })
+            ),
+            Err(ConfigError::InvalidRetryBackoff(_))
+        ));
+        assert!(matches!(
+            simulate_fleet(
+                &m,
+                &fleet(FleetPolicy {
+                    retry: RetryPolicy {
+                        max_retries: 1,
+                        backoff_s: 0.001,
+                        backoff_mult: 0.0
+                    },
+                    ..FleetPolicy::default()
+                })
+            ),
+            Err(ConfigError::InvalidRetryBackoffMult(_))
+        ));
+    }
+
+    #[test]
+    fn config_error_displays() {
+        let msg = format!("{}", ConfigError::ZeroMaxBatch);
+        assert!(msg.contains("max_batch"));
+        let msg = format!("{}", ConfigError::NonPositiveArrivalRate(f64::NAN));
+        assert!(msg.contains("arrival_rate_rps"));
+    }
+
+    // ---- fleet policy behavior ----------------------------------------
+
+    /// A mildly overloaded fleet: one server, arrivals ~1.7x capacity.
+    fn overloaded_fleet(policy: FleetPolicy) -> FleetConfig {
+        let mut base = cfg(15_000.0);
+        base.requests = 6000;
+        FleetConfig::new(base.with_servers(1)).with_policy(policy)
+    }
+
+    #[test]
+    fn conservation_holds_under_every_policy() {
+        let m = linear_model();
+        let policies = [
+            FleetPolicy::default(),
+            FleetPolicy {
+                deadline_s: Some(0.01),
+                shed_expired: true,
+                ..FleetPolicy::default()
+            },
+            FleetPolicy {
+                queue_cap: Some(32),
+                ..FleetPolicy::default()
+            },
+            FleetPolicy {
+                deadline_s: Some(0.01),
+                shed_expired: true,
+                queue_cap: Some(32),
+                retry: RetryPolicy {
+                    max_retries: 2,
+                    backoff_s: 0.002,
+                    backoff_mult: 2.0,
+                },
+                ..FleetPolicy::default()
+            },
+        ];
+        for policy in policies {
+            let r = simulate_fleet(&m, &overloaded_fleet(policy)).unwrap();
+            assert!(
+                r.conservation_holds(),
+                "arrivals {} != completed {} + shed {} + dropped {} for {policy:?}",
+                r.arrivals,
+                r.completed,
+                r.shed,
+                r.dropped
+            );
+            assert_eq!(r.completed as u64, r.metrics.completed.get());
+            assert_eq!(r.shed as u64, r.metrics.shed_total());
+            assert_eq!(r.dropped as u64, r.metrics.dropped_at_drain.get());
+        }
+    }
+
+    #[test]
+    fn deadline_shedding_sheds_and_protects_goodput() {
+        let m = linear_model();
+        let deadline = 0.02;
+        let no_shed = simulate_fleet(
+            &m,
+            &overloaded_fleet(FleetPolicy {
+                deadline_s: Some(deadline),
+                shed_expired: false,
+                ..FleetPolicy::default()
+            }),
+        )
+        .unwrap();
+        let shed = simulate_fleet(
+            &m,
+            &overloaded_fleet(FleetPolicy {
+                deadline_s: Some(deadline),
+                shed_expired: true,
+                ..FleetPolicy::default()
+            }),
+        )
+        .unwrap();
+        // Without shedding everything completes, but mostly too late.
+        assert_eq!(no_shed.completed, no_shed.arrivals);
+        assert!(no_shed.metrics.completed_late.get() > 0);
+        assert!(no_shed.goodput_rps < no_shed.throughput_rps);
+        // With shedding, expired requests are lost instead of served.
+        assert!(shed.shed > 0);
+        assert!(shed.metrics.shed_deadline.get() > 0);
+        // Shedding protects goodput: served requests meet the deadline.
+        assert!(
+            shed.goodput_rps > 1.5 * no_shed.goodput_rps,
+            "shedding goodput {} vs head-of-line-blocked {}",
+            shed.goodput_rps,
+            no_shed.goodput_rps
+        );
+    }
+
+    #[test]
+    fn queue_cap_sheds_under_overload() {
+        let m = linear_model();
+        let r = simulate_fleet(
+            &m,
+            &overloaded_fleet(FleetPolicy {
+                queue_cap: Some(32),
+                ..FleetPolicy::default()
+            }),
+        )
+        .unwrap();
+        assert!(r.shed > 0);
+        assert!(r.metrics.shed_queue_full.get() > 0);
+        // The queue never exceeded its cap, so waits stay bounded: every
+        // admitted request waits at most cap/throughput plus service.
+        assert!(
+            r.p99_s < 0.05,
+            "p99 {} should be bounded by the cap",
+            r.p99_s
+        );
+        assert!(r.conservation_holds());
+    }
+
+    #[test]
+    fn retries_recover_some_sheds() {
+        let m = linear_model();
+        let policy_no_retry = FleetPolicy {
+            queue_cap: Some(32),
+            ..FleetPolicy::default()
+        };
+        let policy_retry = FleetPolicy {
+            queue_cap: Some(32),
+            retry: RetryPolicy {
+                max_retries: 3,
+                backoff_s: 0.005,
+                backoff_mult: 2.0,
+            },
+            ..FleetPolicy::default()
+        };
+        let without = simulate_fleet(&m, &overloaded_fleet(policy_no_retry)).unwrap();
+        let with = simulate_fleet(&m, &overloaded_fleet(policy_retry)).unwrap();
+        assert!(with.metrics.retries.get() > 0);
+        // Every permanent loss under retries burned its whole budget.
+        assert_eq!(with.shed as u64, with.metrics.retries_exhausted.get());
+        // Retries convert some sheds into completions.
+        assert!(
+            with.completed > without.completed,
+            "retries should recover work: {} vs {}",
+            with.completed,
+            without.completed
+        );
+        assert!(with.conservation_holds());
+    }
+
+    #[test]
+    fn queue_budget_reserves_room_for_service() {
+        let m = linear_model();
+        // Budget validation.
+        let bad = FleetConfig::new(cfg(1000.0).with_servers(1)).with_policy(FleetPolicy {
+            deadline_s: Some(0.02),
+            shed_expired: true,
+            queue_budget_s: Some(f64::NAN),
+            ..FleetPolicy::default()
+        });
+        assert!(matches!(
+            simulate_fleet(&m, &bad),
+            Err(ConfigError::InvalidQueueBudget(_))
+        ));
+        // With the full deadline as queue budget, a request can launch
+        // right at the wire and finish late; reserving service time in
+        // the budget keeps completions on time.
+        let deadline = 0.02;
+        let run = |budget: Option<f64>| {
+            simulate_fleet(
+                &m,
+                &overloaded_fleet(FleetPolicy {
+                    deadline_s: Some(deadline),
+                    shed_expired: true,
+                    queue_budget_s: budget,
+                    ..FleetPolicy::default()
+                }),
+            )
+            .unwrap()
+        };
+        let full = run(None);
+        let reserved = run(Some(deadline - m.latency(16)));
+        assert!(full.metrics.completed_late.get() > 0);
+        assert!(
+            reserved.metrics.completed_late.get() < full.metrics.completed_late.get(),
+            "reserving service headroom must cut late completions: {} vs {}",
+            reserved.metrics.completed_late.get(),
+            full.metrics.completed_late.get()
+        );
+    }
+
+    #[test]
+    fn deadline_sheds_do_not_retry() {
+        // Retries are for admission rejections; a request whose SLO
+        // already passed is permanently lost even with a retry budget.
+        let m = linear_model();
+        let r = simulate_fleet(
+            &m,
+            &overloaded_fleet(FleetPolicy {
+                deadline_s: Some(0.01),
+                shed_expired: true,
+                retry: RetryPolicy {
+                    max_retries: 3,
+                    backoff_s: 0.001,
+                    backoff_mult: 2.0,
+                },
+                ..FleetPolicy::default()
+            }),
+        )
+        .unwrap();
+        assert!(r.metrics.shed_deadline.get() > 0);
+        assert_eq!(r.metrics.retries.get(), 0);
+        assert_eq!(r.shed as u64, r.metrics.shed_deadline.get());
+        assert!(r.conservation_holds());
+    }
+
+    #[test]
+    fn goodput_equals_throughput_without_deadline() {
+        let r = simulate(&linear_model(), &cfg(2000.0)).unwrap();
+        assert!((r.goodput_rps - r.throughput_rps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let m = linear_model();
+        let fleet = overloaded_fleet(FleetPolicy {
+            deadline_s: Some(0.015),
+            shed_expired: true,
+            queue_cap: Some(64),
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff_s: 0.002,
+                backoff_mult: 1.5,
+            },
+            ..FleetPolicy::default()
+        })
+        .with_stragglers(Stragglers {
+            probability: 0.05,
+            factor: 4.0,
+        });
+        let a = simulate_fleet(&m, &fleet).unwrap();
+        let b = simulate_fleet(&m, &fleet).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_server_busy_time_is_tracked() {
+        let m = linear_model();
+        let mut c = cfg(12_000.0);
+        c.requests = 6000;
+        let r = simulate_pool(&m, &c.with_servers(3)).unwrap();
+        assert_eq!(r.metrics.per_server_busy_s.len(), 3);
+        // Under saturating load every server gets work.
+        for (s, &busy) in r.metrics.per_server_busy_s.iter().enumerate() {
+            assert!(busy > 0.0, "server {s} never worked");
+        }
+        let total: f64 = r.metrics.per_server_busy_s.iter().sum();
+        assert!(r.server_utilization <= 1.0);
+        assert!(total > 0.0);
     }
 }

@@ -207,8 +207,8 @@ mod tests {
     fn profile_real_app_is_monotone() {
         let app = zoo::mlp0();
         let chip = catalog::tpu_v4i();
-        let m = LatencyModel::profile(&app, &chip, &CompilerOptions::default(), &[1, 8, 64])
-            .unwrap();
+        let m =
+            LatencyModel::profile(&app, &chip, &CompilerOptions::default(), &[1, 8, 64]).unwrap();
         assert_eq!(m.points().len(), 3);
         assert!(m.latency(1) > 0.0);
         assert!(m.latency(64) >= m.latency(1));

@@ -8,8 +8,13 @@
 //!
 //! - [`latency`]: batch→latency curves profiled through the compiler and
 //!   simulator, with linear interpolation between profiled batch sizes;
-//! - [`des`]: a discrete-event server with Poisson arrivals and dynamic
-//!   batching (batch forms on size or timeout);
+//! - [`des`]: a discrete-event fleet simulator with Poisson arrivals,
+//!   dynamic batching (batch forms on size or timeout), per-request
+//!   deadlines, admission-control load shedding, and retry-with-backoff
+//!   — every entry point validates its config and returns a typed
+//!   [`des::ConfigError`] for degenerate inputs;
+//! - [`metrics`]: the counters and histograms a serving fleet is
+//!   operated on (sheds, retries, batch sizes, per-server busy time);
 //! - [`stats`]: exact percentile computation over recorded latencies;
 //! - [`slo`]: SLO-constrained search — the largest batch and the highest
 //!   arrival rate that still meet a p99 target (E8);
@@ -31,16 +36,22 @@
 //!     batch_timeout_s: 0.002,
 //!     requests: 2000,
 //!     seed: 7,
-//! });
+//! }).expect("config is valid");
 //! assert!(report.p99_s >= report.p50_s);
+//! assert!(report.conservation_holds());
 //! ```
 
 pub mod des;
 pub mod latency;
+pub mod metrics;
 pub mod multitenant;
 pub mod slo;
 pub mod stats;
 
-pub use des::{simulate, ServingConfig, ServingReport};
+pub use des::{
+    simulate, simulate_fleet, ConfigError, FleetConfig, FleetPolicy, PoolConfig, RetryPolicy,
+    ServingConfig, ServingReport, Stragglers,
+};
 pub use latency::LatencyModel;
+pub use metrics::ServingMetrics;
 pub use stats::LatencyStats;

@@ -1,0 +1,299 @@
+//! Serving metrics: counters and histograms threaded through the DES.
+//!
+//! Production serving systems live on exactly these signals (Lesson 10
+//! is stated in terms of them): offered load, sheds, retries, batch-size
+//! distribution, per-server busy time. The DES fills a
+//! [`ServingMetrics`] as it runs and exposes it via
+//! [`crate::des::ServingReport`].
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A fixed-bucket histogram over `f64` observations.
+///
+/// Buckets are defined by their inclusive upper bounds, plus an implicit
+/// overflow bucket. Observation order does not matter: two histograms
+/// with the same bounds fed the same multiset of values compare equal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive upper bound of each bucket, strictly increasing.
+    bounds: Vec<f64>,
+    /// Per-bucket counts; `counts[bounds.len()]` is the overflow bucket.
+    counts: Vec<u64>,
+    /// Sum of all observations (exact means for integral observations).
+    sum: f64,
+    /// Number of observations.
+    n: u64,
+    /// Largest observation seen.
+    max: f64,
+}
+
+impl Histogram {
+    /// Builds a histogram from explicit bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn with_bounds(bounds: Vec<f64>) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must strictly increase"
+        );
+        let buckets = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; buckets],
+            sum: 0.0,
+            n: 0,
+            max: 0.0,
+        }
+    }
+
+    /// Exponential bounds: `start, start*factor, ...` (`count` buckets).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `start <= 0`, `factor <= 1`, or `count == 0`.
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Histogram {
+        assert!(
+            start > 0.0 && factor > 1.0 && count > 0,
+            "bad histogram spec"
+        );
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= factor;
+        }
+        Histogram::with_bounds(bounds)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.n += 1;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Largest observation, or 0 for an empty histogram.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Upper bound of the bucket where the `q`-quantile falls, capped at
+    /// the observed max (exact for the overflow bucket). `q` is clamped
+    /// to [0, 1]. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i < self.bounds.len() {
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
+    /// `(upper_bound, count)` pairs; the final pair is the overflow
+    /// bucket reported as `(f64::INFINITY, count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.counts.iter().copied())
+    }
+}
+
+/// Everything the DES measures in one run.
+///
+/// Request accounting invariant (checked by the DES):
+/// `arrivals == completed + shed_total + dropped_at_drain`, where
+/// `shed_total` counts *permanently* lost requests (retries that
+/// ultimately succeed are not sheds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingMetrics {
+    /// Fresh requests offered to the system.
+    pub arrivals: Counter,
+    /// Queue admissions, including re-admissions of retried requests.
+    pub admitted: Counter,
+    /// Requests that finished service.
+    pub completed: Counter,
+    /// Completions whose end-to-end latency exceeded the deadline
+    /// (served, counted in throughput, but not in goodput).
+    pub completed_late: Counter,
+    /// Shed events due to the admission-control queue cap.
+    pub shed_queue_full: Counter,
+    /// Shed events due to in-queue deadline expiry.
+    pub shed_deadline: Counter,
+    /// Retries scheduled after a shed.
+    pub retries: Counter,
+    /// Requests permanently lost after exhausting their retry budget.
+    pub retries_exhausted: Counter,
+    /// Requests still queued when the simulation drained.
+    pub dropped_at_drain: Counter,
+    /// Distribution of formed batch sizes.
+    pub batch_sizes: Histogram,
+    /// Distribution of per-admission queue waiting time, seconds.
+    pub queue_wait_s: Histogram,
+    /// Busy time accumulated by each server, seconds.
+    pub per_server_busy_s: Vec<f64>,
+}
+
+impl ServingMetrics {
+    /// Fresh metrics for a pool of `servers`.
+    pub fn new(servers: usize) -> ServingMetrics {
+        ServingMetrics {
+            arrivals: Counter::default(),
+            admitted: Counter::default(),
+            completed: Counter::default(),
+            completed_late: Counter::default(),
+            shed_queue_full: Counter::default(),
+            shed_deadline: Counter::default(),
+            retries: Counter::default(),
+            retries_exhausted: Counter::default(),
+            dropped_at_drain: Counter::default(),
+            // Powers of two cover any practical batch cap.
+            batch_sizes: Histogram::exponential(1.0, 2.0, 14),
+            // 10 us .. ~80 s in x3 steps.
+            queue_wait_s: Histogram::exponential(1e-5, 3.0, 16),
+            per_server_busy_s: vec![0.0; servers],
+        }
+    }
+
+    /// Total permanently shed requests.
+    pub fn shed_total(&self) -> u64 {
+        // A request is permanently lost when its final shed event is not
+        // followed by a retry. `retries` counts re-admissions, so:
+        // permanent = shed events - retries scheduled.
+        (self.shed_queue_full.get() + self.shed_deadline.get()) - self.retries.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = Histogram::with_bounds(vec![1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 21.2).abs() < 1e-12);
+        assert_eq!(h.max(), 100.0);
+        let buckets: Vec<(f64, u64)> = h.buckets().collect();
+        assert_eq!(buckets[0], (1.0, 2)); // 0.5, 1.0
+        assert_eq!(buckets[1], (2.0, 1)); // 1.5
+        assert_eq!(buckets[2], (4.0, 1)); // 3.0
+        assert_eq!(buckets[3], (f64::INFINITY, 1)); // 100.0
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::exponential(1.0, 2.0, 8);
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        assert_eq!(h.quantile(0.0), 1.0);
+        // p50 of 1..=100 lands in the (32, 64] bucket.
+        assert_eq!(h.quantile(0.5), 64.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        // Empty histogram.
+        let e = Histogram::exponential(1.0, 2.0, 4);
+        assert_eq!(e.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn order_invariance() {
+        let mut a = Histogram::exponential(1.0, 2.0, 6);
+        let mut b = Histogram::exponential(1.0, 2.0, 6);
+        let vals = [3.0, 1.0, 7.5, 0.1, 42.0];
+        for v in vals {
+            a.observe(v);
+        }
+        for v in vals.iter().rev() {
+            b.observe(*v);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn bad_bounds_panic() {
+        Histogram::with_bounds(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn metrics_shed_total() {
+        let mut m = ServingMetrics::new(2);
+        m.shed_queue_full.add(5);
+        m.shed_deadline.add(2);
+        m.retries.add(4);
+        assert_eq!(m.shed_total(), 3);
+        assert_eq!(m.per_server_busy_s.len(), 2);
+    }
+}

@@ -314,10 +314,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one tenant")]
     fn empty_tenants_panics() {
-        simulate_tenants(
-            &catalog::tpu_v4i(),
-            &[],
-            &MultiTenantConfig::default(),
-        );
+        simulate_tenants(&catalog::tpu_v4i(), &[], &MultiTenantConfig::default());
     }
 }

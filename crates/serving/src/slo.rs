@@ -73,10 +73,12 @@ pub fn max_throughput_under_slo(
     let mut hi = latency.throughput(max_batch) * 1.05;
     let mut lo = 0.0f64;
     let mut best_rate = 0.0;
-    let mut best_report = simulate(latency, &cfg(1.0));
+    // The rate is clamped positive and every other knob is fixed and
+    // sane, so validation cannot fail here.
+    let mut best_report = simulate(latency, &cfg(1.0)).expect("valid search config");
     for _ in 0..18 {
         let mid = (lo + hi) / 2.0;
-        let r = simulate(latency, &cfg(mid.max(1e-3)));
+        let r = simulate(latency, &cfg(mid.max(1e-3))).expect("valid search config");
         if r.p99_s <= slo_s {
             best_rate = mid;
             best_report = r;

@@ -1,0 +1,144 @@
+//! Property tests for the serving DES: statistical invariants that must
+//! hold for *any* valid configuration — with stragglers, multi-server
+//! pools, and overload policies in play.
+
+use proptest::prelude::*;
+
+use tpu_serving::des::{
+    simulate_fleet, simulate_pool_with_stragglers, FleetConfig, FleetPolicy, RetryPolicy,
+    ServingConfig, Stragglers,
+};
+use tpu_serving::latency::LatencyModel;
+
+fn model() -> LatencyModel {
+    // 1 ms fixed + ~0.05 ms per item.
+    LatencyModel::from_points(vec![(1, 0.00105), (100, 0.006)]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Percentile ordering, bounded utilization, and throughput no
+    /// faster than the offered rate hold for any pool with stragglers.
+    #[test]
+    fn pool_invariants(
+        rate in 100.0f64..30_000.0,
+        max_batch in 1u64..64,
+        servers in 2usize..=8,
+        requests in 300usize..1500,
+        probability in 0.0f64..0.2,
+        factor in 1.0f64..8.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = ServingConfig {
+            arrival_rate_rps: rate,
+            max_batch,
+            batch_timeout_s: 0.002,
+            requests,
+            seed,
+        };
+        let report = simulate_pool_with_stragglers(
+            &model(),
+            &cfg.with_servers(servers),
+            &Stragglers { probability, factor },
+        )
+        .expect("generated config is valid");
+        // Everything completes without an overload policy.
+        prop_assert_eq!(report.completed, requests);
+        prop_assert!(report.conservation_holds());
+        // Percentile ordering.
+        prop_assert!(report.p50_s <= report.p99_s + 1e-12);
+        prop_assert!(report.p99_s <= report.stats.max_s + 1e-12);
+        // Utilization is a fraction.
+        prop_assert!(report.server_utilization >= 0.0);
+        prop_assert!(report.server_utilization <= 1.0);
+        // Goodput never exceeds throughput.
+        prop_assert!(report.goodput_rps <= report.throughput_rps + 1e-9);
+        // Batches respect the cap.
+        prop_assert!(report.mean_batch >= 1.0 - 1e-9);
+        prop_assert!(report.mean_batch <= max_batch as f64 + 1e-9);
+        // Completed work cannot outpace arrivals by more than the final
+        // drain (loose bound: 2x the offered rate).
+        prop_assert!(report.throughput_rps <= 2.0 * rate);
+    }
+
+    /// The same seed and configuration reproduce the identical report,
+    /// straggler injection and fleet policy included.
+    #[test]
+    fn identical_seeds_reproduce_identical_reports(
+        rate in 500.0f64..25_000.0,
+        max_batch in 1u64..32,
+        servers in 2usize..=8,
+        probability in 0.0f64..0.3,
+        seed in any::<u64>(),
+        deadline_ms in 5.0f64..50.0,
+        cap in 8usize..256,
+    ) {
+        let fleet = FleetConfig::new(
+            ServingConfig {
+                arrival_rate_rps: rate,
+                max_batch,
+                batch_timeout_s: 0.001,
+                requests: 600,
+                seed,
+            }
+            .with_servers(servers),
+        )
+        .with_stragglers(Stragglers { probability, factor: 5.0 })
+        .with_policy(FleetPolicy {
+            deadline_s: Some(deadline_ms / 1e3),
+            shed_expired: true,
+            queue_cap: Some(cap),
+            retry: RetryPolicy {
+                max_retries: 1,
+                backoff_s: 0.002,
+                backoff_mult: 2.0,
+            },
+            ..FleetPolicy::default()
+        });
+        let a = simulate_fleet(&model(), &fleet).expect("valid");
+        let b = simulate_fleet(&model(), &fleet).expect("valid");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Request conservation holds under any overload policy, and the
+    /// report's counts agree with the metrics counters.
+    #[test]
+    fn conservation_under_random_policies(
+        rate in 5_000.0f64..40_000.0,
+        deadline_ms in 2.0f64..30.0,
+        shed in any::<bool>(),
+        cap in 4usize..128,
+        retries in 0u32..3,
+        seed in any::<u64>(),
+    ) {
+        let fleet = FleetConfig::new(
+            ServingConfig {
+                arrival_rate_rps: rate,
+                max_batch: 16,
+                batch_timeout_s: 0.001,
+                requests: 1000,
+                seed,
+            }
+            .with_servers(2),
+        )
+        .with_policy(FleetPolicy {
+            deadline_s: Some(deadline_ms / 1e3),
+            shed_expired: shed,
+            queue_cap: Some(cap),
+            retry: RetryPolicy {
+                max_retries: retries,
+                backoff_s: 0.001,
+                backoff_mult: 2.0,
+            },
+            ..FleetPolicy::default()
+        });
+        let r = simulate_fleet(&model(), &fleet).expect("valid");
+        prop_assert!(r.conservation_holds());
+        prop_assert_eq!(r.completed as u64, r.metrics.completed.get());
+        prop_assert_eq!(r.shed as u64, r.metrics.shed_total());
+        prop_assert_eq!(r.dropped as u64, r.metrics.dropped_at_drain.get());
+        // Late completions are a subset of completions.
+        prop_assert!(r.metrics.completed_late.get() <= r.metrics.completed.get());
+    }
+}

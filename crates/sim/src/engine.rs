@@ -183,9 +183,7 @@ impl Simulator {
             let (pool, resource) = match step.kind {
                 StepKind::Mxu { .. } => (&mut pools.mxu, Resource::Mxu),
                 StepKind::Vpu { .. } => (&mut pools.vpu, Resource::Vpu),
-                StepKind::DmaIn { .. } | StepKind::DmaOut { .. } => {
-                    (&mut pools.dma, Resource::Dma)
-                }
+                StepKind::DmaIn { .. } | StepKind::DmaOut { .. } => (&mut pools.dma, Resource::Dma),
                 StepKind::Ici { .. } => (&mut pools.ici, Resource::Ici),
             };
             let (unit_idx, unit_free) = pool.min_free();

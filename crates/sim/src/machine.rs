@@ -82,11 +82,7 @@ impl Machine {
         let e = self.chip.node.energy();
         match *kind {
             StepKind::DmaIn { from, bytes } | StepKind::DmaOut { to: from, bytes } => {
-                let spec = self
-                    .chip
-                    .mem(from)
-                    .copied()
-                    .unwrap_or(self.chip.hbm);
+                let spec = self.chip.mem(from).copied().unwrap_or(self.chip.hbm);
                 let channel_seconds = bytes as f64 / spec.bandwidth_bps;
                 let unit_seconds = spec.latency_ns * 1e-9 + channel_seconds;
                 // Energy: source/destination channel plus the VMEM side.
@@ -123,8 +119,7 @@ impl Machine {
                 ops_per_element,
             } => {
                 let ops = (elements * ops_per_element) as f64;
-                let throughput =
-                    (self.chip.vpu_lanes as f64) * (self.chip.vpu_sublanes as f64);
+                let throughput = (self.chip.vpu_lanes as f64) * (self.chip.vpu_sublanes as f64);
                 let cycles = ops / throughput;
                 // A VPU ALU op costs roughly a third of an fp32 MAC.
                 StepCost {

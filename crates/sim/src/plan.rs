@@ -153,10 +153,7 @@ impl StepPlan {
     pub fn push_tagged(&mut self, kind: StepKind, deps: &[StepId], tag: &str) -> StepId {
         let id = StepId(self.steps.len() as u32);
         for d in deps {
-            assert!(
-                d.0 < id.0,
-                "dependency {d} of step {id} does not exist yet"
-            );
+            assert!(d.0 < id.0, "dependency {d} of step {id} does not exist yet");
         }
         self.steps.push(Step {
             id,

@@ -96,8 +96,7 @@ impl Trace {
             }
             let max_unit = entries.iter().map(|e| e.unit).max().unwrap_or(0);
             for unit in 0..=max_unit {
-                let mine: Vec<&&TraceEntry> =
-                    entries.iter().filter(|e| e.unit == unit).collect();
+                let mine: Vec<&&TraceEntry> = entries.iter().filter(|e| e.unit == unit).collect();
                 if mine.is_empty() {
                     continue;
                 }

@@ -85,8 +85,7 @@ pub fn capex(chip: &ChipConfig) -> ChipCapex {
     // HBM specs carry the node's HBM transfer energy; DDR/GDDR carry the
     // (higher) DDR energy — a reliable class discriminator.
     let e = chip.node.energy();
-    let is_hbm = (chip.mem(MemLevel::Hbm).expect("always present").pj_per_byte
-        - e.hbm_pj_per_byte)
+    let is_hbm = (chip.mem(MemLevel::Hbm).expect("always present").pj_per_byte - e.hbm_pj_per_byte)
         .abs()
         < 1e-9;
     let gib = chip.hbm.capacity_bytes as f64 / (1u64 << 30) as f64;

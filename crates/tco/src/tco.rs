@@ -150,10 +150,7 @@ mod tests {
         let m = TcoModel::default();
         let hot = catalog::tpu_v3(); // big OpEx
         let cool = catalog::tpu_v4i();
-        let entries = vec![
-            ("hot".to_owned(), 1.0, hot),
-            ("cool".to_owned(), 1.0, cool),
-        ];
+        let entries = vec![("hot".to_owned(), 1.0, hot), ("cool".to_owned(), 1.0, cool)];
         let by_tco = rank_by(&entries, |c, p| m.perf_per_tco(c, p));
         // At equal performance, TCO must prefer the cool chip.
         assert_eq!(by_tco[0], "cool");

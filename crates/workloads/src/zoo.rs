@@ -412,14 +412,7 @@ pub fn bert_pipeline(
     (0..stages)
         .map(|s| {
             let span = base + u64::from(s < extra);
-            bert_layer_span(
-                &format!("bert-stage{s}"),
-                dt,
-                batch,
-                cfg,
-                span,
-                s == 0,
-            )
+            bert_layer_span(&format!("bert-stage{s}"), dt, batch, cfg, span, s == 0)
         })
         .collect()
 }
@@ -568,10 +561,7 @@ mod tests {
     fn int8_halves_weight_bytes() {
         let app = mlp0();
         let bf16 = app.build(1).unwrap().weight_bytes();
-        let int8 = app
-            .build_with(1, DType::Int8)
-            .unwrap()
-            .weight_bytes();
+        let int8 = app.build_with(1, DType::Int8).unwrap().weight_bytes();
         assert_eq!(bf16, 2 * int8);
     }
 

@@ -19,7 +19,10 @@ fn main() {
             zoo::mlp0()
         });
     let batch = 16;
-    println!("{} at batch {batch} across the generations:\n", app.spec.name);
+    println!(
+        "{} at batch {batch} across the generations:\n",
+        app.spec.name
+    );
     println!(
         "{:<8} {:>6} {:>12} {:>12} {:>10} {:>12}",
         "chip", "dtype", "latency ms", "inf/s", "avg W", "inf/J"
@@ -34,7 +37,9 @@ fn main() {
         };
         let graph = app.build_with(batch, dtype).expect("builds");
         let exe = compile(&graph, &chip, &CompilerOptions::default()).expect("compiles");
-        let report = Simulator::new(chip.clone()).run(exe.plan()).expect("simulates");
+        let report = Simulator::new(chip.clone())
+            .run(exe.plan())
+            .expect("simulates");
         println!(
             "{:<8} {:>6} {:>12.3} {:>12.0} {:>10.0} {:>12.2}",
             chip.name,
@@ -49,7 +54,8 @@ fn main() {
     // The binary-compatibility lesson, demonstrated on the side: the
     // TPUv3 binary from this same graph does not load on TPUv4i.
     let graph = app.build(batch).expect("builds");
-    let v3_exe = compile(&graph, &catalog::tpu_v3(), &CompilerOptions::no_cmem()).expect("compiles");
+    let v3_exe =
+        compile(&graph, &catalog::tpu_v3(), &CompilerOptions::no_cmem()).expect("compiles");
     let bytes = v3_exe.binary().expect("encodes");
     match tpugen::isa::decode(&bytes, Generation::TpuV4i) {
         Err(e) => println!("\nTPUv3 binary on TPUv4i: {e}"),

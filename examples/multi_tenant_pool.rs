@@ -19,8 +19,13 @@ fn main() {
     );
 
     // Profile one real model; every tenant serves a copy of it.
-    let model = LatencyModel::profile(&zoo::mlp0(), &chip, &CompilerOptions::default(), &[1, 8, 32])
-        .expect("profiles");
+    let model = LatencyModel::profile(
+        &zoo::mlp0(),
+        &chip,
+        &CompilerOptions::default(),
+        &[1, 8, 32],
+    )
+    .expect("profiles");
     let weights_per_tenant: u64 = (1.75 * (1u64 << 30) as f64) as u64;
 
     println!(

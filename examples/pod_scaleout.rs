@@ -27,8 +27,8 @@ fn main() {
     );
     let hop = zoo::bert_stage_activation_bytes(&BERT1_CONFIG, batch, DType::Bf16);
     for chips in [1u64, 2, 4] {
-        let stages = zoo::bert_pipeline(&BERT1_CONFIG, batch, DType::Bf16, chips)
-            .expect("stages build");
+        let stages =
+            zoo::bert_pipeline(&BERT1_CONFIG, batch, DType::Bf16, chips).expect("stages build");
         let r = simulate_pipeline(&stages, &chip, &options, hop).expect("simulates");
         println!(
             "{:>6} {:>10} {:>12.2} {:>12.0} {:>15.0}%",

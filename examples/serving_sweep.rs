@@ -42,14 +42,19 @@ fn main() {
                 requests: 4000,
                 seed: 3,
             },
-        );
+        )
+        .expect("valid serving config");
         println!(
             "  load {:>3.0}%: p50 {:.2} ms, p99 {:.2} ms, mean batch {:.1} ({})",
             frac * 100.0,
             report.p50_s * 1e3,
             report.p99_s * 1e3,
             report.mean_batch,
-            if report.p99_s <= slo_s { "meets SLO" } else { "VIOLATES SLO" },
+            if report.p99_s <= slo_s {
+                "meets SLO"
+            } else {
+                "VIOLATES SLO"
+            },
         );
     }
 

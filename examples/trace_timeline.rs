@@ -15,7 +15,10 @@ fn main() {
     let sim = Simulator::new(chip.clone());
 
     for (label, options) in [
-        ("without double buffering (O1)", CompilerOptions::level(OptLevel::O1)),
+        (
+            "without double buffering (O1)",
+            CompilerOptions::level(OptLevel::O1),
+        ),
         ("full pipeline (O3)", CompilerOptions::default()),
     ] {
         let exe = compile(&graph, &chip, &options).expect("compiles");

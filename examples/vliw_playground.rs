@@ -40,7 +40,9 @@ fn main() {
 
     // 2. ...executes functionally on the interpreter.
     let mut m = Interpreter::new(InterpConfig::default());
-    let weights: Vec<f32> = (0..16).map(|i| if i % 5 == 0 { 1.0 } else { -0.25 }).collect();
+    let weights: Vec<f32> = (0..16)
+        .map(|i| if i % 5 == 0 { 1.0 } else { -0.25 })
+        .collect();
     let acts: Vec<f32> = (0..16).map(|i| i as f32).collect();
     m.write_mem(MemLevel::Vmem, 0, &weights).expect("in range");
     m.write_mem(MemLevel::Vmem, 16, &acts).expect("in range");

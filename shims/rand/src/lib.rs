@@ -1,0 +1,197 @@
+//! Offline stand-in for the subset of `rand` 0.8 this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, deterministic implementation of exactly the API
+//! surface its code calls: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over half-open ranges, and [`Rng::gen_bool`].
+//!
+//! The generator core is xoshiro256** seeded through splitmix64 — not
+//! the upstream ChaCha-based `StdRng`, so streams differ from real
+//! `rand`, but every consumer in this workspace only relies on
+//! *determinism given a seed* and reasonable statistical quality, both
+//! of which hold.
+
+use std::ops::Range;
+
+/// Seedable generators (the one constructor this workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods, generic over the value type via [`SampleUniform`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range. Panics on an empty range,
+    /// matching `rand`'s contract.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_raw(), range)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        u64_to_unit_f64(self.next_raw()) < p.clamp(0.0, 1.0)
+    }
+}
+
+/// The raw 64-bit source behind [`Rng`].
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_raw(&mut self) -> u64;
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Maps 64 random bits to a uniform f64 in [0, 1).
+fn u64_to_unit_f64(x: u64) -> f64 {
+    // 53 mantissa bits give the densest uniform grid in [0, 1).
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types uniformly sampleable from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples from `range` using 64 random bits.
+    fn sample(bits: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_float {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample(bits: u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty gen_range");
+                let u = u64_to_unit_f64(bits) as $t;
+                let v = range.start + (range.end - range.start) * u;
+                // Floating rounding can land exactly on `end`; the
+                // half-open contract excludes it.
+                if v >= range.end {
+                    <$t>::from_bits(range.end.to_bits() - 1)
+                } else {
+                    v
+                }
+            }
+        }
+    };
+}
+
+impl_sample_float!(f32);
+impl_sample_float!(f64);
+
+macro_rules! impl_sample_int {
+    ($t:ty, $wide:ty) => {
+        impl SampleUniform for $t {
+            fn sample(bits: u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty gen_range");
+                let span = (range.end as $wide).wrapping_sub(range.start as $wide) as u64;
+                // Multiply-shift reduction: negligible modulo bias for
+                // the spans this workspace draws from.
+                let off = ((bits as u128 * span as u128) >> 64) as $wide;
+                (range.start as $wide).wrapping_add(off) as $t
+            }
+        }
+    };
+}
+
+impl_sample_int!(u8, u64);
+impl_sample_int!(u16, u64);
+impl_sample_int!(u32, u64);
+impl_sample_int!(u64, u64);
+impl_sample_int!(usize, u64);
+impl_sample_int!(i32, i64);
+impl_sample_int!(i64, i64);
+
+/// Generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stands in for `rand`'s
+    /// `StdRng`; see the crate docs for the differences).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // splitmix64 expansion, the canonical xoshiro seeding.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_raw(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(0.0f64..1.0).to_bits(),
+                b.gen_range(0.0f64..1.0).to_bits()
+            );
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1 << 60)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1 << 60)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = r.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&x));
+            let y = r.gen_range(-0.05f32..0.05);
+            assert!((-0.05..0.05).contains(&y));
+            let n = r.gen_range(3u64..17);
+            assert!((3..17).contains(&n));
+            let i = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "{hits}");
+        assert_eq!((0..1000).filter(|_| r.gen_bool(0.0)).count(), 0);
+        assert_eq!((0..1000).filter(|_| r.gen_bool(1.0)).count(), 1000);
+    }
+
+    #[test]
+    fn mean_is_centered() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "{mean}");
+    }
+}

@@ -12,8 +12,7 @@ fn cost_model_brackets_simulation_for_all_apps() {
         for app in production_apps() {
             for batch in [1u64, 16] {
                 let graph = app.build(batch).expect("builds");
-                let exe = compile(&graph, &chip, &CompilerOptions::default())
-                    .expect("compiles");
+                let exe = compile(&graph, &chip, &CompilerOptions::default()).expect("compiles");
                 let est = exe.cost_estimate(&chip);
                 let simulated = sim.run(exe.plan()).expect("simulates").seconds;
                 assert!(

@@ -2,8 +2,8 @@
 //! on every catalog generation, with conservation checks tying the
 //! graph, the compiler, and the simulator together.
 
-use tpugen::prelude::*;
 use tpugen::hlo::compile;
+use tpugen::prelude::*;
 
 #[test]
 fn every_app_runs_on_every_generation() {
@@ -35,7 +35,9 @@ fn flops_are_conserved_from_graph_to_simulator() {
     for app in production_apps() {
         let graph = app.build(8).expect("builds");
         let exe = compile(&graph, &chip, &CompilerOptions::default()).expect("compiles");
-        let report = Simulator::new(chip.clone()).run(exe.plan()).expect("simulates");
+        let report = Simulator::new(chip.clone())
+            .run(exe.plan())
+            .expect("simulates");
         assert_eq!(
             report.flops,
             exe.plan().total_flops(),
@@ -192,11 +194,19 @@ fn bigger_chips_are_not_slower() {
     for app in production_apps() {
         let graph = app.build(32).expect("builds");
         let t_v4i = Simulator::new(v4i.clone())
-            .run(compile(&graph, &v4i, &CompilerOptions::default()).expect("compiles").plan())
+            .run(
+                compile(&graph, &v4i, &CompilerOptions::default())
+                    .expect("compiles")
+                    .plan(),
+            )
             .expect("simulates")
             .seconds;
         let t_v4 = Simulator::new(v4.clone())
-            .run(compile(&graph, &v4, &CompilerOptions::default()).expect("compiles").plan())
+            .run(
+                compile(&graph, &v4, &CompilerOptions::default())
+                    .expect("compiles")
+                    .plan(),
+            )
             .expect("simulates")
             .seconds;
         assert!(

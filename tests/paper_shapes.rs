@@ -47,7 +47,11 @@ fn e5_tpuv4i_wins_perf_per_watt_by_about_2x_or_more() {
         "v4i perf vs v3 = {:.2}x out of expected band",
         v4i.1
     );
-    assert!(v4i.2 > 2.0, "v4i perf/W vs v3 = {:.2}x, expected > 2x", v4i.2);
+    assert!(
+        v4i.2 > 2.0,
+        "v4i perf/W vs v3 = {:.2}x, expected > 2x",
+        v4i.2
+    );
     // TPUv2 is slower than TPUv3 (fewer MXUs, lower clock).
     assert!(v2.1 < 1.0);
 }

@@ -10,7 +10,7 @@ use tpugen::serving::des::{simulate, ServingConfig};
 /// Strategy: a random MLP-shaped graph (chain of dot+relu layers).
 fn random_mlp() -> impl Strategy<Value = Graph> {
     (
-        1u64..48,                                // batch
+        1u64..48,                               // batch
         prop::collection::vec(1u64..300, 2..6), // layer widths
     )
         .prop_map(|(batch, widths)| {
@@ -143,8 +143,10 @@ proptest! {
                 requests,
                 seed,
             },
-        );
+        )
+        .expect("valid random config");
         prop_assert_eq!(report.stats.n, requests);
+        prop_assert!(report.conservation_holds());
         prop_assert!(report.p50_s <= report.p99_s + 1e-12);
         prop_assert!(report.p99_s <= report.stats.max_s + 1e-12);
         prop_assert!(report.mean_batch >= 1.0 - 1e-9);
