@@ -1,0 +1,249 @@
+//! E22: chaos — goodput and p99 under injected server faults, with and
+//! without failover.
+//!
+//! The paper's availability framing (and TPUv4's routing around failed
+//! machines) at serving scale: machines crash, hang, and slow down, and
+//! the fleet either *detects and reroutes* (health checks pull dead
+//! replicas from rotation, their queues redistribute to survivors) or it
+//! *serves through* (an oblivious router keeps feeding dead replicas
+//! until every request routed there expires). Both fleets face the
+//! **identical** injected fault plan — materialization is independent of
+//! the failover switch — so the gap is pure failover value.
+//!
+//! Paper-shape expectation: failover holds goodput near the no-fault
+//! plateau (survivors absorb the rerouted traffic up to their capacity)
+//! while serve-through collapses roughly with the fraction of traffic
+//! routed at dead machines; past the first crash the failover fleet
+//! retains at least 2x the goodput of the oblivious one.
+
+use tpu_arch::catalog;
+use tpu_core::chaos_operating_point;
+use tpu_hlo::CompilerOptions;
+use tpu_serving::faults::{FailoverConfig, FaultKind, FaultPlan, MtbfFaults, ScheduledFault};
+use tpu_workloads::zoo;
+
+use crate::util::{f, Table};
+
+/// One point of the E22 chaos sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSweepPoint {
+    /// Human-readable fault scenario.
+    pub scenario: String,
+    /// Whether health checking + failover routing was on.
+    pub failover: bool,
+    /// In-deadline completions per second.
+    pub goodput_rps: f64,
+    /// All completions per second.
+    pub throughput_rps: f64,
+    /// Simulated p99 of completed requests, ms.
+    pub p99_ms: f64,
+    /// Requests permanently lost to shedding.
+    pub shed: usize,
+    /// Requests permanently lost to crashes mid-service.
+    pub failed: usize,
+    /// Faults the health checker detected.
+    pub detected: u64,
+    /// Faults recovered (server back to Up).
+    pub recovered: u64,
+    /// Requests drained from dead servers' queues onto survivors.
+    pub redistributed: u64,
+    /// Mean per-server uptime fraction over the run.
+    pub fleet_availability: f64,
+}
+
+/// Replicas in the E22 fleet.
+pub const SERVERS: usize = 4;
+/// Offered load as a multiple of *one* replica's capacity (1.35x: more
+/// than any single survivor can serve, well under the healthy fleet's
+/// 4x — the regime where failover has room to matter).
+pub const LOAD_FACTOR: f64 = 1.35;
+/// Requests per run.
+pub const REQUESTS: usize = 6000;
+
+fn fleet_availability(point: &tpu_core::ChaosPoint) -> f64 {
+    let avail = point
+        .report
+        .metrics
+        .per_server_availability(point.report.duration_s);
+    avail.iter().sum::<f64>() / avail.len().max(1) as f64
+}
+
+/// E22 data: BERT0 on a 4-replica TPUv4i fleet under scheduled crashes
+/// and an MTBF sweep, failover on vs off at identical fault plans.
+pub fn chaos_data() -> Vec<ChaosSweepPoint> {
+    let chip = catalog::tpu_v4i();
+    let app = zoo::bert0();
+    let options = CompilerOptions::default();
+    let run = |plan: &FaultPlan| {
+        let p = chaos_operating_point(&app, &chip, &options, SERVERS, LOAD_FACTOR, plan, REQUESTS)
+            .expect("BERT0 profiles and the chaos config is valid");
+        assert!(
+            p.report.conservation_holds(),
+            "lost requests under fault plan"
+        );
+        p
+    };
+
+    // Calibration pass: the no-fault run sets the wall-clock scale every
+    // fault plan is expressed in.
+    let baseline = run(&FaultPlan::none());
+    let d = baseline.report.duration_s;
+    let failover = FailoverConfig {
+        enabled: true,
+        probe_interval_s: 0.005 * d,
+        probe_timeout_s: 0.002 * d,
+        recovery_warmup_s: 0.005 * d,
+    };
+
+    let crash = |server: usize| ScheduledFault {
+        server,
+        at_s: 0.1 * d,
+        kind: FaultKind::Crash { mttr_s: 10.0 * d },
+    };
+    let mtbf = |factor: f64| FaultPlan {
+        scheduled: Vec::new(),
+        mtbf: Some(MtbfFaults {
+            mtbf_s: factor * d,
+            mttr_s: 0.05 * d,
+            horizon_s: d,
+        }),
+        fault_seed: 7,
+        failover,
+    };
+    let scenarios: Vec<(String, FaultPlan)> = vec![
+        (
+            "3/4 crash @10%".to_owned(),
+            FaultPlan::scheduled(vec![crash(1), crash(2), crash(3)]).with_failover(failover),
+        ),
+        ("mtbf 0.5x run".to_owned(), mtbf(0.5)),
+        ("mtbf 0.2x run".to_owned(), mtbf(0.2)),
+    ];
+
+    let mut out = vec![ChaosSweepPoint {
+        scenario: "no faults".to_owned(),
+        failover: true,
+        goodput_rps: baseline.report.goodput_rps,
+        throughput_rps: baseline.report.throughput_rps,
+        p99_ms: baseline.report.p99_s * 1e3,
+        shed: baseline.report.shed,
+        failed: baseline.report.failed,
+        detected: baseline.report.metrics.failures_detected.get(),
+        recovered: baseline.report.metrics.failures_recovered.get(),
+        redistributed: baseline.report.metrics.failover_redistributed.get(),
+        fleet_availability: fleet_availability(&baseline),
+    }];
+    for (scenario, plan) in scenarios {
+        for enabled in [true, false] {
+            let plan = if enabled {
+                plan.clone()
+            } else {
+                plan.clone().without_failover()
+            };
+            let p = run(&plan);
+            out.push(ChaosSweepPoint {
+                scenario: scenario.clone(),
+                failover: enabled,
+                goodput_rps: p.report.goodput_rps,
+                throughput_rps: p.report.throughput_rps,
+                p99_ms: p.report.p99_s * 1e3,
+                shed: p.report.shed,
+                failed: p.report.failed,
+                detected: p.report.metrics.failures_detected.get(),
+                recovered: p.report.metrics.failures_recovered.get(),
+                redistributed: p.report.metrics.failover_redistributed.get(),
+                fleet_availability: fleet_availability(&p),
+            });
+        }
+    }
+    out
+}
+
+/// E22 (extension) — goodput under injected faults, failover on vs off.
+pub fn e22_chaos() -> String {
+    let mut t = Table::new(&[
+        "scenario",
+        "failover",
+        "goodput/s",
+        "thpt/s",
+        "p99 ms",
+        "shed",
+        "failed",
+        "det",
+        "rec",
+        "redist",
+        "avail",
+    ]);
+    for p in chaos_data() {
+        t.row(vec![
+            p.scenario.clone(),
+            if p.failover { "on" } else { "off" }.to_owned(),
+            f(p.goodput_rps, 0),
+            f(p.throughput_rps, 0),
+            f(p.p99_ms, 2),
+            p.shed.to_string(),
+            p.failed.to_string(),
+            p.detected.to_string(),
+            p.recovered.to_string(),
+            p.redistributed.to_string(),
+            f(p.fleet_availability, 3),
+        ]);
+    }
+    format!(
+        "E22 (extension) — chaos: goodput under injected faults, BERT0 x{SERVERS} on TPUv4i \
+         ({}x one replica offered)\n{}",
+        f(LOAD_FACTOR, 2),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e22_failover_retains_2x_goodput_past_the_first_crash() {
+        let data = chaos_data();
+        let at = |scenario: &str, failover: bool| {
+            data.iter()
+                .find(|p| p.scenario == scenario && p.failover == failover)
+                .unwrap()
+        };
+        let baseline = at("no faults", true);
+        assert_eq!(baseline.detected, 0);
+        assert!((baseline.fleet_availability - 1.0).abs() < 1e-9);
+
+        // The acceptance bar: same fault plan, same seed; failover keeps
+        // >= 2x the goodput of serve-through after 3 of 4 replicas die.
+        let on = at("3/4 crash @10%", true);
+        let off = at("3/4 crash @10%", false);
+        assert!(
+            on.goodput_rps >= 2.0 * off.goodput_rps,
+            "failover-on {} not >= 2x failover-off {}",
+            on.goodput_rps,
+            off.goodput_rps
+        );
+        // The health checker saw all three crashes; the oblivious fleet
+        // saw none.
+        assert!(on.detected >= 3);
+        assert_eq!(off.detected, 0);
+        assert!(on.redistributed > 0);
+        // Downtime shows up in availability accounting either way.
+        assert!(on.fleet_availability < 1.0);
+        assert!(off.fleet_availability < 1.0);
+        // Failover holds goodput near the no-fault plateau scaled to the
+        // surviving capacity; serve-through collapses below half of it.
+        assert!(off.goodput_rps < 0.5 * baseline.goodput_rps);
+
+        // MTBF-driven faults: failover never hurts goodput materially.
+        for scenario in ["mtbf 0.5x run", "mtbf 0.2x run"] {
+            let on = at(scenario, true);
+            let off = at(scenario, false);
+            assert!(
+                on.goodput_rps >= 0.9 * off.goodput_rps,
+                "{scenario}: failover {} much worse than off {}",
+                on.goodput_rps,
+                off.goodput_rps
+            );
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! The experiments, grouped by flavor.
 
 pub mod ablations;
+pub mod chaos;
 pub mod cost_exp;
 pub mod evolution;
 pub mod numerics_exp;

@@ -29,9 +29,10 @@ use std::fmt;
 use tpu_arch::ChipConfig;
 use tpu_hlo::{compile, CompileError, CompilerOptions, Executable};
 use tpu_serving::des::{
-    simulate_fleet, ConfigError, FleetConfig, FleetPolicy, RetryPolicy, ServingConfig,
-    ServingReport,
+    simulate_fleet, simulate_fleet_with_faults, ConfigError, FleetConfig, FleetPolicy, RetryPolicy,
+    ServingConfig, ServingReport,
 };
+use tpu_serving::faults::FaultPlan;
 use tpu_serving::latency::{LatencyError, LatencyModel};
 use tpu_serving::slo;
 use tpu_sim::{SimError, SimReport, Simulator};
@@ -42,6 +43,9 @@ pub mod prelude {
     pub use tpu_arch::{catalog, ChipConfig, CoolingTech, Generation, MemLevel, ProcessNode};
     pub use tpu_hlo::{compile, CompilerOptions, Executable, Graph, OptLevel};
     pub use tpu_numerics::{Bf16, DType};
+    pub use tpu_serving::faults::{
+        FailoverConfig, FaultKind, FaultPlan, MtbfFaults, ScheduledFault,
+    };
     pub use tpu_serving::latency::LatencyModel;
     pub use tpu_sim::{SimReport, Simulator, StepPlan};
     pub use tpu_tco::{TcoModel, TcoReport};
@@ -324,6 +328,96 @@ pub fn slo_operating_point_under_overload(
         load_factor,
         offered_rps,
         shedding,
+        report,
+    })
+}
+
+/// A replicated fleet's behavior under an injected fault plan: the
+/// chaos-engineering companion to [`slo_operating_point_under_overload`]
+/// (E22).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPoint {
+    /// The underlying SLO operating point.
+    pub operating_point: OperatingPoint,
+    /// The batch cap served at (half-SLO headroom, as in the overload
+    /// sweep).
+    pub serving_batch: u64,
+    /// Replicas in the fleet.
+    pub servers: usize,
+    /// Offered load as a multiple of *one* server's ideal capacity at
+    /// `serving_batch` — single-server units so a sweep can offer, say,
+    /// 1.35x one replica to a 4-replica fleet and watch survivors absorb
+    /// failed peers' traffic.
+    pub load_factor: f64,
+    /// The offered arrival rate, requests/s.
+    pub offered_rps: f64,
+    /// Whether the plan's failover (health checking + redistribution)
+    /// was enabled.
+    pub failover: bool,
+    /// The full serving report under the fault plan.
+    pub report: ServingReport,
+}
+
+/// Simulates a replicated fleet at `load_factor` times one server's
+/// ideal capacity, under the fault plan `plan` — the E22 chaos
+/// experiment's engine.
+///
+/// The serving policy is the protected overload policy (deadline +
+/// expiry shedding + capped queue + one retry), scaled to the fleet:
+/// under faults the interesting question is not *whether* overload
+/// protection is on but whether the health checker reroutes around dead
+/// replicas. Pass `plan.without_failover()` for the serve-through
+/// baseline — the fault schedule materializes identically either way, so
+/// on/off runs face the same injected faults.
+///
+/// # Errors
+///
+/// Propagates profiling errors and serving/fault-plan config rejections
+/// as [`CoreError`].
+pub fn chaos_operating_point(
+    app: &App,
+    chip: &ChipConfig,
+    options: &CompilerOptions,
+    servers: usize,
+    load_factor: f64,
+    plan: &FaultPlan,
+    requests: usize,
+) -> Result<ChaosPoint, CoreError> {
+    let (model, op) = profiled_operating_point(app, chip, options)?;
+    let serving_batch = slo::max_batch_within_slo(&model, op.slo_s * 0.5, 1024).unwrap_or(1);
+    let offered_rps = load_factor * model.throughput(serving_batch);
+    let base = ServingConfig {
+        arrival_rate_rps: offered_rps,
+        max_batch: serving_batch,
+        batch_timeout_s: op.slo_s * 0.1,
+        requests,
+        seed: 17,
+    };
+    let queue_budget = (op.slo_s - model.latency(serving_batch)).max(op.slo_s * 0.05);
+    let drainable = (model.throughput(serving_batch) * queue_budget).ceil() as usize;
+    let policy = FleetPolicy {
+        deadline_s: Some(op.slo_s),
+        shed_expired: true,
+        queue_budget_s: Some(queue_budget),
+        queue_cap: Some((drainable.max(serving_batch as usize)) * servers.max(1)),
+        retry: RetryPolicy {
+            max_retries: 1,
+            backoff_s: op.slo_s * 0.1,
+            backoff_mult: 2.0,
+        },
+    };
+    let report = simulate_fleet_with_faults(
+        &model,
+        &FleetConfig::new(base.with_servers(servers)).with_policy(policy),
+        plan,
+    )?;
+    Ok(ChaosPoint {
+        operating_point: op,
+        serving_batch,
+        servers: servers.max(1),
+        load_factor,
+        offered_rps,
+        failover: plan.failover.enabled,
         report,
     })
 }

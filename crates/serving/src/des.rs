@@ -1,13 +1,20 @@
 //! The discrete-event serving loop: Poisson arrivals, dynamic batching,
-//! and the fleet-grade overload machinery production SLOs are set
-//! against — per-request deadlines, admission control (load shedding),
-//! and retry-with-backoff (Lesson 10).
+//! and the fleet-grade machinery production SLOs are set against —
+//! per-request deadlines, admission control (load shedding),
+//! retry-with-backoff (Lesson 10), and fault injection with health
+//! checking and failover (see [`crate::faults`]).
+//!
+//! Every server owns its queue and a round-robin router spreads arrivals
+//! over the replicas it believes are up; with failover enabled a health
+//! checker updates that belief, drains dead servers' queues, and
+//! redistributes their requests. In-flight work killed by a crash enters
+//! the `failed` terminal state.
 //!
 //! Every entry point validates its configuration up front and returns a
 //! typed [`ConfigError`] for degenerate inputs (`max_batch: 0`,
 //! non-positive arrival rates, NaNs) instead of hanging or panicking.
 //! Every run satisfies request conservation:
-//! `arrivals == completed + shed + dropped` (see
+//! `arrivals == completed + shed + dropped + failed` (see
 //! [`ServingReport::conservation_holds`]).
 
 use std::cmp::Reverse;
@@ -17,6 +24,7 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::faults::{FailoverConfig, FaultKind, FaultPlan, ScheduledFault};
 use crate::latency::LatencyModel;
 use crate::metrics::ServingMetrics;
 use crate::stats::LatencyStats;
@@ -39,7 +47,7 @@ pub struct ServingConfig {
 
 impl ServingConfig {
     /// The same configuration served by a pool of `servers` identical
-    /// chips behind one queue (see [`simulate_pool`]).
+    /// chips (see [`simulate_pool`]).
     pub fn with_servers(self, servers: usize) -> PoolConfig {
         PoolConfig {
             base: self,
@@ -71,12 +79,13 @@ impl ServingConfig {
     }
 }
 
-/// A pool of identical servers behind one queue.
+/// A pool of identical servers, each with its own queue, behind a
+/// round-robin router.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PoolConfig {
     /// Per-run knobs shared with the single-server simulation.
     pub base: ServingConfig,
-    /// Number of identical chips serving the queue.
+    /// Number of identical chips serving.
     pub servers: usize,
 }
 
@@ -134,11 +143,11 @@ impl Stragglers {
     }
 }
 
-/// Retry behavior for shed requests: exponential backoff.
+/// Retry behavior for shed or failed requests: exponential backoff.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
-    /// How many times a shed request re-enters the queue before it is
-    /// permanently lost. 0 disables retries.
+    /// How many times a shed/failed request re-enters the queue before
+    /// it is permanently lost. 0 disables retries.
     pub max_retries: u32,
     /// Delay before the first retry, seconds.
     pub backoff_s: f64,
@@ -190,8 +199,11 @@ pub struct FleetPolicy {
     /// to reserve end-to-end budget for service time (a request that
     /// launches right at the wire still has to run).
     pub queue_budget_s: Option<f64>,
-    /// Admission control: arrivals beyond this many queued requests are
-    /// shed immediately (classic load shedding). `None` = unbounded.
+    /// Admission control: arrivals beyond this many queued requests
+    /// (summed over the fleet) are shed immediately (classic load
+    /// shedding). With failover enabled the cap scales down with the
+    /// number of believed-up servers — admission control sees the
+    /// reduced capacity. `None` = unbounded.
     pub queue_cap: Option<usize>,
     /// What happens to shed requests.
     pub retry: RetryPolicy,
@@ -272,7 +284,8 @@ impl FleetConfig {
     }
 }
 
-/// A degenerate serving configuration, caught before simulation.
+/// A degenerate serving or fault configuration, caught before
+/// simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ConfigError {
     /// Arrival rate must be finite and > 0.
@@ -301,6 +314,31 @@ pub enum ConfigError {
     InvalidRetryBackoff(f64),
     /// Retry backoff multiplier must be finite and >= 1.
     InvalidRetryBackoffMult(f64),
+    /// MTTR must be finite and > 0.
+    InvalidMttr(f64),
+    /// A hang/degrade duration must be finite and > 0.
+    InvalidFaultDuration(f64),
+    /// A slow-degrade factor must be finite and >= 1.
+    InvalidDegradeFactor(f64),
+    /// MTBF must be finite and > 0.
+    InvalidMtbf(f64),
+    /// The MTBF draw horizon must be finite and > 0.
+    InvalidFaultHorizon(f64),
+    /// A scheduled fault time must be finite and >= 0.
+    InvalidFaultTime(f64),
+    /// A scheduled fault targets a server outside the pool.
+    FaultServerOutOfRange {
+        /// The offending server index.
+        server: usize,
+        /// The pool size it must be below.
+        servers: usize,
+    },
+    /// Health-probe interval must be finite and > 0.
+    InvalidProbeInterval(f64),
+    /// Health-probe timeout must be finite and >= 0.
+    InvalidProbeTimeout(f64),
+    /// Recovery warmup must be finite and >= 0.
+    InvalidRecoveryWarmup(f64),
 }
 
 impl fmt::Display for ConfigError {
@@ -337,6 +375,36 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidRetryBackoffMult(m) => {
                 write!(f, "retry backoff_mult must be finite and >= 1, got {m}")
             }
+            ConfigError::InvalidMttr(t) => {
+                write!(f, "mttr_s must be finite and > 0, got {t}")
+            }
+            ConfigError::InvalidFaultDuration(d) => {
+                write!(f, "fault duration_s must be finite and > 0, got {d}")
+            }
+            ConfigError::InvalidDegradeFactor(x) => {
+                write!(f, "degrade factor must be finite and >= 1, got {x}")
+            }
+            ConfigError::InvalidMtbf(t) => {
+                write!(f, "mtbf_s must be finite and > 0, got {t}")
+            }
+            ConfigError::InvalidFaultHorizon(h) => {
+                write!(f, "fault horizon_s must be finite and > 0, got {h}")
+            }
+            ConfigError::InvalidFaultTime(t) => {
+                write!(f, "fault at_s must be finite and >= 0, got {t}")
+            }
+            ConfigError::FaultServerOutOfRange { server, servers } => {
+                write!(f, "fault targets server {server}, pool has {servers}")
+            }
+            ConfigError::InvalidProbeInterval(p) => {
+                write!(f, "probe_interval_s must be finite and > 0, got {p}")
+            }
+            ConfigError::InvalidProbeTimeout(t) => {
+                write!(f, "probe_timeout_s must be finite and >= 0, got {t}")
+            }
+            ConfigError::InvalidRecoveryWarmup(w) => {
+                write!(f, "recovery_warmup_s must be finite and >= 0, got {w}")
+            }
         }
     }
 }
@@ -371,6 +439,15 @@ pub struct ServingReport {
     pub shed: usize,
     /// Requests still queued when the event heap drained.
     pub dropped: usize,
+    /// Requests permanently lost because the server running them
+    /// crashed (after exhausting any retry budget).
+    pub failed: usize,
+    /// The RNG seed the run used (recorded for replay: the same config,
+    /// fault plan, and seed reproduce a bit-identical report).
+    pub seed: u64,
+    /// Simulated wall-clock length of the run, seconds (time of the
+    /// last material event: arrival, completion, or terminal loss).
+    pub duration_s: f64,
     /// Counters and histograms collected during the run.
     pub metrics: ServingMetrics,
 }
@@ -378,7 +455,7 @@ pub struct ServingReport {
 impl ServingReport {
     /// Request conservation: every offered request is accounted for.
     pub fn conservation_holds(&self) -> bool {
-        self.arrivals == self.completed + self.shed + self.dropped
+        self.arrivals == self.completed + self.shed + self.dropped + self.failed
     }
 }
 
@@ -386,15 +463,27 @@ impl ServingReport {
 enum Event {
     /// Fresh request `i` arrives.
     Arrival(usize),
-    /// A shed request re-enters admission.
+    /// A shed or failed request re-enters admission.
     Retry { req: usize },
-    /// Re-check batch formation (the batch-timeout timer).
-    Timeout,
+    /// Re-check batch formation on one server (the batch-timeout timer).
+    Timeout { server: usize },
     /// Queued request may have exceeded its deadline; `attempt` guards
     /// against stale timers from earlier admissions.
     Expire { req: usize, attempt: u32 },
     /// A batch finished; the payload indexes `in_service`.
     Done(usize),
+    /// Inject the materialized fault with this index.
+    Fault(usize),
+    /// A crashed machine finished repair and starts its warmup.
+    CrashOver { server: usize, epoch: u64 },
+    /// A hung machine thaws.
+    HangOver { server: usize, epoch: u64 },
+    /// A slow-degrade window ends.
+    DegradeOver { server: usize, epoch: u64 },
+    /// Recovery warmup done: the server is Up again.
+    RecoveryDone { server: usize, epoch: u64 },
+    /// Health-checker sweep over every server.
+    Probe,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -419,7 +508,7 @@ impl Ord for TimeKey {
 enum Phase {
     /// Not in the queue: before arrival or awaiting a retry.
     Idle,
-    /// In the queue.
+    /// In some server's queue.
     Queued,
     /// In a launched batch.
     InService,
@@ -427,14 +516,18 @@ enum Phase {
     Completed,
     /// Permanently shed.
     Lost,
+    /// Permanently lost to a server crash.
+    Failed,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct ReqState {
     first_arrival: f64,
     /// Times this request has been offered to admission (arrival +
-    /// retries).
+    /// retries + failover redistributions).
     tries: u32,
+    /// The server whose queue holds it (valid while `Queued`).
+    server: usize,
     phase: Phase,
 }
 
@@ -448,6 +541,73 @@ struct QEntry {
 struct Batch {
     server: usize,
     members: Vec<usize>,
+    /// When the batch will complete (including hang delays).
+    done_at: f64,
+    /// Pending hang delay to apply when the original Done fires.
+    extra_delay_s: f64,
+    /// The server crashed mid-service; the Done event is void.
+    aborted: bool,
+}
+
+/// The server lifecycle (see [`crate::faults`] for the state diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Health {
+    Up,
+    /// Serving, but slowed by `degrade_factor`; probes still pass.
+    Degraded,
+    /// Fail-stop crash: dead until repair + warmup.
+    DownCrash,
+    /// Frozen: in-flight work paused, resumes on thaw.
+    DownHang,
+    /// Repaired but warming up (reloading weights); not serving yet.
+    Recovering,
+}
+
+#[derive(Debug)]
+struct Server {
+    health: Health,
+    /// What the router believes; only health probes update it.
+    believed_up: bool,
+    busy: bool,
+    /// Index into `in_service` while busy.
+    serving: Option<usize>,
+    queue: VecDeque<QEntry>,
+    degrade_factor: f64,
+    hang_started: f64,
+    /// When the current fault began (for detect/recover lags).
+    fault_at: f64,
+    /// When the server left Up/Degraded (for availability accounting).
+    down_since: f64,
+    down_total_s: f64,
+    /// Bumped per injected fault; stale lifecycle timers are ignored.
+    fault_epoch: u64,
+}
+
+impl Server {
+    fn new() -> Server {
+        Server {
+            health: Health::Up,
+            believed_up: true,
+            busy: false,
+            serving: None,
+            queue: VecDeque::new(),
+            degrade_factor: 1.0,
+            hang_started: 0.0,
+            fault_at: 0.0,
+            down_since: 0.0,
+            down_total_s: 0.0,
+            fault_epoch: 0,
+        }
+    }
+
+    /// Actually able to run work right now (ignoring `busy`)?
+    fn is_available(&self) -> bool {
+        matches!(self.health, Health::Up | Health::Degraded)
+    }
+
+    fn can_serve(&self) -> bool {
+        !self.busy && self.is_available()
+    }
 }
 
 /// Why a request is being shed.
@@ -455,6 +615,7 @@ struct Batch {
 enum ShedReason {
     QueueFull,
     DeadlineExpired,
+    NoHealthyServer,
 }
 
 /// Runs the serving simulation.
@@ -471,8 +632,8 @@ pub fn simulate(latency: &LatencyModel, cfg: &ServingConfig) -> Result<ServingRe
     simulate_fleet(latency, &FleetConfig::new(cfg.with_servers(1)))
 }
 
-/// Simulates a pool of identical servers draining one queue (the
-/// fleet-level view behind E18): a batch launches on any free server.
+/// Simulates a pool of identical servers (the fleet-level view behind
+/// E18): a round-robin router spreads arrivals over per-server queues.
 ///
 /// # Errors
 ///
@@ -520,8 +681,8 @@ pub fn simulate_pool_with_stragglers(
     )
 }
 
-/// The full-featured entry point: pool, stragglers, deadlines, load
-/// shedding, and retry-with-backoff.
+/// The full-featured fault-free entry point: pool, stragglers,
+/// deadlines, load shedding, and retry-with-backoff.
 ///
 /// # Errors
 ///
@@ -530,14 +691,39 @@ pub fn simulate_fleet(
     latency: &LatencyModel,
     cfg: &FleetConfig,
 ) -> Result<ServingReport, ConfigError> {
+    simulate_fleet_with_faults(latency, cfg, &FaultPlan::none())
+}
+
+/// Everything [`simulate_fleet`] does, plus fault injection: server
+/// crashes, hangs, and slow-degrades per `plan`, with health checking
+/// and failover routing when `plan.failover.enabled`.
+///
+/// The materialized fault schedule depends only on the plan and the pool
+/// size — never on the failover setting — so failover-on and
+/// failover-off runs face identical injected faults.
+///
+/// # Errors
+///
+/// [`ConfigError`] for degenerate serving configurations or fault plans
+/// (NaN/negative times, out-of-range servers, bad MTBF/MTTR or probe
+/// knobs).
+pub fn simulate_fleet_with_faults(
+    latency: &LatencyModel,
+    cfg: &FleetConfig,
+    plan: &FaultPlan,
+) -> Result<ServingReport, ConfigError> {
     cfg.validate()?;
-    Ok(Engine::new(latency, cfg).run())
+    plan.validate(cfg.pool.servers)?;
+    Ok(Engine::new(latency, cfg, plan).run())
 }
 
 /// The DES state machine. One instance per run.
 struct Engine<'a> {
     latency: &'a LatencyModel,
     cfg: FleetConfig,
+    failover: FailoverConfig,
+    /// Materialized fault schedule, sorted by time.
+    faults: Vec<ScheduledFault>,
     /// Pre-drawn Poisson arrival times.
     arrivals: Vec<f64>,
     /// Straggler multipliers draw from their own stream so enabling or
@@ -545,21 +731,22 @@ struct Engine<'a> {
     straggler_rng: StdRng,
     events: BinaryHeap<Reverse<((TimeKey, u64), Event)>>,
     seq: u64,
-    queue: VecDeque<QEntry>,
-    /// Free server ids; smallest id first for determinism.
-    free_servers: BinaryHeap<Reverse<usize>>,
+    servers: Vec<Server>,
+    /// Round-robin router position.
+    rr_cursor: usize,
     req: Vec<ReqState>,
     in_service: Vec<Batch>,
     latencies: Vec<f64>,
     completed: usize,
     good: usize,
     shed: usize,
+    failed: usize,
     metrics: ServingMetrics,
     end_time: f64,
 }
 
 impl<'a> Engine<'a> {
-    fn new(latency: &'a LatencyModel, cfg: &FleetConfig) -> Engine<'a> {
+    fn new(latency: &'a LatencyModel, cfg: &FleetConfig, plan: &FaultPlan) -> Engine<'a> {
         let base = &cfg.pool.base;
         let n = base.requests;
         let mut rng = StdRng::seed_from_u64(base.seed);
@@ -570,23 +757,22 @@ impl<'a> Engine<'a> {
             t += -u.ln() / base.arrival_rate_rps;
             arrivals.push(t);
         }
-        let mut free_servers = BinaryHeap::with_capacity(cfg.pool.servers);
-        for s in 0..cfg.pool.servers {
-            free_servers.push(Reverse(s));
-        }
         Engine {
             latency,
             cfg: *cfg,
+            failover: plan.failover,
+            faults: plan.materialize(cfg.pool.servers),
             arrivals,
             straggler_rng: StdRng::seed_from_u64(base.seed ^ 0x9E37_79B9_7F4A_7C15),
             events: BinaryHeap::new(),
             seq: 0,
-            queue: VecDeque::new(),
-            free_servers,
+            servers: (0..cfg.pool.servers).map(|_| Server::new()).collect(),
+            rr_cursor: 0,
             req: vec![
                 ReqState {
                     first_arrival: 0.0,
                     tries: 0,
+                    server: 0,
                     phase: Phase::Idle,
                 };
                 n
@@ -596,6 +782,7 @@ impl<'a> Engine<'a> {
             completed: 0,
             good: 0,
             shed: 0,
+            failed: 0,
             metrics: ServingMetrics::new(cfg.pool.servers),
             end_time: 0.0,
         }
@@ -606,24 +793,73 @@ impl<'a> Engine<'a> {
         self.seq += 1;
     }
 
-    /// Offers a request to admission control; enqueues or sheds it.
+    /// Extends the run length. Only *material* events (arrivals,
+    /// completions, terminal losses) call this, so a repair timer firing
+    /// long after the last request cannot inflate the duration and
+    /// deflate throughput.
+    fn touch(&mut self, now: f64) {
+        if now > self.end_time {
+            self.end_time = now;
+        }
+    }
+
+    /// Next believed-up server in round-robin order, if any.
+    fn route(&mut self) -> Option<usize> {
+        let count = self.servers.len();
+        for k in 0..count {
+            let i = (self.rr_cursor + k) % count;
+            if self.servers[i].believed_up {
+                self.rr_cursor = (i + 1) % count;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn total_queued(&self) -> usize {
+        self.servers.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// The admission-control cap, scaled down by lost capacity when the
+    /// health checker has pulled servers from rotation.
+    fn effective_queue_cap(&self) -> Option<usize> {
+        let cap = self.cfg.policy.queue_cap?;
+        if !self.failover.enabled || self.faults.is_empty() {
+            return Some(cap);
+        }
+        let up = self.servers.iter().filter(|s| s.believed_up).count();
+        Some(((cap * up).div_ceil(self.servers.len())).max(1))
+    }
+
+    /// Offers a request to admission control; routes and enqueues it, or
+    /// sheds it.
     fn admit(&mut self, req: usize, now: f64) {
         self.req[req].tries += 1;
-        if let Some(cap) = self.cfg.policy.queue_cap {
-            if self.queue.len() >= cap {
+        let Some(target) = self.route() else {
+            self.shed_request(req, now, ShedReason::NoHealthyServer);
+            return;
+        };
+        if let Some(cap) = self.effective_queue_cap() {
+            if self.total_queued() >= cap {
                 self.shed_request(req, now, ShedReason::QueueFull);
                 return;
             }
         }
         self.metrics.admitted.inc();
         self.req[req].phase = Phase::Queued;
-        self.queue.push_back(QEntry { req, enqueued: now });
+        self.req[req].server = target;
+        self.servers[target]
+            .queue
+            .push_back(QEntry { req, enqueued: now });
         if let Some(b) = self.expiry_budget() {
             let attempt = self.req[req].tries;
             self.push_event(now + b, Event::Expire { req, attempt });
         }
-        if !self.try_launch(now) && self.queue.len() == 1 {
-            self.push_event(now + self.cfg.pool.base.batch_timeout_s, Event::Timeout);
+        if !self.try_launch_on(target, now) && self.servers[target].queue.len() == 1 {
+            self.push_event(
+                now + self.cfg.pool.base.batch_timeout_s,
+                Event::Timeout { server: target },
+            );
         }
     }
 
@@ -639,18 +875,22 @@ impl<'a> Engine<'a> {
             .or(self.cfg.policy.deadline_s)
     }
 
-    /// Sheds a request, scheduling a retry if the budget allows.
+    /// Sheds a request, scheduling a retry if the reason is retryable
+    /// and the budget allows.
     ///
-    /// Only admission rejections retry: a deadline-expired request's SLO
-    /// has already passed, so re-serving it cannot produce good work.
+    /// Deadline expiries never retry: the SLO has already passed, so
+    /// re-serving cannot produce good work. Admission rejections and
+    /// no-capacity sheds do retry.
     fn shed_request(&mut self, req: usize, now: f64, reason: ShedReason) {
         match reason {
             ShedReason::QueueFull => self.metrics.shed_queue_full.inc(),
             ShedReason::DeadlineExpired => self.metrics.shed_deadline.inc(),
+            ShedReason::NoHealthyServer => self.metrics.shed_no_capacity.inc(),
         }
         let retry = self.cfg.policy.retry;
         let tries = self.req[req].tries;
-        if reason == ShedReason::QueueFull && tries <= retry.max_retries {
+        let retryable = reason != ShedReason::DeadlineExpired;
+        if retryable && tries <= retry.max_retries {
             let delay = retry.backoff_s * retry.backoff_mult.powi(tries as i32 - 1);
             self.req[req].phase = Phase::Idle;
             self.metrics.retries.inc();
@@ -658,21 +898,44 @@ impl<'a> Engine<'a> {
         } else {
             self.req[req].phase = Phase::Lost;
             self.shed += 1;
-            if reason == ShedReason::QueueFull && retry.max_retries > 0 {
+            self.metrics.shed_permanent.inc();
+            if retryable && retry.max_retries > 0 {
                 self.metrics.retries_exhausted.inc();
             }
+            self.touch(now);
         }
     }
 
-    /// Sheds the expired prefix of the queue (entries are enqueued in
-    /// time order, so expiries are a prefix).
-    fn shed_expired_prefix(&mut self, now: f64) {
+    /// A request whose in-flight batch died with its server: retry per
+    /// policy, else the `failed` terminal state.
+    fn fail_request(&mut self, req: usize, now: f64) {
+        let retry = self.cfg.policy.retry;
+        let tries = self.req[req].tries;
+        if tries <= retry.max_retries {
+            let delay = retry.backoff_s * retry.backoff_mult.powi(tries as i32 - 1);
+            self.req[req].phase = Phase::Idle;
+            self.metrics.retries.inc();
+            self.push_event(now + delay, Event::Retry { req });
+        } else {
+            self.req[req].phase = Phase::Failed;
+            self.failed += 1;
+            self.metrics.failed_permanent.inc();
+            if retry.max_retries > 0 {
+                self.metrics.retries_exhausted.inc();
+            }
+            self.touch(now);
+        }
+    }
+
+    /// Sheds the expired prefix of one server's queue (entries are
+    /// enqueued in time order, so expiries are a prefix).
+    fn shed_expired_prefix_on(&mut self, s: usize, now: f64) {
         let Some(b) = self.expiry_budget() else {
             return;
         };
-        while let Some(front) = self.queue.front() {
+        while let Some(front) = self.servers[s].queue.front() {
             if front.enqueued + b <= now + 1e-12 {
-                let entry = self.queue.pop_front().expect("nonempty");
+                let entry = self.servers[s].queue.pop_front().expect("nonempty");
                 self.shed_request(entry.req, now, ShedReason::DeadlineExpired);
             } else {
                 break;
@@ -680,45 +943,162 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Greedily launches batches while a server is free and the batching
-    /// policy allows; returns whether at least one batch launched.
-    fn try_launch(&mut self, now: f64) -> bool {
+    /// Launches a batch on server `s` if it is idle, healthy, and the
+    /// batching policy allows; returns whether one launched.
+    fn try_launch_on(&mut self, s: usize, now: f64) -> bool {
+        self.shed_expired_prefix_on(s, now);
+        if !self.servers[s].can_serve() || self.servers[s].queue.is_empty() {
+            return false;
+        }
         let cfg = self.cfg.pool.base;
-        let mut launched = false;
-        loop {
-            self.shed_expired_prefix(now);
-            if self.free_servers.is_empty() || self.queue.is_empty() {
-                return launched;
+        let oldest = self.servers[s].queue.front().expect("nonempty").enqueued;
+        let full = self.servers[s].queue.len() as u64 >= cfg.max_batch;
+        let timed_out = now + 1e-12 >= oldest + cfg.batch_timeout_s;
+        if !full && !timed_out {
+            return false;
+        }
+        let take = (self.servers[s].queue.len() as u64).min(cfg.max_batch) as usize;
+        let mut members = Vec::with_capacity(take);
+        for _ in 0..take {
+            let entry = self.servers[s].queue.pop_front().expect("sized above");
+            self.req[entry.req].phase = Phase::InService;
+            self.metrics.queue_wait_s.observe(now - entry.enqueued);
+            members.push(entry.req);
+        }
+        let mult = if self.cfg.stragglers.probability > 0.0
+            && self.straggler_rng.gen_bool(self.cfg.stragglers.probability)
+        {
+            self.cfg.stragglers.factor
+        } else {
+            1.0
+        };
+        let service = self.latency.latency(take as u64) * mult * self.servers[s].degrade_factor;
+        self.metrics.per_server_busy_s[s] += service;
+        self.metrics.batch_sizes.observe(take as f64);
+        let idx = self.in_service.len();
+        self.in_service.push(Batch {
+            server: s,
+            members,
+            done_at: now + service,
+            extra_delay_s: 0.0,
+            aborted: false,
+        });
+        self.servers[s].busy = true;
+        self.servers[s].serving = Some(idx);
+        self.push_event(now + service, Event::Done(idx));
+        true
+    }
+
+    /// After a server frees up (or comes back): launch, or re-arm its
+    /// batch timer if work is waiting.
+    fn relaunch_or_arm(&mut self, s: usize, now: f64) {
+        if self.try_launch_on(s, now) || !self.servers[s].can_serve() {
+            return;
+        }
+        let Some(front) = self.servers[s].queue.front() else {
+            return;
+        };
+        let fire = (front.enqueued + self.cfg.pool.base.batch_timeout_s).max(now);
+        self.push_event(fire, Event::Timeout { server: s });
+    }
+
+    /// Applies one materialized fault to its server.
+    fn inject_fault(&mut self, f: ScheduledFault, now: f64) {
+        let s = f.server;
+        self.servers[s].fault_epoch += 1;
+        let epoch = self.servers[s].fault_epoch;
+        match f.kind {
+            FaultKind::Crash { mttr_s } => {
+                self.metrics.failures_injected.inc();
+                if self.servers[s].is_available() {
+                    self.servers[s].fault_at = now;
+                    self.servers[s].down_since = now;
+                }
+                self.servers[s].health = Health::DownCrash;
+                self.servers[s].degrade_factor = 1.0;
+                // Fail-stop: in-flight work dies with the machine.
+                if let Some(idx) = self.servers[s].serving.take() {
+                    self.servers[s].busy = false;
+                    self.in_service[idx].aborted = true;
+                    let refund = (self.in_service[idx].done_at - now).max(0.0);
+                    self.metrics.per_server_busy_s[s] -= refund;
+                    let members = std::mem::take(&mut self.in_service[idx].members);
+                    for req in members {
+                        self.metrics.in_flight_failures.inc();
+                        self.fail_request(req, now);
+                    }
+                }
+                self.push_event(now + mttr_s, Event::CrashOver { server: s, epoch });
             }
-            let oldest = self.queue.front().expect("nonempty").enqueued;
-            let full = self.queue.len() as u64 >= cfg.max_batch;
-            let timed_out = now + 1e-12 >= oldest + cfg.batch_timeout_s;
-            if !full && !timed_out {
-                return launched;
+            FaultKind::Hang { duration_s } => {
+                self.metrics.failures_injected.inc();
+                if self.servers[s].is_available() {
+                    self.servers[s].fault_at = now;
+                    self.servers[s].down_since = now;
+                }
+                self.servers[s].health = Health::DownHang;
+                self.servers[s].hang_started = now;
+                // Pause, don't lose: the batch finishes late by the
+                // frozen overlap.
+                if let Some(idx) = self.servers[s].serving {
+                    self.in_service[idx].extra_delay_s += duration_s;
+                    self.in_service[idx].done_at += duration_s;
+                }
+                self.push_event(now + duration_s, Event::HangOver { server: s, epoch });
             }
-            let take = (self.queue.len() as u64).min(cfg.max_batch) as usize;
-            let mut members = Vec::with_capacity(take);
-            for _ in 0..take {
-                let entry = self.queue.pop_front().expect("sized above");
-                self.req[entry.req].phase = Phase::InService;
-                self.metrics.queue_wait_s.observe(now - entry.enqueued);
-                members.push(entry.req);
+            FaultKind::SlowDegrade { factor, duration_s } => {
+                self.metrics.degrades_injected.inc();
+                if self.servers[s].health == Health::Up {
+                    self.servers[s].health = Health::Degraded;
+                }
+                self.servers[s].degrade_factor = factor;
+                self.push_event(now + duration_s, Event::DegradeOver { server: s, epoch });
             }
-            let mult = if self.cfg.stragglers.probability > 0.0
-                && self.straggler_rng.gen_bool(self.cfg.stragglers.probability)
-            {
-                self.cfg.stragglers.factor
-            } else {
-                1.0
+        }
+    }
+
+    /// A server transitions back to Up: account downtime, then serve
+    /// whatever waited out the outage.
+    fn server_up(&mut self, s: usize, now: f64) {
+        self.servers[s].health = Health::Up;
+        let down = (now - self.servers[s].down_since).max(0.0);
+        self.servers[s].down_total_s += down;
+        self.metrics.failures_recovered.inc();
+        self.metrics
+            .time_to_recover_s
+            .observe(now - self.servers[s].fault_at);
+        self.relaunch_or_arm(s, now);
+    }
+
+    /// One health-checker sweep: pull dead servers from rotation (and
+    /// drain their queues onto the survivors), re-admit recovered ones.
+    fn probe_all(&mut self, now: f64) {
+        for s in 0..self.cfg.pool.servers {
+            let down_to_prober = match self.servers[s].health {
+                Health::DownCrash | Health::Recovering => true,
+                Health::DownHang => {
+                    now - self.servers[s].hang_started + 1e-12 >= self.failover.probe_timeout_s
+                }
+                Health::Up | Health::Degraded => false,
             };
-            let service = self.latency.latency(take as u64) * mult;
-            let Reverse(server) = self.free_servers.pop().expect("checked free");
-            self.metrics.per_server_busy_s[server] += service;
-            self.metrics.batch_sizes.observe(take as f64);
-            let idx = self.in_service.len();
-            self.in_service.push(Batch { server, members });
-            self.push_event(now + service, Event::Done(idx));
-            launched = true;
+            if self.servers[s].believed_up && down_to_prober {
+                self.servers[s].believed_up = false;
+                self.metrics.failures_detected.inc();
+                self.metrics
+                    .time_to_detect_s
+                    .observe(now - self.servers[s].fault_at);
+                // Failover: the dead server's queue is redistributed to
+                // surviving replicas (or shed, via normal admission).
+                let stranded: Vec<QEntry> = self.servers[s].queue.drain(..).collect();
+                for e in stranded {
+                    self.metrics.failover_redistributed.inc();
+                    self.admit(e.req, now);
+                }
+            } else if !self.servers[s].believed_up && self.servers[s].is_available() {
+                // The machine answers probes again: back into rotation.
+                self.servers[s].believed_up = true;
+                self.relaunch_or_arm(s, now);
+            }
         }
     }
 
@@ -726,11 +1106,18 @@ impl<'a> Engine<'a> {
         let n = self.cfg.pool.base.requests;
         let first = self.arrivals[0];
         self.push_event(first, Event::Arrival(0));
+        for fi in 0..self.faults.len() {
+            let at = self.faults[fi].at_s;
+            self.push_event(at, Event::Fault(fi));
+        }
+        if self.failover.enabled && !self.faults.is_empty() {
+            self.push_event(self.failover.probe_interval_s, Event::Probe);
+        }
 
         while let Some(Reverse(((TimeKey(now), _), event))) = self.events.pop() {
-            self.end_time = self.end_time.max(now);
             match event {
                 Event::Arrival(i) => {
+                    self.touch(now);
                     self.metrics.arrivals.inc();
                     self.req[i].first_arrival = now;
                     if i + 1 < n {
@@ -740,57 +1127,111 @@ impl<'a> Engine<'a> {
                     self.admit(i, now);
                 }
                 Event::Retry { req } => {
+                    self.touch(now);
                     self.admit(req, now);
                 }
-                Event::Timeout => {
-                    // With every server busy there is nothing to do: the
-                    // next Done event re-checks the queue (re-arming here
-                    // would spin the event loop).
-                    if !self.queue.is_empty() && !self.free_servers.is_empty() {
-                        let launched = self.try_launch(now);
-                        if !launched {
-                            if let Some(front) = self.queue.front() {
-                                // A server is free but the (new) oldest
-                                // request has not waited out the timeout
-                                // yet; this fire time is strictly in the
-                                // future, else the launch would have
-                                // happened.
-                                let t = front.enqueued + self.cfg.pool.base.batch_timeout_s;
-                                self.push_event(t, Event::Timeout);
-                            }
+                Event::Timeout { server } => {
+                    self.touch(now);
+                    if !self.try_launch_on(server, now) && self.servers[server].can_serve() {
+                        if let Some(front) = self.servers[server].queue.front() {
+                            // A server is free but the (new) oldest
+                            // request has not waited out the timeout yet;
+                            // this fire time is strictly in the future,
+                            // else the launch would have happened.
+                            let t = front.enqueued + self.cfg.pool.base.batch_timeout_s;
+                            self.push_event(t, Event::Timeout { server });
                         }
                     }
                 }
                 Event::Expire { req, attempt } => {
-                    // Stale timers (the request retried, launched, or
-                    // finished since) are no-ops.
+                    self.touch(now);
+                    // Stale timers (the request retried, moved, launched,
+                    // or finished since) are no-ops.
                     if self.req[req].phase == Phase::Queued && self.req[req].tries == attempt {
-                        if let Some(pos) = self.queue.iter().position(|e| e.req == req) {
-                            self.queue.remove(pos);
+                        let s = self.req[req].server;
+                        if let Some(pos) = self.servers[s].queue.iter().position(|e| e.req == req) {
+                            self.servers[s].queue.remove(pos);
                             self.shed_request(req, now, ShedReason::DeadlineExpired);
                         }
                     }
                 }
                 Event::Done(idx) => {
+                    if self.in_service[idx].aborted {
+                        // The server crashed mid-service; the members
+                        // were already failed/retried.
+                        continue;
+                    }
+                    let delay = self.in_service[idx].extra_delay_s;
+                    if delay > 0.0 {
+                        // The server hung during service: the batch
+                        // resumes after the thaw and finishes late.
+                        self.in_service[idx].extra_delay_s = 0.0;
+                        self.push_event(now + delay, Event::Done(idx));
+                        continue;
+                    }
+                    self.touch(now);
                     let server = self.in_service[idx].server;
-                    self.free_servers.push(Reverse(server));
                     let members = std::mem::take(&mut self.in_service[idx].members);
+                    self.servers[server].busy = false;
+                    self.servers[server].serving = None;
                     for req in members {
                         let lat = now - self.req[req].first_arrival;
                         self.req[req].phase = Phase::Completed;
                         self.latencies.push(lat);
                         self.completed += 1;
                         self.metrics.completed.inc();
+                        self.metrics.per_server_completed[server] += 1;
                         match self.cfg.policy.deadline_s {
                             Some(d) if lat > d => self.metrics.completed_late.inc(),
                             _ => self.good += 1,
                         }
                     }
                     // The freed server may immediately take another batch.
-                    if !self.try_launch(now) && !self.queue.is_empty() {
-                        let front = self.queue.front().expect("nonempty");
-                        let fire = (front.enqueued + self.cfg.pool.base.batch_timeout_s).max(now);
-                        self.push_event(fire, Event::Timeout);
+                    self.relaunch_or_arm(server, now);
+                }
+                Event::Fault(fi) => {
+                    let f = self.faults[fi];
+                    self.inject_fault(f, now);
+                }
+                Event::CrashOver { server, epoch } => {
+                    if self.servers[server].fault_epoch == epoch
+                        && self.servers[server].health == Health::DownCrash
+                    {
+                        self.servers[server].health = Health::Recovering;
+                        self.push_event(
+                            now + self.failover.recovery_warmup_s,
+                            Event::RecoveryDone { server, epoch },
+                        );
+                    }
+                }
+                Event::HangOver { server, epoch } => {
+                    if self.servers[server].fault_epoch == epoch
+                        && self.servers[server].health == Health::DownHang
+                    {
+                        self.server_up(server, now);
+                    }
+                }
+                Event::DegradeOver { server, epoch } => {
+                    if self.servers[server].fault_epoch == epoch
+                        && self.servers[server].health == Health::Degraded
+                    {
+                        self.servers[server].health = Health::Up;
+                        self.servers[server].degrade_factor = 1.0;
+                    }
+                }
+                Event::RecoveryDone { server, epoch } => {
+                    if self.servers[server].fault_epoch == epoch
+                        && self.servers[server].health == Health::Recovering
+                    {
+                        self.server_up(server, now);
+                    }
+                }
+                Event::Probe => {
+                    self.probe_all(now);
+                    // Re-arm only while requests are unresolved, so the
+                    // event heap can drain.
+                    if self.completed + self.shed + self.failed < n {
+                        self.push_event(now + self.failover.probe_interval_s, Event::Probe);
                     }
                 }
             }
@@ -798,16 +1239,29 @@ impl<'a> Engine<'a> {
 
         // Anything still queued when the heap drained is accounted as
         // dropped — conservation over silent loss.
-        let dropped = self.queue.len();
-        for entry in self.queue.drain(..) {
-            self.req[entry.req].phase = Phase::Lost;
-            self.metrics.dropped_at_drain.inc();
+        let mut dropped = 0usize;
+        for s in 0..self.cfg.pool.servers {
+            let leftover: Vec<QEntry> = self.servers[s].queue.drain(..).collect();
+            for entry in leftover {
+                self.req[entry.req].phase = Phase::Lost;
+                self.metrics.dropped_at_drain.inc();
+                dropped += 1;
+            }
         }
         debug_assert_eq!(
-            self.completed + self.shed + dropped,
+            self.completed + self.shed + self.failed + dropped,
             n,
             "request conservation violated"
         );
+
+        let end = self.end_time;
+        for s in 0..self.cfg.pool.servers {
+            if !self.servers[s].is_available() {
+                let extra = (end - self.servers[s].down_since).max(0.0);
+                self.servers[s].down_total_s += extra;
+            }
+            self.metrics.per_server_down_s[s] = self.servers[s].down_total_s.min(end.max(0.0));
+        }
 
         let stats = LatencyStats::from_samples(&self.latencies);
         let total_time = self.end_time.max(1e-12);
@@ -819,11 +1273,14 @@ impl<'a> Engine<'a> {
             throughput_rps: self.completed as f64 / total_time,
             goodput_rps: self.good as f64 / total_time,
             mean_batch: self.metrics.batch_sizes.mean(),
-            server_utilization: (busy_total / (total_time * servers as f64)).min(1.0),
+            server_utilization: (busy_total / (total_time * servers as f64)).clamp(0.0, 1.0),
             arrivals: n,
             completed: self.completed,
             shed: self.shed,
             dropped,
+            failed: self.failed,
+            seed: self.cfg.pool.base.seed,
+            duration_s: self.end_time,
             stats,
             metrics: self.metrics,
         }
@@ -1418,5 +1875,326 @@ mod tests {
         let total: f64 = r.metrics.per_server_busy_s.iter().sum();
         assert!(r.server_utilization <= 1.0);
         assert!(total > 0.0);
+    }
+
+    // ---- fault injection, failover, availability ----
+
+    use crate::faults::{FailoverConfig, FaultKind, FaultPlan, MtbfFaults, ScheduledFault};
+
+    fn crash(server: usize, at_s: f64, mttr_s: f64) -> ScheduledFault {
+        ScheduledFault {
+            server,
+            at_s,
+            kind: FaultKind::Crash { mttr_s },
+        }
+    }
+
+    #[test]
+    fn no_fault_plan_matches_plain_fleet() {
+        let fleet = FleetConfig::new(cfg(6000.0).with_servers(3)).with_policy(FleetPolicy {
+            deadline_s: Some(0.02),
+            shed_expired: true,
+            queue_cap: Some(64),
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff_s: 0.002,
+                backoff_mult: 2.0,
+            },
+            ..FleetPolicy::default()
+        });
+        let plain = simulate_fleet(&linear_model(), &fleet).unwrap();
+        let with_empty =
+            simulate_fleet_with_faults(&linear_model(), &fleet, &FaultPlan::none()).unwrap();
+        assert_eq!(plain, with_empty);
+    }
+
+    #[test]
+    fn failover_keeps_goodput_at_least_2x_past_first_crash() {
+        // 4 servers, 3 crash early and stay down for the whole run. With
+        // failover the health checker routes everything to the survivor;
+        // without it the router keeps feeding dead replicas round-robin
+        // and 3/4 of traffic expires in dead queues.
+        let base = ServingConfig {
+            arrival_rate_rps: 12_000.0,
+            max_batch: 16,
+            batch_timeout_s: 0.001,
+            requests: 8000,
+            seed: 42,
+        };
+        let fleet = FleetConfig::new(base.with_servers(4)).with_policy(FleetPolicy {
+            deadline_s: Some(0.02),
+            shed_expired: true,
+            queue_budget_s: Some(0.015),
+            queue_cap: None,
+            retry: RetryPolicy::default(),
+        });
+        let plan = FaultPlan::scheduled(vec![
+            crash(1, 0.02, 1e3),
+            crash(2, 0.02, 1e3),
+            crash(3, 0.02, 1e3),
+        ])
+        .with_failover(FailoverConfig {
+            enabled: true,
+            probe_interval_s: 0.002,
+            probe_timeout_s: 0.001,
+            recovery_warmup_s: 0.005,
+        });
+        let off_plan = plan.clone().without_failover();
+        let on = simulate_fleet_with_faults(&linear_model(), &fleet, &plan).unwrap();
+        let off = simulate_fleet_with_faults(&linear_model(), &fleet, &off_plan).unwrap();
+        assert!(on.conservation_holds());
+        assert!(off.conservation_holds());
+        // The acceptance bar: failover retains >= 2x goodput under the
+        // identical fault plan and seed.
+        assert!(
+            on.goodput_rps >= 2.0 * off.goodput_rps,
+            "failover-on goodput {} not >= 2x failover-off {}",
+            on.goodput_rps,
+            off.goodput_rps
+        );
+        assert!(on.metrics.failures_detected.get() >= 3);
+        assert_eq!(off.metrics.failures_detected.get(), 0);
+        assert!(on.metrics.failover_redistributed.get() > 0);
+    }
+
+    #[test]
+    fn crash_fails_in_flight_work() {
+        let base = ServingConfig {
+            arrival_rate_rps: 8000.0,
+            max_batch: 16,
+            batch_timeout_s: 0.001,
+            requests: 2000,
+            seed: 7,
+        };
+        let fleet = FleetConfig::new(base.with_servers(1));
+        let plan = FaultPlan::scheduled(vec![crash(0, 0.05, 0.01)]);
+        let r = simulate_fleet_with_faults(&linear_model(), &fleet, &plan).unwrap();
+        assert!(r.conservation_holds());
+        assert!(r.failed >= 1, "the crash should kill the in-flight batch");
+        assert!(r.metrics.in_flight_failures.get() >= 1);
+        assert_eq!(r.metrics.failures_recovered.get(), 1);
+    }
+
+    #[test]
+    fn failed_requests_retry_and_complete() {
+        let base = ServingConfig {
+            arrival_rate_rps: 8000.0,
+            max_batch: 16,
+            batch_timeout_s: 0.001,
+            requests: 2000,
+            seed: 7,
+        };
+        let plan = FaultPlan::scheduled(vec![crash(0, 0.05, 0.01)]);
+        let without = simulate_fleet_with_faults(
+            &linear_model(),
+            &FleetConfig::new(base.with_servers(1)),
+            &plan,
+        )
+        .unwrap();
+        let with = simulate_fleet_with_faults(
+            &linear_model(),
+            &FleetConfig::new(base.with_servers(1)).with_policy(FleetPolicy {
+                retry: RetryPolicy {
+                    max_retries: 3,
+                    backoff_s: 0.01,
+                    backoff_mult: 2.0,
+                },
+                ..FleetPolicy::default()
+            }),
+            &plan,
+        )
+        .unwrap();
+        assert!(with.conservation_holds());
+        assert!(with.completed > without.completed);
+        assert!(with.metrics.retries.get() > 0);
+    }
+
+    #[test]
+    fn hang_pauses_but_loses_nothing() {
+        // Failover off: with one server, pulling it from rotation would
+        // shed everything; a pure hang should just pause.
+        let base = ServingConfig {
+            arrival_rate_rps: 2000.0,
+            max_batch: 16,
+            batch_timeout_s: 0.001,
+            requests: 1500,
+            seed: 11,
+        };
+        let fleet = FleetConfig::new(base.with_servers(1));
+        let clean = simulate_fleet(&linear_model(), &fleet).unwrap();
+        let plan = FaultPlan::scheduled(vec![ScheduledFault {
+            server: 0,
+            at_s: 0.1,
+            kind: FaultKind::Hang { duration_s: 0.05 },
+        }])
+        .without_failover();
+        let r = simulate_fleet_with_faults(&linear_model(), &fleet, &plan).unwrap();
+        assert_eq!(r.completed, r.arrivals, "a hang must not lose requests");
+        assert!(r.stats.max_s >= 0.05, "someone waited out the freeze");
+        assert!(r.p99_s > clean.p99_s);
+        assert_eq!(r.metrics.failures_injected.get(), 1);
+        assert_eq!(r.metrics.failures_recovered.get(), 1);
+    }
+
+    #[test]
+    fn slow_degrade_slows_but_serves() {
+        let base = ServingConfig {
+            arrival_rate_rps: 1500.0,
+            max_batch: 16,
+            batch_timeout_s: 0.001,
+            requests: 1500,
+            seed: 13,
+        };
+        let fleet = FleetConfig::new(base.with_servers(1));
+        let clean = simulate_fleet(&linear_model(), &fleet).unwrap();
+        let plan = FaultPlan::scheduled(vec![ScheduledFault {
+            server: 0,
+            at_s: 0.0,
+            kind: FaultKind::SlowDegrade {
+                factor: 3.0,
+                duration_s: 1e3,
+            },
+        }]);
+        let r = simulate_fleet_with_faults(&linear_model(), &fleet, &plan).unwrap();
+        assert_eq!(r.completed, r.arrivals, "degraded servers still serve");
+        assert!(r.p99_s > clean.p99_s);
+        // Degraded servers answer probes: never detected as down.
+        assert_eq!(r.metrics.failures_detected.get(), 0);
+        assert_eq!(r.metrics.degrades_injected.get(), 1);
+    }
+
+    #[test]
+    fn recovery_readmits_and_availability_accounted() {
+        let base = ServingConfig {
+            arrival_rate_rps: 10_000.0,
+            max_batch: 16,
+            batch_timeout_s: 0.001,
+            requests: 6000,
+            seed: 21,
+        };
+        let fleet = FleetConfig::new(base.with_servers(2));
+        let failover = FailoverConfig {
+            enabled: true,
+            probe_interval_s: 0.002,
+            probe_timeout_s: 0.001,
+            recovery_warmup_s: 0.01,
+        };
+        let plan = FaultPlan::scheduled(vec![crash(1, 0.05, 0.05)]).with_failover(failover);
+        let r = simulate_fleet_with_faults(&linear_model(), &fleet, &plan).unwrap();
+        assert!(r.conservation_holds());
+        assert_eq!(r.metrics.failures_detected.get(), 1);
+        assert_eq!(r.metrics.failures_recovered.get(), 1);
+        // Downtime covers MTTR + warmup, bounded well under 2x.
+        assert!(r.metrics.per_server_down_s[1] > 0.05);
+        assert!(r.metrics.per_server_down_s[1] < 0.1);
+        assert_eq!(r.metrics.per_server_down_s[0], 0.0);
+        // The recovered server takes traffic again.
+        assert!(r.metrics.per_server_completed[1] > 0);
+        let avail = r.metrics.per_server_availability(r.duration_s);
+        assert!(avail[1] < 1.0);
+        assert!((avail[0] - 1.0).abs() < 1e-12);
+        // Detection lag bounded by the probe schedule.
+        assert!(r.metrics.time_to_detect_s.max() <= failover.worst_case_detection_s() + 1e-9);
+    }
+
+    #[test]
+    fn seed_recorded_and_fault_replay_bit_identical() {
+        let fleet = FleetConfig::new(cfg(9000.0).with_servers(3))
+            .with_stragglers(Stragglers {
+                probability: 0.05,
+                factor: 4.0,
+            })
+            .with_policy(FleetPolicy {
+                deadline_s: Some(0.03),
+                shed_expired: true,
+                queue_cap: Some(128),
+                retry: RetryPolicy {
+                    max_retries: 2,
+                    backoff_s: 0.002,
+                    backoff_mult: 2.0,
+                },
+                ..FleetPolicy::default()
+            });
+        let plan = FaultPlan {
+            scheduled: Vec::new(),
+            mtbf: Some(MtbfFaults {
+                mtbf_s: 0.2,
+                mttr_s: 0.02,
+                horizon_s: 1.0,
+            }),
+            fault_seed: 99,
+            failover: FailoverConfig::default(),
+        };
+        let a = simulate_fleet_with_faults(&linear_model(), &fleet, &plan).unwrap();
+        let b = simulate_fleet_with_faults(&linear_model(), &fleet, &plan).unwrap();
+        assert_eq!(
+            a, b,
+            "same config + plan + seed must replay bit-identically"
+        );
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn fault_plan_validation_is_typed() {
+        let fleet = FleetConfig::new(cfg(2000.0).with_servers(2));
+        let m = linear_model();
+        let bad_mtbf = FaultPlan {
+            scheduled: Vec::new(),
+            mtbf: Some(MtbfFaults {
+                mtbf_s: f64::NAN,
+                mttr_s: 0.1,
+                horizon_s: 1.0,
+            }),
+            fault_seed: 0,
+            failover: FailoverConfig::default(),
+        };
+        assert!(matches!(
+            simulate_fleet_with_faults(&m, &fleet, &bad_mtbf),
+            Err(ConfigError::InvalidMtbf(_))
+        ));
+        let bad_mttr = FaultPlan::scheduled(vec![crash(0, 0.1, -1.0)]);
+        assert!(matches!(
+            simulate_fleet_with_faults(&m, &fleet, &bad_mttr),
+            Err(ConfigError::InvalidMttr(_))
+        ));
+        let bad_server = FaultPlan::scheduled(vec![crash(5, 0.1, 0.1)]);
+        assert!(matches!(
+            simulate_fleet_with_faults(&m, &fleet, &bad_server),
+            Err(ConfigError::FaultServerOutOfRange {
+                server: 5,
+                servers: 2
+            })
+        ));
+        let bad_probe =
+            FaultPlan::scheduled(vec![crash(0, 0.1, 0.1)]).with_failover(FailoverConfig {
+                probe_interval_s: 0.0,
+                ..FailoverConfig::default()
+            });
+        assert!(matches!(
+            simulate_fleet_with_faults(&m, &fleet, &bad_probe),
+            Err(ConfigError::InvalidProbeInterval(_))
+        ));
+    }
+
+    #[test]
+    fn no_completions_attributed_to_dead_server() {
+        let base = ServingConfig {
+            arrival_rate_rps: 9000.0,
+            max_batch: 16,
+            batch_timeout_s: 0.001,
+            requests: 4000,
+            seed: 17,
+        };
+        let fleet = FleetConfig::new(base.with_servers(4)).with_policy(FleetPolicy {
+            deadline_s: Some(0.05),
+            shed_expired: true,
+            ..FleetPolicy::default()
+        });
+        // Server 2 dies before any work arrives and never comes back.
+        let plan = FaultPlan::scheduled(vec![crash(2, 0.0, 1e6)]);
+        let r = simulate_fleet_with_faults(&linear_model(), &fleet, &plan).unwrap();
+        assert!(r.conservation_holds());
+        assert_eq!(r.metrics.per_server_completed[2], 0);
+        assert_eq!(r.metrics.per_server_busy_s[2], 0.0);
     }
 }

@@ -13,6 +13,10 @@
 //!   deadlines, admission-control load shedding, and retry-with-backoff
 //!   — every entry point validates its config and returns a typed
 //!   [`des::ConfigError`] for degenerate inputs;
+//! - [`faults`]: fault injection and failover — validated [`FaultPlan`]s
+//!   (fail-stop crashes, transient hangs, slow-degrades; scheduled or
+//!   MTBF/MTTR-driven), a server health lifecycle, and a health checker
+//!   that drains dead servers' queues onto surviving replicas;
 //! - [`metrics`]: the counters and histograms a serving fleet is
 //!   operated on (sheds, retries, batch sizes, per-server busy time);
 //! - [`stats`]: exact percentile computation over recorded latencies;
@@ -42,6 +46,7 @@
 //! ```
 
 pub mod des;
+pub mod faults;
 pub mod latency;
 pub mod metrics;
 pub mod multitenant;
@@ -49,9 +54,10 @@ pub mod slo;
 pub mod stats;
 
 pub use des::{
-    simulate, simulate_fleet, ConfigError, FleetConfig, FleetPolicy, PoolConfig, RetryPolicy,
-    ServingConfig, ServingReport, Stragglers,
+    simulate, simulate_fleet, simulate_fleet_with_faults, ConfigError, FleetConfig, FleetPolicy,
+    PoolConfig, RetryPolicy, ServingConfig, ServingReport, Stragglers,
 };
+pub use faults::{FailoverConfig, FaultKind, FaultPlan, MtbfFaults, ScheduledFault};
 pub use latency::LatencyModel;
 pub use metrics::ServingMetrics;
 pub use stats::LatencyStats;

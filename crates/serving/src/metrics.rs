@@ -2,7 +2,9 @@
 //!
 //! Production serving systems live on exactly these signals (Lesson 10
 //! is stated in terms of them): offered load, sheds, retries, batch-size
-//! distribution, per-server busy time. The DES fills a
+//! distribution, per-server busy time — and, once machines can fail,
+//! availability accounting: faults injected/detected/recovered,
+//! time-to-detect, time-to-recover, per-server downtime. The DES fills a
 //! [`ServingMetrics`] as it runs and exposes it via
 //! [`crate::des::ServingReport`].
 
@@ -32,6 +34,9 @@ impl Counter {
 /// Buckets are defined by their inclusive upper bounds, plus an implicit
 /// overflow bucket. Observation order does not matter: two histograms
 /// with the same bounds fed the same multiset of values compare equal.
+///
+/// Empty-histogram behavior is defined, not incidental: `mean`, `max`,
+/// and `quantile` all return 0 when no observation has been recorded.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     /// Inclusive upper bound of each bucket, strictly increasing.
@@ -42,7 +47,7 @@ pub struct Histogram {
     sum: f64,
     /// Number of observations.
     n: u64,
-    /// Largest observation seen.
+    /// Largest observation seen; meaningless until `n > 0`.
     max: f64,
 }
 
@@ -64,7 +69,9 @@ impl Histogram {
             counts: vec![0; buckets],
             sum: 0.0,
             n: 0,
-            max: 0.0,
+            // NEG_INFINITY, not 0: a histogram of negative observations
+            // must not report a max of 0 (`max()` guards the empty case).
+            max: f64::NEG_INFINITY,
         }
     }
 
@@ -123,12 +130,18 @@ impl Histogram {
 
     /// Largest observation, or 0 for an empty histogram.
     pub fn max(&self) -> f64 {
-        self.max
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
     }
 
     /// Upper bound of the bucket where the `q`-quantile falls, capped at
     /// the observed max (exact for the overflow bucket). `q` is clamped
-    /// to [0, 1]. Returns 0 for an empty histogram.
+    /// to [0, 1]; `q = 0.0` reports the lowest non-empty bucket's bound
+    /// (capped at the max), `q = 1.0` the observed max. Returns 0 for an
+    /// empty histogram.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.n == 0 {
             return 0.0;
@@ -162,14 +175,17 @@ impl Histogram {
 /// Everything the DES measures in one run.
 ///
 /// Request accounting invariant (checked by the DES):
-/// `arrivals == completed + shed_total + dropped_at_drain`, where
-/// `shed_total` counts *permanently* lost requests (retries that
-/// ultimately succeed are not sheds).
+/// `arrivals == completed + shed_total + failed_permanent +
+/// dropped_at_drain`, where [`ServingMetrics::shed_total`] counts
+/// *permanently* shed requests and `failed_permanent` counts requests
+/// permanently lost to server crashes (retries that ultimately succeed
+/// appear in neither).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingMetrics {
     /// Fresh requests offered to the system.
     pub arrivals: Counter,
-    /// Queue admissions, including re-admissions of retried requests.
+    /// Queue admissions, including re-admissions of retried or
+    /// failover-redistributed requests.
     pub admitted: Counter,
     /// Requests that finished service.
     pub completed: Counter,
@@ -180,18 +196,47 @@ pub struct ServingMetrics {
     pub shed_queue_full: Counter,
     /// Shed events due to in-queue deadline expiry.
     pub shed_deadline: Counter,
-    /// Retries scheduled after a shed.
+    /// Shed events because no server was believed healthy.
+    pub shed_no_capacity: Counter,
+    /// Requests permanently shed (terminal sheds, all reasons).
+    pub shed_permanent: Counter,
+    /// Retries scheduled after a shed or an in-flight failure.
     pub retries: Counter,
     /// Requests permanently lost after exhausting their retry budget.
     pub retries_exhausted: Counter,
     /// Requests still queued when the simulation drained.
     pub dropped_at_drain: Counter,
+    /// Crash and hang faults injected into servers.
+    pub failures_injected: Counter,
+    /// Slow-degrade faults injected into servers.
+    pub degrades_injected: Counter,
+    /// Failures the health checker noticed (server pulled from rotation).
+    pub failures_detected: Counter,
+    /// Servers that came back up after a crash or hang.
+    pub failures_recovered: Counter,
+    /// Requests whose in-flight batch was killed by a server crash
+    /// (counted per request, before any retry).
+    pub in_flight_failures: Counter,
+    /// Requests permanently lost to server failures (the `failed`
+    /// terminal state).
+    pub failed_permanent: Counter,
+    /// Queued requests drained off a believed-down server and offered to
+    /// the surviving replicas.
+    pub failover_redistributed: Counter,
     /// Distribution of formed batch sizes.
     pub batch_sizes: Histogram,
     /// Distribution of per-admission queue waiting time, seconds.
     pub queue_wait_s: Histogram,
+    /// Fault injection → health-checker detection lag, seconds.
+    pub time_to_detect_s: Histogram,
+    /// Fault injection → server back in service, seconds.
+    pub time_to_recover_s: Histogram,
     /// Busy time accumulated by each server, seconds.
     pub per_server_busy_s: Vec<f64>,
+    /// Time each server spent Down or Recovering, seconds.
+    pub per_server_down_s: Vec<f64>,
+    /// Requests completed by each server.
+    pub per_server_completed: Vec<u64>,
 }
 
 impl ServingMetrics {
@@ -204,23 +249,45 @@ impl ServingMetrics {
             completed_late: Counter::default(),
             shed_queue_full: Counter::default(),
             shed_deadline: Counter::default(),
+            shed_no_capacity: Counter::default(),
+            shed_permanent: Counter::default(),
             retries: Counter::default(),
             retries_exhausted: Counter::default(),
             dropped_at_drain: Counter::default(),
+            failures_injected: Counter::default(),
+            degrades_injected: Counter::default(),
+            failures_detected: Counter::default(),
+            failures_recovered: Counter::default(),
+            in_flight_failures: Counter::default(),
+            failed_permanent: Counter::default(),
+            failover_redistributed: Counter::default(),
             // Powers of two cover any practical batch cap.
             batch_sizes: Histogram::exponential(1.0, 2.0, 14),
             // 10 us .. ~80 s in x3 steps.
             queue_wait_s: Histogram::exponential(1e-5, 3.0, 16),
+            // 100 us .. ~50 s in x3 steps (probe lags and repair times).
+            time_to_detect_s: Histogram::exponential(1e-4, 3.0, 12),
+            time_to_recover_s: Histogram::exponential(1e-4, 3.0, 12),
             per_server_busy_s: vec![0.0; servers],
+            per_server_down_s: vec![0.0; servers],
+            per_server_completed: vec![0; servers],
         }
     }
 
-    /// Total permanently shed requests.
+    /// Total permanently shed requests (terminal sheds; requests that
+    /// were shed but later retried successfully are not counted).
     pub fn shed_total(&self) -> u64 {
-        // A request is permanently lost when its final shed event is not
-        // followed by a retry. `retries` counts re-admissions, so:
-        // permanent = shed events - retries scheduled.
-        (self.shed_queue_full.get() + self.shed_deadline.get()) - self.retries.get()
+        self.shed_permanent.get()
+    }
+
+    /// Fraction of the run each server was available (not Down or
+    /// Recovering), given the run duration.
+    pub fn per_server_availability(&self, duration_s: f64) -> Vec<f64> {
+        let d = duration_s.max(1e-12);
+        self.per_server_down_s
+            .iter()
+            .map(|&down| (1.0 - down / d).clamp(0.0, 1.0))
+            .collect()
     }
 }
 
@@ -262,9 +329,52 @@ mod tests {
         // p50 of 1..=100 lands in the (32, 64] bucket.
         assert_eq!(h.quantile(0.5), 64.0);
         assert_eq!(h.quantile(1.0), 100.0);
-        // Empty histogram.
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
         let e = Histogram::exponential(1.0, 2.0, 4);
-        assert_eq!(e.quantile(0.5), 0.0);
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.max(), 0.0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(e.quantile(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_q() {
+        let mut h = Histogram::with_bounds(vec![1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(7.0);
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert_eq!(h.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    fn single_bucket_histogram() {
+        // One explicit bucket plus the overflow bucket.
+        let mut h = Histogram::with_bounds(vec![1.0]);
+        h.observe(0.25);
+        h.observe(5.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.0), 1.0); // in-bucket bound
+        assert_eq!(h.quantile(1.0), 5.0); // overflow reports the max
+        assert!((h.mean() - 2.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_observations_do_not_fake_a_zero_max() {
+        // Regression: `max` was initialized to 0.0, so a histogram of
+        // strictly negative observations reported max() == 0.
+        let mut h = Histogram::with_bounds(vec![1.0, 2.0]);
+        h.observe(-3.0);
+        h.observe(-0.5);
+        assert_eq!(h.max(), -0.5);
+        assert_eq!(h.quantile(1.0), -0.5);
+        assert_eq!(h.quantile(0.0), -0.5); // bucket bound capped at max
+        assert!((h.mean() + 1.75).abs() < 1e-12);
     }
 
     #[test]
@@ -288,12 +398,24 @@ mod tests {
     }
 
     #[test]
-    fn metrics_shed_total() {
+    fn metrics_shed_total_counts_terminal_sheds() {
         let mut m = ServingMetrics::new(2);
         m.shed_queue_full.add(5);
         m.shed_deadline.add(2);
         m.retries.add(4);
+        m.shed_permanent.add(3);
         assert_eq!(m.shed_total(), 3);
         assert_eq!(m.per_server_busy_s.len(), 2);
+        assert_eq!(m.per_server_down_s.len(), 2);
+        assert_eq!(m.per_server_completed.len(), 2);
+    }
+
+    #[test]
+    fn availability_from_downtime() {
+        let mut m = ServingMetrics::new(2);
+        m.per_server_down_s[1] = 2.5;
+        let a = m.per_server_availability(10.0);
+        assert_eq!(a[0], 1.0);
+        assert!((a[1] - 0.75).abs() < 1e-12);
     }
 }

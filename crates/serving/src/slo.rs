@@ -94,6 +94,30 @@ pub fn max_throughput_under_slo(
     }
 }
 
+/// Fleet capacity derated for availability: how many replicas a fleet
+/// needs so that `required_rps` is still served when the expected
+/// fraction of machines is down.
+///
+/// `per_server_rps` is one replica's sustainable rate (e.g.
+/// [`SloThroughput::max_rps`]); `availability` is the per-server uptime
+/// fraction (e.g. from
+/// [`crate::metrics::ServingMetrics::per_server_availability`]). N+1
+/// sizing falls out naturally: at 0.999 availability the derate is tiny,
+/// at 0.9 a 10-replica fleet needs an 11th.
+///
+/// Returns 0 if `required_rps` is non-positive; saturates to `u64::MAX`
+/// replicas when `availability` or `per_server_rps` is non-positive.
+pub fn replicas_for_rate(required_rps: f64, per_server_rps: f64, availability: f64) -> u64 {
+    if required_rps <= 0.0 {
+        return 0;
+    }
+    let effective = per_server_rps * availability.clamp(0.0, 1.0);
+    if effective <= 0.0 || effective.is_nan() {
+        return u64::MAX;
+    }
+    (required_rps / effective).ceil() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +162,20 @@ mod tests {
             "rate {} vs ideal {ideal}",
             r.max_rps
         );
+    }
+
+    #[test]
+    fn availability_derated_fleet_sizing() {
+        // 10k rps on 1k-rps replicas: 10 at perfect availability.
+        assert_eq!(replicas_for_rate(10_000.0, 1000.0, 1.0), 10);
+        // At 0.9 availability the fleet needs N+2 (10/0.9 = 11.1 -> 12).
+        assert_eq!(replicas_for_rate(10_000.0, 1000.0, 0.9), 12);
+        // Three nines barely moves it.
+        assert_eq!(replicas_for_rate(10_000.0, 1000.0, 0.999), 11);
+        // Degenerate inputs stay well-defined.
+        assert_eq!(replicas_for_rate(0.0, 1000.0, 1.0), 0);
+        assert_eq!(replicas_for_rate(100.0, 0.0, 1.0), u64::MAX);
+        assert_eq!(replicas_for_rate(100.0, 1000.0, 0.0), u64::MAX);
     }
 
     #[test]

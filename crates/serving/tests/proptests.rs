@@ -5,9 +5,10 @@
 use proptest::prelude::*;
 
 use tpu_serving::des::{
-    simulate_fleet, simulate_pool_with_stragglers, FleetConfig, FleetPolicy, RetryPolicy,
-    ServingConfig, Stragglers,
+    simulate_fleet, simulate_fleet_with_faults, simulate_pool_with_stragglers, ConfigError,
+    FleetConfig, FleetPolicy, RetryPolicy, ServingConfig, Stragglers,
 };
+use tpu_serving::faults::{FailoverConfig, FaultKind, FaultPlan, MtbfFaults, ScheduledFault};
 use tpu_serving::latency::LatencyModel;
 
 fn model() -> LatencyModel {
@@ -140,5 +141,182 @@ proptest! {
         prop_assert_eq!(r.dropped as u64, r.metrics.dropped_at_drain.get());
         // Late completions are a subset of completions.
         prop_assert!(r.metrics.completed_late.get() <= r.metrics.completed.get());
+    }
+
+    /// The extended conservation invariant and the availability
+    /// accounting hold under arbitrary fault plans (scheduled crashes,
+    /// hangs, degrades, plus an MTBF stream), with failover on or off.
+    #[test]
+    fn conservation_and_accounting_under_faults(
+        rate in 3_000.0f64..25_000.0,
+        servers in 2usize..=6,
+        deadline_ms in 5.0f64..40.0,
+        retries in 0u32..3,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        fault_server in 0usize..6,
+        fault_at_ms in 0.0f64..200.0,
+        kind_pick in 0usize..3,
+        mtbf_ms in 20.0f64..500.0,
+        failover_on in any::<bool>(),
+    ) {
+        let fleet = FleetConfig::new(
+            ServingConfig {
+                arrival_rate_rps: rate,
+                max_batch: 16,
+                batch_timeout_s: 0.001,
+                requests: 800,
+                seed,
+            }
+            .with_servers(servers),
+        )
+        .with_policy(FleetPolicy {
+            deadline_s: Some(deadline_ms / 1e3),
+            shed_expired: true,
+            queue_cap: Some(64),
+            retry: RetryPolicy {
+                max_retries: retries,
+                backoff_s: 0.002,
+                backoff_mult: 2.0,
+            },
+            ..FleetPolicy::default()
+        });
+        let kind = match kind_pick {
+            0 => FaultKind::Crash { mttr_s: 0.02 },
+            1 => FaultKind::Hang { duration_s: 0.01 },
+            _ => FaultKind::SlowDegrade { factor: 3.0, duration_s: 0.05 },
+        };
+        let plan = FaultPlan {
+            scheduled: vec![ScheduledFault {
+                server: fault_server % servers,
+                at_s: fault_at_ms / 1e3,
+                kind,
+            }],
+            mtbf: Some(MtbfFaults {
+                mtbf_s: mtbf_ms / 1e3,
+                mttr_s: 0.01,
+                horizon_s: 0.5,
+            }),
+            fault_seed,
+            failover: FailoverConfig {
+                enabled: failover_on,
+                ..FailoverConfig::default()
+            },
+        };
+        let r = simulate_fleet_with_faults(&model(), &fleet, &plan).expect("valid plan");
+        // Extended conservation: every arrival is accounted for.
+        prop_assert!(r.conservation_holds());
+        prop_assert_eq!(r.failed as u64, r.metrics.failed_permanent.get());
+        // Detection/recovery counters are bounded by injections, and an
+        // oblivious fleet never detects anything.
+        let injected = r.metrics.failures_injected.get();
+        prop_assert!(r.metrics.failures_detected.get() <= injected);
+        prop_assert!(r.metrics.failures_recovered.get() <= injected + r.metrics.degrades_injected.get());
+        if !failover_on {
+            prop_assert_eq!(r.metrics.failures_detected.get(), 0);
+        }
+        // Availability accounting stays within the run.
+        let avail = r.metrics.per_server_availability(r.duration_s);
+        for (s, a) in avail.iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(a), "server {} availability {}", s, a);
+            prop_assert!(r.metrics.per_server_down_s[s] <= r.duration_s + 1e-9);
+        }
+        // Per-server completions sum to the total.
+        let per_server: u64 = r.metrics.per_server_completed.iter().sum();
+        prop_assert_eq!(per_server, r.completed as u64);
+    }
+
+    /// No completions are ever attributed to a server that is Down for
+    /// the whole serving window, and recovery always re-admits a server
+    /// (failover on: the health checker must bring it back).
+    #[test]
+    fn dead_servers_serve_nothing_and_recovery_readmits(
+        rate in 4_000.0f64..20_000.0,
+        servers in 2usize..=4,
+        seed in any::<u64>(),
+        dead in 0usize..4,
+    ) {
+        let dead = dead % servers;
+        let fleet = FleetConfig::new(
+            ServingConfig {
+                arrival_rate_rps: rate,
+                max_batch: 16,
+                batch_timeout_s: 0.001,
+                requests: 800,
+                seed,
+            }
+            .with_servers(servers),
+        )
+        .with_policy(FleetPolicy {
+            deadline_s: Some(0.03),
+            shed_expired: true,
+            ..FleetPolicy::default()
+        });
+        // Dead for the whole run: crashes at t=0, repairs far beyond it.
+        let forever = FaultPlan::scheduled(vec![ScheduledFault {
+            server: dead,
+            at_s: 0.0,
+            kind: FaultKind::Crash { mttr_s: 1e6 },
+        }]);
+        let r = simulate_fleet_with_faults(&model(), &fleet, &forever).expect("valid");
+        prop_assert!(r.conservation_holds());
+        prop_assert_eq!(r.metrics.per_server_completed[dead], 0u64);
+        prop_assert_eq!(r.metrics.per_server_busy_s[dead], 0.0);
+
+        // A short outage with failover on: the server must recover and
+        // be re-admitted (detected, recovered, and serving again).
+        let brief = FaultPlan::scheduled(vec![ScheduledFault {
+            server: dead,
+            at_s: 0.005,
+            kind: FaultKind::Crash { mttr_s: 0.005 },
+        }]);
+        let r2 = simulate_fleet_with_faults(&model(), &fleet, &brief).expect("valid");
+        prop_assert!(r2.conservation_holds());
+        prop_assert_eq!(r2.metrics.failures_recovered.get(), 1);
+        prop_assert!(r2.metrics.per_server_completed[dead] > 0,
+            "recovered server {} never re-admitted", dead);
+    }
+
+    /// `FaultPlan` validation rejects NaN/negative MTBF, MTTR, and the
+    /// rest of the degenerate knobs with typed errors.
+    #[test]
+    fn fault_plan_rejects_degenerate_knobs(
+        bad in prop_oneof![Just(f64::NAN), Just(-1.0), Just(0.0), Just(f64::INFINITY)],
+    ) {
+        let mk_mtbf = |mtbf_s: f64, mttr_s: f64| FaultPlan {
+            scheduled: Vec::new(),
+            mtbf: Some(MtbfFaults { mtbf_s, mttr_s, horizon_s: 1.0 }),
+            fault_seed: 0,
+            failover: FailoverConfig::default(),
+        };
+        // NaN payloads never compare equal, so match on the variant.
+        prop_assert!(matches!(
+            mk_mtbf(bad, 0.1).validate(4),
+            Err(ConfigError::InvalidMtbf(_))
+        ));
+        prop_assert!(matches!(
+            mk_mtbf(1.0, bad).validate(4),
+            Err(ConfigError::InvalidMttr(_))
+        ));
+        let crash = FaultPlan::scheduled(vec![ScheduledFault {
+            server: 0,
+            at_s: 0.1,
+            kind: FaultKind::Crash { mttr_s: bad },
+        }]);
+        prop_assert!(matches!(
+            crash.validate(4),
+            Err(ConfigError::InvalidMttr(_))
+        ));
+        if bad.is_nan() || bad < 0.0 {
+            let late = FaultPlan::scheduled(vec![ScheduledFault {
+                server: 0,
+                at_s: bad,
+                kind: FaultKind::Crash { mttr_s: 0.1 },
+            }]);
+            prop_assert!(matches!(
+                late.validate(4),
+                Err(ConfigError::InvalidFaultTime(_))
+            ));
+        }
     }
 }

@@ -1,0 +1,108 @@
+//! Chaos sweep (E22's engine, standalone): inject MTBF-driven server
+//! faults into a replicated BERT0 fleet and compare failover-on vs
+//! failover-off goodput under *identical* fault plans.
+//!
+//! ```text
+//! cargo run --release --example chaos_sweep           # full sweep
+//! cargo run --release --example chaos_sweep -- --quick  # CI smoke
+//! ```
+//!
+//! Exits nonzero if any run violates request conservation
+//! (`arrivals == completed + shed + dropped + failed`).
+
+use tpugen::core::chaos_operating_point;
+use tpugen::prelude::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let chip = catalog::tpu_v4i();
+    let app = zoo::bert0();
+    let options = CompilerOptions::default();
+    let servers = 4;
+    let load = 1.35; // x one replica's capacity
+    let requests = if quick { 1500 } else { 6000 };
+
+    println!(
+        "app {} on {} x{servers}: p99 SLO {} ms, offered {load}x one replica",
+        app.spec.name, chip.name, app.spec.slo_p99_ms
+    );
+
+    // Calibrate the wall-clock scale with a fault-free run.
+    let baseline = chaos_operating_point(
+        &app,
+        &chip,
+        &options,
+        servers,
+        load,
+        &FaultPlan::none(),
+        requests,
+    )
+    .expect("BERT0 profiles; config is valid");
+    assert!(baseline.report.conservation_holds());
+    let d = baseline.report.duration_s;
+    println!(
+        "no faults: goodput {:.0}/s over {:.3}s simulated",
+        baseline.report.goodput_rps, d
+    );
+
+    let failover = FailoverConfig {
+        enabled: true,
+        probe_interval_s: 0.005 * d,
+        probe_timeout_s: 0.002 * d,
+        recovery_warmup_s: 0.005 * d,
+    };
+    let mtbf_factors: &[f64] = if quick {
+        &[0.5, 0.2]
+    } else {
+        &[1.0, 0.5, 0.2, 0.1]
+    };
+
+    for &factor in mtbf_factors {
+        println!("\nMTBF = {factor}x run length (MTTR 5% of run):");
+        for enabled in [true, false] {
+            let plan = FaultPlan {
+                scheduled: Vec::new(),
+                mtbf: Some(MtbfFaults {
+                    mtbf_s: factor * d,
+                    mttr_s: 0.05 * d,
+                    horizon_s: d,
+                }),
+                fault_seed: 7,
+                failover,
+            };
+            let plan = if enabled {
+                plan
+            } else {
+                plan.without_failover()
+            };
+            let p = chaos_operating_point(&app, &chip, &options, servers, load, &plan, requests)
+                .expect("chaos config is valid");
+            let r = &p.report;
+            assert!(
+                r.conservation_holds(),
+                "conservation violated: {} arrivals vs {} + {} + {} + {}",
+                r.arrivals,
+                r.completed,
+                r.shed,
+                r.dropped,
+                r.failed
+            );
+            let avail = r.metrics.per_server_availability(r.duration_s);
+            let mean_avail = avail.iter().sum::<f64>() / avail.len() as f64;
+            println!(
+                "  failover {:>3}: goodput {:>5.0}/s, p99 {:>6.2} ms, shed {:>4}, failed {:>3}, \
+                 detected {:>2}, recovered {:>2}, redistributed {:>3}, availability {:.3}",
+                if enabled { "on" } else { "off" },
+                r.goodput_rps,
+                r.p99_s * 1e3,
+                r.shed,
+                r.failed,
+                r.metrics.failures_detected.get(),
+                r.metrics.failures_recovered.get(),
+                r.metrics.failover_redistributed.get(),
+                mean_avail,
+            );
+        }
+    }
+    println!("\nconservation held across every run");
+}
