@@ -7,13 +7,38 @@
 //! experiments e5 e6      # run a subset
 //! experiments --list     # list experiment ids
 //! experiments --ablations  # also run the design-choice ablations A1-A3
+//! experiments --jobs 4   # run experiments on 4 worker threads
 //! ```
+//!
+//! With `--jobs N` the experiments run concurrently but the outputs are
+//! buffered and printed in id order, so the output is byte-identical to
+//! a sequential run (`--jobs 1`, the default).
 
 use std::env;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let raw: Vec<String> = env::args().skip(1).collect();
+    let mut jobs: usize = 1;
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" || a == "-j" {
+            let Some(n) = it.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) else {
+                eprintln!("--jobs needs a positive integer");
+                return ExitCode::FAILURE;
+            };
+            jobs = n;
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            let Some(n) = v.parse().ok().filter(|&n| n > 0) else {
+                eprintln!("--jobs needs a positive integer");
+                return ExitCode::FAILURE;
+            };
+            jobs = n;
+        } else {
+            args.push(a);
+        }
+    }
     if args.iter().any(|a| a == "--list" || a == "-l") {
         for id in tpu_bench::ALL_EXPERIMENTS
             .iter()
@@ -44,8 +69,13 @@ fn main() -> ExitCode {
             positional
         }
     };
-    for id in &ids {
-        match tpu_bench::run_experiment(id) {
+    let outputs: Vec<Option<String>> = if jobs <= 1 {
+        ids.iter().map(|id| tpu_bench::run_experiment(id)).collect()
+    } else {
+        tpu_par::par_map_with(jobs, &ids, |id| tpu_bench::run_experiment(id))
+    };
+    for (id, out) in ids.iter().zip(outputs) {
+        match out {
             Some(out) => {
                 println!("{out}");
             }

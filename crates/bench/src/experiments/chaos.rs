@@ -17,14 +17,21 @@
 //! retains at least 2x the goodput of the oblivious one.
 
 use tpu_arch::catalog;
-use tpu_core::chaos_operating_point;
+use tpu_core::{ChaosPoint, ProfiledApp, DEFAULT_SWEEP_SEED};
 use tpu_hlo::CompilerOptions;
 use tpu_serving::faults::{FailoverConfig, FaultKind, FaultPlan, MtbfFaults, ScheduledFault};
 use tpu_workloads::zoo;
 
+use crate::multiseed::{Envelope, MultiSeedRunner};
 use crate::util::{f, Table};
 
 /// One point of the E22 chaos sweep.
+///
+/// Scalar fields are the canonical replication (arrival seed
+/// [`DEFAULT_SWEEP_SEED`], always replication 0); `goodput_env` folds
+/// all [`REPLICATIONS`] arrival seeds. The fault plan (including its
+/// fault seed) is identical across replications — only arrivals vary —
+/// so failover-on/off comparisons stay apples-to-apples per seed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChaosSweepPoint {
     /// Human-readable fault scenario.
@@ -49,6 +56,8 @@ pub struct ChaosSweepPoint {
     pub redistributed: u64,
     /// Mean per-server uptime fraction over the run.
     pub fleet_availability: f64,
+    /// Goodput across all seeded replications.
+    pub goodput_env: Envelope,
 }
 
 /// Replicas in the E22 fleet.
@@ -59,8 +68,10 @@ pub const SERVERS: usize = 4;
 pub const LOAD_FACTOR: f64 = 1.35;
 /// Requests per run.
 pub const REQUESTS: usize = 6000;
+/// Seeded replications per sweep point.
+pub const REPLICATIONS: usize = 5;
 
-fn fleet_availability(point: &tpu_core::ChaosPoint) -> f64 {
+fn fleet_availability(point: &ChaosPoint) -> f64 {
     let avail = point
         .report
         .metrics
@@ -69,25 +80,56 @@ fn fleet_availability(point: &tpu_core::ChaosPoint) -> f64 {
 }
 
 /// E22 data: BERT0 on a 4-replica TPUv4i fleet under scheduled crashes
-/// and an MTBF sweep, failover on vs off at identical fault plans.
+/// and an MTBF sweep, failover on vs off at identical fault plans. The
+/// app is profiled once; each scenario then replicates the DES run
+/// across [`REPLICATIONS`] arrival seeds in parallel.
 pub fn chaos_data() -> Vec<ChaosSweepPoint> {
     let chip = catalog::tpu_v4i();
     let app = zoo::bert0();
     let options = CompilerOptions::default();
-    let run = |plan: &FaultPlan| {
-        let p = chaos_operating_point(&app, &chip, &options, SERVERS, LOAD_FACTOR, plan, REQUESTS)
-            .expect("BERT0 profiles and the chaos config is valid");
-        assert!(
-            p.report.conservation_holds(),
-            "lost requests under fault plan"
-        );
-        p
+    let profiled = ProfiledApp::new(&app, &chip, &options)
+        .expect("BERT0 profiles and the chaos config is valid");
+    let runner = MultiSeedRunner::new(DEFAULT_SWEEP_SEED, REPLICATIONS);
+    let replicate = |plan: &FaultPlan| {
+        runner.run(|seed| {
+            let p = profiled
+                .chaos_point(SERVERS, LOAD_FACTOR, plan, REQUESTS, seed)
+                .expect("BERT0 profiles and the chaos config is valid");
+            assert!(
+                p.report.conservation_holds(),
+                "lost requests under fault plan (seed {seed})"
+            );
+            p
+        })
+    };
+    let point = |scenario: &str, failover: bool, reps: &[ChaosPoint]| {
+        let canonical = &reps[0];
+        ChaosSweepPoint {
+            scenario: scenario.to_owned(),
+            failover,
+            goodput_rps: canonical.report.goodput_rps,
+            throughput_rps: canonical.report.throughput_rps,
+            p99_ms: canonical.report.p99_s * 1e3,
+            shed: canonical.report.shed,
+            failed: canonical.report.failed,
+            detected: canonical.report.metrics.failures_detected.get(),
+            recovered: canonical.report.metrics.failures_recovered.get(),
+            redistributed: canonical.report.metrics.failover_redistributed.get(),
+            fleet_availability: fleet_availability(canonical),
+            goodput_env: Envelope::from_samples(
+                &reps
+                    .iter()
+                    .map(|p| p.report.goodput_rps)
+                    .collect::<Vec<_>>(),
+            ),
+        }
     };
 
-    // Calibration pass: the no-fault run sets the wall-clock scale every
-    // fault plan is expressed in.
-    let baseline = run(&FaultPlan::none());
-    let d = baseline.report.duration_s;
+    // Calibration: the canonical no-fault run sets the wall-clock scale
+    // every fault plan is expressed in (replication 0 = canonical seed,
+    // so the scale matches the previously published single-seed tables).
+    let baseline_reps = replicate(&FaultPlan::none());
+    let d = baseline_reps[0].report.duration_s;
     let failover = FailoverConfig {
         enabled: true,
         probe_interval_s: 0.005 * d,
@@ -119,19 +161,7 @@ pub fn chaos_data() -> Vec<ChaosSweepPoint> {
         ("mtbf 0.2x run".to_owned(), mtbf(0.2)),
     ];
 
-    let mut out = vec![ChaosSweepPoint {
-        scenario: "no faults".to_owned(),
-        failover: true,
-        goodput_rps: baseline.report.goodput_rps,
-        throughput_rps: baseline.report.throughput_rps,
-        p99_ms: baseline.report.p99_s * 1e3,
-        shed: baseline.report.shed,
-        failed: baseline.report.failed,
-        detected: baseline.report.metrics.failures_detected.get(),
-        recovered: baseline.report.metrics.failures_recovered.get(),
-        redistributed: baseline.report.metrics.failover_redistributed.get(),
-        fleet_availability: fleet_availability(&baseline),
-    }];
+    let mut out = vec![point("no faults", true, &baseline_reps)];
     for (scenario, plan) in scenarios {
         for enabled in [true, false] {
             let plan = if enabled {
@@ -139,20 +169,7 @@ pub fn chaos_data() -> Vec<ChaosSweepPoint> {
             } else {
                 plan.clone().without_failover()
             };
-            let p = run(&plan);
-            out.push(ChaosSweepPoint {
-                scenario: scenario.clone(),
-                failover: enabled,
-                goodput_rps: p.report.goodput_rps,
-                throughput_rps: p.report.throughput_rps,
-                p99_ms: p.report.p99_s * 1e3,
-                shed: p.report.shed,
-                failed: p.report.failed,
-                detected: p.report.metrics.failures_detected.get(),
-                recovered: p.report.metrics.failures_recovered.get(),
-                redistributed: p.report.metrics.failover_redistributed.get(),
-                fleet_availability: fleet_availability(&p),
-            });
+            out.push(point(&scenario, enabled, &replicate(&plan)));
         }
     }
     out
@@ -164,6 +181,7 @@ pub fn e22_chaos() -> String {
         "scenario",
         "failover",
         "goodput/s",
+        "goodput ±ci95",
         "thpt/s",
         "p99 ms",
         "shed",
@@ -178,6 +196,7 @@ pub fn e22_chaos() -> String {
             p.scenario.clone(),
             if p.failover { "on" } else { "off" }.to_owned(),
             f(p.goodput_rps, 0),
+            p.goodput_env.pm(0),
             f(p.throughput_rps, 0),
             f(p.p99_ms, 2),
             p.shed.to_string(),
@@ -190,7 +209,7 @@ pub fn e22_chaos() -> String {
     }
     format!(
         "E22 (extension) — chaos: goodput under injected faults, BERT0 x{SERVERS} on TPUv4i \
-         ({}x one replica offered)\n{}",
+         ({}x one replica offered; {REPLICATIONS} seeded replications per point)\n{}",
         f(LOAD_FACTOR, 2),
         t.render()
     )
@@ -245,5 +264,13 @@ mod tests {
                 off.goodput_rps
             );
         }
+
+        // Envelopes fold every replication and contain the canonical
+        // run; the crash-scenario failover gap holds envelope-wide.
+        for p in &data {
+            assert_eq!(p.goodput_env.n, REPLICATIONS);
+            assert!(p.goodput_env.min <= p.goodput_rps && p.goodput_rps <= p.goodput_env.max);
+        }
+        assert!(on.goodput_env.min > off.goodput_env.max);
     }
 }

@@ -10,13 +10,19 @@
 //! served still counts.
 
 use tpu_arch::catalog;
-use tpu_core::slo_operating_point_under_overload;
+use tpu_core::{ProfiledApp, DEFAULT_SWEEP_SEED};
 use tpu_hlo::CompilerOptions;
 use tpu_workloads::zoo;
 
+use crate::multiseed::{Envelope, MultiSeedRunner};
 use crate::util::{f, Table};
 
 /// One point of the E21 sweep.
+///
+/// Scalar fields are the canonical replication (seed
+/// [`DEFAULT_SWEEP_SEED`], always replication 0 of the runner) so the
+/// published table stays reproducible; the envelopes fold all
+/// [`REPLICATIONS`] arrival seeds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OverloadSweepPoint {
     /// Offered load as a multiple of ideal capacity.
@@ -35,33 +41,64 @@ pub struct OverloadSweepPoint {
     pub late: u64,
     /// Simulated p99 of completed requests, ms.
     pub p99_ms: f64,
+    /// Goodput across all seeded replications.
+    pub goodput_env: Envelope,
+    /// p99 latency (ms) across all seeded replications.
+    pub p99_env: Envelope,
 }
 
 /// The load factors the sweep visits: below, at, and past saturation.
 pub const LOAD_FACTORS: [f64; 6] = [0.5, 0.8, 1.0, 1.2, 1.5, 2.0];
 
+/// Seeded replications per sweep point.
+pub const REPLICATIONS: usize = 5;
+
 /// E21 data: BERT0 on TPUv4i, offered 0.5x–2x its SLO-capped capacity,
-/// with and without overload protection.
+/// with and without overload protection. The app is profiled once; each
+/// grid point then replicates the DES run across [`REPLICATIONS`]
+/// arrival seeds in parallel.
 pub fn overload_data() -> Vec<OverloadSweepPoint> {
     let chip = catalog::tpu_v4i();
     let app = zoo::bert0();
     let options = CompilerOptions::default();
+    let profiled = ProfiledApp::new(&app, &chip, &options)
+        .expect("BERT0 profiles and the sweep config is valid");
+    let runner = MultiSeedRunner::new(DEFAULT_SWEEP_SEED, REPLICATIONS);
     let mut out = Vec::new();
     for shedding in [false, true] {
         for factor in LOAD_FACTORS {
-            let p =
-                slo_operating_point_under_overload(&app, &chip, &options, factor, shedding, 4000)
+            let reps = runner.run(|seed| {
+                let p = profiled
+                    .overload_point(factor, shedding, 4000, seed)
                     .expect("BERT0 profiles and the sweep config is valid");
-            assert!(p.report.conservation_holds(), "lost requests at {factor}x");
+                assert!(
+                    p.report.conservation_holds(),
+                    "lost requests at {factor}x (seed {seed})"
+                );
+                p
+            });
+            let canonical = &reps[0];
             out.push(OverloadSweepPoint {
                 load_factor: factor,
                 shedding,
-                goodput_rps: p.report.goodput_rps,
-                throughput_rps: p.report.throughput_rps,
-                shed: p.report.shed,
-                retries: p.report.metrics.retries.get(),
-                late: p.report.metrics.completed_late.get(),
-                p99_ms: p.report.p99_s * 1e3,
+                goodput_rps: canonical.report.goodput_rps,
+                throughput_rps: canonical.report.throughput_rps,
+                shed: canonical.report.shed,
+                retries: canonical.report.metrics.retries.get(),
+                late: canonical.report.metrics.completed_late.get(),
+                p99_ms: canonical.report.p99_s * 1e3,
+                goodput_env: Envelope::from_samples(
+                    &reps
+                        .iter()
+                        .map(|p| p.report.goodput_rps)
+                        .collect::<Vec<_>>(),
+                ),
+                p99_env: Envelope::from_samples(
+                    &reps
+                        .iter()
+                        .map(|p| p.report.p99_s * 1e3)
+                        .collect::<Vec<_>>(),
+                ),
             });
         }
     }
@@ -74,13 +111,16 @@ pub fn e21_overload() -> String {
         "policy",
         "load",
         "goodput/s",
+        "goodput ±ci95",
         "thpt/s",
         "shed",
         "retries",
         "late",
         "p99 ms",
     ]);
-    for p in overload_data() {
+    let data = overload_data();
+    let n = data.first().map_or(0, |p| p.goodput_env.n);
+    for p in data {
         t.row(vec![
             if p.shedding {
                 "shed+retry"
@@ -90,6 +130,7 @@ pub fn e21_overload() -> String {
             .to_owned(),
             format!("{}x", f(p.load_factor, 1)),
             f(p.goodput_rps, 0),
+            p.goodput_env.pm(0),
             f(p.throughput_rps, 0),
             p.shed.to_string(),
             p.retries.to_string(),
@@ -98,7 +139,8 @@ pub fn e21_overload() -> String {
         ]);
     }
     format!(
-        "E21 (extension) — goodput under overload, BERT0 on TPUv4i (Lesson 10 at fleet scale)\n{}",
+        "E21 (extension) — goodput under overload, BERT0 on TPUv4i (Lesson 10 at fleet scale; \
+         {n} seeded replications per point)\n{}",
         t.render()
     )
 }
@@ -146,5 +188,16 @@ mod tests {
             assert_eq!(at(factor, false).shed, 0);
         }
         assert!(at(2.0, false).late > 0);
+
+        // Envelopes fold every replication, contain the canonical run,
+        // and the goodput gap at 2x holds across the whole envelope —
+        // the shedding fleet's *worst* seed beats serve-all's *best*.
+        for p in &data {
+            assert_eq!(p.goodput_env.n, REPLICATIONS);
+            assert!(p.goodput_env.min <= p.goodput_rps && p.goodput_rps <= p.goodput_env.max);
+            assert!(p.goodput_env.min <= p.goodput_env.mean);
+            assert!(p.goodput_env.mean <= p.goodput_env.max);
+        }
+        assert!(at(2.0, true).goodput_env.min > at(2.0, false).goodput_env.max);
     }
 }

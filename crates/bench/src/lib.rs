@@ -14,6 +14,7 @@
 //! ```
 
 pub mod experiments;
+pub mod multiseed;
 pub mod quick;
 pub mod util;
 

@@ -1,0 +1,226 @@
+//! Multi-seed replication: run N seeded replications of a simulation in
+//! parallel and fold the results into statistical envelopes.
+//!
+//! Every simulator in this workspace is a pure function of its config
+//! and seed, so a sweep point's error bars come from replicating it
+//! under independent arrival/fault draws. [`MultiSeedRunner`] owns the
+//! seed derivation (a splitmix64 lane per replication, so adding
+//! replications never perturbs earlier ones) and the fan-out
+//! ([`tpu_par::par_map`]); [`Envelope`] is the mean/p50/p99 fold with a
+//! normal-approximation confidence interval.
+//!
+//! Determinism contract: [`MultiSeedRunner::run`] returns results in
+//! seed order regardless of worker count, so parallel sweeps are
+//! byte-identical to sequential ones (`TPU_SIM_THREADS=1`). The
+//! property tests in `tests/determinism.rs` pin this.
+
+/// Derives the deterministic seed lanes for replications.
+///
+/// splitmix64 (the canonical xoshiro seeding expander): statistically
+/// independent streams from consecutive lane indices, with lane 0
+/// passing the base seed through unchanged so a single-replication run
+/// reproduces the canonical single-seed result exactly.
+fn seed_lane(base: u64, lane: u64) -> u64 {
+    if lane == 0 {
+        return base;
+    }
+    let mut z = base.wrapping_add(lane.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs N seeded replications of a simulation, in parallel, in
+/// deterministic seed order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiSeedRunner {
+    base_seed: u64,
+    replications: usize,
+}
+
+impl MultiSeedRunner {
+    /// A runner whose first replication uses `base_seed` itself (so the
+    /// canonical single-seed run is always replication 0) and whose
+    /// remaining replications use splitmix64-derived lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replications == 0`.
+    pub fn new(base_seed: u64, replications: usize) -> MultiSeedRunner {
+        assert!(replications > 0, "need at least one replication");
+        MultiSeedRunner {
+            base_seed,
+            replications,
+        }
+    }
+
+    /// The replication count.
+    pub fn replications(&self) -> usize {
+        self.replications
+    }
+
+    /// The seed of each replication, in order.
+    pub fn seeds(&self) -> Vec<u64> {
+        (0..self.replications as u64)
+            .map(|lane| seed_lane(self.base_seed, lane))
+            .collect()
+    }
+
+    /// Runs `f` once per seed on the [`tpu_par`] worker pool, returning
+    /// results in seed order (byte-identical to [`Self::run_sequential`]
+    /// for pure `f`).
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+    {
+        tpu_par::par_map(&self.seeds(), |&seed| f(seed))
+    }
+
+    /// [`Self::run`] on the caller's thread only — the reference
+    /// implementation parallel runs must match.
+    pub fn run_sequential<T, F>(&self, f: F) -> Vec<T>
+    where
+        F: Fn(u64) -> T,
+    {
+        self.seeds().into_iter().map(f).collect()
+    }
+
+    /// Replicates a scalar metric and folds it into an [`Envelope`].
+    pub fn envelope<F>(&self, f: F) -> Envelope
+    where
+        F: Fn(u64) -> f64 + Sync,
+    {
+        Envelope::from_samples(&self.run(f))
+    }
+}
+
+/// Summary of one scalar metric across seeded replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope {
+    /// Number of replications folded.
+    pub n: usize,
+    /// Mean across replications.
+    pub mean: f64,
+    /// Median across replications (lower-of-middle-two for even n).
+    pub p50: f64,
+    /// 99th-percentile replication (nearest-rank; the max for small n).
+    pub p99: f64,
+    /// Smallest replication.
+    pub min: f64,
+    /// Largest replication.
+    pub max: f64,
+    /// Sample standard deviation (0 for a single replication).
+    pub std_dev: f64,
+    /// Half-width of the normal-approximation 95% confidence interval
+    /// on the mean: `1.96 * std_dev / sqrt(n)`.
+    pub ci95: f64,
+}
+
+impl Envelope {
+    /// Folds replication samples into an envelope.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set — an envelope of nothing is a bug
+    /// in the caller, not a value.
+    pub fn from_samples(samples: &[f64]) -> Envelope {
+        assert!(!samples.is_empty(), "envelope needs at least one sample");
+        let n = samples.len();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sorted.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        let rank = |q: f64| ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Envelope {
+            n,
+            mean,
+            p50: sorted[rank(0.50)],
+            p99: sorted[rank(0.99)],
+            min: sorted[0],
+            max: sorted[n - 1],
+            std_dev,
+            ci95: 1.96 * std_dev / (n as f64).sqrt(),
+        }
+    }
+
+    /// Renders `mean ±ci95` with `digits` fractional digits.
+    pub fn pm(&self, digits: usize) -> String {
+        format!("{:.digits$} ±{:.digits$}", self.mean, self.ci95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_zero_is_the_base_seed() {
+        let r = MultiSeedRunner::new(17, 5);
+        let seeds = r.seeds();
+        assert_eq!(seeds.len(), 5);
+        assert_eq!(seeds[0], 17);
+        // Lanes are distinct (splitmix64 is a bijection per lane).
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 5);
+    }
+
+    #[test]
+    fn seeds_are_a_prefix_stable_sequence() {
+        // Growing the replication count must not change earlier lanes.
+        let small = MultiSeedRunner::new(99, 3).seeds();
+        let big = MultiSeedRunner::new(99, 8).seeds();
+        assert_eq!(&big[..3], &small[..]);
+    }
+
+    #[test]
+    fn run_matches_sequential() {
+        let r = MultiSeedRunner::new(7, 16);
+        let par = r.run(|seed| seed.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let seq = r.run_sequential(|seed| seed.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn envelope_folds_known_samples() {
+        let e = Envelope::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(e.n, 5);
+        assert!((e.mean - 3.0).abs() < 1e-12);
+        assert_eq!(e.p50, 3.0);
+        assert_eq!(e.p99, 5.0);
+        assert_eq!(e.min, 1.0);
+        assert_eq!(e.max, 5.0);
+        // Sample std dev of 1..5 is sqrt(2.5).
+        assert!((e.std_dev - 2.5f64.sqrt()).abs() < 1e-12);
+        assert!((e.ci95 - 1.96 * 2.5f64.sqrt() / 5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_envelope_is_degenerate() {
+        let e = Envelope::from_samples(&[42.0]);
+        assert_eq!(e.n, 1);
+        assert_eq!(e.mean, 42.0);
+        assert_eq!(e.std_dev, 0.0);
+        assert_eq!(e.ci95, 0.0);
+        assert_eq!(e.p50, 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_rejected() {
+        MultiSeedRunner::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_envelope_rejected() {
+        Envelope::from_samples(&[]);
+    }
+}

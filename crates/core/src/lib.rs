@@ -224,6 +224,184 @@ fn profiled_operating_point(
     Ok((model, op))
 }
 
+/// The arrival seed the one-shot sweep entry points
+/// ([`slo_operating_point_under_overload`], [`chaos_operating_point`])
+/// use, kept for reproducibility of previously published tables.
+pub const DEFAULT_SWEEP_SEED: u64 = 17;
+
+/// An app profiled once on a chip, ready to evaluate many serving
+/// scenarios against.
+///
+/// Profiling (compile + cycle-level simulation across the batch ladder)
+/// costs orders of magnitude more than one DES run, and the one-shot
+/// entry points re-profile on every call. Sweeps and multi-seed
+/// replications should profile once via [`ProfiledApp::new`] and then
+/// evaluate [`ProfiledApp::overload_point`] /
+/// [`ProfiledApp::chaos_point`] per grid point and seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfiledApp {
+    model: LatencyModel,
+    op: OperatingPoint,
+    /// The batch cap served at under overload policies: largest batch
+    /// whose service latency fits *half* the SLO, leaving the other
+    /// half as queueing headroom.
+    serving_batch: u64,
+}
+
+impl ProfiledApp {
+    /// Profiles `app` on `chip` and fixes its operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling errors as [`CoreError`].
+    pub fn new(
+        app: &App,
+        chip: &ChipConfig,
+        options: &CompilerOptions,
+    ) -> Result<ProfiledApp, CoreError> {
+        let (model, op) = profiled_operating_point(app, chip, options)?;
+        let serving_batch = slo::max_batch_within_slo(&model, op.slo_s * 0.5, 1024).unwrap_or(1);
+        Ok(ProfiledApp {
+            model,
+            op,
+            serving_batch,
+        })
+    }
+
+    /// The profiled latency model.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.model
+    }
+
+    /// The app's SLO operating point on the profiled chip.
+    pub fn operating_point(&self) -> &OperatingPoint {
+        &self.op
+    }
+
+    /// The batch cap overload/chaos scenarios serve at (half-SLO
+    /// headroom rule).
+    pub fn serving_batch(&self) -> u64 {
+        self.serving_batch
+    }
+
+    /// One server's ideal capacity at the serving batch, requests/s —
+    /// the unit `load_factor` arguments are expressed in.
+    pub fn capacity_rps(&self) -> f64 {
+        self.model.throughput(self.serving_batch)
+    }
+
+    /// The protected overload policy (deadline + expiry shedding +
+    /// capped queue + one retry), with the queue cap scaled to `servers`
+    /// replicas.
+    fn protected_policy(&self, servers: usize) -> FleetPolicy {
+        let op = &self.op;
+        // A queued request is shed once the service time of a full batch
+        // no longer fits its remaining budget; admission rejections get
+        // one retry after a short backoff. The queue is capped at the
+        // depth that can drain within the budget — anything deeper would
+        // expire anyway, so reject it at the door instead.
+        let queue_budget = (op.slo_s - self.model.latency(self.serving_batch)).max(op.slo_s * 0.05);
+        let drainable = (self.capacity_rps() * queue_budget).ceil() as usize;
+        FleetPolicy {
+            deadline_s: Some(op.slo_s),
+            shed_expired: true,
+            queue_budget_s: Some(queue_budget),
+            queue_cap: Some(drainable.max(self.serving_batch as usize) * servers.max(1)),
+            retry: RetryPolicy {
+                max_retries: 1,
+                backoff_s: op.slo_s * 0.1,
+                backoff_mult: 2.0,
+            },
+        }
+    }
+
+    /// [`slo_operating_point_under_overload`] for this profile, with an
+    /// explicit arrival `seed` (replications vary the seed to get
+    /// independent arrival draws over identical configs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serving-config rejections as [`CoreError`].
+    pub fn overload_point(
+        &self,
+        load_factor: f64,
+        shedding: bool,
+        requests: usize,
+        seed: u64,
+    ) -> Result<OverloadPoint, CoreError> {
+        let op = &self.op;
+        let offered_rps = load_factor * self.capacity_rps();
+        let base = ServingConfig {
+            arrival_rate_rps: offered_rps,
+            max_batch: self.serving_batch,
+            batch_timeout_s: op.slo_s * 0.1,
+            requests,
+            seed,
+        };
+        let policy = if shedding {
+            self.protected_policy(1)
+        } else {
+            // The deadline still defines goodput; nothing is ever shed.
+            FleetPolicy {
+                deadline_s: Some(op.slo_s),
+                ..FleetPolicy::default()
+            }
+        };
+        let report = simulate_fleet(
+            &self.model,
+            &FleetConfig::new(base.with_servers(1)).with_policy(policy),
+        )?;
+        Ok(OverloadPoint {
+            operating_point: op.clone(),
+            serving_batch: self.serving_batch,
+            load_factor,
+            offered_rps,
+            shedding,
+            report,
+        })
+    }
+
+    /// [`chaos_operating_point`] for this profile, with an explicit
+    /// arrival `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serving/fault-plan config rejections as [`CoreError`].
+    pub fn chaos_point(
+        &self,
+        servers: usize,
+        load_factor: f64,
+        plan: &FaultPlan,
+        requests: usize,
+        seed: u64,
+    ) -> Result<ChaosPoint, CoreError> {
+        let op = &self.op;
+        let offered_rps = load_factor * self.capacity_rps();
+        let base = ServingConfig {
+            arrival_rate_rps: offered_rps,
+            max_batch: self.serving_batch,
+            batch_timeout_s: op.slo_s * 0.1,
+            requests,
+            seed,
+        };
+        let report = simulate_fleet_with_faults(
+            &self.model,
+            &FleetConfig::new(base.with_servers(servers))
+                .with_policy(self.protected_policy(servers)),
+            plan,
+        )?;
+        Ok(ChaosPoint {
+            operating_point: op.clone(),
+            serving_batch: self.serving_batch,
+            servers: servers.max(1),
+            load_factor,
+            offered_rps,
+            failover: plan.failover.enabled,
+            report,
+        })
+    }
+}
+
 /// An app's behavior when offered *more* load than its operating point
 /// sustains: the overload-aware companion to [`slo_operating_point`].
 #[derive(Debug, Clone, PartialEq)]
@@ -280,56 +458,12 @@ pub fn slo_operating_point_under_overload(
     shedding: bool,
     requests: usize,
 ) -> Result<OverloadPoint, CoreError> {
-    let (model, op) = profiled_operating_point(app, chip, options)?;
-    // Serve with headroom: batch sized to half the SLO, so a request can
-    // wait the other half and still finish in time.
-    let serving_batch = slo::max_batch_within_slo(&model, op.slo_s * 0.5, 1024).unwrap_or(1);
-    let offered_rps = load_factor * model.throughput(serving_batch);
-    let base = ServingConfig {
-        arrival_rate_rps: offered_rps,
-        max_batch: serving_batch,
-        batch_timeout_s: op.slo_s * 0.1,
-        requests,
-        seed: 17,
-    };
-    let policy = if shedding {
-        // A queued request is shed once the service time of a full batch
-        // no longer fits its remaining budget; admission rejections get
-        // one retry after a short backoff. The queue is capped at the
-        // depth that can drain within the budget — anything deeper would
-        // expire anyway, so reject it at the door instead.
-        let queue_budget = (op.slo_s - model.latency(serving_batch)).max(op.slo_s * 0.05);
-        let drainable = (model.throughput(serving_batch) * queue_budget).ceil() as usize;
-        FleetPolicy {
-            deadline_s: Some(op.slo_s),
-            shed_expired: true,
-            queue_budget_s: Some(queue_budget),
-            queue_cap: Some(drainable.max(serving_batch as usize)),
-            retry: RetryPolicy {
-                max_retries: 1,
-                backoff_s: op.slo_s * 0.1,
-                backoff_mult: 2.0,
-            },
-        }
-    } else {
-        // The deadline still defines goodput; nothing is ever shed.
-        FleetPolicy {
-            deadline_s: Some(op.slo_s),
-            ..FleetPolicy::default()
-        }
-    };
-    let report = simulate_fleet(
-        &model,
-        &FleetConfig::new(base.with_servers(1)).with_policy(policy),
-    )?;
-    Ok(OverloadPoint {
-        operating_point: op,
-        serving_batch,
+    ProfiledApp::new(app, chip, options)?.overload_point(
         load_factor,
-        offered_rps,
         shedding,
-        report,
-    })
+        requests,
+        DEFAULT_SWEEP_SEED,
+    )
 }
 
 /// A replicated fleet's behavior under an injected fault plan: the
@@ -383,43 +517,13 @@ pub fn chaos_operating_point(
     plan: &FaultPlan,
     requests: usize,
 ) -> Result<ChaosPoint, CoreError> {
-    let (model, op) = profiled_operating_point(app, chip, options)?;
-    let serving_batch = slo::max_batch_within_slo(&model, op.slo_s * 0.5, 1024).unwrap_or(1);
-    let offered_rps = load_factor * model.throughput(serving_batch);
-    let base = ServingConfig {
-        arrival_rate_rps: offered_rps,
-        max_batch: serving_batch,
-        batch_timeout_s: op.slo_s * 0.1,
-        requests,
-        seed: 17,
-    };
-    let queue_budget = (op.slo_s - model.latency(serving_batch)).max(op.slo_s * 0.05);
-    let drainable = (model.throughput(serving_batch) * queue_budget).ceil() as usize;
-    let policy = FleetPolicy {
-        deadline_s: Some(op.slo_s),
-        shed_expired: true,
-        queue_budget_s: Some(queue_budget),
-        queue_cap: Some((drainable.max(serving_batch as usize)) * servers.max(1)),
-        retry: RetryPolicy {
-            max_retries: 1,
-            backoff_s: op.slo_s * 0.1,
-            backoff_mult: 2.0,
-        },
-    };
-    let report = simulate_fleet_with_faults(
-        &model,
-        &FleetConfig::new(base.with_servers(servers)).with_policy(policy),
-        plan,
-    )?;
-    Ok(ChaosPoint {
-        operating_point: op,
-        serving_batch,
-        servers: servers.max(1),
+    ProfiledApp::new(app, chip, options)?.chaos_point(
+        servers,
         load_factor,
-        offered_rps,
-        failover: plan.failover.enabled,
-        report,
-    })
+        plan,
+        requests,
+        DEFAULT_SWEEP_SEED,
+    )
 }
 
 #[cfg(test)]

@@ -467,9 +467,11 @@ enum Event {
     Retry { req: usize },
     /// Re-check batch formation on one server (the batch-timeout timer).
     Timeout { server: usize },
-    /// Queued request may have exceeded its deadline; `attempt` guards
-    /// against stale timers from earlier admissions.
-    Expire { req: usize, attempt: u32 },
+    /// One server's oldest queued request may have exceeded its
+    /// deadline: shed the expired prefix, then re-arm for the new front.
+    /// One in-flight sweep per server replaces the old per-request
+    /// expiry timer (O(launches + sheds) events instead of O(admits)).
+    Expire { server: usize },
     /// A batch finished; the payload indexes `in_service`.
     Done(usize),
     /// Inject the materialized fault with this index.
@@ -535,6 +537,12 @@ struct ReqState {
 struct QEntry {
     req: usize,
     enqueued: f64,
+    /// `req.tries` at enqueue time. An entry is *live* iff the request
+    /// is still `Queued` on this server at this attempt; entries whose
+    /// request moved on (expired, launched, redistributed) go stale in
+    /// place and are skipped when they reach the front — O(1) lazy
+    /// deletion instead of the old O(n) mid-queue scan-and-remove.
+    attempt: u32,
 }
 
 #[derive(Debug)]
@@ -572,6 +580,13 @@ struct Server {
     /// Index into `in_service` while busy.
     serving: Option<usize>,
     queue: VecDeque<QEntry>,
+    /// Live entries in `queue` (total length minus stale entries).
+    live: usize,
+    /// An `Event::Expire` sweep is in flight for this server. While
+    /// true, its fire time is ≤ the front live entry's expiry (the
+    /// sweep was armed for the front at arming time, and entries behind
+    /// it expire later), so no additional timer is ever needed.
+    expiry_pending: bool,
     degrade_factor: f64,
     hang_started: f64,
     /// When the current fault began (for detect/recover lags).
@@ -591,6 +606,8 @@ impl Server {
             busy: false,
             serving: None,
             queue: VecDeque::new(),
+            live: 0,
+            expiry_pending: false,
             degrade_factor: 1.0,
             hang_started: 0.0,
             fault_at: 0.0,
@@ -729,13 +746,35 @@ struct Engine<'a> {
     /// Straggler multipliers draw from their own stream so enabling or
     /// disabling other features never perturbs them.
     straggler_rng: StdRng,
+    /// Heap for the irregular event streams (Done, Timeout, Retry,
+    /// expiry sweeps, faults, probes). The highest-volume stream —
+    /// arrivals — bypasses it: at most one is outstanding, held in
+    /// `pending_arrival`. Both sources share one `seq` counter and are
+    /// merged by `(TimeKey, seq)`, so the pop order is exactly what a
+    /// single heap would produce.
     events: BinaryHeap<Reverse<((TimeKey, u64), Event)>>,
+    /// The one in-flight `Event::Arrival`, keyed like a heap entry.
+    pending_arrival: Option<((TimeKey, u64), usize)>,
+    /// Interpolated service latency per batch size (index = batch size),
+    /// so the launch path does no interpolation.
+    latency_cache: Vec<f64>,
     seq: u64,
     servers: Vec<Server>,
+    /// Servers currently believed up (mirrors `Server::believed_up`), so
+    /// per-admit capacity scaling is O(1) instead of a fleet scan.
+    up_count: usize,
     /// Round-robin router position.
     rr_cursor: usize,
     req: Vec<ReqState>,
     in_service: Vec<Batch>,
+    /// Recycled `in_service` slots (their `members` capacity included),
+    /// so steady-state batch launches allocate nothing.
+    free_batches: Vec<usize>,
+    /// Reusable buffer for failover queue drains.
+    scratch_entries: Vec<QEntry>,
+    /// Live queued entries across the fleet (admission control reads
+    /// this instead of summing per-server queues).
+    queued_live: usize,
     latencies: Vec<f64>,
     completed: usize,
     good: usize,
@@ -765,8 +804,13 @@ impl<'a> Engine<'a> {
             arrivals,
             straggler_rng: StdRng::seed_from_u64(base.seed ^ 0x9E37_79B9_7F4A_7C15),
             events: BinaryHeap::new(),
+            pending_arrival: None,
+            latency_cache: (0..=base.max_batch.min(4096))
+                .map(|b| latency.latency(b.max(1)))
+                .collect(),
             seq: 0,
             servers: (0..cfg.pool.servers).map(|_| Server::new()).collect(),
+            up_count: cfg.pool.servers,
             rr_cursor: 0,
             req: vec![
                 ReqState {
@@ -778,6 +822,9 @@ impl<'a> Engine<'a> {
                 n
             ],
             in_service: Vec::new(),
+            free_batches: Vec::new(),
+            scratch_entries: Vec::new(),
+            queued_live: 0,
             latencies: Vec::with_capacity(n),
             completed: 0,
             good: 0,
@@ -789,8 +836,56 @@ impl<'a> Engine<'a> {
     }
 
     fn push_event(&mut self, t: f64, e: Event) {
-        self.events.push(Reverse(((TimeKey(t), self.seq), e)));
+        let key = (TimeKey(t), self.seq);
         self.seq += 1;
+        match e {
+            Event::Arrival(i) => {
+                debug_assert!(self.pending_arrival.is_none(), "one arrival at a time");
+                self.pending_arrival = Some((key, i));
+            }
+            _ => self.events.push(Reverse((key, e))),
+        }
+    }
+
+    /// Pops the globally next event across the two sources (heap,
+    /// pending arrival) by `(time, seq)` — exactly the order a single
+    /// heap would yield, at O(1) for the arrival stream.
+    fn next_event(&mut self) -> Option<(f64, Event)> {
+        let hk = self.events.peek().map(|r| r.0 .0);
+        let ak = self.pending_arrival.map(|(k, _)| k);
+        if let Some(a) = ak {
+            if hk.is_none_or(|h| a < h) {
+                let (k, i) = self.pending_arrival.take().expect("checked");
+                return Some((k.0 .0, Event::Arrival(i)));
+            }
+        }
+        let Reverse((k, e)) = self.events.pop()?;
+        Some((k.0 .0, e))
+    }
+
+    /// Arms the expiry sweep for server `s` if shedding is on, work is
+    /// queued, and no sweep is already in flight. The timer targets the
+    /// current front's exact expiry time.
+    fn arm_expiry(&mut self, s: usize) {
+        if self.servers[s].expiry_pending || self.servers[s].live == 0 {
+            return;
+        }
+        let Some(b) = self.expiry_budget() else {
+            return;
+        };
+        self.compact_front(s);
+        let enqueued = self.servers[s].queue.front().expect("live > 0").enqueued;
+        self.servers[s].expiry_pending = true;
+        self.push_event(enqueued + b, Event::Expire { server: s });
+    }
+
+    /// Service latency for a batch of `take`, from the precomputed
+    /// per-size cache (falls back to interpolation past the cache).
+    fn batch_latency(&self, take: u64) -> f64 {
+        match self.latency_cache.get(take as usize) {
+            Some(&l) => l,
+            None => self.latency.latency(take),
+        }
     }
 
     /// Extends the run length. Only *material* events (arrivals,
@@ -816,8 +911,26 @@ impl<'a> Engine<'a> {
         None
     }
 
+    /// Is this queue entry still current? Stale entries (their request
+    /// expired, launched, retried, or was redistributed since enqueue)
+    /// are skipped lazily when they reach the front.
+    fn entry_live(&self, server: usize, e: &QEntry) -> bool {
+        let r = &self.req[e.req];
+        r.phase == Phase::Queued && r.server == server && r.tries == e.attempt
+    }
+
+    /// Pops stale entries off the front of one server's queue.
+    fn compact_front(&mut self, s: usize) {
+        while let Some(front) = self.servers[s].queue.front() {
+            if self.entry_live(s, front) {
+                break;
+            }
+            self.servers[s].queue.pop_front();
+        }
+    }
+
     fn total_queued(&self) -> usize {
-        self.servers.iter().map(|s| s.queue.len()).sum()
+        self.queued_live
     }
 
     /// The admission-control cap, scaled down by lost capacity when the
@@ -827,8 +940,7 @@ impl<'a> Engine<'a> {
         if !self.failover.enabled || self.faults.is_empty() {
             return Some(cap);
         }
-        let up = self.servers.iter().filter(|s| s.believed_up).count();
-        Some(((cap * up).div_ceil(self.servers.len())).max(1))
+        Some(((cap * self.up_count).div_ceil(self.servers.len())).max(1))
     }
 
     /// Offers a request to admission control; routes and enqueues it, or
@@ -848,14 +960,16 @@ impl<'a> Engine<'a> {
         self.metrics.admitted.inc();
         self.req[req].phase = Phase::Queued;
         self.req[req].server = target;
-        self.servers[target]
-            .queue
-            .push_back(QEntry { req, enqueued: now });
-        if let Some(b) = self.expiry_budget() {
-            let attempt = self.req[req].tries;
-            self.push_event(now + b, Event::Expire { req, attempt });
-        }
-        if !self.try_launch_on(target, now) && self.servers[target].queue.len() == 1 {
+        let attempt = self.req[req].tries;
+        self.servers[target].queue.push_back(QEntry {
+            req,
+            enqueued: now,
+            attempt,
+        });
+        self.servers[target].live += 1;
+        self.queued_live += 1;
+        self.arm_expiry(target);
+        if !self.try_launch_on(target, now) && self.servers[target].live == 1 {
             self.push_event(
                 now + self.cfg.pool.base.batch_timeout_s,
                 Event::Timeout { server: target },
@@ -927,16 +1041,23 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Sheds the expired prefix of one server's queue (entries are
-    /// enqueued in time order, so expiries are a prefix).
+    /// Sheds the expired prefix of one server's queue (live entries are
+    /// enqueued in time order, so expiries are a prefix; stale entries
+    /// encountered on the way are discarded).
     fn shed_expired_prefix_on(&mut self, s: usize, now: f64) {
         let Some(b) = self.expiry_budget() else {
             return;
         };
-        while let Some(front) = self.servers[s].queue.front() {
+        while let Some(front) = self.servers[s].queue.front().copied() {
+            if !self.entry_live(s, &front) {
+                self.servers[s].queue.pop_front();
+                continue;
+            }
             if front.enqueued + b <= now + 1e-12 {
-                let entry = self.servers[s].queue.pop_front().expect("nonempty");
-                self.shed_request(entry.req, now, ShedReason::DeadlineExpired);
+                self.servers[s].queue.pop_front();
+                self.servers[s].live -= 1;
+                self.queued_live -= 1;
+                self.shed_request(front.req, now, ShedReason::DeadlineExpired);
             } else {
                 break;
             }
@@ -947,24 +1068,51 @@ impl<'a> Engine<'a> {
     /// batching policy allows; returns whether one launched.
     fn try_launch_on(&mut self, s: usize, now: f64) -> bool {
         self.shed_expired_prefix_on(s, now);
-        if !self.servers[s].can_serve() || self.servers[s].queue.is_empty() {
+        if !self.servers[s].can_serve() || self.servers[s].live == 0 {
             return false;
         }
+        self.compact_front(s);
         let cfg = self.cfg.pool.base;
-        let oldest = self.servers[s].queue.front().expect("nonempty").enqueued;
-        let full = self.servers[s].queue.len() as u64 >= cfg.max_batch;
+        let oldest = self.servers[s].queue.front().expect("live > 0").enqueued;
+        let full = self.servers[s].live as u64 >= cfg.max_batch;
         let timed_out = now + 1e-12 >= oldest + cfg.batch_timeout_s;
         if !full && !timed_out {
             return false;
         }
-        let take = (self.servers[s].queue.len() as u64).min(cfg.max_batch) as usize;
-        let mut members = Vec::with_capacity(take);
-        for _ in 0..take {
-            let entry = self.servers[s].queue.pop_front().expect("sized above");
+        let take = (self.servers[s].live as u64).min(cfg.max_batch) as usize;
+        // Recycle a finished batch slot (and its members capacity) when
+        // one is free: steady state allocates nothing per launch.
+        let idx = match self.free_batches.pop() {
+            Some(i) => i,
+            None => {
+                self.in_service.push(Batch {
+                    server: s,
+                    members: Vec::new(),
+                    done_at: 0.0,
+                    extra_delay_s: 0.0,
+                    aborted: false,
+                });
+                self.in_service.len() - 1
+            }
+        };
+        let mut members = std::mem::take(&mut self.in_service[idx].members);
+        debug_assert!(members.is_empty(), "recycled slot not drained");
+        let mut taken = 0usize;
+        while taken < take {
+            let entry = self.servers[s]
+                .queue
+                .pop_front()
+                .expect("live entries remain");
+            if !self.entry_live(s, &entry) {
+                continue;
+            }
             self.req[entry.req].phase = Phase::InService;
             self.metrics.queue_wait_s.observe(now - entry.enqueued);
             members.push(entry.req);
+            taken += 1;
         }
+        self.servers[s].live -= take;
+        self.queued_live -= take;
         let mult = if self.cfg.stragglers.probability > 0.0
             && self.straggler_rng.gen_bool(self.cfg.stragglers.probability)
         {
@@ -972,17 +1120,16 @@ impl<'a> Engine<'a> {
         } else {
             1.0
         };
-        let service = self.latency.latency(take as u64) * mult * self.servers[s].degrade_factor;
+        let service = self.batch_latency(take as u64) * mult * self.servers[s].degrade_factor;
         self.metrics.per_server_busy_s[s] += service;
         self.metrics.batch_sizes.observe(take as f64);
-        let idx = self.in_service.len();
-        self.in_service.push(Batch {
+        self.in_service[idx] = Batch {
             server: s,
             members,
             done_at: now + service,
             extra_delay_s: 0.0,
             aborted: false,
-        });
+        };
         self.servers[s].busy = true;
         self.servers[s].serving = Some(idx);
         self.push_event(now + service, Event::Done(idx));
@@ -995,6 +1142,7 @@ impl<'a> Engine<'a> {
         if self.try_launch_on(s, now) || !self.servers[s].can_serve() {
             return;
         }
+        self.compact_front(s);
         let Some(front) = self.servers[s].queue.front() else {
             return;
         };
@@ -1022,11 +1170,14 @@ impl<'a> Engine<'a> {
                     self.in_service[idx].aborted = true;
                     let refund = (self.in_service[idx].done_at - now).max(0.0);
                     self.metrics.per_server_busy_s[s] -= refund;
-                    let members = std::mem::take(&mut self.in_service[idx].members);
-                    for req in members {
+                    let mut members = std::mem::take(&mut self.in_service[idx].members);
+                    for req in members.drain(..) {
                         self.metrics.in_flight_failures.inc();
                         self.fail_request(req, now);
                     }
+                    // Keep the emptied Vec with the slot; the pending
+                    // aborted Done will recycle both.
+                    self.in_service[idx].members = members;
                 }
                 self.push_event(now + mttr_s, Event::CrashOver { server: s, epoch });
             }
@@ -1083,20 +1234,35 @@ impl<'a> Engine<'a> {
             };
             if self.servers[s].believed_up && down_to_prober {
                 self.servers[s].believed_up = false;
+                self.up_count -= 1;
                 self.metrics.failures_detected.inc();
                 self.metrics
                     .time_to_detect_s
                     .observe(now - self.servers[s].fault_at);
                 // Failover: the dead server's queue is redistributed to
                 // surviving replicas (or shed, via normal admission).
-                let stranded: Vec<QEntry> = self.servers[s].queue.drain(..).collect();
-                for e in stranded {
-                    self.metrics.failover_redistributed.inc();
-                    self.admit(e.req, now);
+                // Stale entries are discarded here; only live ones count
+                // as redistributed. The drain buffer is reused across
+                // probes so failover allocates nothing in steady state.
+                let mut stranded = std::mem::take(&mut self.scratch_entries);
+                stranded.clear();
+                stranded.extend(self.servers[s].queue.drain(..));
+                self.queued_live -= self.servers[s].live;
+                self.servers[s].live = 0;
+                for e in stranded.drain(..) {
+                    if self.req[e.req].phase == Phase::Queued
+                        && self.req[e.req].server == s
+                        && self.req[e.req].tries == e.attempt
+                    {
+                        self.metrics.failover_redistributed.inc();
+                        self.admit(e.req, now);
+                    }
                 }
+                self.scratch_entries = stranded;
             } else if !self.servers[s].believed_up && self.servers[s].is_available() {
                 // The machine answers probes again: back into rotation.
                 self.servers[s].believed_up = true;
+                self.up_count += 1;
                 self.relaunch_or_arm(s, now);
             }
         }
@@ -1114,7 +1280,8 @@ impl<'a> Engine<'a> {
             self.push_event(self.failover.probe_interval_s, Event::Probe);
         }
 
-        while let Some(Reverse(((TimeKey(now), _), event))) = self.events.pop() {
+        while let Some((now, event)) = self.next_event() {
+            self.metrics.events_processed.inc();
             match event {
                 Event::Arrival(i) => {
                     self.touch(now);
@@ -1133,6 +1300,7 @@ impl<'a> Engine<'a> {
                 Event::Timeout { server } => {
                     self.touch(now);
                     if !self.try_launch_on(server, now) && self.servers[server].can_serve() {
+                        self.compact_front(server);
                         if let Some(front) = self.servers[server].queue.front() {
                             // A server is free but the (new) oldest
                             // request has not waited out the timeout yet;
@@ -1143,38 +1311,42 @@ impl<'a> Engine<'a> {
                         }
                     }
                 }
-                Event::Expire { req, attempt } => {
-                    self.touch(now);
-                    // Stale timers (the request retried, moved, launched,
-                    // or finished since) are no-ops.
-                    if self.req[req].phase == Phase::Queued && self.req[req].tries == attempt {
-                        let s = self.req[req].server;
-                        if let Some(pos) = self.servers[s].queue.iter().position(|e| e.req == req) {
-                            self.servers[s].queue.remove(pos);
-                            self.shed_request(req, now, ShedReason::DeadlineExpired);
-                        }
-                    }
+                Event::Expire { server } => {
+                    // No touch here: a sweep is only material if it
+                    // sheds, and terminal sheds touch inside
+                    // `shed_request`. Shed whatever has expired by now
+                    // (entries behind
+                    // the armed-for front can only expire later, so the
+                    // prefix scan sheds at exact expiry times), then
+                    // re-arm for the new front if work remains.
+                    self.servers[server].expiry_pending = false;
+                    self.shed_expired_prefix_on(server, now);
+                    self.arm_expiry(server);
                 }
                 Event::Done(idx) => {
                     if self.in_service[idx].aborted {
                         // The server crashed mid-service; the members
-                        // were already failed/retried.
+                        // were already failed/retried. Recycle the slot.
+                        self.in_service[idx].aborted = false;
+                        self.in_service[idx].extra_delay_s = 0.0;
+                        self.free_batches.push(idx);
                         continue;
                     }
                     let delay = self.in_service[idx].extra_delay_s;
                     if delay > 0.0 {
                         // The server hung during service: the batch
-                        // resumes after the thaw and finishes late.
+                        // resumes after the thaw and finishes late (the
+                        // slot stays allocated until that Done fires).
                         self.in_service[idx].extra_delay_s = 0.0;
                         self.push_event(now + delay, Event::Done(idx));
                         continue;
                     }
                     self.touch(now);
                     let server = self.in_service[idx].server;
-                    let members = std::mem::take(&mut self.in_service[idx].members);
+                    let mut members = std::mem::take(&mut self.in_service[idx].members);
                     self.servers[server].busy = false;
                     self.servers[server].serving = None;
-                    for req in members {
+                    for req in members.drain(..) {
                         let lat = now - self.req[req].first_arrival;
                         self.req[req].phase = Phase::Completed;
                         self.latencies.push(lat);
@@ -1186,6 +1358,10 @@ impl<'a> Engine<'a> {
                             _ => self.good += 1,
                         }
                     }
+                    // Return the slot (and its members capacity) to the
+                    // pool before relaunching, so the relaunch reuses it.
+                    self.in_service[idx].members = members;
+                    self.free_batches.push(idx);
                     // The freed server may immediately take another batch.
                     self.relaunch_or_arm(server, now);
                 }
@@ -1241,13 +1417,18 @@ impl<'a> Engine<'a> {
         // dropped — conservation over silent loss.
         let mut dropped = 0usize;
         for s in 0..self.cfg.pool.servers {
-            let leftover: Vec<QEntry> = self.servers[s].queue.drain(..).collect();
-            for entry in leftover {
+            while let Some(entry) = self.servers[s].queue.pop_front() {
+                if !self.entry_live(s, &entry) {
+                    continue;
+                }
+                self.servers[s].live -= 1;
+                self.queued_live -= 1;
                 self.req[entry.req].phase = Phase::Lost;
                 self.metrics.dropped_at_drain.inc();
                 dropped += 1;
             }
         }
+        debug_assert_eq!(self.queued_live, 0, "live-queued accounting drift");
         debug_assert_eq!(
             self.completed + self.shed + self.failed + dropped,
             n,

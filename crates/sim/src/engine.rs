@@ -102,7 +102,7 @@ impl Simulator {
     /// dtypes (note int8 on a bf16-only chip *is* computable — it runs at
     /// bf16 rate after on-the-fly conversion — but fp16 on a TPU is not).
     pub fn run(&self, plan: &StepPlan) -> Result<SimReport, SimError> {
-        self.run_core(plan).map(|(report, _)| report)
+        self.run_core(plan, false).map(|(report, _)| report)
     }
 
     /// Like [`Simulator::run`], additionally returning the execution
@@ -113,10 +113,14 @@ impl Simulator {
     ///
     /// Same as [`Simulator::run`].
     pub fn run_traced(&self, plan: &StepPlan) -> Result<(SimReport, Trace), SimError> {
-        self.run_core(plan)
+        self.run_core(plan, true)
     }
 
-    fn run_core(&self, plan: &StepPlan) -> Result<(SimReport, Trace), SimError> {
+    /// Shared scheduling core. `want_trace` gates [`TraceEntry`]
+    /// collection: an untraced [`Simulator::run`] (the sweep hot path)
+    /// skips the per-step entry push and its `tag` string clone, which
+    /// is pure overhead when the caller discards the trace.
+    fn run_core(&self, plan: &StepPlan, want_trace: bool) -> Result<(SimReport, Trace), SimError> {
         let chip = self.machine.chip();
         // Pre-validate.
         for s in plan.steps() {
@@ -172,6 +176,9 @@ impl Simulator {
 
         let mut report = SimReport::new(plan.name(), &chip.name);
         let mut trace = Trace::default();
+        if want_trace {
+            trace.entries.reserve(n);
+        }
         let mut makespan = 0.0f64;
         let mut done = 0usize;
 
@@ -199,14 +206,16 @@ impl Simulator {
             let end = start + cost.unit_seconds;
             pool.set(unit_idx, end);
             report.add_busy(resource, cost.unit_seconds);
-            trace.entries.push(TraceEntry {
-                step: step.id,
-                tag: step.tag.clone(),
-                resource,
-                unit: unit_idx,
-                start,
-                end,
-            });
+            if want_trace {
+                trace.entries.push(TraceEntry {
+                    step: step.id,
+                    tag: step.tag.clone(),
+                    resource,
+                    unit: unit_idx,
+                    start,
+                    end,
+                });
+            }
             match channel {
                 Some(MemLevel::Hbm) => {
                     pools.hbm_free = start + cost.channel_seconds;

@@ -2,6 +2,12 @@
 //! faults into a replicated BERT0 fleet and compare failover-on vs
 //! failover-off goodput under *identical* fault plans.
 //!
+//! BERT0 is profiled **once**; each (MTBF, failover) point then
+//! replicates the discrete-event run across several arrival seeds in
+//! parallel (`TPU_SIM_THREADS` caps the workers). The fault plan — seed
+//! included — is the same for every replication, so the on/off gap is
+//! pure failover value with arrival noise quantified by the ±95% CI.
+//!
 //! ```text
 //! cargo run --release --example chaos_sweep           # full sweep
 //! cargo run --release --example chaos_sweep -- --quick  # CI smoke
@@ -10,8 +16,11 @@
 //! Exits nonzero if any run violates request conservation
 //! (`arrivals == completed + shed + dropped + failed`).
 
-use tpugen::core::chaos_operating_point;
+use tpu_bench::multiseed::{Envelope, MultiSeedRunner};
+use tpugen::core::{ProfiledApp, DEFAULT_SWEEP_SEED};
 use tpugen::prelude::*;
+
+const REPLICATIONS: usize = 5;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -27,22 +36,47 @@ fn main() {
         app.spec.name, chip.name, app.spec.slo_p99_ms
     );
 
-    // Calibrate the wall-clock scale with a fault-free run.
-    let baseline = chaos_operating_point(
-        &app,
-        &chip,
-        &options,
-        servers,
-        load,
-        &FaultPlan::none(),
-        requests,
-    )
-    .expect("BERT0 profiles; config is valid");
-    assert!(baseline.report.conservation_holds());
+    let profiled =
+        ProfiledApp::new(&app, &chip, &options).expect("BERT0 profiles; config is valid");
+    let runner = MultiSeedRunner::new(DEFAULT_SWEEP_SEED, REPLICATIONS);
+    let replicate = |plan: &FaultPlan| {
+        runner.run(|seed| {
+            let p = profiled
+                .chaos_point(servers, load, plan, requests, seed)
+                .expect("chaos config is valid");
+            let r = &p.report;
+            assert!(
+                r.conservation_holds(),
+                "conservation violated (seed {seed}): {} arrivals vs {} + {} + {} + {}",
+                r.arrivals,
+                r.completed,
+                r.shed,
+                r.dropped,
+                r.failed
+            );
+            p
+        })
+    };
+    let goodput_env = |reps: &[tpugen::core::ChaosPoint]| {
+        Envelope::from_samples(
+            &reps
+                .iter()
+                .map(|p| p.report.goodput_rps)
+                .collect::<Vec<_>>(),
+        )
+    };
+
+    // Calibrate the wall-clock scale with the canonical fault-free run.
+    let baseline_reps = replicate(&FaultPlan::none());
+    let baseline = &baseline_reps[0];
     let d = baseline.report.duration_s;
     println!(
-        "no faults: goodput {:.0}/s over {:.3}s simulated",
-        baseline.report.goodput_rps, d
+        "no faults: goodput {:.0}/s (mean {}) over {:.3}s simulated; \
+         {REPLICATIONS} seeded replications per point on up to {} threads",
+        baseline.report.goodput_rps,
+        goodput_env(&baseline_reps).pm(0),
+        d,
+        tpu_par::num_threads()
     );
 
     let failover = FailoverConfig {
@@ -75,25 +109,18 @@ fn main() {
             } else {
                 plan.without_failover()
             };
-            let p = chaos_operating_point(&app, &chip, &options, servers, load, &plan, requests)
-                .expect("chaos config is valid");
-            let r = &p.report;
-            assert!(
-                r.conservation_holds(),
-                "conservation violated: {} arrivals vs {} + {} + {} + {}",
-                r.arrivals,
-                r.completed,
-                r.shed,
-                r.dropped,
-                r.failed
-            );
+            let reps = replicate(&plan);
+            let env = goodput_env(&reps);
+            let r = &reps[0].report;
             let avail = r.metrics.per_server_availability(r.duration_s);
             let mean_avail = avail.iter().sum::<f64>() / avail.len() as f64;
             println!(
-                "  failover {:>3}: goodput {:>5.0}/s, p99 {:>6.2} ms, shed {:>4}, failed {:>3}, \
-                 detected {:>2}, recovered {:>2}, redistributed {:>3}, availability {:.3}",
+                "  failover {:>3}: goodput {:>5.0}/s (mean {}), p99 {:>6.2} ms, shed {:>4}, \
+                 failed {:>3}, detected {:>2}, recovered {:>2}, redistributed {:>3}, \
+                 availability {:.3}",
                 if enabled { "on" } else { "off" },
                 r.goodput_rps,
+                env.pm(0),
                 r.p99_s * 1e3,
                 r.shed,
                 r.failed,

@@ -3,12 +3,20 @@
 //! everything (goodput collapses past saturation) vs shed expired
 //! requests with admission control and retries (goodput plateaus).
 //!
+//! BERT0 is profiled **once** (compile + cycle simulation); each sweep
+//! point then replicates the discrete-event run across several arrival
+//! seeds in parallel (`TPU_SIM_THREADS` caps the workers) and prints
+//! the canonical seed's numbers with a ±95% confidence interval.
+//!
 //! ```text
 //! cargo run --release --example overload_sweep
 //! ```
 
-use tpugen::core::slo_operating_point_under_overload;
+use tpu_bench::multiseed::{Envelope, MultiSeedRunner};
+use tpugen::core::{ProfiledApp, DEFAULT_SWEEP_SEED};
 use tpugen::prelude::*;
+
+const REPLICATIONS: usize = 5;
 
 fn main() {
     let chip = catalog::tpu_v4i();
@@ -17,6 +25,14 @@ fn main() {
     println!(
         "app {} on {}: p99 SLO {} ms",
         app.spec.name, chip.name, app.spec.slo_p99_ms
+    );
+
+    let profiled =
+        ProfiledApp::new(&app, &chip, &options).expect("BERT0 profiles; sweep config is valid");
+    let runner = MultiSeedRunner::new(DEFAULT_SWEEP_SEED, REPLICATIONS);
+    println!(
+        "profiled once; {REPLICATIONS} seeded replications per point on up to {} threads",
+        tpu_par::num_threads()
     );
 
     for shedding in [false, true] {
@@ -29,17 +45,28 @@ fn main() {
             }
         );
         for factor in [0.5, 0.8, 1.0, 1.2, 1.5, 2.0] {
-            let p =
-                slo_operating_point_under_overload(&app, &chip, &options, factor, shedding, 4000)
-                    .expect("BERT0 profiles; sweep config is valid");
+            let reps = runner.run(|seed| {
+                let p = profiled
+                    .overload_point(factor, shedding, 4000, seed)
+                    .expect("sweep config is valid");
+                assert!(p.report.conservation_holds());
+                p
+            });
+            let goodput = Envelope::from_samples(
+                &reps
+                    .iter()
+                    .map(|p| p.report.goodput_rps)
+                    .collect::<Vec<_>>(),
+            );
+            let p = &reps[0];
             let r = &p.report;
-            assert!(r.conservation_holds());
             println!(
-                "  load {:>3.0}% ({:>5.0} rps offered): goodput {:>5.0}/s, thpt {:>5.0}/s, \
-                 shed {:>4}, retries {:>4}, late {:>4}, p99 {:>6.2} ms",
+                "  load {:>3.0}% ({:>5.0} rps offered): goodput {:>5.0}/s (mean {}), \
+                 thpt {:>5.0}/s, shed {:>4}, retries {:>4}, late {:>4}, p99 {:>6.2} ms",
                 factor * 100.0,
                 p.offered_rps,
                 r.goodput_rps,
+                goodput.pm(0),
                 r.throughput_rps,
                 r.shed,
                 r.metrics.retries.get(),
