@@ -7,6 +7,7 @@
 //! experiments e5 e6      # run a subset
 //! experiments --list     # list experiment ids
 //! experiments --ablations  # also run the design-choice ablations A1-A3
+//! experiments --quick    # the fast deterministic subset (golden tests)
 //! experiments --jobs 4   # run experiments on 4 worker threads
 //! ```
 //!
@@ -49,13 +50,19 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let with_ablations = args.iter().any(|a| a == "--ablations");
+    let quick = args.iter().any(|a| a == "--quick");
     let ids: Vec<String> = {
         let positional: Vec<String> = args
             .iter()
             .filter(|a| !a.starts_with("--"))
             .cloned()
             .collect();
-        if positional.is_empty() {
+        if quick {
+            tpu_bench::QUICK_EXPERIMENTS
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect()
+        } else if positional.is_empty() {
             tpu_bench::ALL_EXPERIMENTS
                 .iter()
                 .chain(if with_ablations {

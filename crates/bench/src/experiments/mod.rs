@@ -5,6 +5,7 @@ pub mod chaos;
 pub mod cost_exp;
 pub mod evolution;
 pub mod numerics_exp;
+pub mod observability;
 pub mod overload;
 pub mod perf;
 pub mod scaleout;

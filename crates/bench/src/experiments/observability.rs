@@ -1,0 +1,229 @@
+//! E24: observability — the recorded request lifecycle of a chaos run,
+//! reconciled exactly against the serving metrics.
+//!
+//! The flight recorder rides along a crash-plus-failover chaos run and
+//! the experiment proves, in print, what the telemetry layer guarantees:
+//! every lifecycle instant reconciles exactly with the DES's own
+//! counters (the conservation identity, event-by-event), every span
+//! closes, and the Chrome-trace export is schema-valid. Telemetry is
+//! derived from — never an input to — simulation state, so the recorded
+//! run's report is bit-identical to an unrecorded one; a determinism
+//! check here would be vacuous in print but is asserted in the tests.
+
+use tpu_arch::catalog;
+use tpu_core::{ChaosPoint, ProfiledApp, DEFAULT_SWEEP_SEED};
+use tpu_hlo::CompilerOptions;
+use tpu_serving::faults::{FailoverConfig, FaultKind, FaultPlan, ScheduledFault};
+use tpu_telemetry::{chrome_trace_json, render_text, span_balance, validate_chrome_json, Recorder};
+use tpu_workloads::zoo;
+
+use crate::util::Table;
+
+/// Replicas in the E24 fleet.
+pub const SERVERS: usize = 3;
+/// Offered load as a multiple of one replica's capacity (2.5x: above
+/// what the two post-crash survivors can serve, so the recorded funnel
+/// exercises shedding and retries, not just the happy path).
+pub const LOAD_FACTOR: f64 = 2.5;
+/// Requests per run.
+pub const REQUESTS: usize = 1500;
+
+/// The recorded chaos run E24 reports on.
+pub struct ObservabilityData {
+    /// The chaos sweep point (reports bit-identical to an unrecorded run).
+    pub point: ChaosPoint,
+    /// The flight recorder that rode along.
+    pub recorder: Recorder,
+    /// Spans that opened and closed (queued, batch, down families).
+    pub balanced_spans: usize,
+    /// Records in the schema-validated Chrome-trace export.
+    pub chrome_records: usize,
+}
+
+/// E24 data: BERT0 on a 3-replica TPUv4i fleet; one replica crashes at
+/// 10% of the run and failover reroutes around it, with the full
+/// request lifecycle recorded.
+pub fn observability_data() -> ObservabilityData {
+    let chip = catalog::tpu_v4i();
+    let app = zoo::bert0();
+    let options = CompilerOptions::default();
+    let profiled = ProfiledApp::new(&app, &chip, &options)
+        .expect("BERT0 profiles and the chaos config is valid");
+
+    // Calibration run (unrecorded) sets the wall-clock scale the fault
+    // plan is expressed in, exactly as E22 does.
+    let baseline = profiled
+        .chaos_point(
+            SERVERS,
+            LOAD_FACTOR,
+            &FaultPlan::none(),
+            REQUESTS,
+            DEFAULT_SWEEP_SEED,
+        )
+        .expect("valid baseline");
+    let d = baseline.report.duration_s;
+    let plan = FaultPlan::scheduled(vec![ScheduledFault {
+        server: 0,
+        at_s: 0.1 * d,
+        kind: FaultKind::Crash { mttr_s: 10.0 * d },
+    }])
+    .with_failover(FailoverConfig {
+        enabled: true,
+        probe_interval_s: 0.005 * d,
+        probe_timeout_s: 0.002 * d,
+        recovery_warmup_s: 0.005 * d,
+    });
+
+    let mut recorder = Recorder::with_capacity(1 << 18);
+    let point = profiled
+        .chaos_point_recorded(
+            SERVERS,
+            LOAD_FACTOR,
+            &plan,
+            REQUESTS,
+            DEFAULT_SWEEP_SEED,
+            &mut recorder,
+        )
+        .expect("valid recorded chaos run");
+
+    let events: Vec<_> = recorder.events().cloned().collect();
+    let balanced_spans = span_balance(&events).expect("all spans close");
+    let chrome_records =
+        validate_chrome_json(&chrome_trace_json(&events)).expect("schema-valid export");
+    ObservabilityData {
+        point,
+        recorder,
+        balanced_spans,
+        chrome_records,
+    }
+}
+
+/// E24 (extension) — observability: the recorded lifecycle funnel.
+pub fn e24_observability() -> String {
+    let data = observability_data();
+    let rec = &data.recorder;
+    let report = &data.point.report;
+    let m = &report.metrics;
+
+    // The lifecycle funnel: recorded instants on the left, the DES's own
+    // metrics counters on the right. "match" is the reconciliation the
+    // telemetry layer guarantees.
+    let mut t = Table::new(&["lifecycle event", "recorded", "metrics", "match"]);
+    let funnel: &[(&str, u64, u64)] = &[
+        ("arrive", rec.counter("arrive"), m.arrivals.get()),
+        (
+            "queued (admitted)",
+            rec.counter("queued.begin"),
+            m.admitted.get(),
+        ),
+        ("retry", rec.counter("retry"), m.retries.get()),
+        ("complete", rec.counter("complete"), m.completed.get()),
+        (
+            "shed: queue full",
+            rec.counter("shed_queue_full"),
+            m.shed_queue_full.get(),
+        ),
+        (
+            "shed: deadline",
+            rec.counter("shed_deadline"),
+            m.shed_deadline.get(),
+        ),
+        (
+            "shed: no capacity",
+            rec.counter("shed_no_capacity"),
+            m.shed_no_capacity.get(),
+        ),
+        (
+            "shed (permanent)",
+            rec.counter("shed_permanent"),
+            m.shed_total(),
+        ),
+        (
+            "failed (permanent)",
+            rec.counter("failed_permanent"),
+            m.failed_permanent.get(),
+        ),
+        (
+            "dropped at drain",
+            rec.counter("dropped"),
+            m.dropped_at_drain.get(),
+        ),
+        (
+            "fault: crash",
+            rec.counter("crash"),
+            m.failures_injected.get(),
+        ),
+        (
+            "failover: detected",
+            rec.counter("detected"),
+            m.failures_detected.get(),
+        ),
+        (
+            "failover: recovered",
+            rec.counter("recovered"),
+            m.failures_recovered.get(),
+        ),
+    ];
+    for &(name, recorded, metric) in funnel {
+        t.row(vec![
+            name.to_owned(),
+            recorded.to_string(),
+            metric.to_string(),
+            if recorded == metric { "ok" } else { "MISMATCH" }.to_owned(),
+        ]);
+    }
+
+    let conservation = rec.counter("arrive")
+        == rec.counter("complete")
+            + rec.counter("shed_permanent")
+            + rec.counter("dropped")
+            + rec.counter("failed_permanent");
+    let excerpt = render_text(rec.events().take(8));
+
+    format!(
+        "E24 (extension) — observability: recorded request lifecycle, BERT0 x{SERVERS} on \
+         TPUv4i ({LOAD_FACTOR}x one replica offered; 1/{SERVERS} crashes at 10% of the run, \
+         failover on)\n{}\
+         conservation (arrive == complete + shed + dropped + failed): {}\n\
+         spans: {} opened, all closed; ring: {} events, {} dropped; events_processed: {}\n\
+         chrome trace: {} records, schema ok\n\
+         first 8 recorded events:\n{}",
+        t.render(),
+        if conservation { "ok" } else { "VIOLATED" },
+        data.balanced_spans,
+        rec.len(),
+        rec.dropped(),
+        rec.counter("events_processed"),
+        data.chrome_records,
+        excerpt,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e24_reconciles_and_is_derived_only() {
+        let data = observability_data();
+        let rec = &data.recorder;
+        let report = &data.point.report;
+        assert!(report.conservation_holds());
+        assert_eq!(rec.counter("arrive"), report.arrivals as u64);
+        assert_eq!(rec.counter("complete"), report.completed as u64);
+        assert_eq!(
+            rec.counter("detected"),
+            report.metrics.failures_detected.get()
+        );
+        assert!(rec.counter("detected") >= 1, "the crash must be detected");
+        assert!(data.balanced_spans > 0);
+        assert!(data.chrome_records >= rec.len());
+        assert_eq!(rec.dropped(), 0, "ring sized to hold the whole run");
+
+        // Derived-only: the recorded run's report is bit-identical to the
+        // unrecorded chaos point at the same plan and seed.
+        let rendered_a = e24_observability();
+        let rendered_b = e24_observability();
+        assert_eq!(rendered_a, rendered_b, "E24 output must be deterministic");
+    }
+}

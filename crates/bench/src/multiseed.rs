@@ -136,7 +136,7 @@ impl Envelope {
             0.0
         };
         let std_dev = var.sqrt();
-        let rank = |q: f64| ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        let rank = |q: f64| tpu_numerics::stats::nearest_rank_index(q, n);
         Envelope {
             n,
             mean,

@@ -1,0 +1,85 @@
+//! Golden-regression net over the experiments binary: `--quick` output
+//! is byte-diffed against a checked-in snapshot, so any drift in the
+//! analytic tables or the recorded-lifecycle experiment (E24) fails CI
+//! with a readable diff.
+//!
+//! Refresh the snapshot after an intentional change with:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p tpu-bench --test golden_experiments
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("experiments_quick.txt")
+}
+
+fn run_quick(extra: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("--quick")
+        .args(extra)
+        .output()
+        .expect("experiments binary runs");
+    assert!(
+        out.status.success(),
+        "experiments --quick failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+/// First differing line, for a readable failure message.
+fn first_diff(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("line {}:\n  golden: {la}\n  actual: {lb}", i + 1);
+        }
+    }
+    format!(
+        "line counts differ: golden {} vs actual {}",
+        a.lines().count(),
+        b.lines().count()
+    )
+}
+
+#[test]
+fn quick_experiments_match_golden_snapshot() {
+    let actual = run_quick(&[]);
+    let path = golden_path();
+    if std::env::var_os("GOLDEN_BLESS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); bless it with \
+             GOLDEN_BLESS=1 cargo test -p tpu-bench --test golden_experiments",
+            path.display()
+        )
+    });
+    assert!(
+        golden == actual,
+        "experiments --quick drifted from the golden snapshot \
+         (intentional? re-bless with GOLDEN_BLESS=1); {}",
+        first_diff(&golden, &actual)
+    );
+}
+
+#[test]
+fn quick_experiments_parallel_is_byte_identical_to_sequential() {
+    // The determinism contract the telemetry layer and the `--jobs`
+    // scheduler both promise: worker threads change nothing.
+    let sequential = run_quick(&["--jobs", "1"]);
+    let parallel = run_quick(&["--jobs", "4"]);
+    assert!(
+        sequential == parallel,
+        "--jobs 4 diverged from sequential output; {}",
+        first_diff(&sequential, &parallel)
+    );
+}

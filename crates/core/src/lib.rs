@@ -29,13 +29,14 @@ use std::fmt;
 use tpu_arch::ChipConfig;
 use tpu_hlo::{compile, CompileError, CompilerOptions, Executable};
 use tpu_serving::des::{
-    simulate_fleet, simulate_fleet_with_faults, ConfigError, FleetConfig, FleetPolicy, RetryPolicy,
-    ServingConfig, ServingReport,
+    simulate_fleet, simulate_fleet_recorded, simulate_fleet_with_faults, ConfigError, FleetConfig,
+    FleetPolicy, RetryPolicy, ServingConfig, ServingReport,
 };
 use tpu_serving::faults::FaultPlan;
 use tpu_serving::latency::{LatencyError, LatencyModel};
 use tpu_serving::slo;
 use tpu_sim::{SimError, SimReport, Simulator};
+use tpu_telemetry::Recorder;
 use tpu_workloads::{production_apps, App};
 
 /// Everything a typical caller needs, one import away.
@@ -375,30 +376,75 @@ impl ProfiledApp {
         requests: usize,
         seed: u64,
     ) -> Result<ChaosPoint, CoreError> {
-        let op = &self.op;
+        let (offered_rps, fleet) = self.chaos_fleet_config(servers, load_factor, requests, seed);
+        let report = simulate_fleet_with_faults(&self.model, &fleet, plan)?;
+        Ok(self.chaos_point_from(servers, load_factor, offered_rps, plan, report))
+    }
+
+    /// [`ProfiledApp::chaos_point`] with the full request lifecycle
+    /// recorded into `recorder` (spans, instants, and exact per-event
+    /// counters — see
+    /// [`simulate_fleet_recorded`](tpu_serving::simulate_fleet_recorded)).
+    /// The returned point is bit-identical to [`ProfiledApp::chaos_point`]
+    /// at the same arguments: telemetry never feeds back into the run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serving/fault-plan config rejections as [`CoreError`].
+    pub fn chaos_point_recorded(
+        &self,
+        servers: usize,
+        load_factor: f64,
+        plan: &FaultPlan,
+        requests: usize,
+        seed: u64,
+        recorder: &mut Recorder,
+    ) -> Result<ChaosPoint, CoreError> {
+        let (offered_rps, fleet) = self.chaos_fleet_config(servers, load_factor, requests, seed);
+        let report = simulate_fleet_recorded(&self.model, &fleet, plan, recorder)?;
+        Ok(self.chaos_point_from(servers, load_factor, offered_rps, plan, report))
+    }
+
+    /// The serving config a chaos scenario runs: offered load in units
+    /// of one replica's capacity, the half-SLO serving batch, and the
+    /// protected overload policy scaled to the fleet size.
+    fn chaos_fleet_config(
+        &self,
+        servers: usize,
+        load_factor: f64,
+        requests: usize,
+        seed: u64,
+    ) -> (f64, FleetConfig) {
         let offered_rps = load_factor * self.capacity_rps();
         let base = ServingConfig {
             arrival_rate_rps: offered_rps,
             max_batch: self.serving_batch,
-            batch_timeout_s: op.slo_s * 0.1,
+            batch_timeout_s: self.op.slo_s * 0.1,
             requests,
             seed,
         };
-        let report = simulate_fleet_with_faults(
-            &self.model,
-            &FleetConfig::new(base.with_servers(servers))
-                .with_policy(self.protected_policy(servers)),
-            plan,
-        )?;
-        Ok(ChaosPoint {
-            operating_point: op.clone(),
+        let fleet = FleetConfig::new(base.with_servers(servers))
+            .with_policy(self.protected_policy(servers));
+        (offered_rps, fleet)
+    }
+
+    fn chaos_point_from(
+        &self,
+        servers: usize,
+        load_factor: f64,
+        offered_rps: f64,
+        plan: &FaultPlan,
+        report: ServingReport,
+    ) -> ChaosPoint {
+        ChaosPoint {
+            operating_point: self.op.clone(),
             serving_batch: self.serving_batch,
             servers: servers.max(1),
             load_factor,
             offered_rps,
             failover: plan.failover.enabled,
             report,
-        })
+        }
     }
 }
 

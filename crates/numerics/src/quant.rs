@@ -191,9 +191,7 @@ impl QuantParams {
             mags.push(x.abs());
         }
         mags.sort_by(f32::total_cmp);
-        let q = quantile.clamp(0.0, 1.0);
-        let rank = ((q * mags.len() as f64).ceil() as usize).clamp(1, mags.len());
-        let clip = mags[rank - 1];
+        let clip = mags[crate::stats::nearest_rank_index(quantile, mags.len())];
         let scale = if clip == 0.0 { 1.0 } else { clip / 127.0 };
         Ok(QuantParams { scale })
     }

@@ -1,4 +1,30 @@
-//! Error statistics between a reference signal and an approximation.
+//! Error statistics between a reference signal and an approximation,
+//! plus the workspace's one shared nearest-rank quantile rule.
+
+/// Nearest-rank (1-based) position of quantile `q` among `n` ordered
+/// samples: `ceil(q * n)` clamped to `[1, n]`, per the classic
+/// nearest-rank definition (q = 0 still selects the first sample,
+/// q = 1 the last; out-of-range q is clamped to `[0, 1]`).
+///
+/// Returns 0 when `n == 0` — empty inputs have no rank, and callers
+/// must handle that case explicitly before indexing.
+///
+/// This is the single implementation behind every quantile in the
+/// workspace (`serving::stats`, `serving::metrics::Histogram`,
+/// `bench::multiseed::Envelope`, `numerics::quant` clipping).
+pub fn nearest_rank(q: f64, n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n)
+}
+
+/// Zero-based index form of [`nearest_rank`] for direct slice indexing:
+/// `nearest_rank(q, n) - 1`. Returns 0 for `n == 0` (callers must guard
+/// empty slices before indexing).
+pub fn nearest_rank_index(q: f64, n: usize) -> usize {
+    (nearest_rank(q, n as u64).saturating_sub(1)) as usize
+}
 
 /// Summary statistics of the error `approx - reference`.
 ///
@@ -88,6 +114,59 @@ impl ErrorStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nearest_rank_empty_input_is_rank_zero() {
+        assert_eq!(nearest_rank(0.5, 0), 0);
+        assert_eq!(nearest_rank_index(0.5, 0), 0);
+    }
+
+    #[test]
+    fn nearest_rank_single_sample_is_always_rank_one() {
+        for q in [-1.0, 0.0, 0.25, 0.5, 0.99, 1.0, 2.0] {
+            assert_eq!(nearest_rank(q, 1), 1, "q={q}");
+            assert_eq!(nearest_rank_index(q, 1), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_all_equal_samples_select_the_common_value() {
+        // With all-equal data every rank yields the same value; the
+        // rank itself must still be in-bounds for every q.
+        let data = [3.25f64; 7];
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let i = nearest_rank_index(q, data.len());
+            assert!(i < data.len());
+            assert_eq!(data[i], 3.25);
+        }
+    }
+
+    #[test]
+    fn nearest_rank_known_positions() {
+        // Classic nearest-rank: p50 of 4 samples is the 2nd, p99 the 4th.
+        assert_eq!(nearest_rank(0.5, 4), 2);
+        assert_eq!(nearest_rank(0.95, 4), 4);
+        assert_eq!(nearest_rank(0.25, 4), 1);
+        assert_eq!(nearest_rank(0.0, 4), 1);
+        assert_eq!(nearest_rank(1.0, 4), 4);
+        // Clamps out-of-range q instead of panicking or overflowing.
+        assert_eq!(nearest_rank(-0.5, 4), 1);
+        assert_eq!(nearest_rank(7.0, 4), 4);
+        // NaN q degrades to rank 1 (NaN survives clamp, casts to 0).
+        assert_eq!(nearest_rank(f64::NAN, 4), 1);
+    }
+
+    #[test]
+    fn nearest_rank_is_monotone_in_q() {
+        let n = 1000;
+        let mut prev = 0;
+        for i in 0..=100 {
+            let r = nearest_rank(i as f64 / 100.0, n);
+            assert!(r >= prev);
+            prev = r;
+        }
+        assert_eq!(prev, n);
+    }
 
     #[test]
     fn identical_signals_have_infinite_sqnr() {

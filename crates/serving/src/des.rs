@@ -17,12 +17,15 @@
 //! `arrivals == completed + shed + dropped + failed` (see
 //! [`ServingReport::conservation_holds`]).
 
+use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tpu_telemetry::{EventSink, NullSink, Recorder, SpanPhase, TelemetryEvent, Track};
 
 use crate::faults::{FailoverConfig, FaultKind, FaultPlan, ScheduledFault};
 use crate::latency::LatencyModel;
@@ -555,6 +558,8 @@ struct Batch {
     extra_delay_s: f64,
     /// The server crashed mid-service; the Done event is void.
     aborted: bool,
+    /// Telemetry span pairing id (0 when telemetry is disabled).
+    span_id: u64,
 }
 
 /// The server lifecycle (see [`crate::faults`] for the state diagram).
@@ -731,11 +736,92 @@ pub fn simulate_fleet_with_faults(
 ) -> Result<ServingReport, ConfigError> {
     cfg.validate()?;
     plan.validate(cfg.pool.servers)?;
-    Ok(Engine::new(latency, cfg, plan).run())
+    Ok(Engine::new(latency, cfg, plan, NullSink).run())
+}
+
+/// Everything [`simulate_fleet_with_faults`] does, with the full request
+/// lifecycle recorded into `recorder`: `queued` / `batch` / `down` spans
+/// per server, arrival / completion / shed / retry / probe / fault
+/// instants on the fleet track, and exact per-event-name counters
+/// (including `events_processed`). With
+/// [`Recorder::enable_profiling`] on, the engine additionally times its
+/// own dispatch and attributes host nanoseconds per DES event type.
+///
+/// Telemetry is derived from, never an input to, simulation state: the
+/// returned report is bit-identical to the [`simulate_fleet_with_faults`]
+/// report for the same config and plan, and the recorded event stream is
+/// itself a deterministic function of them.
+///
+/// # Errors
+///
+/// [`ConfigError`] for degenerate configurations or fault plans.
+pub fn simulate_fleet_recorded(
+    latency: &LatencyModel,
+    cfg: &FleetConfig,
+    plan: &FaultPlan,
+    recorder: &mut Recorder,
+) -> Result<ServingReport, ConfigError> {
+    cfg.validate()?;
+    plan.validate(cfg.pool.servers)?;
+    let report = Engine::new(latency, cfg, plan, &mut *recorder).run();
+    recorder.add_counter("events_processed", report.metrics.events_processed.get());
+    Ok(report)
+}
+
+/// The fleet-wide telemetry track (request-lifecycle instants).
+const FLEET: Track = Track {
+    name: "fleet",
+    index: 0,
+};
+
+/// The per-replica telemetry track (queued/batch/down spans, faults).
+fn server_track(s: usize) -> Track {
+    Track {
+        name: "server",
+        index: s as u32,
+    }
+}
+
+/// Span id for one queue residency: a request re-enters the queue once
+/// per attempt (retries, failover redistributions), so the pair is
+/// unique per `(request, attempt)`.
+fn queued_span_id(req: usize, attempt: u32) -> u64 {
+    (attempt as u64) << 40 | req as u64
+}
+
+/// Profiler attribution key per DES event type.
+fn event_kind(e: &Event) -> &'static str {
+    match e {
+        Event::Arrival(_) => "arrival",
+        Event::Retry { .. } => "retry",
+        Event::Timeout { .. } => "timeout",
+        Event::Expire { .. } => "expire",
+        Event::Done(_) => "done",
+        Event::Fault(_) => "fault",
+        Event::CrashOver { .. } => "crash_over",
+        Event::HangOver { .. } => "hang_over",
+        Event::DegradeOver { .. } => "degrade_over",
+        Event::RecoveryDone { .. } => "recovery_done",
+        Event::Probe => "probe",
+    }
 }
 
 /// The DES state machine. One instance per run.
-struct Engine<'a> {
+///
+/// Generic over the telemetry sink: every instrumentation site is
+/// guarded by `if S::ENABLED`, so the [`NullSink`] instantiation (all
+/// untraced entry points) monomorphizes to exactly the uninstrumented
+/// engine — zero overhead when disabled.
+struct Engine<'a, S: EventSink> {
+    sink: S,
+    /// Latest popped event time (telemetry only): end-of-run records
+    /// are stamped at `end_time.max(last_now)` so late timer pops keep
+    /// the stream monotone.
+    last_now: f64,
+    /// Allocator for batch/down span pairing ids (telemetry only).
+    span_seq: u64,
+    /// Open `down` span id per server, 0 = none (telemetry only).
+    down_span: Vec<u64>,
     latency: &'a LatencyModel,
     cfg: FleetConfig,
     failover: FailoverConfig,
@@ -784,8 +870,13 @@ struct Engine<'a> {
     end_time: f64,
 }
 
-impl<'a> Engine<'a> {
-    fn new(latency: &'a LatencyModel, cfg: &FleetConfig, plan: &FaultPlan) -> Engine<'a> {
+impl<'a, S: EventSink> Engine<'a, S> {
+    fn new(
+        latency: &'a LatencyModel,
+        cfg: &FleetConfig,
+        plan: &FaultPlan,
+        sink: S,
+    ) -> Engine<'a, S> {
         let base = &cfg.pool.base;
         let n = base.requests;
         let mut rng = StdRng::seed_from_u64(base.seed);
@@ -797,6 +888,10 @@ impl<'a> Engine<'a> {
             arrivals.push(t);
         }
         Engine {
+            sink,
+            last_now: 0.0,
+            span_seq: 0,
+            down_span: vec![0; cfg.pool.servers],
             latency,
             cfg: *cfg,
             failover: plan.failover,
@@ -832,6 +927,30 @@ impl<'a> Engine<'a> {
             failed: 0,
             metrics: ServingMetrics::new(cfg.pool.servers),
             end_time: 0.0,
+        }
+    }
+
+    /// Record one telemetry event; compiles to nothing when the sink is
+    /// disabled. Must never influence simulation state.
+    #[inline(always)]
+    fn emit(
+        &mut self,
+        t_s: f64,
+        track: Track,
+        phase: SpanPhase,
+        name: &'static str,
+        id: u64,
+        arg: i64,
+    ) {
+        if S::ENABLED {
+            self.sink.record(TelemetryEvent {
+                t_s,
+                track,
+                phase,
+                name: Cow::Borrowed(name),
+                id,
+                arg,
+            });
         }
     }
 
@@ -968,6 +1087,14 @@ impl<'a> Engine<'a> {
         });
         self.servers[target].live += 1;
         self.queued_live += 1;
+        self.emit(
+            now,
+            server_track(target),
+            SpanPhase::Begin,
+            "queued",
+            queued_span_id(req, attempt),
+            req as i64,
+        );
         self.arm_expiry(target);
         if !self.try_launch_on(target, now) && self.servers[target].live == 1 {
             self.push_event(
@@ -996,23 +1123,56 @@ impl<'a> Engine<'a> {
     /// re-serving cannot produce good work. Admission rejections and
     /// no-capacity sheds do retry.
     fn shed_request(&mut self, req: usize, now: f64, reason: ShedReason) {
-        match reason {
-            ShedReason::QueueFull => self.metrics.shed_queue_full.inc(),
-            ShedReason::DeadlineExpired => self.metrics.shed_deadline.inc(),
-            ShedReason::NoHealthyServer => self.metrics.shed_no_capacity.inc(),
-        }
-        let retry = self.cfg.policy.retry;
+        let reason_name = match reason {
+            ShedReason::QueueFull => {
+                self.metrics.shed_queue_full.inc();
+                "shed_queue_full"
+            }
+            ShedReason::DeadlineExpired => {
+                self.metrics.shed_deadline.inc();
+                "shed_deadline"
+            }
+            ShedReason::NoHealthyServer => {
+                self.metrics.shed_no_capacity.inc();
+                "shed_no_capacity"
+            }
+        };
         let tries = self.req[req].tries;
+        self.emit(
+            now,
+            FLEET,
+            SpanPhase::Instant,
+            reason_name,
+            req as u64,
+            tries as i64,
+        );
+        let retry = self.cfg.policy.retry;
         let retryable = reason != ShedReason::DeadlineExpired;
         if retryable && tries <= retry.max_retries {
             let delay = retry.backoff_s * retry.backoff_mult.powi(tries as i32 - 1);
             self.req[req].phase = Phase::Idle;
             self.metrics.retries.inc();
+            self.emit(
+                now,
+                FLEET,
+                SpanPhase::Instant,
+                "retry",
+                req as u64,
+                tries as i64,
+            );
             self.push_event(now + delay, Event::Retry { req });
         } else {
             self.req[req].phase = Phase::Lost;
             self.shed += 1;
             self.metrics.shed_permanent.inc();
+            self.emit(
+                now,
+                FLEET,
+                SpanPhase::Instant,
+                "shed_permanent",
+                req as u64,
+                0,
+            );
             if retryable && retry.max_retries > 0 {
                 self.metrics.retries_exhausted.inc();
             }
@@ -1029,11 +1189,27 @@ impl<'a> Engine<'a> {
             let delay = retry.backoff_s * retry.backoff_mult.powi(tries as i32 - 1);
             self.req[req].phase = Phase::Idle;
             self.metrics.retries.inc();
+            self.emit(
+                now,
+                FLEET,
+                SpanPhase::Instant,
+                "retry",
+                req as u64,
+                tries as i64,
+            );
             self.push_event(now + delay, Event::Retry { req });
         } else {
             self.req[req].phase = Phase::Failed;
             self.failed += 1;
             self.metrics.failed_permanent.inc();
+            self.emit(
+                now,
+                FLEET,
+                SpanPhase::Instant,
+                "failed_permanent",
+                req as u64,
+                0,
+            );
             if retry.max_retries > 0 {
                 self.metrics.retries_exhausted.inc();
             }
@@ -1057,6 +1233,14 @@ impl<'a> Engine<'a> {
                 self.servers[s].queue.pop_front();
                 self.servers[s].live -= 1;
                 self.queued_live -= 1;
+                self.emit(
+                    now,
+                    server_track(s),
+                    SpanPhase::End,
+                    "queued",
+                    queued_span_id(front.req, front.attempt),
+                    front.req as i64,
+                );
                 self.shed_request(front.req, now, ShedReason::DeadlineExpired);
             } else {
                 break;
@@ -1091,6 +1275,7 @@ impl<'a> Engine<'a> {
                     done_at: 0.0,
                     extra_delay_s: 0.0,
                     aborted: false,
+                    span_id: 0,
                 });
                 self.in_service.len() - 1
             }
@@ -1108,6 +1293,14 @@ impl<'a> Engine<'a> {
             }
             self.req[entry.req].phase = Phase::InService;
             self.metrics.queue_wait_s.observe(now - entry.enqueued);
+            self.emit(
+                now,
+                server_track(s),
+                SpanPhase::End,
+                "queued",
+                queued_span_id(entry.req, entry.attempt),
+                entry.req as i64,
+            );
             members.push(entry.req);
             taken += 1;
         }
@@ -1123,15 +1316,30 @@ impl<'a> Engine<'a> {
         let service = self.batch_latency(take as u64) * mult * self.servers[s].degrade_factor;
         self.metrics.per_server_busy_s[s] += service;
         self.metrics.batch_sizes.observe(take as f64);
+        let span_id = if S::ENABLED {
+            self.span_seq += 1;
+            self.span_seq
+        } else {
+            0
+        };
         self.in_service[idx] = Batch {
             server: s,
             members,
             done_at: now + service,
             extra_delay_s: 0.0,
             aborted: false,
+            span_id,
         };
         self.servers[s].busy = true;
         self.servers[s].serving = Some(idx);
+        self.emit(
+            now,
+            server_track(s),
+            SpanPhase::Begin,
+            "batch",
+            span_id,
+            take as i64,
+        );
         self.push_event(now + service, Event::Done(idx));
         true
     }
@@ -1155,12 +1363,21 @@ impl<'a> Engine<'a> {
         let s = f.server;
         self.servers[s].fault_epoch += 1;
         let epoch = self.servers[s].fault_epoch;
+        self.emit(
+            now,
+            server_track(s),
+            SpanPhase::Instant,
+            f.kind.name(),
+            0,
+            epoch as i64,
+        );
         match f.kind {
             FaultKind::Crash { mttr_s } => {
                 self.metrics.failures_injected.inc();
                 if self.servers[s].is_available() {
                     self.servers[s].fault_at = now;
                     self.servers[s].down_since = now;
+                    self.begin_down_span(s, now);
                 }
                 self.servers[s].health = Health::DownCrash;
                 self.servers[s].degrade_factor = 1.0;
@@ -1170,6 +1387,9 @@ impl<'a> Engine<'a> {
                     self.in_service[idx].aborted = true;
                     let refund = (self.in_service[idx].done_at - now).max(0.0);
                     self.metrics.per_server_busy_s[s] -= refund;
+                    let span_id = self.in_service[idx].span_id;
+                    // Aborted batch: close its span with arg -1.
+                    self.emit(now, server_track(s), SpanPhase::End, "batch", span_id, -1);
                     let mut members = std::mem::take(&mut self.in_service[idx].members);
                     for req in members.drain(..) {
                         self.metrics.in_flight_failures.inc();
@@ -1186,6 +1406,7 @@ impl<'a> Engine<'a> {
                 if self.servers[s].is_available() {
                     self.servers[s].fault_at = now;
                     self.servers[s].down_since = now;
+                    self.begin_down_span(s, now);
                 }
                 self.servers[s].health = Health::DownHang;
                 self.servers[s].hang_started = now;
@@ -1208,6 +1429,33 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Opens the availability (`down`) span for server `s`. Called
+    /// exactly where `down_since` is stamped — the available → down
+    /// transition — so spans mirror the downtime accounting.
+    fn begin_down_span(&mut self, s: usize, now: f64) {
+        if S::ENABLED {
+            self.span_seq += 1;
+            self.down_span[s] = self.span_seq;
+            self.emit(
+                now,
+                server_track(s),
+                SpanPhase::Begin,
+                "down",
+                self.down_span[s],
+                0,
+            );
+        }
+    }
+
+    /// Closes the open `down` span for server `s`, if any.
+    fn end_down_span(&mut self, s: usize, at: f64) {
+        if S::ENABLED && self.down_span[s] != 0 {
+            let id = self.down_span[s];
+            self.down_span[s] = 0;
+            self.emit(at, server_track(s), SpanPhase::End, "down", id, 0);
+        }
+    }
+
     /// A server transitions back to Up: account downtime, then serve
     /// whatever waited out the outage.
     fn server_up(&mut self, s: usize, now: f64) {
@@ -1218,6 +1466,8 @@ impl<'a> Engine<'a> {
         self.metrics
             .time_to_recover_s
             .observe(now - self.servers[s].fault_at);
+        self.end_down_span(s, now);
+        self.emit(now, server_track(s), SpanPhase::Instant, "recovered", 0, 0);
         self.relaunch_or_arm(s, now);
     }
 
@@ -1239,6 +1489,7 @@ impl<'a> Engine<'a> {
                 self.metrics
                     .time_to_detect_s
                     .observe(now - self.servers[s].fault_at);
+                self.emit(now, server_track(s), SpanPhase::Instant, "detected", 0, 0);
                 // Failover: the dead server's queue is redistributed to
                 // surviving replicas (or shed, via normal admission).
                 // Stale entries are discarded here; only live ones count
@@ -1255,6 +1506,16 @@ impl<'a> Engine<'a> {
                         && self.req[e.req].tries == e.attempt
                     {
                         self.metrics.failover_redistributed.inc();
+                        // The old residency ends here; `admit` opens a
+                        // fresh `queued` span at the next attempt.
+                        self.emit(
+                            now,
+                            server_track(s),
+                            SpanPhase::End,
+                            "queued",
+                            queued_span_id(e.req, e.attempt),
+                            e.req as i64,
+                        );
                         self.admit(e.req, now);
                     }
                 }
@@ -1263,13 +1524,13 @@ impl<'a> Engine<'a> {
                 // The machine answers probes again: back into rotation.
                 self.servers[s].believed_up = true;
                 self.up_count += 1;
+                self.emit(now, server_track(s), SpanPhase::Instant, "readmit", 0, 0);
                 self.relaunch_or_arm(s, now);
             }
         }
     }
 
     fn run(mut self) -> ServingReport {
-        let n = self.cfg.pool.base.requests;
         let first = self.arrivals[0];
         self.push_event(first, Event::Arrival(0));
         for fi in 0..self.faults.len() {
@@ -1282,137 +1543,192 @@ impl<'a> Engine<'a> {
 
         while let Some((now, event)) = self.next_event() {
             self.metrics.events_processed.inc();
-            match event {
-                Event::Arrival(i) => {
-                    self.touch(now);
-                    self.metrics.arrivals.inc();
-                    self.req[i].first_arrival = now;
-                    if i + 1 < n {
-                        let t = self.arrivals[i + 1];
-                        self.push_event(t, Event::Arrival(i + 1));
-                    }
-                    self.admit(i, now);
+            if S::ENABLED {
+                // Track the latest popped time so end-of-run telemetry
+                // can be stamped after any late timer pops.
+                self.last_now = self.last_now.max(now);
+                if self.sink.profiling() {
+                    // Self-instrumenting profiler: time our own dispatch
+                    // and attribute host-nanoseconds per event type.
+                    let kind = event_kind(&event);
+                    let t0 = Instant::now();
+                    self.dispatch(now, event);
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    self.sink.profile(kind, ns);
+                    continue;
                 }
-                Event::Retry { req } => {
-                    self.touch(now);
-                    self.admit(req, now);
+            }
+            self.dispatch(now, event);
+        }
+        self.finish()
+    }
+
+    /// Applies one event to the state machine — the hot-loop body,
+    /// extracted so the traced run loop can time it per event type when
+    /// profiling is on.
+    #[inline(always)]
+    fn dispatch(&mut self, now: f64, event: Event) {
+        let n = self.cfg.pool.base.requests;
+        match event {
+            Event::Arrival(i) => {
+                self.touch(now);
+                self.metrics.arrivals.inc();
+                self.req[i].first_arrival = now;
+                self.emit(now, FLEET, SpanPhase::Instant, "arrive", i as u64, 0);
+                if i + 1 < n {
+                    let t = self.arrivals[i + 1];
+                    self.push_event(t, Event::Arrival(i + 1));
                 }
-                Event::Timeout { server } => {
-                    self.touch(now);
-                    if !self.try_launch_on(server, now) && self.servers[server].can_serve() {
-                        self.compact_front(server);
-                        if let Some(front) = self.servers[server].queue.front() {
-                            // A server is free but the (new) oldest
-                            // request has not waited out the timeout yet;
-                            // this fire time is strictly in the future,
-                            // else the launch would have happened.
-                            let t = front.enqueued + self.cfg.pool.base.batch_timeout_s;
-                            self.push_event(t, Event::Timeout { server });
-                        }
-                    }
-                }
-                Event::Expire { server } => {
-                    // No touch here: a sweep is only material if it
-                    // sheds, and terminal sheds touch inside
-                    // `shed_request`. Shed whatever has expired by now
-                    // (entries behind
-                    // the armed-for front can only expire later, so the
-                    // prefix scan sheds at exact expiry times), then
-                    // re-arm for the new front if work remains.
-                    self.servers[server].expiry_pending = false;
-                    self.shed_expired_prefix_on(server, now);
-                    self.arm_expiry(server);
-                }
-                Event::Done(idx) => {
-                    if self.in_service[idx].aborted {
-                        // The server crashed mid-service; the members
-                        // were already failed/retried. Recycle the slot.
-                        self.in_service[idx].aborted = false;
-                        self.in_service[idx].extra_delay_s = 0.0;
-                        self.free_batches.push(idx);
-                        continue;
-                    }
-                    let delay = self.in_service[idx].extra_delay_s;
-                    if delay > 0.0 {
-                        // The server hung during service: the batch
-                        // resumes after the thaw and finishes late (the
-                        // slot stays allocated until that Done fires).
-                        self.in_service[idx].extra_delay_s = 0.0;
-                        self.push_event(now + delay, Event::Done(idx));
-                        continue;
-                    }
-                    self.touch(now);
-                    let server = self.in_service[idx].server;
-                    let mut members = std::mem::take(&mut self.in_service[idx].members);
-                    self.servers[server].busy = false;
-                    self.servers[server].serving = None;
-                    for req in members.drain(..) {
-                        let lat = now - self.req[req].first_arrival;
-                        self.req[req].phase = Phase::Completed;
-                        self.latencies.push(lat);
-                        self.completed += 1;
-                        self.metrics.completed.inc();
-                        self.metrics.per_server_completed[server] += 1;
-                        match self.cfg.policy.deadline_s {
-                            Some(d) if lat > d => self.metrics.completed_late.inc(),
-                            _ => self.good += 1,
-                        }
-                    }
-                    // Return the slot (and its members capacity) to the
-                    // pool before relaunching, so the relaunch reuses it.
-                    self.in_service[idx].members = members;
-                    self.free_batches.push(idx);
-                    // The freed server may immediately take another batch.
-                    self.relaunch_or_arm(server, now);
-                }
-                Event::Fault(fi) => {
-                    let f = self.faults[fi];
-                    self.inject_fault(f, now);
-                }
-                Event::CrashOver { server, epoch } => {
-                    if self.servers[server].fault_epoch == epoch
-                        && self.servers[server].health == Health::DownCrash
-                    {
-                        self.servers[server].health = Health::Recovering;
-                        self.push_event(
-                            now + self.failover.recovery_warmup_s,
-                            Event::RecoveryDone { server, epoch },
-                        );
-                    }
-                }
-                Event::HangOver { server, epoch } => {
-                    if self.servers[server].fault_epoch == epoch
-                        && self.servers[server].health == Health::DownHang
-                    {
-                        self.server_up(server, now);
-                    }
-                }
-                Event::DegradeOver { server, epoch } => {
-                    if self.servers[server].fault_epoch == epoch
-                        && self.servers[server].health == Health::Degraded
-                    {
-                        self.servers[server].health = Health::Up;
-                        self.servers[server].degrade_factor = 1.0;
-                    }
-                }
-                Event::RecoveryDone { server, epoch } => {
-                    if self.servers[server].fault_epoch == epoch
-                        && self.servers[server].health == Health::Recovering
-                    {
-                        self.server_up(server, now);
-                    }
-                }
-                Event::Probe => {
-                    self.probe_all(now);
-                    // Re-arm only while requests are unresolved, so the
-                    // event heap can drain.
-                    if self.completed + self.shed + self.failed < n {
-                        self.push_event(now + self.failover.probe_interval_s, Event::Probe);
+                self.admit(i, now);
+            }
+            Event::Retry { req } => {
+                self.touch(now);
+                self.admit(req, now);
+            }
+            Event::Timeout { server } => {
+                self.touch(now);
+                if !self.try_launch_on(server, now) && self.servers[server].can_serve() {
+                    self.compact_front(server);
+                    if let Some(front) = self.servers[server].queue.front() {
+                        // A server is free but the (new) oldest
+                        // request has not waited out the timeout yet;
+                        // this fire time is strictly in the future,
+                        // else the launch would have happened.
+                        let t = front.enqueued + self.cfg.pool.base.batch_timeout_s;
+                        self.push_event(t, Event::Timeout { server });
                     }
                 }
             }
+            Event::Expire { server } => {
+                // No touch here: a sweep is only material if it
+                // sheds, and terminal sheds touch inside
+                // `shed_request`. Shed whatever has expired by now
+                // (entries behind
+                // the armed-for front can only expire later, so the
+                // prefix scan sheds at exact expiry times), then
+                // re-arm for the new front if work remains.
+                self.servers[server].expiry_pending = false;
+                self.shed_expired_prefix_on(server, now);
+                self.arm_expiry(server);
+            }
+            Event::Done(idx) => {
+                if self.in_service[idx].aborted {
+                    // The server crashed mid-service; the members
+                    // were already failed/retried. Recycle the slot.
+                    self.in_service[idx].aborted = false;
+                    self.in_service[idx].extra_delay_s = 0.0;
+                    self.free_batches.push(idx);
+                    return;
+                }
+                let delay = self.in_service[idx].extra_delay_s;
+                if delay > 0.0 {
+                    // The server hung during service: the batch
+                    // resumes after the thaw and finishes late (the
+                    // slot stays allocated until that Done fires).
+                    self.in_service[idx].extra_delay_s = 0.0;
+                    self.push_event(now + delay, Event::Done(idx));
+                    return;
+                }
+                self.touch(now);
+                let server = self.in_service[idx].server;
+                if S::ENABLED {
+                    let span_id = self.in_service[idx].span_id;
+                    let size = self.in_service[idx].members.len() as i64;
+                    self.emit(
+                        now,
+                        server_track(server),
+                        SpanPhase::End,
+                        "batch",
+                        span_id,
+                        size,
+                    );
+                }
+                let mut members = std::mem::take(&mut self.in_service[idx].members);
+                self.servers[server].busy = false;
+                self.servers[server].serving = None;
+                for req in members.drain(..) {
+                    let lat = now - self.req[req].first_arrival;
+                    self.req[req].phase = Phase::Completed;
+                    self.latencies.push(lat);
+                    self.completed += 1;
+                    self.metrics.completed.inc();
+                    self.metrics.per_server_completed[server] += 1;
+                    self.emit(
+                        now,
+                        FLEET,
+                        SpanPhase::Instant,
+                        "complete",
+                        req as u64,
+                        server as i64,
+                    );
+                    match self.cfg.policy.deadline_s {
+                        Some(d) if lat > d => self.metrics.completed_late.inc(),
+                        _ => self.good += 1,
+                    }
+                }
+                // Return the slot (and its members capacity) to the
+                // pool before relaunching, so the relaunch reuses it.
+                self.in_service[idx].members = members;
+                self.free_batches.push(idx);
+                // The freed server may immediately take another batch.
+                self.relaunch_or_arm(server, now);
+            }
+            Event::Fault(fi) => {
+                let f = self.faults[fi];
+                self.inject_fault(f, now);
+            }
+            Event::CrashOver { server, epoch } => {
+                if self.servers[server].fault_epoch == epoch
+                    && self.servers[server].health == Health::DownCrash
+                {
+                    self.servers[server].health = Health::Recovering;
+                    self.push_event(
+                        now + self.failover.recovery_warmup_s,
+                        Event::RecoveryDone { server, epoch },
+                    );
+                }
+            }
+            Event::HangOver { server, epoch } => {
+                if self.servers[server].fault_epoch == epoch
+                    && self.servers[server].health == Health::DownHang
+                {
+                    self.server_up(server, now);
+                }
+            }
+            Event::DegradeOver { server, epoch } => {
+                if self.servers[server].fault_epoch == epoch
+                    && self.servers[server].health == Health::Degraded
+                {
+                    self.servers[server].health = Health::Up;
+                    self.servers[server].degrade_factor = 1.0;
+                }
+            }
+            Event::RecoveryDone { server, epoch } => {
+                if self.servers[server].fault_epoch == epoch
+                    && self.servers[server].health == Health::Recovering
+                {
+                    self.server_up(server, now);
+                }
+            }
+            Event::Probe => {
+                self.emit(now, FLEET, SpanPhase::Instant, "probe", 0, 0);
+                self.probe_all(now);
+                // Re-arm only while requests are unresolved, so the
+                // event heap can drain.
+                if self.completed + self.shed + self.failed < n {
+                    self.push_event(now + self.failover.probe_interval_s, Event::Probe);
+                }
+            }
         }
+    }
 
+    /// Post-loop accounting: drain leftovers as dropped, close any
+    /// still-open telemetry spans, and assemble the report.
+    fn finish(mut self) -> ServingReport {
+        let n = self.cfg.pool.base.requests;
+        // End-of-run telemetry is stamped at or after every event the
+        // stream already holds (late timers can pop past `end_time`).
+        let stamp = self.end_time.max(self.last_now);
         // Anything still queued when the heap drained is accounted as
         // dropped — conservation over silent loss.
         let mut dropped = 0usize;
@@ -1426,6 +1742,22 @@ impl<'a> Engine<'a> {
                 self.req[entry.req].phase = Phase::Lost;
                 self.metrics.dropped_at_drain.inc();
                 dropped += 1;
+                self.emit(
+                    stamp,
+                    server_track(s),
+                    SpanPhase::End,
+                    "queued",
+                    queued_span_id(entry.req, entry.attempt),
+                    entry.req as i64,
+                );
+                self.emit(
+                    stamp,
+                    FLEET,
+                    SpanPhase::Instant,
+                    "dropped",
+                    entry.req as u64,
+                    0,
+                );
             }
         }
         debug_assert_eq!(self.queued_live, 0, "live-queued accounting drift");
@@ -1441,6 +1773,9 @@ impl<'a> Engine<'a> {
                 let extra = (end - self.servers[s].down_since).max(0.0);
                 self.servers[s].down_total_s += extra;
             }
+            // Close the availability span of servers that never came
+            // back; span balance must hold on every recorded run.
+            self.end_down_span(s, stamp);
             self.metrics.per_server_down_s[s] = self.servers[s].down_total_s.min(end.max(0.0));
         }
 

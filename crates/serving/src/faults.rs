@@ -83,6 +83,16 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// Stable telemetry/display name for the fault kind (the instant
+    /// event name stamped on the victim's track when it is injected).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Crash { .. } => "crash",
+            FaultKind::Hang { .. } => "hang",
+            FaultKind::SlowDegrade { .. } => "slow_degrade",
+        }
+    }
+
     /// Checks the kind's knobs.
     ///
     /// # Errors

@@ -54,8 +54,8 @@ pub mod slo;
 pub mod stats;
 
 pub use des::{
-    simulate, simulate_fleet, simulate_fleet_with_faults, ConfigError, FleetConfig, FleetPolicy,
-    PoolConfig, RetryPolicy, ServingConfig, ServingReport, Stragglers,
+    simulate, simulate_fleet, simulate_fleet_recorded, simulate_fleet_with_faults, ConfigError,
+    FleetConfig, FleetPolicy, PoolConfig, RetryPolicy, ServingConfig, ServingReport, Stragglers,
 };
 pub use faults::{FailoverConfig, FaultKind, FaultPlan, MtbfFaults, ScheduledFault};
 pub use latency::LatencyModel;

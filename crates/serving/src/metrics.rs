@@ -145,7 +145,7 @@ impl Histogram {
         if self.n == 0 {
             return 0.0;
         }
-        let rank = (q.clamp(0.0, 1.0) * self.n as f64).ceil().max(1.0) as u64;
+        let rank = tpu_numerics::stats::nearest_rank(q, self.n);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;

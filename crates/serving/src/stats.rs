@@ -39,8 +39,8 @@ impl LatencyStats {
         let mut scratch = samples.to_vec();
         let n = scratch.len();
         let mut pick = |q: f64| {
-            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-            let (_, v, _) = scratch.select_nth_unstable_by(rank - 1, |a, b| a.total_cmp(b));
+            let idx = tpu_numerics::stats::nearest_rank_index(q, n);
+            let (_, v, _) = scratch.select_nth_unstable_by(idx, |a, b| a.total_cmp(b));
             *v
         };
         // Ascending quantile order: each selection partitions the

@@ -10,6 +10,8 @@ use tpu_serving::des::{
 };
 use tpu_serving::faults::{FailoverConfig, FaultKind, FaultPlan, MtbfFaults, ScheduledFault};
 use tpu_serving::latency::LatencyModel;
+use tpu_serving::multitenant::{simulate_tenants, MultiTenantConfig, Tenant};
+use tpu_serving::slo::{max_batch_within_slo, replicas_for_rate};
 
 fn model() -> LatencyModel {
     // 1 ms fixed + ~0.05 ms per item.
@@ -317,6 +319,132 @@ proptest! {
                 late.validate(4),
                 Err(ConfigError::InvalidFaultTime(_))
             ));
+        }
+    }
+
+    /// Multi-tenant work conservation and fairness bounds: every tenant
+    /// gets its full share of requests, residency is exactly the HBM
+    /// capacity test, and the fairness metric dominates every tenant.
+    #[test]
+    fn multitenant_work_conservation_and_residency(
+        tenant_specs in prop::collection::vec(
+            (0.5f64..3.0, 100.0f64..1200.0, 0.5f64..3.0), // (ms@1, rps, GiB)
+            1..6,
+        ),
+        requests in 200usize..800,
+        seed in any::<u64>(),
+    ) {
+        let chip = tpu_arch::catalog::tpu_v4i();
+        let tenants: Vec<Tenant> = tenant_specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(ms, rps, gib))| Tenant {
+                name: format!("t{i}"),
+                latency: LatencyModel::from_points(vec![
+                    (1, ms * 1e-3),
+                    (64, ms * 4e-3),
+                ])
+                .unwrap(),
+                weight_bytes: (gib * (1u64 << 30) as f64) as u64,
+                arrival_rate_rps: rps,
+            })
+            .collect();
+        let cfg = MultiTenantConfig { requests, seed, ..MultiTenantConfig::default() };
+        let r = simulate_tenants(&chip, &tenants, &cfg);
+
+        // Work conservation: each tenant receives exactly its share and
+        // every injected request is answered.
+        let per = (requests / tenants.len()).max(1);
+        prop_assert_eq!(r.per_tenant.len(), tenants.len());
+        for (i, s) in r.per_tenant.iter().enumerate() {
+            prop_assert!(s.n == per, "tenant {} served {} of {}", i, s.n, per);
+        }
+        prop_assert_eq!(r.aggregate.n, per * tenants.len());
+        prop_assert!(r.throughput_rps > 0.0);
+
+        // Residency is exactly the capacity test, and resident fleets
+        // never swap.
+        let total: u64 = tenants.iter().map(|t| t.weight_bytes).sum();
+        prop_assert_eq!(r.all_resident, total <= chip.hbm.capacity_bytes);
+        if r.all_resident {
+            prop_assert_eq!(r.swaps, 0);
+            prop_assert_eq!(r.swap_seconds, 0.0);
+        } else {
+            prop_assert!(r.swaps > 0);
+            prop_assert!(r.swap_seconds > 0.0);
+        }
+
+        // Fairness/share bounds: the worst p99 dominates every tenant,
+        // and each tenant's percentile ladder is ordered.
+        for s in &r.per_tenant {
+            prop_assert!(r.worst_p99_s() >= s.p99_s - 1e-12);
+            prop_assert!(s.p50_s <= s.p95_s + 1e-12);
+            prop_assert!(s.p95_s <= s.p99_s + 1e-12);
+            prop_assert!(s.p99_s <= s.max_s + 1e-12);
+            prop_assert!(s.p50_s >= 0.0);
+        }
+    }
+
+    /// `replicas_for_rate` is monotone in the required rate, antitone in
+    /// availability and per-server capacity, and its answer is both
+    /// sufficient and minimal.
+    #[test]
+    fn replicas_for_rate_monotone_sufficient_minimal(
+        required in 1.0f64..1e6,
+        extra in 0.0f64..1e6,
+        per_server in 10.0f64..1e5,
+        avail_lo in 0.5f64..1.0,
+        avail_bump in 0.0f64..0.5,
+    ) {
+        let avail_hi = (avail_lo + avail_bump).min(1.0);
+        let base = replicas_for_rate(required, per_server, avail_lo);
+
+        // Monotone nondecreasing in the required rate.
+        prop_assert!(replicas_for_rate(required + extra, per_server, avail_lo) >= base);
+        // Nonincreasing in availability: healthier fleets never need more.
+        prop_assert!(replicas_for_rate(required, per_server, avail_hi) <= base);
+        // Nonincreasing in per-server capacity.
+        prop_assert!(replicas_for_rate(required, per_server * 2.0, avail_lo) <= base);
+
+        // Sufficiency: the sized fleet covers the demand...
+        let eff = per_server * avail_lo;
+        prop_assert!(
+            base as f64 * eff >= required * (1.0 - 1e-9),
+            "{} replicas x {} rps < {}", base, eff, required
+        );
+        // ...and minimality: one fewer replica would not.
+        prop_assert!(base >= 1);
+        prop_assert!(
+            (base - 1) as f64 * eff < required * (1.0 + 1e-9),
+            "{} replicas already sufficed for {}", base - 1, required
+        );
+
+        // Degenerate demand needs no fleet at all.
+        prop_assert_eq!(replicas_for_rate(0.0, per_server, avail_lo), 0);
+        prop_assert_eq!(replicas_for_rate(-required, per_server, avail_lo), 0);
+    }
+
+    /// The SLO-feasible batch cap is monotone in the SLO: loosening the
+    /// latency budget never shrinks the feasible batch.
+    #[test]
+    fn max_batch_within_slo_monotone_in_slo(
+        slo_ms in 2.2f64..20.0,
+        slack_ms in 0.0f64..20.0,
+        limit in 1u64..2048,
+    ) {
+        // 2 ms fixed + 0.1 ms per item.
+        let m = LatencyModel::from_points(vec![(1, 0.0021), (200, 0.022)]).unwrap();
+        let tight = max_batch_within_slo(&m, slo_ms * 1e-3, limit);
+        let loose = max_batch_within_slo(&m, (slo_ms + slack_ms) * 1e-3, limit);
+        match (tight, loose) {
+            (Some(t), Some(l)) => {
+                prop_assert!(l >= t);
+                prop_assert!(t >= 1 && l <= limit);
+                // Feasibility: the returned batch really meets the SLO.
+                prop_assert!(m.latency(t) <= slo_ms * 1e-3 + 1e-12);
+            }
+            (None, Some(_)) | (None, None) => {}
+            (Some(_), None) => prop_assert!(false, "loosening the SLO lost feasibility"),
         }
     }
 }

@@ -1,0 +1,230 @@
+//! Trace invariants on real fleet/chaos runs: monotone timestamps,
+//! balanced spans, exact reconciliation with `ServingMetrics`
+//! conservation, and the determinism guarantee (telemetry is derived
+//! from, never an input to, simulation state).
+
+use tpu_serving::faults::{FailoverConfig, FaultKind, FaultPlan, MtbfFaults, ScheduledFault};
+use tpu_serving::{
+    simulate_fleet_recorded, simulate_fleet_with_faults, FleetConfig, FleetPolicy, LatencyModel,
+    RetryPolicy, ServingConfig, ServingReport,
+};
+use tpu_telemetry::{chrome_trace_json, span_balance, validate_chrome_json, Recorder, SpanPhase};
+
+fn model() -> LatencyModel {
+    LatencyModel::from_points(vec![(1, 0.001), (128, 0.008)]).expect("valid model")
+}
+
+/// An overloaded chaos fleet: 4 servers, MTBF crashes/hangs, failover
+/// probes, deadline shedding, retries — every lifecycle edge fires.
+fn chaos_fleet(requests: usize, seed: u64) -> (FleetConfig, FaultPlan) {
+    let base = ServingConfig {
+        arrival_rate_rps: 45_000.0,
+        max_batch: 16,
+        batch_timeout_s: 0.001,
+        requests,
+        seed,
+    };
+    let fleet = FleetConfig::new(base.with_servers(4)).with_policy(FleetPolicy {
+        deadline_s: Some(0.02),
+        shed_expired: true,
+        queue_budget_s: Some(0.015),
+        queue_cap: Some(256),
+        retry: RetryPolicy {
+            max_retries: 1,
+            backoff_s: 0.002,
+            backoff_mult: 2.0,
+        },
+    });
+    let plan = FaultPlan {
+        scheduled: vec![ScheduledFault {
+            server: 0,
+            at_s: 0.05,
+            kind: FaultKind::Crash { mttr_s: 5.0 },
+        }],
+        mtbf: Some(MtbfFaults {
+            mtbf_s: 0.04,
+            mttr_s: 0.015,
+            horizon_s: 1.0,
+        }),
+        fault_seed: 7,
+        failover: FailoverConfig {
+            enabled: true,
+            probe_interval_s: 0.002,
+            probe_timeout_s: 0.001,
+            recovery_warmup_s: 0.005,
+        },
+    };
+    (fleet, plan)
+}
+
+fn recorded_chaos_run(requests: usize, seed: u64) -> (ServingReport, Recorder) {
+    let (fleet, plan) = chaos_fleet(requests, seed);
+    let mut rec = Recorder::with_capacity(1 << 20);
+    let report =
+        simulate_fleet_recorded(&model(), &fleet, &plan, &mut rec).expect("valid chaos config");
+    (report, rec)
+}
+
+#[test]
+fn chaos_run_exercises_every_lifecycle_edge() {
+    // Guard: the fixture must actually produce sheds, failures, faults,
+    // and recoveries, or the invariant tests below prove nothing.
+    let (report, rec) = recorded_chaos_run(4000, 11);
+    assert!(report.shed > 0, "fixture should shed");
+    assert!(report.failed > 0, "fixture should fail in-flight work");
+    assert!(report.metrics.failures_detected.get() > 0);
+    assert!(report.metrics.failures_recovered.get() > 0);
+    assert!(rec.counter("retry") > 0);
+    assert!(rec.counter("down.begin") > 0);
+}
+
+#[test]
+fn timestamps_are_monotone_nondecreasing() {
+    let (_, rec) = recorded_chaos_run(4000, 11);
+    assert_eq!(rec.dropped(), 0, "ring must hold the whole run");
+    let mut prev = f64::NEG_INFINITY;
+    for ev in rec.events() {
+        assert!(
+            ev.t_s >= prev,
+            "time went backwards: {} after {} ({})",
+            ev.t_s,
+            prev,
+            ev.name
+        );
+        prev = ev.t_s;
+    }
+}
+
+#[test]
+fn spans_are_balanced_on_chaos_runs() {
+    let (_, rec) = recorded_chaos_run(4000, 11);
+    let events: Vec<_> = rec.events().cloned().collect();
+    let balanced = span_balance(&events).expect("every begin has a matching end");
+    assert!(balanced > 0);
+    // Counter-level balance agrees for each span family.
+    for name in ["queued", "batch", "down"] {
+        assert_eq!(
+            rec.counter(&format!("{name}.begin")),
+            rec.counter(&format!("{name}.end")),
+            "{name} spans unbalanced"
+        );
+    }
+}
+
+#[test]
+fn event_counts_reconcile_exactly_with_serving_metrics() {
+    let (report, rec) = recorded_chaos_run(4000, 11);
+    let m = &report.metrics;
+    assert!(report.conservation_holds());
+    // Terminal instants are the conservation identity, event-by-event:
+    // arrivals == completed + shed + dropped + failed.
+    assert_eq!(rec.counter("arrive"), report.arrivals as u64);
+    assert_eq!(rec.counter("complete"), report.completed as u64);
+    assert_eq!(rec.counter("shed_permanent"), report.shed as u64);
+    assert_eq!(rec.counter("dropped"), report.dropped as u64);
+    assert_eq!(rec.counter("failed_permanent"), report.failed as u64);
+    assert_eq!(
+        rec.counter("arrive"),
+        rec.counter("complete")
+            + rec.counter("shed_permanent")
+            + rec.counter("dropped")
+            + rec.counter("failed_permanent")
+    );
+    // Counter registry mirrors the metrics module exactly.
+    assert_eq!(rec.counter("arrive"), m.arrivals.get());
+    assert_eq!(rec.counter("complete"), m.completed.get());
+    assert_eq!(rec.counter("retry"), m.retries.get());
+    assert_eq!(rec.counter("shed_queue_full"), m.shed_queue_full.get());
+    assert_eq!(rec.counter("shed_deadline"), m.shed_deadline.get());
+    assert_eq!(rec.counter("shed_no_capacity"), m.shed_no_capacity.get());
+    assert_eq!(rec.counter("detected"), m.failures_detected.get());
+    assert_eq!(rec.counter("recovered"), m.failures_recovered.get());
+    assert_eq!(rec.counter("dropped"), m.dropped_at_drain.get());
+    assert_eq!(
+        rec.counter("crash") + rec.counter("hang"),
+        m.failures_injected.get()
+    );
+    assert_eq!(rec.counter("slow_degrade"), m.degrades_injected.get());
+    assert_eq!(rec.counter("events_processed"), m.events_processed.get());
+    // Every queue residency that ended in a launch observed its wait.
+    assert_eq!(rec.counter("queued.begin"), m.admitted.get());
+}
+
+#[test]
+fn telemetry_is_derived_not_an_input() {
+    // Same config and seed, with and without a recorder attached: the
+    // reports must be bit-identical.
+    let (fleet, plan) = chaos_fleet(4000, 11);
+    let plain = simulate_fleet_with_faults(&model(), &fleet, &plan).expect("valid");
+    let (recorded, _) = recorded_chaos_run(4000, 11);
+    assert_eq!(plain, recorded);
+}
+
+#[test]
+fn recorded_event_stream_is_deterministic() {
+    let (ra, a) = recorded_chaos_run(4000, 11);
+    let (rb, b) = recorded_chaos_run(4000, 11);
+    assert_eq!(ra, rb);
+    assert_eq!(a.len(), b.len());
+    assert!(a.events().zip(b.events()).all(|(x, y)| x == y));
+    assert_eq!(a.counters(), b.counters());
+    // And the serialized export is byte-identical.
+    let ja = chrome_trace_json(a.events());
+    let jb = chrome_trace_json(b.events());
+    assert_eq!(ja, jb);
+}
+
+#[test]
+fn chrome_export_of_a_real_run_is_schema_valid() {
+    let (_, rec) = recorded_chaos_run(2000, 3);
+    let json = chrome_trace_json(rec.events());
+    let records = validate_chrome_json(&json).expect("schema-valid chrome trace");
+    // Every ring event plus at least the fleet + 4 server tracks'
+    // thread_name metadata records.
+    assert!(records >= rec.len() + 5);
+}
+
+#[test]
+fn profiling_attributes_every_dispatched_event() {
+    let (fleet, plan) = chaos_fleet(2000, 3);
+    let mut rec = Recorder::new();
+    rec.enable_profiling(true);
+    let report = simulate_fleet_recorded(&model(), &fleet, &plan, &mut rec).expect("valid");
+    let profiled: u64 = rec.profile_entries().values().map(|e| e.count).sum();
+    assert_eq!(profiled, report.metrics.events_processed.get());
+    for kind in ["arrival", "done", "probe", "fault"] {
+        assert!(
+            rec.profile_entries().contains_key(kind),
+            "missing profile kind {kind}"
+        );
+    }
+    // Profiling must not perturb the simulation either.
+    let plain = simulate_fleet_with_faults(&model(), &fleet, &plan).expect("valid");
+    assert_eq!(plain, report);
+}
+
+#[test]
+fn shed_instants_partition_by_reason() {
+    let (_, rec) = recorded_chaos_run(4000, 11);
+    // Every queue residency ends in exactly one of: launch (becomes a
+    // batch member), deadline shed, redistribution, or drain. The
+    // non-queued shed reasons (queue_full, no_capacity) never open a
+    // queued span, so queued.begin >= queued.end contributions from
+    // sheds alone — the balance test already pins equality; here we pin
+    // that at least one deadline shed and one queue-full shed happened
+    // so both paths are covered.
+    assert!(rec.counter("shed_deadline") > 0);
+    assert!(rec.counter("shed_queue_full") > 0);
+    let begins = rec.counter("queued.begin");
+    let ends = rec.counter("queued.end");
+    assert_eq!(begins, ends);
+    // Batch spans saw real traffic on several servers.
+    let mut server_tracks: Vec<u32> = rec
+        .events()
+        .filter(|e| e.track.name == "server" && e.phase == SpanPhase::Begin && e.name == "batch")
+        .map(|e| e.track.index)
+        .collect();
+    server_tracks.sort_unstable();
+    server_tracks.dedup();
+    assert!(server_tracks.len() >= 2, "batches on at least two servers");
+}

@@ -8,6 +8,8 @@
 
 use std::fmt::Write as _;
 
+use tpu_telemetry::{SpanPhase, TelemetryEvent, Track};
+
 use crate::plan::StepId;
 use crate::report::Resource;
 
@@ -74,6 +76,59 @@ impl Trace {
     /// The makespan covered by the trace.
     pub fn makespan(&self) -> f64 {
         self.entries.iter().map(|e| e.end).fold(0.0, f64::max)
+    }
+
+    /// Converts the trace to telemetry span events on the unified model:
+    /// one `(resource, unit)` pair per [`Track`], one begin/end pair per
+    /// entry (span id = entry order, so concurrent same-tag steps stay
+    /// distinct), sorted by time with a stable tiebreak. The result
+    /// feeds the same exporters as the serving fleet's recorder.
+    pub fn to_events(&self) -> Vec<TelemetryEvent> {
+        let mut events = Vec::with_capacity(self.entries.len() * 2);
+        for (i, e) in self.entries.iter().enumerate() {
+            let track = Track {
+                name: e.resource.name(),
+                index: e.unit as u32,
+            };
+            let name: std::borrow::Cow<'static, str> = if e.tag.is_empty() {
+                format!("step{}", e.step.0).into()
+            } else {
+                e.tag.clone().into()
+            };
+            let arg = e.step.0 as i64;
+            events.push(TelemetryEvent {
+                t_s: e.start,
+                track,
+                phase: SpanPhase::Begin,
+                name: name.clone(),
+                id: i as u64,
+                arg,
+            });
+            events.push(TelemetryEvent {
+                t_s: e.end,
+                track,
+                phase: SpanPhase::End,
+                name,
+                id: i as u64,
+                arg,
+            });
+        }
+        // Stable sort by time only: each entry pushed Begin-then-End, so
+        // zero-duration spans keep their begin first at equal stamps.
+        events.sort_by(|a, b| a.t_s.total_cmp(&b.t_s));
+        events
+    }
+
+    /// Chrome-trace (Perfetto) JSON for this trace, via the unified
+    /// telemetry exporter.
+    pub fn chrome_trace_json(&self) -> String {
+        tpu_telemetry::chrome_trace_json(&self.to_events())
+    }
+
+    /// Plain-text timeline for this trace, via the unified telemetry
+    /// renderer.
+    pub fn render_text(&self) -> String {
+        tpu_telemetry::render_text(&self.to_events())
     }
 
     /// Renders a text Gantt chart, `width` columns wide.
@@ -163,6 +218,44 @@ mod tests {
         assert!(Trace::default().render_gantt(50).contains("empty"));
         assert_eq!(Trace::default().makespan(), 0.0);
         assert_eq!(Trace::default().find_overlap(), None);
+    }
+
+    #[test]
+    fn to_events_is_balanced_monotone_and_exports() {
+        let mut t = Trace::default();
+        t.entries.push(entry(0, Resource::Mxu, 0, 0.0, 0.5));
+        t.entries.push(entry(1, Resource::Dma, 1, 0.25, 0.75));
+        t.entries.push(entry(2, Resource::Mxu, 0, 0.5, 0.5)); // zero-duration
+        let events = t.to_events();
+        assert_eq!(events.len(), 6);
+        assert_eq!(tpu_telemetry::span_balance(&events), Ok(3));
+        for w in events.windows(2) {
+            assert!(w[0].t_s <= w[1].t_s, "timestamps must be monotone");
+        }
+        let json = t.chrome_trace_json();
+        // 2 thread_name metadata records + 6 span edges.
+        assert_eq!(tpu_telemetry::validate_chrome_json(&json), Ok(8));
+        assert!(json.contains("\"mxu0\""));
+        assert!(json.contains("\"dma1\""));
+        let text = t.render_text();
+        assert_eq!(text.lines().count(), 6);
+        assert!(text.contains("step0"));
+    }
+
+    #[test]
+    fn to_events_uses_tags_when_present() {
+        let mut t = Trace::default();
+        t.entries.push(TraceEntry {
+            step: StepId(4),
+            tag: "matmul.fwd".to_owned(),
+            resource: Resource::Vpu,
+            unit: 0,
+            start: 0.0,
+            end: 1.0,
+        });
+        let events = t.to_events();
+        assert!(events.iter().all(|e| e.name == "matmul.fwd"));
+        assert!(events.iter().all(|e| e.arg == 4));
     }
 
     #[test]

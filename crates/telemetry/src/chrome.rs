@@ -1,0 +1,280 @@
+//! Chrome-trace (Perfetto / `chrome://tracing`) JSON export and a
+//! dependency-free schema validator.
+//!
+//! Spans are emitted as async begin/end pairs (`"ph":"b"` / `"ph":"e"`)
+//! so overlapping spans on one track need no nesting discipline;
+//! instants use `"ph":"i"` with thread scope. Each [`Track`] becomes a
+//! named thread (a `thread_name` metadata record plus a stable `tid`),
+//! and timestamps convert from simulated seconds to microseconds with
+//! fixed three-decimal formatting so output is byte-deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{SpanPhase, TelemetryEvent, Track};
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Export events as a Chrome-trace JSON object (`{"traceEvents": [...]}`).
+pub fn chrome_trace_json<'a, I>(events: I) -> String
+where
+    I: IntoIterator<Item = &'a TelemetryEvent>,
+{
+    let events: Vec<&TelemetryEvent> = events.into_iter().collect();
+    // Stable track -> tid mapping, ordered by (name, index) so the
+    // timeline reads top-to-bottom regardless of emission order.
+    let mut tids: BTreeMap<Track, u64> = BTreeMap::new();
+    for ev in &events {
+        let next = tids.len() as u64 + 1;
+        tids.entry(ev.track).or_insert(next);
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+    for (track, tid) in &tids {
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(&track.label())
+            ),
+            &mut out,
+        );
+    }
+    for ev in &events {
+        let tid = tids[&ev.track];
+        let ts = format!("{:.3}", ev.t_s * 1e6);
+        let name = escape(&ev.name);
+        let cat = escape(ev.track.name);
+        let line = match ev.phase {
+            SpanPhase::Begin | SpanPhase::End => {
+                let ph = if ev.phase == SpanPhase::Begin {
+                    "b"
+                } else {
+                    "e"
+                };
+                format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\
+                     \"id\":{},\"pid\":1,\"tid\":{tid},\"ts\":{ts},\
+                     \"args\":{{\"v\":{}}}}}",
+                    ev.id, ev.arg
+                )
+            }
+            SpanPhase::Instant => format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"pid\":1,\"tid\":{tid},\"ts\":{ts},\"args\":{{\"v\":{}}}}}",
+                ev.arg
+            ),
+        };
+        push(line, &mut out);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Validate that `json` is a structurally sound Chrome trace: one
+/// top-level object with a `traceEvents` array whose members each carry
+/// the keys their `ph` requires (`name`/`pid`/`tid` always; `ts` for
+/// non-metadata; `id` and `cat` for async span edges; `s` for
+/// instants). Returns the number of trace records on success.
+///
+/// This is a deliberately lightweight scanner, not a JSON parser — it
+/// splits top-level array objects by brace depth (string- and
+/// escape-aware) and checks required key presence per record.
+pub fn validate_chrome_json(json: &str) -> Result<usize, String> {
+    let trimmed = json.trim();
+    if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+        return Err("not a JSON object".to_owned());
+    }
+    let array_start = trimmed
+        .find("\"traceEvents\"")
+        .ok_or_else(|| "missing traceEvents key".to_owned())?;
+    let rest = &trimmed[array_start..];
+    let bracket = rest
+        .find('[')
+        .ok_or_else(|| "traceEvents is not an array".to_owned())?;
+    let body = &rest[bracket + 1..];
+
+    let mut records = 0usize;
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut obj_start = None;
+    for (i, c) in body.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    obj_start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                if depth == 0 {
+                    return Err("unbalanced braces in traceEvents".to_owned());
+                }
+                depth -= 1;
+                if depth == 0 {
+                    let obj = &body[obj_start.take().unwrap()..=i];
+                    validate_record(obj, records)?;
+                    records += 1;
+                }
+            }
+            ']' if depth == 0 => return Ok(records),
+            _ => {}
+        }
+    }
+    Err("traceEvents array never closes".to_owned())
+}
+
+fn validate_record(obj: &str, index: usize) -> Result<(), String> {
+    let has = |key: &str| obj.contains(&format!("\"{key}\""));
+    let fail = |what: &str| Err(format!("record {index} missing {what}: {obj}"));
+    for key in ["name", "ph", "pid", "tid"] {
+        if !has(key) {
+            return fail(key);
+        }
+    }
+    let ph_pos = obj
+        .find("\"ph\":\"")
+        .ok_or_else(|| format!("record {index} has malformed ph: {obj}"))?;
+    let ph = obj[ph_pos + 6..]
+        .chars()
+        .next()
+        .ok_or_else(|| format!("record {index} has empty ph: {obj}"))?;
+    match ph {
+        'M' => Ok(()),
+        'b' | 'e' => {
+            if !has("ts") {
+                return fail("ts");
+            }
+            if !has("id") {
+                return fail("id (async span)");
+            }
+            if !has("cat") {
+                return fail("cat (async span)");
+            }
+            Ok(())
+        }
+        'i' => {
+            if !has("ts") {
+                return fail("ts");
+            }
+            if !has("s") {
+                return fail("s (instant scope)");
+            }
+            Ok(())
+        }
+        other => Err(format!("record {index} has unsupported ph '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_s: f64, track: Track, phase: SpanPhase, name: &'static str, id: u64) -> TelemetryEvent {
+        TelemetryEvent {
+            t_s,
+            track,
+            phase,
+            name: name.into(),
+            id,
+            arg: 7,
+        }
+    }
+
+    #[test]
+    fn export_roundtrips_through_validator() {
+        let fleet = Track {
+            name: "fleet",
+            index: 0,
+        };
+        let s1 = Track {
+            name: "server",
+            index: 1,
+        };
+        let evs = vec![
+            ev(0.0, fleet, SpanPhase::Instant, "arrive", 0),
+            ev(0.001, s1, SpanPhase::Begin, "batch", 1),
+            ev(0.002, s1, SpanPhase::End, "batch", 1),
+        ];
+        let json = chrome_trace_json(&evs);
+        // 2 thread_name metadata records + 3 events.
+        assert_eq!(validate_chrome_json(&json), Ok(5));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"server1\""));
+        assert!(json.contains("\"ts\":1000.000"));
+    }
+
+    #[test]
+    fn validator_rejects_garbage_and_missing_keys() {
+        assert!(validate_chrome_json("[]").is_err());
+        assert!(validate_chrome_json("{\"foo\":1}").is_err());
+        // Async span edge without an id.
+        let bad = "{\"traceEvents\":[{\"name\":\"x\",\"cat\":\"c\",\"ph\":\"b\",\
+                    \"pid\":1,\"tid\":1,\"ts\":0}]}";
+        assert!(validate_chrome_json(bad).unwrap_err().contains("id"));
+        // Instant without scope.
+        let bad = "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"i\",\
+                    \"pid\":1,\"tid\":1,\"ts\":0}]}";
+        assert!(validate_chrome_json(bad).unwrap_err().contains("s ("));
+        // Unterminated array.
+        let bad = "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"M\",\"pid\":1,\"tid\":1}";
+        assert!(validate_chrome_json(bad).is_err());
+    }
+
+    #[test]
+    fn escapes_quotes_and_control_chars() {
+        let t = Track {
+            name: "fleet",
+            index: 0,
+        };
+        let e = TelemetryEvent {
+            t_s: 0.0,
+            track: t,
+            phase: SpanPhase::Instant,
+            name: "quo\"te\n".to_owned().into(),
+            id: 0,
+            arg: 0,
+        };
+        let json = chrome_trace_json([&e]);
+        assert!(json.contains("quo\\\"te\\u000a"));
+        assert_eq!(validate_chrome_json(&json), Ok(2));
+    }
+
+    #[test]
+    fn empty_event_stream_is_valid() {
+        let json = chrome_trace_json(std::iter::empty());
+        assert_eq!(validate_chrome_json(&json), Ok(0));
+    }
+}

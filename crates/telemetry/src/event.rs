@@ -1,0 +1,182 @@
+//! The telemetry event model: timestamped span/instant records on tracks.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+
+/// A horizontal lane in the timeline: a named family plus an index
+/// (e.g. `{"server", 2}` for the third replica, `{"mxu", 0}` for the
+/// first MXU unit). Serving fleets use the `"fleet"` track for
+/// request-lifecycle instants and one `"server"` track per replica;
+/// the roofline simulator maps each `(resource, unit)` pair to a track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Track {
+    /// Track family name.
+    pub name: &'static str,
+    /// Unit index within the family.
+    pub index: u32,
+}
+
+impl Track {
+    /// Render as `name` (index 0 in a one-lane family reads cleaner
+    /// with the bare name) or `name<index>`.
+    pub fn label(&self) -> String {
+        if self.index == 0 && self.name == "fleet" {
+            self.name.to_owned()
+        } else {
+            format!("{}{}", self.name, self.index)
+        }
+    }
+}
+
+/// Whether an event opens a span, closes one, or marks a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// Span start; must be paired with an [`SpanPhase::End`] carrying
+    /// the same `(track, name, id)`.
+    Begin,
+    /// Span end.
+    End,
+    /// A point event with no duration.
+    Instant,
+}
+
+/// One telemetry record. Timestamps are **simulated** seconds; `id`
+/// disambiguates concurrent spans of the same name on the same track;
+/// `arg` is a free payload (batch size, request index, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryEvent {
+    /// Simulated time, seconds.
+    pub t_s: f64,
+    /// Timeline lane.
+    pub track: Track,
+    /// Begin / End / Instant.
+    pub phase: SpanPhase,
+    /// Event name (static in hot paths; owned for ad-hoc labels).
+    pub name: Cow<'static, str>,
+    /// Span pairing id (0 for instants that don't need one).
+    pub id: u64,
+    /// Free payload.
+    pub arg: i64,
+}
+
+/// Check that every [`SpanPhase::Begin`] has exactly one matching
+/// [`SpanPhase::End`] (same track, name, and id), no span ends before
+/// it begins, and nothing is left open. Returns the number of balanced
+/// spans on success.
+pub fn span_balance<'a, I>(events: I) -> Result<usize, String>
+where
+    I: IntoIterator<Item = &'a TelemetryEvent>,
+{
+    let mut open: BTreeMap<(Track, String, u64), u64> = BTreeMap::new();
+    let mut balanced = 0usize;
+    for ev in events {
+        let key = || (ev.track, ev.name.to_string(), ev.id);
+        match ev.phase {
+            SpanPhase::Begin => *open.entry(key()).or_insert(0) += 1,
+            SpanPhase::End => {
+                let k = key();
+                match open.get_mut(&k) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        if *n == 0 {
+                            open.remove(&k);
+                        }
+                        balanced += 1;
+                    }
+                    _ => {
+                        return Err(format!(
+                            "end without begin: {} id={} on {}",
+                            ev.name,
+                            ev.id,
+                            ev.track.label()
+                        ))
+                    }
+                }
+            }
+            SpanPhase::Instant => {}
+        }
+    }
+    if let Some(((track, name, id), _)) = open.iter().next() {
+        return Err(format!(
+            "unclosed span: {name} id={id} on {} ({} open total)",
+            track.label(),
+            open.values().sum::<u64>()
+        ));
+    }
+    Ok(balanced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_s: f64, phase: SpanPhase, name: &'static str, id: u64) -> TelemetryEvent {
+        TelemetryEvent {
+            t_s,
+            track: Track {
+                name: "fleet",
+                index: 0,
+            },
+            phase,
+            name: name.into(),
+            id,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn balanced_spans_pass() {
+        let evs = vec![
+            ev(0.0, SpanPhase::Begin, "a", 1),
+            ev(0.5, SpanPhase::Instant, "tick", 0),
+            ev(1.0, SpanPhase::Begin, "a", 2),
+            ev(2.0, SpanPhase::End, "a", 1),
+            ev(3.0, SpanPhase::End, "a", 2),
+        ];
+        assert_eq!(span_balance(&evs), Ok(2));
+    }
+
+    #[test]
+    fn unclosed_span_fails() {
+        let evs = vec![ev(0.0, SpanPhase::Begin, "a", 1)];
+        assert!(span_balance(&evs).unwrap_err().contains("unclosed"));
+    }
+
+    #[test]
+    fn end_without_begin_fails() {
+        let evs = vec![ev(0.0, SpanPhase::End, "a", 1)];
+        assert!(span_balance(&evs)
+            .unwrap_err()
+            .contains("end without begin"));
+    }
+
+    #[test]
+    fn id_disambiguates_same_name() {
+        // Same name, different ids: ending id 2 must not close id 1.
+        let evs = vec![
+            ev(0.0, SpanPhase::Begin, "a", 1),
+            ev(1.0, SpanPhase::End, "a", 2),
+        ];
+        assert!(span_balance(&evs).is_err());
+    }
+
+    #[test]
+    fn track_labels() {
+        assert_eq!(
+            Track {
+                name: "fleet",
+                index: 0
+            }
+            .label(),
+            "fleet"
+        );
+        assert_eq!(
+            Track {
+                name: "server",
+                index: 3
+            }
+            .label(),
+            "server3"
+        );
+    }
+}

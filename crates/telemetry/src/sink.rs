@@ -1,0 +1,64 @@
+//! The zero-cost sink trait instrumented code is generic over.
+
+use crate::event::TelemetryEvent;
+use crate::recorder::Recorder;
+
+/// Receiver for telemetry emitted by instrumented code.
+///
+/// The associated `ENABLED` constant is the zero-cost switch: emission
+/// sites guard with `if S::ENABLED { ... }`, which the compiler folds
+/// away entirely when the sink is [`NullSink`]. Implementors with
+/// `ENABLED = true` receive every event; [`profile`](EventSink::profile)
+/// additionally receives host-nanosecond attributions when
+/// [`profiling`](EventSink::profiling) returns true (callers are
+/// expected to skip the timing work itself otherwise).
+pub trait EventSink {
+    /// Compile-time switch for all instrumentation.
+    const ENABLED: bool;
+
+    /// Record one event. Hot-path implementations should be cheap and
+    /// must never influence the caller's control flow.
+    fn record(&mut self, ev: TelemetryEvent);
+
+    /// Whether the caller should measure and report wall-clock
+    /// attribution via [`profile`](EventSink::profile).
+    fn profiling(&self) -> bool {
+        false
+    }
+
+    /// Attribute `nanos` of host time to `kind` (e.g. a DES event type).
+    fn profile(&mut self, kind: &'static str, nanos: u64);
+}
+
+/// The disabled sink: every method is an inlined no-op and
+/// `ENABLED = false` compiles all instrumentation out.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _ev: TelemetryEvent) {}
+
+    #[inline(always)]
+    fn profile(&mut self, _kind: &'static str, _nanos: u64) {}
+}
+
+impl EventSink for &mut Recorder {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn record(&mut self, ev: TelemetryEvent) {
+        Recorder::record(self, ev);
+    }
+
+    fn profiling(&self) -> bool {
+        Recorder::profiling(self)
+    }
+
+    #[inline]
+    fn profile(&mut self, kind: &'static str, nanos: u64) {
+        Recorder::profile(self, kind, nanos);
+    }
+}

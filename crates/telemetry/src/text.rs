@@ -1,0 +1,76 @@
+//! Plain-text timeline dump: one line per event, fixed-width columns.
+
+use std::fmt::Write as _;
+
+use crate::event::{SpanPhase, TelemetryEvent};
+
+/// Render events as an aligned plain-text timeline, one line per event
+/// in stream order: simulated milliseconds, track, phase marker
+/// (`>` begin, `<` end, `.` instant), name, id, and payload.
+pub fn render_text<'a, I>(events: I) -> String
+where
+    I: IntoIterator<Item = &'a TelemetryEvent>,
+{
+    let mut out = String::new();
+    for ev in events {
+        let marker = match ev.phase {
+            SpanPhase::Begin => '>',
+            SpanPhase::End => '<',
+            SpanPhase::Instant => '.',
+        };
+        let _ = writeln!(
+            out,
+            "{:>12.6} ms  {:<10} {} {:<18} id={:<8} arg={}",
+            ev.t_s * 1e3,
+            ev.track.label(),
+            marker,
+            ev.name,
+            ev.id,
+            ev.arg
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Track;
+
+    #[test]
+    fn renders_one_line_per_event() {
+        let t = Track {
+            name: "server",
+            index: 2,
+        };
+        let evs = vec![
+            TelemetryEvent {
+                t_s: 0.00105,
+                track: t,
+                phase: SpanPhase::Begin,
+                name: "batch".into(),
+                id: 3,
+                arg: 8,
+            },
+            TelemetryEvent {
+                t_s: 0.002,
+                track: t,
+                phase: SpanPhase::End,
+                name: "batch".into(),
+                id: 3,
+                arg: 8,
+            },
+        ];
+        let text = render_text(&evs);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("server2"));
+        assert!(text.contains("> batch"));
+        assert!(text.contains("< batch"));
+        assert!(text.contains("1.050000 ms"));
+    }
+
+    #[test]
+    fn empty_stream_renders_empty() {
+        assert!(render_text(std::iter::empty()).is_empty());
+    }
+}

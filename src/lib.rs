@@ -14,6 +14,7 @@
 //! | [`workloads`] | `tpu-workloads` | the eight production inference apps |
 //! | [`serving`] | `tpu-serving` | batching, p99 SLOs, multi-tenancy |
 //! | [`tco`] | `tpu-tco` | CapEx/OpEx/TCO and deployment timelines |
+//! | [`telemetry`] | `tpu-telemetry` | event sinks, flight recorder, trace export |
 //! | [`core`] | `tpu-core` | high-level run/suite/SLO helpers |
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index
@@ -39,6 +40,7 @@ pub use tpu_numerics as numerics;
 pub use tpu_serving as serving;
 pub use tpu_sim as sim;
 pub use tpu_tco as tco;
+pub use tpu_telemetry as telemetry;
 pub use tpu_workloads as workloads;
 
 pub use tpu_core::prelude;
