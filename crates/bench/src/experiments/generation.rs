@@ -1,0 +1,308 @@
+//! E25: continuous vs static batching for autoregressive serving.
+//!
+//! Lesson 10 said applications limit latency, not batch size — and
+//! autoregressive inference is the workload that turned that lesson into
+//! a scheduler design problem. Decode is weight-streaming-bound: every
+//! step reads the whole model from HBM whether one request or thirty are
+//! in flight, so the *only* way to buy tokens/s is to keep the in-flight
+//! batch full. Static batching can't: a batch decodes until its slowest
+//! member finishes, and every early finisher pads the batch while new
+//! arrivals queue. Continuous batching retires finished requests at step
+//! boundaries and admits waiting ones immediately — bounded only by the
+//! batch cap and by KV-cache HBM, the resource this sweep deliberately
+//! makes scarce.
+
+use tpu_arch::catalog;
+use tpu_core::DEFAULT_SWEEP_SEED;
+use tpu_numerics::DType;
+use tpu_serving::des::{simulate_generation, BatchingMode, GenConfig};
+use tpu_serving::genmodel::{GenerationModel, TokenDistribution};
+use tpu_serving::latency::{GenLatencyModel, LatencyModel};
+
+use crate::multiseed::{Envelope, MultiSeedRunner};
+use crate::util::{f, Table};
+
+/// The v4i-derived generation fixture shared by E25 and the
+/// `llm_serving` example.
+#[derive(Debug, Clone)]
+pub struct GenerationSetup {
+    /// Prefill and decode cost curves derived from the v4i datasheet.
+    pub lat: GenLatencyModel,
+    /// Base config (rate is a placeholder; the sweep scales it).
+    pub base: GenConfig,
+    /// Analytic capacity estimate, requests/second, used to place the
+    /// load factors below/at/past saturation.
+    pub capacity_rps: f64,
+}
+
+/// Builds the E25 fixture from the TPUv4i chip model: a 2 GiB-weight
+/// int8 decoder resident in the chip's 8 GiB HBM, the rest available
+/// for KV-cache.
+///
+/// - one decode step streams the weights once: `weights / hbm_bw`
+///   (~3.5 ms), nearly flat in batch — the marginal in-flight request
+///   costs only its KV reads;
+/// - prefill is compute-bound: `2 FLOPs/param/token` at half of int8
+///   peak;
+/// - the KV footprint per resident token is sized so KV binds (~20
+///   concurrent mean-shaped requests) *below* the batch cap of 24 —
+///   admission control, not the cap, is the active constraint.
+pub fn v4i_generation_setup() -> GenerationSetup {
+    let chip = catalog::tpu_v4i();
+    let params: f64 = 2e9;
+    let weights_bytes = params as u64; // int8: one byte per parameter
+    let kv_capacity_bytes = chip.hbm.capacity_bytes - weights_bytes;
+
+    // Decode: one full weight stream per step, plus a mild batch slope
+    // for KV traffic and scheduling overhead.
+    let step_base = weights_bytes as f64 / chip.hbm.bandwidth_bps;
+    let decode = LatencyModel::from_points(vec![
+        (1, 1.02 * step_base),
+        (8, 1.10 * step_base),
+        (32, 1.45 * step_base),
+        (128, 2.60 * step_base),
+    ])
+    .expect("increasing batches");
+
+    // Prefill: 2 FLOPs per parameter per prompt token at 50% of int8
+    // peak, plus a small launch overhead.
+    let peak = chip.peak_flops(DType::Int8).expect("v4i serves int8");
+    let s_per_token = 2.0 * params / (0.5 * peak);
+    let prefill = LatencyModel::from_points(vec![
+        (1, 2e-4 + s_per_token),
+        (2048, 2e-4 + 2048.0 * s_per_token),
+    ])
+    .expect("increasing token counts");
+
+    let model = GenerationModel {
+        prompt: TokenDistribution::Uniform { min: 64, max: 1024 },
+        output: TokenDistribution::Geometric {
+            mean: 64.0,
+            max: 256,
+        },
+        kv_bytes_per_token: 512 * 1024,
+    };
+
+    // Analytic capacity: each request costs its prefill exclusively plus
+    // its share of decode steps at the KV-bound effective batch.
+    let mean_prompt = model.prompt.mean_tokens();
+    let mean_output = model.output.mean_tokens();
+    let kv_tokens = (kv_capacity_bytes / model.kv_bytes_per_token) as f64;
+    let max_batch = 24u64;
+    let b_eff = (kv_tokens / (mean_prompt + mean_output)).min(max_batch as f64);
+    let lat = GenLatencyModel { prefill, decode };
+    let step_eff = lat.decode_step_s(b_eff.round() as u64);
+    let capacity_rps =
+        1.0 / (lat.prefill_s(mean_prompt.round() as u64) + mean_output * step_eff / b_eff);
+
+    GenerationSetup {
+        lat,
+        base: GenConfig {
+            arrival_rate_rps: 1.0,
+            requests: REQUESTS,
+            seed: DEFAULT_SWEEP_SEED,
+            mode: BatchingMode::Continuous,
+            max_batch,
+            kv_capacity_bytes,
+            ttft_slo_s: Some(0.25),
+            model,
+        },
+        capacity_rps,
+    }
+}
+
+/// One point of the E25 sweep.
+///
+/// Scalar fields are the canonical replication (seed
+/// [`DEFAULT_SWEEP_SEED`], replication 0 of the runner); the envelopes
+/// fold all [`REPLICATIONS`] arrival/token seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationSweepPoint {
+    /// Offered load as a multiple of estimated capacity.
+    pub load_factor: f64,
+    /// Static or continuous batching.
+    pub mode: BatchingMode,
+    /// Completions whose TTFT met the 250 ms SLO, per second.
+    pub goodput_rps: f64,
+    /// p99 time-to-first-token, ms.
+    pub p99_ttft_ms: f64,
+    /// p99 time-per-output-token, ms.
+    pub p99_tpot_ms: f64,
+    /// Generated tokens per second.
+    pub tokens_per_s: f64,
+    /// Scheduling boundaries blocked on KV capacity.
+    pub kv_deferrals: u64,
+    /// Mean in-flight batch over decode steps.
+    pub mean_decode_batch: f64,
+    /// Goodput across all seeded replications.
+    pub goodput_env: Envelope,
+    /// p99 TTFT (ms) across all seeded replications.
+    pub ttft_env: Envelope,
+    /// p99 TPOT (ms) across all seeded replications.
+    pub tpot_env: Envelope,
+}
+
+/// The load factors the sweep visits: below, at, and past saturation.
+pub const LOAD_FACTORS: [f64; 4] = [0.6, 1.0, 1.5, 2.0];
+
+/// Seeded replications per sweep point.
+pub const REPLICATIONS: usize = 5;
+
+/// Requests per run.
+pub const REQUESTS: usize = 600;
+
+/// E25 data: the 2 GiB int8 decoder on TPUv4i, offered 0.6x–2x its
+/// estimated capacity under static and continuous batching. Every run
+/// asserts per-token conservation before its numbers are folded.
+pub fn generation_data() -> Vec<GenerationSweepPoint> {
+    let setup = v4i_generation_setup();
+    let runner = MultiSeedRunner::new(DEFAULT_SWEEP_SEED, REPLICATIONS);
+    let mut out = Vec::new();
+    for mode in [BatchingMode::Static, BatchingMode::Continuous] {
+        for factor in LOAD_FACTORS {
+            let reps = runner.run(|seed| {
+                let mut cfg = setup.base;
+                cfg.mode = mode;
+                cfg.seed = seed;
+                cfg.arrival_rate_rps = factor * setup.capacity_rps;
+                let r = simulate_generation(&setup.lat, &cfg).expect("sweep config is valid");
+                assert!(
+                    r.conservation_holds(),
+                    "lost tokens at {factor}x {mode:?} (seed {seed})"
+                );
+                r
+            });
+            let canonical = &reps[0];
+            out.push(GenerationSweepPoint {
+                load_factor: factor,
+                mode,
+                goodput_rps: canonical.goodput_rps,
+                p99_ttft_ms: canonical.p99_ttft_s * 1e3,
+                p99_tpot_ms: canonical.p99_tpot_s * 1e3,
+                tokens_per_s: canonical.tokens_per_s,
+                kv_deferrals: canonical.metrics.kv_deferrals.get(),
+                mean_decode_batch: canonical.metrics.decode_batch.mean(),
+                goodput_env: Envelope::from_samples(
+                    &reps.iter().map(|r| r.goodput_rps).collect::<Vec<_>>(),
+                ),
+                ttft_env: Envelope::from_samples(
+                    &reps.iter().map(|r| r.p99_ttft_s * 1e3).collect::<Vec<_>>(),
+                ),
+                tpot_env: Envelope::from_samples(
+                    &reps.iter().map(|r| r.p99_tpot_s * 1e3).collect::<Vec<_>>(),
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// E25 (extension) — continuous vs static batching under overload.
+pub fn e25_generation() -> String {
+    let mut t = Table::new(&[
+        "batching",
+        "load",
+        "goodput/s",
+        "goodput ±ci95",
+        "p99 TTFT ms",
+        "TTFT ±ci95",
+        "p99 TPOT ms",
+        "tok/s",
+        "kv defers",
+        "batch",
+    ]);
+    let data = generation_data();
+    let n = data.first().map_or(0, |p| p.goodput_env.n);
+    for p in &data {
+        t.row(vec![
+            match p.mode {
+                BatchingMode::Static => "static",
+                BatchingMode::Continuous => "continuous",
+            }
+            .to_owned(),
+            format!("{}x", f(p.load_factor, 1)),
+            f(p.goodput_rps, 1),
+            p.goodput_env.pm(1),
+            f(p.p99_ttft_ms, 0),
+            p.ttft_env.pm(0),
+            f(p.p99_tpot_ms, 2),
+            f(p.tokens_per_s, 0),
+            p.kv_deferrals.to_string(),
+            f(p.mean_decode_batch, 1),
+        ]);
+    }
+    format!(
+        "E25 (extension) — continuous vs static batching, 2 GiB int8 decoder on TPUv4i \
+         (decode loop with KV-cache admission; {n} seeded replications per point)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_is_kv_bound_below_the_batch_cap() {
+        let s = v4i_generation_setup();
+        assert!(s.base.validate().is_ok());
+        // KV holds ~20 mean-shaped requests: less than the cap of 24, so
+        // admission control is the active constraint.
+        let kv_tokens = s.base.kv_capacity_bytes / s.base.model.kv_bytes_per_token;
+        let mean_tokens = s.base.model.prompt.mean_tokens() + s.base.model.output.mean_tokens();
+        let concurrent = kv_tokens as f64 / mean_tokens;
+        assert!(
+            concurrent < s.base.max_batch as f64,
+            "KV fits {concurrent:.1} requests, cap {}",
+            s.base.max_batch
+        );
+        assert!(concurrent > 4.0, "KV too tight to batch at all");
+        // Capacity lands in a plausible band for ~3.5 ms steps.
+        assert!(
+            s.capacity_rps > 5.0 && s.capacity_rps < 200.0,
+            "capacity {} rps",
+            s.capacity_rps
+        );
+    }
+
+    #[test]
+    fn e25_continuous_beats_static_past_saturation() {
+        let data = generation_data();
+        let at = |factor: f64, mode: BatchingMode| {
+            data.iter()
+                .find(|p| p.load_factor == factor && p.mode == mode)
+                .unwrap()
+        };
+        for factor in [1.5, 2.0] {
+            let s = at(factor, BatchingMode::Static);
+            let c = at(factor, BatchingMode::Continuous);
+            // The gap holds across the whole envelope: continuous's
+            // worst seed beats static's best.
+            assert!(
+                c.goodput_env.min > s.goodput_env.max,
+                "{factor}x: continuous {} vs static {}",
+                c.goodput_env.min,
+                s.goodput_env.max
+            );
+            assert!(
+                c.ttft_env.max < s.ttft_env.min,
+                "{factor}x: continuous p99 TTFT {} vs static {}",
+                c.ttft_env.max,
+                s.ttft_env.min
+            );
+            // Continuous turns batch slots into useful tokens; static's
+            // slots are partly padding (its *observed* batch is larger,
+            // but much of it is finished members waiting for the drain).
+            assert!(c.tokens_per_s > s.tokens_per_s);
+        }
+        // Below saturation both modes meet the SLO for nearly everyone.
+        let light_s = at(0.6, BatchingMode::Static);
+        let light_c = at(0.6, BatchingMode::Continuous);
+        assert!(light_c.goodput_rps >= light_s.goodput_rps * 0.95);
+        // Envelopes fold every replication and contain the canonical run.
+        for p in &data {
+            assert_eq!(p.goodput_env.n, REPLICATIONS);
+            assert!(p.goodput_env.min <= p.goodput_rps && p.goodput_rps <= p.goodput_env.max);
+        }
+    }
+}

@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod chaos;
 pub mod cost_exp;
 pub mod evolution;
+pub mod generation;
 pub mod numerics_exp;
 pub mod observability;
 pub mod overload;

@@ -141,16 +141,57 @@ impl LatencyModel {
         &self.points
     }
 
+    /// The smallest factor [`LatencyModel::scaled`] will apply. A zero
+    /// (or negative, or NaN) factor would produce zero-latency knots,
+    /// make [`LatencyModel::throughput`] return `inf`, and poison every
+    /// downstream rate computation with NaN.
+    pub const MIN_SCALE: f64 = 1e-9;
+
     /// Returns a copy with all latencies scaled by `factor` (used to
     /// model per-tenant CMEM-partition slowdowns without re-profiling).
+    ///
+    /// `factor` is clamped to [`LatencyModel::MIN_SCALE`]: non-positive
+    /// and NaN factors yield an (absurdly fast but) finite model rather
+    /// than zero-latency knots with infinite throughput.
     pub fn scaled(&self, factor: f64) -> LatencyModel {
+        // `NaN.max(x)` returns `x`, so NaN factors are clamped too.
+        let factor = factor.max(Self::MIN_SCALE);
         LatencyModel {
-            points: self
-                .points
-                .iter()
-                .map(|&(b, t)| (b, t * factor.max(0.0)))
-                .collect(),
+            points: self.points.iter().map(|&(b, t)| (b, t * factor)).collect(),
         }
+    }
+}
+
+/// Prefill + decode cost curves for autoregressive (generative)
+/// inference, reusing [`LatencyModel`]'s piecewise-linear machinery for
+/// both phases.
+///
+/// - `prefill` maps **prompt tokens** to the seconds of processing the
+///   full prompt (compute-bound; paid once, when the request joins the
+///   in-flight decode batch);
+/// - `decode` maps the **in-flight batch size** to the seconds of one
+///   decode step (one token per in-flight request). Decode is
+///   weight-streaming-bound: every step reads the model from HBM once
+///   regardless of batch size, so the marginal cost of an extra
+///   in-flight request is small — the economics continuous batching
+///   exploits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenLatencyModel {
+    /// `(prompt_tokens, seconds)` curve: full-prompt prefill cost.
+    pub prefill: LatencyModel,
+    /// `(batch, seconds)` curve: one decode step at that batch size.
+    pub decode: LatencyModel,
+}
+
+impl GenLatencyModel {
+    /// Seconds to prefill a prompt of `prompt_tokens`.
+    pub fn prefill_s(&self, prompt_tokens: u64) -> f64 {
+        self.prefill.latency(prompt_tokens)
+    }
+
+    /// Seconds for one decode step with `batch` requests in flight.
+    pub fn decode_step_s(&self, batch: u64) -> f64 {
+        self.decode.latency(batch)
     }
 }
 
@@ -201,6 +242,45 @@ mod tests {
         let m = LatencyModel::from_points(vec![(1, 1.0), (2, 2.0)]).unwrap();
         let s = m.scaled(1.5);
         assert!((s.latency(2) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_clamps_degenerate_factors() {
+        // Regression: scaled(0.0) produced zero-latency knots, so
+        // throughput() returned inf and downstream rate math went NaN.
+        let m = LatencyModel::from_points(vec![(1, 1.0), (2, 2.0)]).unwrap();
+        for factor in [0.0, -3.0, f64::NAN] {
+            let s = m.scaled(factor);
+            assert!(
+                s.latency(1) > 0.0,
+                "factor {factor}: latency must stay positive"
+            );
+            assert!(
+                s.throughput(2).is_finite(),
+                "factor {factor}: throughput must stay finite"
+            );
+            // No NaN anywhere in the scaled knots.
+            assert!(s.points().iter().all(|&(_, t)| t.is_finite()));
+        }
+        // The clamp floor itself is applied, not zero.
+        let tiny = m.scaled(0.0);
+        assert!((tiny.latency(1) - LatencyModel::MIN_SCALE).abs() < 1e-18);
+    }
+
+    #[test]
+    fn gen_latency_model_evaluates_both_curves() {
+        let g = GenLatencyModel {
+            // 1 ms + ~10 us/token prefill.
+            prefill: LatencyModel::from_points(vec![(1, 0.001), (1000, 0.011)]).unwrap(),
+            // 3 ms step, nearly flat in batch.
+            decode: LatencyModel::from_points(vec![(1, 0.003), (32, 0.0039)]).unwrap(),
+        };
+        assert!((g.prefill_s(1000) - 0.011).abs() < 1e-12);
+        assert!(g.prefill_s(500) > g.prefill_s(10));
+        assert!(g.decode_step_s(32) > g.decode_step_s(1));
+        // Weight-streaming economics: 32 tokens per step cost far less
+        // than 32 single-token steps.
+        assert!(g.decode_step_s(32) < 4.0 * g.decode_step_s(1));
     }
 
     #[test]

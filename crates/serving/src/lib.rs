@@ -12,7 +12,12 @@
 //!   dynamic batching (batch forms on size or timeout), per-request
 //!   deadlines, admission-control load shedding, and retry-with-backoff
 //!   — every entry point validates its config and returns a typed
-//!   [`des::ConfigError`] for degenerate inputs;
+//!   [`des::ConfigError`] for degenerate inputs. The same module hosts
+//!   the autoregressive decode-loop scheduler
+//!   ([`des::simulate_generation`]): static vs continuous batching with
+//!   KV-cache HBM as a first-class constrained resource;
+//! - [`genmodel`]: bounded prompt/output token-count distributions and
+//!   the per-request KV-cache footprint they imply;
 //! - [`faults`]: fault injection and failover — validated [`FaultPlan`]s
 //!   (fail-stop crashes, transient hangs, slow-degrades; scheduled or
 //!   MTBF/MTTR-driven), a server health lifecycle, and a health checker
@@ -47,6 +52,7 @@
 
 pub mod des;
 pub mod faults;
+pub mod genmodel;
 pub mod latency;
 pub mod metrics;
 pub mod multitenant;
@@ -54,10 +60,13 @@ pub mod slo;
 pub mod stats;
 
 pub use des::{
-    simulate, simulate_fleet, simulate_fleet_recorded, simulate_fleet_with_faults, ConfigError,
-    FleetConfig, FleetPolicy, PoolConfig, RetryPolicy, ServingConfig, ServingReport, Stragglers,
+    simulate, simulate_fleet, simulate_fleet_recorded, simulate_fleet_with_faults,
+    simulate_generation, simulate_generation_recorded, BatchingMode, ConfigError, FleetConfig,
+    FleetPolicy, GenConfig, GenReport, PoolConfig, RetryPolicy, ServingConfig, ServingReport,
+    Stragglers,
 };
 pub use faults::{FailoverConfig, FaultKind, FaultPlan, MtbfFaults, ScheduledFault};
-pub use latency::LatencyModel;
+pub use genmodel::{GenerationModel, TokenDistribution};
+pub use latency::{GenLatencyModel, LatencyModel};
 pub use metrics::ServingMetrics;
 pub use stats::LatencyStats;

@@ -225,8 +225,26 @@ pub struct ServingMetrics {
     /// Discrete events the engine processed (heap pops). The denominator
     /// for ns-per-event perf baselines.
     pub events_processed: Counter,
+    /// Output tokens generated by the decode loop (generation engine
+    /// only; the per-token conservation identity checks this against
+    /// the completed requests' sampled output lengths).
+    pub tokens_generated: Counter,
+    /// Prompt tokens prefilled at admission (generation engine only).
+    pub tokens_prefilled: Counter,
+    /// Decode steps executed (generation engine only).
+    pub decode_steps: Counter,
+    /// Admissions deferred because KV-cache residency would overflow
+    /// HBM (one count per blocked scheduling boundary, not per request;
+    /// generation engine only — the decode loop defers, never sheds).
+    pub kv_deferrals: Counter,
+    /// Peak KV-cache bytes resident at any decode-step boundary
+    /// (generation engine only).
+    pub kv_peak_bytes: u64,
     /// Distribution of formed batch sizes.
     pub batch_sizes: Histogram,
+    /// Distribution of in-flight decode batch sizes, one observation
+    /// per decode step (generation engine only).
+    pub decode_batch: Histogram,
     /// Distribution of per-admission queue waiting time, seconds.
     pub queue_wait_s: Histogram,
     /// Fault injection → health-checker detection lag, seconds.
@@ -264,8 +282,14 @@ impl ServingMetrics {
             failed_permanent: Counter::default(),
             failover_redistributed: Counter::default(),
             events_processed: Counter::default(),
+            tokens_generated: Counter::default(),
+            tokens_prefilled: Counter::default(),
+            decode_steps: Counter::default(),
+            kv_deferrals: Counter::default(),
+            kv_peak_bytes: 0,
             // Powers of two cover any practical batch cap.
             batch_sizes: Histogram::exponential(1.0, 2.0, 14),
+            decode_batch: Histogram::exponential(1.0, 2.0, 14),
             // 10 us .. ~80 s in x3 steps.
             queue_wait_s: Histogram::exponential(1e-5, 3.0, 16),
             // 100 us .. ~50 s in x3 steps (probe lags and repair times).

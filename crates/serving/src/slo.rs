@@ -23,12 +23,22 @@ pub fn max_batch_within_slo(latency: &LatencyModel, slo_s: f64, limit: u64) -> O
         } else {
             break;
         }
-        b *= 2;
+        // Saturating doubling: with `limit` near `u64::MAX` the probe
+        // passes `u64::MAX / 2` and a plain `b *= 2` overflows (panics
+        // in debug builds). Saturation also terminates the loop: once
+        // `b` pins at `u64::MAX` it stops growing.
+        let next = b.saturating_mul(2);
+        if next == b {
+            break;
+        }
+        b = next;
     }
-    // Refine between best and 2*best by binary search.
-    let (mut lo, mut hi) = (best, (best * 2).min(limit));
+    // Refine between best and 2*best by binary search. The midpoint is
+    // computed as `lo + ceil((hi - lo) / 2)` — algebraically equal to
+    // `ceil((lo + hi) / 2)` but immune to `lo + hi` overflowing.
+    let (mut lo, mut hi) = (best, best.saturating_mul(2).min(limit));
     while lo < hi {
-        let mid = (lo + hi).div_ceil(2);
+        let mid = lo + (hi - lo).div_ceil(2);
         if latency.latency(mid) <= slo_s {
             lo = mid;
         } else {
@@ -54,6 +64,12 @@ pub struct SloThroughput {
 ///
 /// `max_batch` caps batch formation (use [`max_batch_within_slo`] to
 /// pick it); `requests` controls simulation length (more = tighter p99).
+///
+/// When no probed rate meets the SLO, `max_rps` is 0 and the returned
+/// report is the one simulated at the bisection's floor rate (the
+/// lowest rate the search can probe) — its `p99_s` exceeds `slo_s`,
+/// documenting the miss. The pair is always consistent: the report
+/// belongs to the returned rate, never to an unrelated bootstrap run.
 pub fn max_throughput_under_slo(
     latency: &LatencyModel,
     slo_s: f64,
@@ -69,27 +85,34 @@ pub fn max_throughput_under_slo(
         requests,
         seed,
     };
+    // The lowest rate any probe runs at (the bisection clamps to it).
+    let floor_rate = 1e-3;
     // Upper bound: ideal service rate at the capped batch.
     let mut hi = latency.throughput(max_batch) * 1.05;
     let mut lo = 0.0f64;
     let mut best_rate = 0.0;
-    // The rate is clamped positive and every other knob is fixed and
-    // sane, so validation cannot fail here.
-    let mut best_report = simulate(latency, &cfg(1.0)).expect("valid search config");
+    let mut best_report: Option<ServingReport> = None;
     for _ in 0..18 {
         let mid = (lo + hi) / 2.0;
-        let r = simulate(latency, &cfg(mid.max(1e-3))).expect("valid search config");
+        // The rate is clamped positive and every other knob is fixed
+        // and sane, so validation cannot fail here.
+        let r = simulate(latency, &cfg(mid.max(floor_rate))).expect("valid search config");
         if r.p99_s <= slo_s {
             best_rate = mid;
-            best_report = r;
+            best_report = Some(r);
             lo = mid;
         } else {
             hi = mid;
         }
     }
+    let report = best_report.unwrap_or_else(|| {
+        // Nothing met the SLO: report the floor-rate run so the
+        // returned (rate, report) pair is consistent.
+        simulate(latency, &cfg(floor_rate)).expect("valid search config")
+    });
     SloThroughput {
         max_rps: best_rate,
-        report: best_report,
+        report,
         max_batch,
     }
 }
@@ -137,6 +160,50 @@ mod tests {
         assert_eq!(max_batch_within_slo(&m, 0.001, 1024), None);
         // Limit caps the answer.
         assert_eq!(max_batch_within_slo(&m, 0.010, 16), Some(16));
+    }
+
+    #[test]
+    fn max_batch_survives_huge_limits() {
+        // Regression: `b *= 2` (and `best * 2`) overflowed u64 once the
+        // doubling probe passed u64::MAX / 2, panicking in debug builds.
+        let m = model();
+        // Finite answer, absurd limit: the doubling must stop at the SLO
+        // boundary without ever overflowing.
+        let b = max_batch_within_slo(&m, 0.010, u64::MAX).unwrap();
+        assert!((75..=85).contains(&b), "{b}");
+        // A constant-latency model under its SLO never fails the probe,
+        // so the doubling runs all the way up: it must saturate, not
+        // wrap, and report the limit.
+        let flat = LatencyModel::from_points(vec![(1, 0.001), (2, 0.001)]).unwrap();
+        assert_eq!(max_batch_within_slo(&flat, 0.010, u64::MAX), Some(u64::MAX));
+        assert_eq!(
+            max_batch_within_slo(&flat, 0.010, u64::MAX / 2 + 7),
+            Some(u64::MAX / 2 + 7)
+        );
+    }
+
+    #[test]
+    fn impossible_slo_returns_consistent_pair() {
+        // Regression: with no probe meeting the SLO, the report stayed
+        // the rate-1.0 bootstrap while max_rps said 0 — an inconsistent
+        // pair. Now the report is the floor-rate probe and its p99
+        // documents the miss.
+        let m = model();
+        // SLO far below batch-1 service latency: nothing can meet it.
+        let slo = 1e-6;
+        let r = max_throughput_under_slo(&m, slo, 16, 200, 3);
+        assert_eq!(r.max_rps, 0.0);
+        assert!(
+            r.report.p99_s > slo,
+            "the returned report must document the SLO miss"
+        );
+        // The report corresponds to the floor probe rate (~1e-3 rps),
+        // not the old rate-1.0 bootstrap.
+        assert!(
+            r.report.throughput_rps < 0.01,
+            "throughput {} should be near the 1e-3 floor rate",
+            r.report.throughput_rps
+        );
     }
 
     #[test]
