@@ -53,7 +53,7 @@ pub fn e10_data() -> Vec<TcoRow> {
             let cap = capex(&chip).total_usd();
             let report = model.report(&chip);
             TcoRow {
-                chip: chip.name.clone(),
+                chip: chip.name,
                 perf,
                 capex_usd: cap,
                 opex_usd: report.opex_usd,

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod compiler_exp;
 pub mod cost_exp;
 pub mod evolution;
 pub mod generation;

@@ -354,7 +354,7 @@ pub fn e20_data() -> Vec<InterferencePoint> {
             let pb = plan_of(b);
             let ta = sim.run(&pa).expect("simulates").seconds;
             let tb = sim.run(&pb).expect("simulates").seconds;
-            let mut merged = pa.clone();
+            let mut merged = pa;
             merged.append(&pb, None);
             let tab = sim.run(&merged).expect("simulates").seconds;
             InterferencePoint {

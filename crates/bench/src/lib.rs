@@ -46,6 +46,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "e22" => experiments::chaos::e22_chaos(),
         "e24" => experiments::observability::e24_observability(),
         "e25" => experiments::generation::e25_generation(),
+        "e26" => experiments::compiler_exp::e26_compiler(),
         "a1" => experiments::ablations::a1_mxu_count(),
         "a2" => experiments::ablations::a2_hbm_bandwidth(),
         "a3" => experiments::ablations::a3_clock(),
@@ -59,17 +60,18 @@ pub fn run_experiment(id: &str) -> Option<String> {
 /// energy breakdown, batching policies, fleet sizing, workload
 /// evolution, co-location interference, overload goodput, chaos /
 /// failover, observability, continuous batching).
-pub const ALL_EXPERIMENTS: [&str; 24] = [
+pub const ALL_EXPERIMENTS: [&str; 25] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e24", "e25",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e24", "e25", "e26",
 ];
 
 /// The fast deterministic subset the golden-regression test pins
-/// (`--quick`): analytic tables, the recorded-lifecycle experiment, and
-/// the decode-loop sweep, skipping the long DES sweeps so the snapshot
-/// run stays cheap even in debug builds.
-pub const QUICK_EXPERIMENTS: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e9", "e10", "e13", "e14", "e24", "e25",
+/// (`--quick`): analytic tables, the recorded-lifecycle experiment, the
+/// decode-loop sweep, and the compiler-pipeline replay, skipping the
+/// long DES sweeps so the snapshot run stays cheap even in debug
+/// builds.
+pub const QUICK_EXPERIMENTS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e9", "e10", "e13", "e14", "e24", "e25", "e26",
 ];
 
 /// The design-choice ablations (run with explicit ids or `--ablations`).

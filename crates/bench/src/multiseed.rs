@@ -166,7 +166,7 @@ mod tests {
         assert_eq!(seeds.len(), 5);
         assert_eq!(seeds[0], 17);
         // Lanes are distinct (splitmix64 is a bijection per lane).
-        let mut uniq = seeds.clone();
+        let mut uniq = seeds;
         uniq.sort_unstable();
         uniq.dedup();
         assert_eq!(uniq.len(), 5);

@@ -1,0 +1,690 @@
+//! A reference evaluator for HLO graphs: the semantic ground truth the
+//! pass framework's differential tests compare against.
+//!
+//! The IR carries no tensor *values* (weights are shapes, not data), so
+//! the evaluator assigns deterministic synthetic values:
+//!
+//! - a `Parameter`'s element `i` is a pure function of the parameter's
+//!   *ordinal* (its rank among the graph's parameters, in id order) and
+//!   `i` — which is why dead-code elimination keeps parameters: they are
+//!   the graph's call signature, and removing one would renumber the
+//!   rest;
+//! - a `Constant`'s element `i` is a pure function of `i` *alone* (every
+//!   weight tensor is "the same checkpoint bytes"). Because a row-major
+//!   reshape preserves the linear buffer, this makes
+//!   `Reshape(Constant) -> Constant` folding value-preserving by
+//!   construction. The trade-off: the evaluator cannot distinguish two
+//!   same-sized constants, so a pass that swapped one weight for another
+//!   would slip past differential testing — the verifier's structural
+//!   checks and the pass unit tests cover that class.
+//!
+//! Matrix multiplies small enough to afford it are executed on the
+//! `tpu-isa` functional [`Interpreter`] — tiled through the systolic
+//! MXU with the architectural `PushWeights`/`MatMul`/`PopResults`
+//! sequence — so a pass that survives differential testing has been
+//! checked against the instruction-level machine model, not just
+//! against a second copy of the same Rust loop. Above the budget a
+//! plain f32 triple loop is used (same math, no tiling detour).
+//!
+//! All arithmetic is f32 regardless of the graph's dtype: this is a
+//! *semantic* reference, not a numerics model (`tpu-numerics` owns
+//! precision effects).
+
+use std::fmt;
+
+use tpu_arch::Generation;
+use tpu_isa::asm::assemble;
+use tpu_isa::interp::{InterpConfig, InterpError, Interpreter};
+use tpu_numerics::activation;
+
+use crate::graph::{BinaryKind, Graph, HloOp, Node, OpId};
+
+/// Error raised during evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The ISA interpreter faulted while executing an MXU tile loop (a
+    /// bug in the evaluator's program generation if it ever happens).
+    Interp(InterpError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Interp(e) => write!(f, "mxu tile loop faulted: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<InterpError> for EvalError {
+    fn from(e: InterpError) -> EvalError {
+        EvalError::Interp(e)
+    }
+}
+
+/// Evaluator knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Matmuls up to this many flops run on the `tpu-isa` interpreter's
+    /// MXU; larger ones use the plain loop (the tiled detour costs real
+    /// time in debug builds).
+    pub mxu_flop_budget: u64,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions {
+            mxu_flop_budget: 4_000_000,
+        }
+    }
+}
+
+/// The worst elementwise disagreement between two output sets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Divergence {
+    /// Which output (index into the graphs' output lists).
+    pub output: usize,
+    /// Linear element index within that output.
+    pub index: usize,
+    /// Value on the left.
+    pub lhs: f32,
+    /// Value on the right.
+    pub rhs: f32,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "output {} element {}: {} vs {}",
+            self.output, self.index, self.lhs, self.rhs
+        )
+    }
+}
+
+/// Evaluates a graph with default options, returning one f32 buffer per
+/// designated output, in output order.
+///
+/// # Errors
+///
+/// Propagates ISA-interpreter faults (see [`EvalError`]).
+pub fn evaluate(graph: &Graph) -> Result<Vec<Vec<f32>>, EvalError> {
+    evaluate_with(graph, &EvalOptions::default())
+}
+
+/// Evaluates a graph, returning one f32 buffer per designated output.
+///
+/// # Errors
+///
+/// Propagates ISA-interpreter faults (see [`EvalError`]).
+pub fn evaluate_with(graph: &Graph, options: &EvalOptions) -> Result<Vec<Vec<f32>>, EvalError> {
+    let mut ev = Evaluator {
+        graph,
+        options: *options,
+        values: vec![None; graph.nodes().len()],
+        param_ordinals: param_ordinals(graph),
+    };
+    // Evaluate only what the outputs need (dead nodes may be arbitrarily
+    // expensive; the frontend deliberately plants them).
+    let mut live = vec![false; graph.nodes().len()];
+    let mut stack: Vec<OpId> = graph.outputs().to_vec();
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut live[id.index()], true) {
+            continue;
+        }
+        stack.extend(graph.node(id).op.operands());
+    }
+    for node in graph.nodes() {
+        if live[node.id.index()] {
+            let v = ev.eval_node(node)?;
+            ev.values[node.id.index()] = Some(v);
+        }
+    }
+    Ok(graph
+        .outputs()
+        .iter()
+        .map(|&o| ev.values[o.index()].clone().expect("outputs are live"))
+        .collect())
+}
+
+/// Compares two output sets elementwise under a relative tolerance,
+/// returning the worst divergence if any element (or the output/element
+/// counts themselves) disagree.
+pub fn outputs_divergence(
+    lhs: &[Vec<f32>],
+    rhs: &[Vec<f32>],
+    tolerance: f32,
+) -> Option<Divergence> {
+    if lhs.len() != rhs.len() {
+        return Some(Divergence {
+            output: lhs.len().min(rhs.len()),
+            index: 0,
+            lhs: lhs.len() as f32,
+            rhs: rhs.len() as f32,
+        });
+    }
+    let mut worst: Option<(f32, Divergence)> = None;
+    for (o, (a, b)) in lhs.iter().zip(rhs).enumerate() {
+        if a.len() != b.len() {
+            return Some(Divergence {
+                output: o,
+                index: a.len().min(b.len()),
+                lhs: a.len() as f32,
+                rhs: b.len() as f32,
+            });
+        }
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            let scale = 1.0 + x.abs().max(y.abs());
+            let err = (x - y).abs() / scale;
+            if err > tolerance && worst.as_ref().is_none_or(|(w, _)| err > *w) {
+                worst = Some((
+                    err,
+                    Divergence {
+                        output: o,
+                        index: i,
+                        lhs: x,
+                        rhs: y,
+                    },
+                ));
+            }
+        }
+    }
+    worst.map(|(_, d)| d)
+}
+
+/// Ordinal of each parameter node among the graph's parameters
+/// (indexed by `OpId::index`; non-parameters get `usize::MAX`).
+fn param_ordinals(graph: &Graph) -> Vec<usize> {
+    let mut ordinals = vec![usize::MAX; graph.nodes().len()];
+    let mut next = 0usize;
+    for n in graph.nodes() {
+        if matches!(n.op, HloOp::Parameter) {
+            ordinals[n.id.index()] = next;
+            next += 1;
+        }
+    }
+    ordinals
+}
+
+/// SplitMix64: the repo-standard cheap deterministic mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a hash to [-1, 1).
+fn unit(h: u64) -> f32 {
+    ((h >> 40) as f32) / ((1u64 << 23) as f32) - 1.0
+}
+
+/// Element `i` of parameter number `ordinal`.
+fn param_value(ordinal: usize, i: u64) -> f32 {
+    unit(splitmix64(((ordinal as u64) << 48) ^ i))
+}
+
+/// Element `i` of *any* constant (see the module docs for why this must
+/// not depend on the node).
+fn const_value(i: u64) -> f32 {
+    // Scaled down so deep dot chains don't overflow f32 range.
+    unit(splitmix64(0xC0FF_EE00 ^ i)) * 0.25
+}
+
+struct Evaluator<'g> {
+    graph: &'g Graph,
+    options: EvalOptions,
+    values: Vec<Option<Vec<f32>>>,
+    param_ordinals: Vec<usize>,
+}
+
+impl Evaluator<'_> {
+    fn value(&self, id: OpId) -> &[f32] {
+        self.values[id.index()]
+            .as_deref()
+            .expect("operand evaluated")
+    }
+
+    fn eval_node(&mut self, node: &Node) -> Result<Vec<f32>, EvalError> {
+        let elements = node.shape.elements();
+        Ok(match node.op {
+            HloOp::Parameter => {
+                let ordinal = self.param_ordinals[node.id.index()];
+                (0..elements).map(|i| param_value(ordinal, i)).collect()
+            }
+            HloOp::Constant => (0..elements).map(const_value).collect(),
+            HloOp::Dot { lhs, rhs } => {
+                let k = self.graph.node(rhs).shape.leading() as usize;
+                let n = self.graph.node(rhs).shape.trailing() as usize;
+                let rows = self.value(lhs).len() / k;
+                matmul(self.value(lhs), self.value(rhs), rows, k, n, &self.options)?
+            }
+            HloOp::BatchMatmul {
+                a,
+                b,
+                batch,
+                m,
+                k,
+                n,
+                ..
+            } => {
+                let (batch, m, k, n) = (batch as usize, m as usize, k as usize, n as usize);
+                let (va, vb) = (self.value(a).to_vec(), self.value(b).to_vec());
+                let mut out = Vec::with_capacity(batch * m * n);
+                for bi in 0..batch {
+                    out.extend(matmul(
+                        &va[bi * m * k..(bi + 1) * m * k],
+                        &vb[bi * k * n..(bi + 1) * k * n],
+                        m,
+                        k,
+                        n,
+                        &self.options,
+                    )?);
+                }
+                out
+            }
+            HloOp::Conv2d {
+                input,
+                kernel,
+                stride,
+            } => self.eval_conv2d(input, kernel, stride.max(1)),
+            HloOp::Activate { input, act } => {
+                let mut v = self.value(input).to_vec();
+                act.apply_slice(&mut v);
+                v
+            }
+            HloOp::Binary { a, b, kind } => {
+                let va = self.value(a);
+                let vb = self.value(b);
+                va.iter()
+                    .zip(vb)
+                    .map(|(&x, &y)| match kind {
+                        BinaryKind::Add => x + y,
+                        BinaryKind::Mul => x * y,
+                        BinaryKind::Max => x.max(y),
+                    })
+                    .collect()
+            }
+            HloOp::Softmax { input } => {
+                let v = self.value(input);
+                let row = self.graph.node(input).shape.trailing() as usize;
+                v.chunks(row).flat_map(activation::softmax).collect()
+            }
+            HloOp::LayerNorm { input } => {
+                let v = self.value(input);
+                let row = self.graph.node(input).shape.trailing() as usize;
+                let gamma = vec![1.0f32; row];
+                let beta = vec![0.0f32; row];
+                v.chunks(row)
+                    .flat_map(|r| activation::layer_norm(r, &gamma, &beta, 1e-5))
+                    .collect()
+            }
+            HloOp::Embedding { table, batch, seq } => {
+                let t = self.value(table);
+                let vocab = self.graph.node(table).shape.leading();
+                let dim = self.graph.node(table).shape.trailing() as usize;
+                let mut out = Vec::with_capacity((batch * seq) as usize * dim);
+                for pos in 0..batch * seq {
+                    // Synthetic token ids: deterministic in the position.
+                    let id = (splitmix64(0x1D5 ^ pos) % vocab) as usize;
+                    out.extend_from_slice(&t[id * dim..(id + 1) * dim]);
+                }
+                out
+            }
+            HloOp::MaxPool2d { input, window } => self.eval_max_pool(input, window.max(1)),
+            HloOp::Reshape { input } => self.value(input).to_vec(),
+            HloOp::GateReduce { input, factor } => {
+                let factor = factor.max(1) as usize;
+                self.value(input)
+                    .chunks(factor)
+                    .map(|gates| gates.iter().sum())
+                    .collect()
+            }
+        })
+    }
+
+    /// NHWC conv with TF-style "same" padding: `out = ceil(in/stride)`,
+    /// total pad `max((out-1)*stride + k - in, 0)`, split low-side-first.
+    fn eval_conv2d(&self, input: OpId, kernel: OpId, stride: u64) -> Vec<f32> {
+        let is = &self.graph.node(input).shape;
+        let ks = &self.graph.node(kernel).shape;
+        let (n, h, w, cin) = (
+            is.dims()[0] as usize,
+            is.dims()[1] as usize,
+            is.dims()[2] as usize,
+            is.dims()[3] as usize,
+        );
+        let (kh, kw, cout) = (
+            ks.dims()[0] as usize,
+            ks.dims()[1] as usize,
+            ks.dims()[3] as usize,
+        );
+        let stride = stride as usize;
+        let (oh, ow) = (h.div_ceil(stride), w.div_ceil(stride));
+        let pad_h = ((oh - 1) * stride + kh).saturating_sub(h) / 2;
+        let pad_w = ((ow - 1) * stride + kw).saturating_sub(w) / 2;
+        let x = self.value(input);
+        let f = self.value(kernel);
+        let mut out = vec![0.0f32; n * oh * ow * cout];
+        for b in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for co in 0..cout {
+                        let mut acc = 0.0f32;
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky).wrapping_sub(pad_h);
+                            if iy >= h {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx).wrapping_sub(pad_w);
+                                if ix >= w {
+                                    continue;
+                                }
+                                for ci in 0..cin {
+                                    acc += x[((b * h + iy) * w + ix) * cin + ci]
+                                        * f[((ky * kw + kx) * cin + ci) * cout + co];
+                                }
+                            }
+                        }
+                        out[((b * oh + oy) * ow + ox) * cout + co] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Max pooling with window == stride and ceil ("same"-ish) edges:
+    /// windows clip at the input boundary.
+    fn eval_max_pool(&self, input: OpId, window: u64) -> Vec<f32> {
+        let is = &self.graph.node(input).shape;
+        let (n, h, w, c) = (
+            is.dims()[0] as usize,
+            is.dims()[1] as usize,
+            is.dims()[2] as usize,
+            is.dims()[3] as usize,
+        );
+        let window = window as usize;
+        let (oh, ow) = (h.div_ceil(window), w.div_ceil(window));
+        let x = self.value(input);
+        let mut out = vec![f32::NEG_INFINITY; n * oh * ow * c];
+        for b in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for ch in 0..c {
+                        let mut m = f32::NEG_INFINITY;
+                        for iy in (oy * window)..((oy + 1) * window).min(h) {
+                            for ix in (ox * window)..((ox + 1) * window).min(w) {
+                                m = m.max(x[((b * h + iy) * w + ix) * c + ch]);
+                            }
+                        }
+                        out[((b * oh + oy) * ow + ox) * c + ch] = m;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `[rows, k] @ [k, n]`, MXU-backed under the flop budget.
+fn matmul(
+    acts: &[f32],
+    weights: &[f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    options: &EvalOptions,
+) -> Result<Vec<f32>, EvalError> {
+    let flops = 2 * (rows * k * n) as u64;
+    if flops <= options.mxu_flop_budget {
+        matmul_mxu(acts, weights, rows, k, n)
+    } else {
+        Ok(matmul_plain(acts, weights, rows, k, n))
+    }
+}
+
+fn matmul_plain(acts: &[f32], weights: &[f32], rows: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * n];
+    for r in 0..rows {
+        for kk in 0..k {
+            let a = acts[r * k + kk];
+            for c in 0..n {
+                out[r * n + c] += a * weights[kk * n + c];
+            }
+        }
+    }
+    out
+}
+
+/// Runs the matmul on the `tpu-isa` functional interpreter: zero-padded
+/// to the MXU dimension and tiled as `PushWeights` (d x d weight tile),
+/// `MatMul` (all rows against it), `PopResults`, with the k-tile
+/// partials accumulated host-side — the same dataflow `lower.rs`
+/// schedules, executed at instruction level.
+fn matmul_mxu(
+    acts: &[f32],
+    weights: &[f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+) -> Result<Vec<f32>, EvalError> {
+    const D: usize = 8;
+    let kt = k.div_ceil(D);
+    let nt = n.div_ceil(D);
+    // VMEM layout: weight tile at 0, activation rows at D*D, results
+    // after them. Rows are chunked so everything fits comfortably.
+    let max_rows = 2048usize;
+    let mut m = Interpreter::new(InterpConfig {
+        mxu_dim: D,
+        vmem_words: D * D + 2 * max_rows * D,
+        ..InterpConfig::default()
+    });
+    let mut out = vec![0.0f32; rows * n];
+    let mut chunk_programs: Vec<(usize, tpu_isa::Program)> = Vec::new();
+    for row0 in (0..rows).step_by(max_rows) {
+        let nrows = (rows - row0).min(max_rows);
+        let program = match chunk_programs.iter().find(|(r, _)| *r == nrows) {
+            Some((_, p)) => p.clone(),
+            None => {
+                let src = format!(
+                    "s.li s12, 0\n\
+                     s.li s13, {acts_base}\n\
+                     s.li s14, {out_base}\n\
+                     m.push 0\n\
+                     m.mm 0, {nrows}\n\
+                     m.pop 0\n\
+                     s.halt",
+                    acts_base = D * D,
+                    out_base = D * D + max_rows * D,
+                );
+                let p = assemble(&src, Generation::TpuV4i).expect("fixed template assembles");
+                chunk_programs.push((nrows, p.clone()));
+                p
+            }
+        };
+        for ti in 0..kt {
+            // Activation tile: nrows x D slice of columns [ti*D, ti*D+D).
+            let mut atile = vec![0.0f32; nrows * D];
+            for r in 0..nrows {
+                for kk in 0..D {
+                    let col = ti * D + kk;
+                    if col < k {
+                        atile[r * D + kk] = acts[(row0 + r) * k + col];
+                    }
+                }
+            }
+            for tj in 0..nt {
+                // Weight tile: D x D block at (ti*D, tj*D).
+                let mut wtile = vec![0.0f32; D * D];
+                for kk in 0..D {
+                    let wr = ti * D + kk;
+                    if wr >= k {
+                        continue;
+                    }
+                    for c in 0..D {
+                        let wc = tj * D + c;
+                        if wc < n {
+                            wtile[kk * D + c] = weights[wr * n + wc];
+                        }
+                    }
+                }
+                m.write_mem(tpu_arch::MemLevel::Vmem, 0, &wtile)?;
+                m.write_mem(tpu_arch::MemLevel::Vmem, D * D, &atile)?;
+                m.run(&program)?;
+                let partial =
+                    m.read_mem(tpu_arch::MemLevel::Vmem, D * D + max_rows * D, nrows * D)?;
+                for r in 0..nrows {
+                    for c in 0..D {
+                        let col = tj * D + c;
+                        if col < n {
+                            out[(row0 + r) * n + col] += partial[r * D + c];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpu_numerics::activation::Activation;
+    use tpu_numerics::DType;
+
+    fn mlp() -> Graph {
+        let mut g = Graph::new("mlp", DType::Bf16);
+        let x = g.parameter(&[4, 32]).unwrap();
+        let w1 = g.constant(&[32, 16]).unwrap();
+        let h = g.dot(x, w1).unwrap();
+        let h = g.relu(h).unwrap();
+        let w2 = g.constant(&[16, 8]).unwrap();
+        let y = g.dot(h, w2).unwrap();
+        g.mark_output(y);
+        g
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let g = mlp();
+        assert_eq!(evaluate(&g).unwrap(), evaluate(&g).unwrap());
+    }
+
+    #[test]
+    fn mxu_route_matches_plain_loop() {
+        let g = mlp();
+        let on_mxu = evaluate_with(
+            &g,
+            &EvalOptions {
+                mxu_flop_budget: u64::MAX,
+            },
+        )
+        .unwrap();
+        let plain = evaluate_with(&g, &EvalOptions { mxu_flop_budget: 0 }).unwrap();
+        assert!(outputs_divergence(&on_mxu, &plain, 1e-4).is_none());
+    }
+
+    #[test]
+    fn mxu_route_handles_unaligned_dims() {
+        // k and n not multiples of the MXU dim exercise tile padding.
+        let mut g = Graph::new("odd", DType::Bf16);
+        let x = g.parameter(&[3, 13]).unwrap();
+        let w = g.constant(&[13, 9]).unwrap();
+        let y = g.dot(x, w).unwrap();
+        g.mark_output(y);
+        let on_mxu = evaluate_with(
+            &g,
+            &EvalOptions {
+                mxu_flop_budget: u64::MAX,
+            },
+        )
+        .unwrap();
+        let plain = evaluate_with(&g, &EvalOptions { mxu_flop_budget: 0 }).unwrap();
+        assert!(outputs_divergence(&on_mxu, &plain, 1e-4).is_none());
+    }
+
+    #[test]
+    fn constants_are_a_function_of_linear_index_only() {
+        // Two graphs, same constant size reached through different
+        // shapes: a reshape of a constant evaluates identically to a
+        // directly-declared constant (the fold pass's soundness).
+        let mut a = Graph::new("a", DType::Bf16);
+        let c = a.constant(&[64]).unwrap();
+        let r = a.reshape(c, &[8, 8]).unwrap();
+        a.mark_output(r);
+        let mut b = Graph::new("b", DType::Bf16);
+        let c2 = b.constant(&[8, 8]).unwrap();
+        b.mark_output(c2);
+        assert_eq!(evaluate(&a).unwrap(), evaluate(&b).unwrap());
+    }
+
+    #[test]
+    fn parameters_differ_by_ordinal() {
+        let mut g = Graph::new("p", DType::Bf16);
+        let p0 = g.parameter(&[4, 4]).unwrap();
+        let p1 = g.parameter(&[4, 4]).unwrap();
+        g.mark_output(p0);
+        g.mark_output(p1);
+        let out = evaluate(&g).unwrap();
+        assert_ne!(out[0], out[1]);
+    }
+
+    #[test]
+    fn dead_nodes_are_not_evaluated() {
+        // The dead branch is enormous; evaluation must skip it.
+        let mut g = Graph::new("dead", DType::Bf16);
+        let x = g.parameter(&[2, 8]).unwrap();
+        let w = g.constant(&[8, 4]).unwrap();
+        let y = g.dot(x, w).unwrap();
+        let big = g.parameter(&[4096, 4096]).unwrap();
+        let bw = g.constant(&[4096, 4096]).unwrap();
+        let _dead = g.dot(big, bw).unwrap();
+        g.mark_output(y);
+        let out = evaluate(&g).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 2 * 4);
+    }
+
+    #[test]
+    fn every_op_kind_evaluates() {
+        let mut g = Graph::new("allops", DType::Bf16);
+        let img = g.parameter(&[1, 6, 6, 3]).unwrap();
+        let k = g.constant(&[3, 3, 3, 4]).unwrap();
+        let c = g.conv2d(img, k, 2).unwrap();
+        let p = g.max_pool2d(c, 2).unwrap();
+        let flat = g.reshape(p, &[1, 2 * 2 * 4]).unwrap();
+        let table = g.constant(&[50, 16]).unwrap();
+        let e = g.embedding(table, 1, 4).unwrap();
+        let ef = g.reshape(e, &[1, 64]).unwrap();
+        let w = g.constant(&[64, 16]).unwrap();
+        let d = g.dot(ef, w).unwrap();
+        let sm = g.softmax(d).unwrap();
+        let ln = g.layer_norm(sm).unwrap();
+        let gr = g.gate_reduce(ln, 4).unwrap();
+        let act = g.activate(gr, Activation::Gelu).unwrap();
+        let mixed = g.mul(act, flat).unwrap_err(); // shapes differ: 4 vs 16
+        let _ = mixed;
+        let b = g.batch_matmul(ln, ln, 1, 4, 4, 4).unwrap();
+        let sum = g.add(act, act).unwrap();
+        g.mark_output(sum);
+        g.mark_output(b);
+        g.mark_output(flat);
+        let out = evaluate(&g).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().flatten().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn divergence_reports_worst_element() {
+        let a = vec![vec![1.0f32, 2.0, 3.0]];
+        let b = vec![vec![1.0f32, 2.5, 3.0]];
+        let d = outputs_divergence(&a, &b, 1e-3).unwrap();
+        assert_eq!(d.output, 0);
+        assert_eq!(d.index, 1);
+        assert!(outputs_divergence(&a, &a, 1e-6).is_none());
+    }
+}

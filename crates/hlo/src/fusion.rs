@@ -18,9 +18,26 @@ pub struct FusionMap {
 }
 
 impl FusionMap {
+    /// Assembles a map directly from `(fused node, root)` entries, with
+    /// no checking.
+    ///
+    /// Exists so verifier mutation tests can fabricate ill-formed
+    /// clusters; anything built this way must pass
+    /// [`Verifier::verify_fusion`](crate::verify::Verifier::verify_fusion).
+    pub fn from_entries(entries: &[(OpId, OpId)]) -> FusionMap {
+        FusionMap {
+            fused_into: entries.iter().copied().collect(),
+        }
+    }
+
     /// The root producer a node was fused into, if any.
     pub fn root_of(&self, id: OpId) -> Option<OpId> {
         self.fused_into.get(&id).copied()
+    }
+
+    /// Iterates `(fused node, root)` entries in unspecified order.
+    pub fn entries(&self) -> impl Iterator<Item = (OpId, OpId)> + '_ {
+        self.fused_into.iter().map(|(k, v)| (*k, *v))
     }
 
     /// Whether a node was fused away (emits no standalone steps).

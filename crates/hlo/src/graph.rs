@@ -16,6 +16,19 @@ impl OpId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds an id from a raw index.
+    ///
+    /// Ids are only meaningful inside the graph they came from. Builder
+    /// methods reject out-of-range operands with
+    /// [`ShapeError::UnknownOperand`], and the
+    /// [`Verifier`](crate::verify::Verifier) rejects dangling ids in
+    /// hand-assembled graphs, so a fabricated id cannot corrupt a graph
+    /// silently — this constructor exists for pass rewrites and for
+    /// mutation tests that must build deliberately broken graphs.
+    pub fn from_raw(index: u32) -> OpId {
+        OpId(index)
+    }
 }
 
 impl fmt::Display for OpId {
@@ -261,11 +274,49 @@ impl Graph {
         &self.nodes[id.index()]
     }
 
+    /// Looks up a node, returning `None` for a dangling id.
+    pub fn get(&self, id: OpId) -> Option<&Node> {
+        self.nodes.get(id.index())
+    }
+
+    /// Looks up an operand, rejecting dangling ids with a typed error.
+    fn operand(&self, id: OpId, context: &'static str) -> Result<&Node, ShapeError> {
+        self.nodes
+            .get(id.index())
+            .ok_or(ShapeError::UnknownOperand {
+                context,
+                index: id.index(),
+                nodes: self.nodes.len(),
+            })
+    }
+
     /// Marks a node as a graph output.
     pub fn mark_output(&mut self, id: OpId) {
         if !self.outputs.contains(&id) {
             self.outputs.push(id);
         }
+    }
+
+    /// Assembles a graph directly from nodes and outputs, with no
+    /// checking whatsoever.
+    ///
+    /// This is the escape hatch the pass framework rewrites through and
+    /// mutation tests corrupt through; anything built this way must pass
+    /// [`Verifier::verify_graph`](crate::verify::Verifier::verify_graph)
+    /// before it reaches lowering — `compile` runs it unconditionally.
+    pub fn from_parts(name: &str, dtype: DType, nodes: Vec<Node>, outputs: Vec<OpId>) -> Graph {
+        Graph {
+            name: name.to_owned(),
+            dtype,
+            nodes,
+            outputs,
+        }
+    }
+
+    /// Decomposes the graph into `(name, dtype, nodes, outputs)`,
+    /// the inverse of [`Graph::from_parts`].
+    pub fn into_parts(self) -> (String, DType, Vec<Node>, Vec<OpId>) {
+        (self.name, self.dtype, self.nodes, self.outputs)
     }
 
     fn insert(&mut self, op: HloOp, shape: TensorShape) -> OpId {
@@ -302,8 +353,13 @@ impl Graph {
     /// Returns a [`ShapeError`] if the contraction dims differ or `rhs`
     /// is not rank 2.
     pub fn dot(&mut self, lhs: OpId, rhs: OpId) -> Result<OpId, ShapeError> {
-        let ls = self.node(lhs).shape.clone();
-        let rs = self.node(rhs).shape.clone();
+        let out = self.dot_shape(lhs, rhs)?;
+        Ok(self.insert(HloOp::Dot { lhs, rhs }, out))
+    }
+
+    fn dot_shape(&self, lhs: OpId, rhs: OpId) -> Result<TensorShape, ShapeError> {
+        let ls = self.operand(lhs, "dot lhs")?.shape.clone();
+        let rs = self.operand(rhs, "dot rhs")?.shape.clone();
         if rs.rank() != 2 {
             return Err(ShapeError::BadRank {
                 context: "dot rhs",
@@ -320,8 +376,7 @@ impl Graph {
         }
         let mut dims = ls.dims().to_vec();
         *dims.last_mut().expect("non-scalar") = rs.trailing();
-        let out = TensorShape::new(&dims)?;
-        Ok(self.insert(HloOp::Dot { lhs, rhs }, out))
+        TensorShape::new(&dims)
     }
 
     /// Adds an NHWC conv with "same" padding.
@@ -330,8 +385,26 @@ impl Graph {
     ///
     /// Returns a [`ShapeError`] on rank or channel mismatches.
     pub fn conv2d(&mut self, input: OpId, kernel: OpId, stride: u64) -> Result<OpId, ShapeError> {
-        let is = self.node(input).shape.clone();
-        let ks = self.node(kernel).shape.clone();
+        let stride = stride.max(1);
+        let out = self.conv2d_shape(input, kernel, stride)?;
+        Ok(self.insert(
+            HloOp::Conv2d {
+                input,
+                kernel,
+                stride,
+            },
+            out,
+        ))
+    }
+
+    fn conv2d_shape(
+        &self,
+        input: OpId,
+        kernel: OpId,
+        stride: u64,
+    ) -> Result<TensorShape, ShapeError> {
+        let is = self.operand(input, "conv2d input")?.shape.clone();
+        let ks = self.operand(kernel, "conv2d kernel")?.shape.clone();
         if is.rank() != 4 {
             return Err(ShapeError::BadRank {
                 context: "conv2d input",
@@ -356,21 +429,21 @@ impl Graph {
         let stride = stride.max(1);
         let (n, h, w) = (is.dims()[0], is.dims()[1], is.dims()[2]);
         let cout = ks.dims()[3];
-        let out = TensorShape::new(&[n, h.div_ceil(stride), w.div_ceil(stride), cout])?;
-        Ok(self.insert(
-            HloOp::Conv2d {
-                input,
-                kernel,
-                stride,
-            },
-            out,
-        ))
+        TensorShape::new(&[n, h.div_ceil(stride), w.div_ceil(stride), cout])
     }
 
     /// Adds a unary nonlinearity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] for dangling operand ids.
     pub fn activate(&mut self, input: OpId, act: Activation) -> Result<OpId, ShapeError> {
-        let shape = self.node(input).shape.clone();
+        let shape = self.unary_shape(input, "activate input")?;
         Ok(self.insert(HloOp::Activate { input, act }, shape))
+    }
+
+    fn unary_shape(&self, input: OpId, context: &'static str) -> Result<TensorShape, ShapeError> {
+        Ok(self.operand(input, context)?.shape.clone())
     }
 
     /// Shorthand for ReLU.
@@ -389,8 +462,13 @@ impl Graph {
     ///
     /// Returns a [`ShapeError`] if the shapes differ.
     pub fn binary(&mut self, a: OpId, b: OpId, kind: BinaryKind) -> Result<OpId, ShapeError> {
-        let sa = self.node(a).shape.clone();
-        let sb = self.node(b).shape.clone();
+        let out = self.binary_shape(a, b)?;
+        Ok(self.insert(HloOp::Binary { a, b, kind }, out))
+    }
+
+    fn binary_shape(&self, a: OpId, b: OpId) -> Result<TensorShape, ShapeError> {
+        let sa = self.operand(a, "binary lhs")?.shape.clone();
+        let sb = self.operand(b, "binary rhs")?.shape.clone();
         if sa != sb {
             return Err(ShapeError::Mismatch {
                 context: "binary operands",
@@ -398,7 +476,7 @@ impl Graph {
                 rhs: sb,
             });
         }
-        Ok(self.insert(HloOp::Binary { a, b, kind }, sa))
+        Ok(sa)
     }
 
     /// Shorthand for elementwise add.
@@ -412,14 +490,22 @@ impl Graph {
     }
 
     /// Adds softmax over the trailing dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] for dangling operand ids.
     pub fn softmax(&mut self, input: OpId) -> Result<OpId, ShapeError> {
-        let shape = self.node(input).shape.clone();
+        let shape = self.unary_shape(input, "softmax input")?;
         Ok(self.insert(HloOp::Softmax { input }, shape))
     }
 
     /// Adds layer norm over the trailing dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] for dangling operand ids.
     pub fn layer_norm(&mut self, input: OpId) -> Result<OpId, ShapeError> {
-        let shape = self.node(input).shape.clone();
+        let shape = self.unary_shape(input, "layer_norm input")?;
         Ok(self.insert(HloOp::LayerNorm { input }, shape))
     }
 
@@ -429,7 +515,17 @@ impl Graph {
     ///
     /// Returns a [`ShapeError`] if the table is not rank 2 or counts are 0.
     pub fn embedding(&mut self, table: OpId, batch: u64, seq: u64) -> Result<OpId, ShapeError> {
-        let ts = self.node(table).shape.clone();
+        let out = self.embedding_shape(table, batch, seq)?;
+        Ok(self.insert(HloOp::Embedding { table, batch, seq }, out))
+    }
+
+    fn embedding_shape(
+        &self,
+        table: OpId,
+        batch: u64,
+        seq: u64,
+    ) -> Result<TensorShape, ShapeError> {
+        let ts = self.operand(table, "embedding table")?.shape.clone();
         if ts.rank() != 2 {
             return Err(ShapeError::BadRank {
                 context: "embedding table",
@@ -437,8 +533,7 @@ impl Graph {
                 expected: 2,
             });
         }
-        let out = TensorShape::new(&[batch, seq, ts.trailing()])?;
-        Ok(self.insert(HloOp::Embedding { table, batch, seq }, out))
+        TensorShape::new(&[batch, seq, ts.trailing()])
     }
 
     /// Adds square max pooling.
@@ -447,7 +542,13 @@ impl Graph {
     ///
     /// Returns a [`ShapeError`] if input is not rank 4.
     pub fn max_pool2d(&mut self, input: OpId, window: u64) -> Result<OpId, ShapeError> {
-        let is = self.node(input).shape.clone();
+        let window = window.max(1);
+        let out = self.max_pool2d_shape(input, window)?;
+        Ok(self.insert(HloOp::MaxPool2d { input, window }, out))
+    }
+
+    fn max_pool2d_shape(&self, input: OpId, window: u64) -> Result<TensorShape, ShapeError> {
+        let is = self.operand(input, "maxpool input")?.shape.clone();
         if is.rank() != 4 {
             return Err(ShapeError::BadRank {
                 context: "maxpool input",
@@ -457,8 +558,7 @@ impl Graph {
         }
         let window = window.max(1);
         let (n, h, w, c) = (is.dims()[0], is.dims()[1], is.dims()[2], is.dims()[3]);
-        let out = TensorShape::new(&[n, h.div_ceil(window), w.div_ceil(window), c])?;
-        Ok(self.insert(HloOp::MaxPool2d { input, window }, out))
+        TensorShape::new(&[n, h.div_ceil(window), w.div_ceil(window), c])
     }
 
     /// Combines `factor` interleaved gates elementwise, shrinking the
@@ -468,7 +568,13 @@ impl Graph {
     ///
     /// Returns a [`ShapeError`] unless `factor` divides the trailing dim.
     pub fn gate_reduce(&mut self, input: OpId, factor: u64) -> Result<OpId, ShapeError> {
-        let is = self.node(input).shape.clone();
+        let factor = factor.max(1);
+        let out = self.gate_reduce_shape(input, factor)?;
+        Ok(self.insert(HloOp::GateReduce { input, factor }, out))
+    }
+
+    fn gate_reduce_shape(&self, input: OpId, factor: u64) -> Result<TensorShape, ShapeError> {
+        let is = self.operand(input, "gate_reduce input")?.shape.clone();
         let factor = factor.max(1);
         if !is.trailing().is_multiple_of(factor) {
             return Err(ShapeError::Mismatch {
@@ -479,8 +585,7 @@ impl Graph {
         }
         let mut dims = is.dims().to_vec();
         *dims.last_mut().expect("non-scalar") /= factor;
-        let out = TensorShape::new(&dims)?;
-        Ok(self.insert(HloOp::GateReduce { input, factor }, out))
+        TensorShape::new(&dims)
     }
 
     /// Adds a batched activation-by-activation matmul (`[batch, m, k] @
@@ -500,8 +605,31 @@ impl Graph {
         k: u64,
         n: u64,
     ) -> Result<OpId, ShapeError> {
-        let sa = self.node(a).shape.clone();
-        let sb = self.node(b).shape.clone();
+        let out = self.batch_matmul_shape(a, b, batch, m, k, n)?;
+        Ok(self.insert(
+            HloOp::BatchMatmul {
+                a,
+                b,
+                batch,
+                m,
+                k,
+                n,
+            },
+            out,
+        ))
+    }
+
+    fn batch_matmul_shape(
+        &self,
+        a: OpId,
+        b: OpId,
+        batch: u64,
+        m: u64,
+        k: u64,
+        n: u64,
+    ) -> Result<TensorShape, ShapeError> {
+        let sa = self.operand(a, "batch_matmul lhs")?.shape.clone();
+        let sb = self.operand(b, "batch_matmul rhs")?.shape.clone();
         if sa.elements() != batch * m * k {
             return Err(ShapeError::Mismatch {
                 context: "batch_matmul lhs elements",
@@ -516,18 +644,7 @@ impl Graph {
                 rhs: TensorShape::new(&[batch, k, n])?,
             });
         }
-        let out = TensorShape::new(&[batch, m, n])?;
-        Ok(self.insert(
-            HloOp::BatchMatmul {
-                a,
-                b,
-                batch,
-                m,
-                k,
-                n,
-            },
-            out,
-        ))
+        TensorShape::new(&[batch, m, n])
     }
 
     /// Adds a reshape to `dims` (same element count).
@@ -536,7 +653,7 @@ impl Graph {
     ///
     /// Returns [`ShapeError::ElementCountChanged`] if counts differ.
     pub fn reshape(&mut self, input: OpId, dims: &[u64]) -> Result<OpId, ShapeError> {
-        let from = self.node(input).shape.elements();
+        let from = self.operand(input, "reshape input")?.shape.elements();
         let out = TensorShape::new(dims)?;
         if out.elements() != from {
             return Err(ShapeError::ElementCountChanged {
@@ -545,6 +662,55 @@ impl Graph {
             });
         }
         Ok(self.insert(HloOp::Reshape { input }, out))
+    }
+
+    /// Recomputes the output shape of `node` from its op and its
+    /// operands' stored shapes, exactly as the builder methods would.
+    ///
+    /// `Parameter` and `Constant` shapes are declared rather than
+    /// inferred, so their stored shape is returned as-is; a `Reshape`'s
+    /// target dims likewise live only in the stored shape, so it is
+    /// returned after re-checking element conservation. The
+    /// [`Verifier`](crate::verify::Verifier) compares this against the
+    /// stored shape to catch hand-assembled or pass-corrupted graphs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when an operand id is dangling or the
+    /// operands no longer satisfy the op's shape constraints.
+    pub fn reinfer(&self, node: &Node) -> Result<TensorShape, ShapeError> {
+        match node.op {
+            HloOp::Parameter | HloOp::Constant => Ok(node.shape.clone()),
+            HloOp::Dot { lhs, rhs } => self.dot_shape(lhs, rhs),
+            HloOp::Conv2d {
+                input,
+                kernel,
+                stride,
+            } => self.conv2d_shape(input, kernel, stride),
+            HloOp::Activate { input, .. } => self.unary_shape(input, "activate input"),
+            HloOp::Softmax { input } => self.unary_shape(input, "softmax input"),
+            HloOp::LayerNorm { input } => self.unary_shape(input, "layer_norm input"),
+            HloOp::Binary { a, b, .. } => self.binary_shape(a, b),
+            HloOp::Embedding { table, batch, seq } => self.embedding_shape(table, batch, seq),
+            HloOp::MaxPool2d { input, window } => self.max_pool2d_shape(input, window),
+            HloOp::GateReduce { input, factor } => self.gate_reduce_shape(input, factor),
+            HloOp::BatchMatmul {
+                a,
+                b,
+                batch,
+                m,
+                k,
+                n,
+            } => self.batch_matmul_shape(a, b, batch, m, k, n),
+            HloOp::Reshape { input } => {
+                let from = self.operand(input, "reshape input")?.shape.elements();
+                let to = node.shape.elements();
+                if to != from {
+                    return Err(ShapeError::ElementCountChanged { from, to });
+                }
+                Ok(node.shape.clone())
+            }
+        }
     }
 
     /// Total weight bytes (all `Constant` nodes) at the graph's dtype.
@@ -833,6 +999,61 @@ mod tests {
         assert!(s.contains("dot"));
         assert!(s.contains("%0"));
         assert!(s.contains("params"));
+    }
+
+    #[test]
+    fn builders_reject_dangling_operand_ids() {
+        // An id minted by a *different* graph (or fabricated raw) used to
+        // panic inside the builder; every builder now returns the typed
+        // UnknownOperand error instead.
+        let foreign = OpId::from_raw(99);
+        let mut g = Graph::new("t", DType::Bf16);
+        let x = g.parameter(&[4, 64]).unwrap();
+        let img = g.parameter(&[1, 8, 8, 4]).unwrap();
+        let dangling = |r: Result<OpId, ShapeError>| {
+            assert!(matches!(r, Err(ShapeError::UnknownOperand { .. })), "{r:?}");
+        };
+        dangling(g.dot(foreign, x));
+        dangling(g.dot(x, foreign));
+        dangling(g.conv2d(foreign, img, 1));
+        dangling(g.conv2d(img, foreign, 1));
+        dangling(g.activate(foreign, Activation::Relu));
+        dangling(g.binary(x, foreign, BinaryKind::Add));
+        dangling(g.softmax(foreign));
+        dangling(g.layer_norm(foreign));
+        dangling(g.embedding(foreign, 2, 2));
+        dangling(g.max_pool2d(foreign, 2));
+        dangling(g.gate_reduce(foreign, 4));
+        dangling(g.batch_matmul(foreign, x, 1, 4, 64, 1));
+        dangling(g.reshape(foreign, &[256]));
+        // The graph is untouched by the failed builder calls.
+        assert_eq!(g.nodes().len(), 2);
+        let msg = format!("{}", g.dot(foreign, x).unwrap_err());
+        assert!(msg.contains("%99"), "{msg}");
+    }
+
+    #[test]
+    fn get_is_total_where_node_panics() {
+        let g = mlp();
+        assert!(g.get(OpId::from_raw(0)).is_some());
+        assert!(g.get(OpId::from_raw(1000)).is_none());
+    }
+
+    #[test]
+    fn reinfer_matches_builder_shapes() {
+        let g = mlp();
+        for n in g.nodes() {
+            assert_eq!(g.reinfer(n).unwrap(), n.shape, "{}", n.id);
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let g = mlp();
+        let copy = g.clone();
+        let (name, dtype, nodes, outputs) = g.into_parts();
+        let back = Graph::from_parts(&name, dtype, nodes, outputs);
+        assert_eq!(back, copy);
     }
 
     #[test]

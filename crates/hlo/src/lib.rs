@@ -7,20 +7,29 @@
 //!
 //! 1. an **HLO graph IR** ([`graph`]) with shape inference over the op
 //!    set the production apps need (dot, conv, elementwise, softmax,
-//!    layer norm, embedding lookup, pooling);
-//! 2. **operator fusion** ([`fusion`]): elementwise consumers fold into
-//!    their matmul/conv producers, eliminating VMEM round trips;
-//! 3. **memory planning** ([`memory`]): weight placement into TPUv4i's
+//!    layer norm, embedding lookup, pooling), plus a reference
+//!    **interpreter** ([`eval`]) that defines each op's semantics;
+//! 2. a **verifier** ([`verify`]): typed structural invariants over
+//!    graphs, memory plans, and fusion maps — the gate every
+//!    hand-assembled or pass-rewritten graph must clear;
+//! 3. an **optimizing pass framework** ([`passes`]): constant folding,
+//!    algebraic simplification, DCE, and fusion-as-analysis run to a
+//!    fixpoint by a [`PassManager`] that sandwiches every rewrite
+//!    between the verifier, an exact matrix-flop cross-check, and
+//!    (optionally) interpreter-backed differential equivalence;
+//! 4. **memory planning** ([`memory`]): weight placement into TPUv4i's
 //!    CMEM by a benefit-per-byte knapsack, plus VMEM tile sizing;
-//! 4. **lowering** ([`lower`]): tiling onto the systolic MXU, double
+//! 5. **lowering** ([`lower`]): tiling onto the systolic MXU, double
 //!    buffering, emission of a [`tpu_sim::StepPlan`] for the performance
 //!    simulator *and* a schematic [`tpu_isa::Program`] in the target
 //!    generation's binary encoding.
 //!
 //! The passes can be enabled one at a time ([`CompilerOptions::level`]),
 //! which is how experiment E7 regenerates the paper's "compiler gains
-//! over time" figure; `CompilerOptions::bit_exact_with` implements the
-//! backwards-ML-compatibility mode of E14.
+//! over time" figure, and [`CompilerOptions::for_chip`] maps each
+//! generation to the pipeline contemporary to it — the machinery behind
+//! E26's replay of Lesson 2; `CompilerOptions::bit_exact_with`
+//! implements the backwards-ML-compatibility mode of E14.
 //!
 //! # Example
 //!
@@ -44,14 +53,19 @@
 //! ```
 
 pub mod cost;
+pub mod eval;
 pub mod fusion;
 pub mod graph;
 pub mod liveness;
 pub mod lower;
 pub mod memory;
+pub mod passes;
 pub mod pipeline;
 pub mod shape;
+pub mod verify;
 
 pub use graph::{Graph, HloOp, Node, OpId};
-pub use pipeline::{compile, CompileError, CompilerOptions, Executable, OptLevel};
+pub use passes::{Pass, PassError, PassManager, PassReport};
+pub use pipeline::{compile, CompileError, CompilerOptions, Executable, OptLevel, PassSummary};
 pub use shape::{ShapeError, TensorShape};
+pub use verify::{Verifier, VerifyError};

@@ -41,6 +41,34 @@ impl MemoryPlan {
         self.cmem_resident.len()
     }
 
+    /// The CMEM-resident weight ids, in id order.
+    pub fn residents(&self) -> Vec<OpId> {
+        let mut v: Vec<OpId> = self.cmem_resident.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Assembles a plan directly from its fields, with no checking.
+    ///
+    /// Exists so verifier mutation tests can fabricate inconsistent
+    /// plans; anything built this way must pass
+    /// [`Verifier::verify_memory`](crate::verify::Verifier::verify_memory).
+    pub fn from_parts(
+        cmem_resident: HashSet<OpId>,
+        cmem_used: u64,
+        hbm_weight_bytes: u64,
+        col_tile: u64,
+        overflowed_cmem: bool,
+    ) -> MemoryPlan {
+        MemoryPlan {
+            cmem_resident,
+            cmem_used,
+            hbm_weight_bytes,
+            col_tile,
+            overflowed_cmem,
+        }
+    }
+
     /// Fraction of weight bytes served from CMEM.
     pub fn cmem_fraction(&self) -> f64 {
         let total = self.cmem_used + self.hbm_weight_bytes;

@@ -3,15 +3,17 @@
 use std::fmt;
 
 use tpu_arch::{ChipConfig, Generation};
-use tpu_isa::program::VerifyError;
+use tpu_isa::program::VerifyError as IsaVerifyError;
 use tpu_numerics::accum::AccumOrder;
-use tpu_sim::plan::StepPlan;
+use tpu_sim::plan::{StepKind, StepPlan};
 
-use crate::fusion::{self, FusionMap};
+use crate::fusion::FusionMap;
 use crate::graph::Graph;
 use crate::lower::{self, Lowered};
 use crate::memory::{self, MemoryPlan};
+use crate::passes::{self, PassError};
 use crate::shape::ShapeError;
+use crate::verify::{Verifier, VerifyError};
 
 /// Optimization maturity levels, standing in for "XLA releases over
 /// time" in the compiler-gains experiment (E7).
@@ -41,6 +43,18 @@ pub struct CompilerOptions {
     pub double_buffer: bool,
     /// Place weights into CMEM when the chip has one.
     pub cmem: bool,
+    /// Fold `Reshape(Constant)` into `Constant` (re-enables CMEM
+    /// placement for weights a frontend stored flattened).
+    pub fold: bool,
+    /// Remove dead code (frees CMEM budget squatted on by orphaned
+    /// constants; parameters always survive).
+    pub dce: bool,
+    /// Apply algebraic identities (`relu∘relu`, no-op reshapes, ...).
+    pub simplify: bool,
+    /// Differentially test every pass rewrite against the reference
+    /// evaluator during compilation. Expensive — executes the graph's
+    /// actual math — so it is a testing/experiment knob, off by default.
+    pub check_equivalence: bool,
     /// Override the CMEM capacity (bytes) for the E6 sweep.
     pub cmem_budget_override: Option<u64>,
     /// Reproduce another generation's accumulation numerics bit-exactly
@@ -60,10 +74,30 @@ impl CompilerOptions {
         CompilerOptions {
             fusion: level >= OptLevel::O1,
             double_buffer: level >= OptLevel::O2,
+            fold: level >= OptLevel::O2,
+            dce: level >= OptLevel::O2,
+            simplify: level >= OptLevel::O2,
             cmem: level >= OptLevel::O3,
+            check_equivalence: false,
             cmem_budget_override: None,
             bit_exact_with: None,
         }
+    }
+
+    /// The pipeline a chip's generation gets in production: each
+    /// generation is served by the compiler maturity contemporary with
+    /// it, which is how E26 replays Lesson 2 (*compiler compatibility
+    /// trumps binary compatibility*) — the same source graph recompiles
+    /// into a different, better program on each generation.
+    pub fn for_chip(chip: &ChipConfig) -> CompilerOptions {
+        CompilerOptions::level(match chip.generation {
+            Generation::TpuV1 => OptLevel::O0,
+            Generation::TpuV2 => OptLevel::O1,
+            Generation::TpuV3 => OptLevel::O2,
+            // The GPU comparison point and any future generation get
+            // the contemporary (full) pipeline.
+            _ => OptLevel::O3,
+        })
     }
 
     /// Full pipeline but with CMEM disabled (useful on chips without one
@@ -87,8 +121,13 @@ impl CompilerOptions {
 /// Error produced by compilation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompileError {
-    /// The graph is malformed.
+    /// The graph is malformed (builder-level shape error).
     Graph(ShapeError),
+    /// The graph, memory plan or fusion map failed structural
+    /// verification (see [`crate::verify`]).
+    Verify(VerifyError),
+    /// An optimizing pass broke an invariant (see [`crate::passes`]).
+    Pass(PassError),
     /// The model's weights exceed the chip's HBM capacity — it cannot be
     /// resident at all (relevant to multi-tenancy, E11).
     WeightsExceedHbm {
@@ -97,17 +136,34 @@ pub enum CompileError {
         /// HBM bytes available.
         available: u64,
     },
+    /// The lowered plan's MXU work disagrees with the cost model: the
+    /// step plan must bill exactly the live matrix flops of the graph it
+    /// was lowered from (a compiler bug if it ever fires).
+    CostModel {
+        /// MXU flops summed over the step plan.
+        planned: u64,
+        /// Matrix flops of the live graph nodes.
+        expected: u64,
+    },
     /// The emitted VLIW program failed verification (a compiler bug if it
     /// ever happens; surfaced rather than panicking).
-    Program(VerifyError),
+    Program(IsaVerifyError),
 }
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::Graph(e) => write!(f, "invalid graph: {e}"),
+            CompileError::Verify(e) => write!(f, "verification failed: {e}"),
+            CompileError::Pass(e) => write!(f, "optimization failed: {e}"),
             CompileError::WeightsExceedHbm { needed, available } => {
                 write!(f, "weights need {needed} bytes but HBM holds {available}")
+            }
+            CompileError::CostModel { planned, expected } => {
+                write!(
+                    f,
+                    "plan bills {planned} MXU flops but the graph's live matrix ops need {expected}"
+                )
             }
             CompileError::Program(e) => write!(f, "emitted program invalid: {e}"),
         }
@@ -122,6 +178,32 @@ impl From<ShapeError> for CompileError {
     }
 }
 
+impl From<VerifyError> for CompileError {
+    fn from(e: VerifyError) -> CompileError {
+        CompileError::Verify(e)
+    }
+}
+
+impl From<PassError> for CompileError {
+    fn from(e: PassError) -> CompileError {
+        CompileError::Pass(e)
+    }
+}
+
+/// What the optimizing pipeline did during a compile, kept on the
+/// [`Executable`] for experiment reporting (E26).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PassSummary {
+    /// Names of passes that rewrote the graph, in application order.
+    pub applied: Vec<&'static str>,
+    /// Fixpoint sweeps executed.
+    pub sweeps: usize,
+    /// Graph nodes before optimization.
+    pub nodes_before: usize,
+    /// Graph nodes after optimization.
+    pub nodes_after: usize,
+}
+
 /// A compiled model: step plan, VLIW program, memory plan and metadata.
 #[derive(Debug, Clone)]
 pub struct Executable {
@@ -133,6 +215,7 @@ pub struct Executable {
     memory: MemoryPlan,
     fusion: FusionMap,
     options: CompilerOptions,
+    pass_summary: PassSummary,
     weight_bytes: u64,
     flops: u64,
     mxu_dim: u32,
@@ -162,6 +245,11 @@ impl Executable {
     /// The options used.
     pub fn options(&self) -> &CompilerOptions {
         &self.options
+    }
+
+    /// What the optimizing pipeline did (passes applied, node deltas).
+    pub fn pass_summary(&self) -> &PassSummary {
+        &self.pass_summary
     }
 
     /// Name of the compiled graph.
@@ -230,21 +318,38 @@ impl fmt::Display for Executable {
     }
 }
 
-/// Compiles a graph for a chip: fusion → memory planning → lowering →
-/// program verification.
+/// Compiles a graph for a chip: verification → optimizing passes →
+/// memory planning → lowering → cost-model cross-check → program
+/// verification. Every analysis the backend consumes (the fusion map,
+/// the memory plan) is re-verified against the graph it describes
+/// before lowering sees it.
 ///
 /// # Errors
 ///
-/// Returns a [`CompileError`] for malformed graphs, weights that exceed
-/// HBM, or (never, absent bugs) invalid emitted programs.
+/// Returns a [`CompileError`] for malformed or unverifiable graphs,
+/// pass-invariant violations, weights that exceed HBM, cost-model
+/// disagreements, or (never, absent bugs) invalid emitted programs.
 pub fn compile(
     graph: &Graph,
     chip: &ChipConfig,
     options: &CompilerOptions,
 ) -> Result<Executable, CompileError> {
     graph.validate()?;
+    let verifier = Verifier::new();
+    verifier.verify_graph(graph)?;
 
-    let weight_bytes = graph.weight_bytes();
+    // Optimizing passes, each gated by the verifier (and optionally by
+    // interpreter-backed differential testing). The manager re-verifies
+    // the fusion analysis against the final graph.
+    let mut manager = passes::pipeline_for(options);
+    if options.check_equivalence {
+        manager = manager.check_equivalence(1e-3);
+    }
+    let report = manager.run(graph)?;
+    let optimized = report.graph;
+    let fusion: FusionMap = report.fusion;
+
+    let weight_bytes = optimized.weight_bytes();
     if weight_bytes > chip.hbm.capacity_bytes {
         return Err(CompileError::WeightsExceedHbm {
             needed: weight_bytes,
@@ -252,22 +357,41 @@ pub fn compile(
         });
     }
 
-    let fusion = if options.fusion {
-        fusion::fuse(graph)
+    // With CMEM disabled the plan's budget is zero, so the recorded
+    // residency matches what lowering will actually use.
+    let cmem_budget = if options.cmem {
+        options
+            .cmem_budget_override
+            .unwrap_or_else(|| chip.cmem.map_or(0, |c| c.capacity_bytes))
     } else {
-        FusionMap::default()
+        0
     };
-    let memory = memory::plan(graph, chip, options.cmem_budget_override);
+    let memory = memory::plan(&optimized, chip, Some(cmem_budget));
+    verifier.verify_memory(&optimized, &memory, cmem_budget)?;
+
     let Lowered {
         plan,
         program,
         accum_emulated: _,
-    } = lower::lower(graph, chip, &fusion, &memory, options);
+    } = lower::lower(&optimized, chip, &fusion, &memory, options);
+
+    // Cost-model invariant: the plan must bill exactly the matrix work
+    // of the live graph — no silently dropped or duplicated tiles.
+    let planned: u64 = plan
+        .steps()
+        .iter()
+        .filter(|s| matches!(s.kind, StepKind::Mxu { .. }))
+        .map(|s| s.kind.flops())
+        .sum();
+    let (expected, _) = passes::live_flops(&optimized);
+    if planned != expected {
+        return Err(CompileError::CostModel { planned, expected });
+    }
 
     program.verify().map_err(CompileError::Program)?;
 
     Ok(Executable {
-        graph_name: graph.name().to_owned(),
+        graph_name: optimized.name().to_owned(),
         chip_name: chip.name.clone(),
         generation: chip.generation,
         plan,
@@ -275,8 +399,14 @@ pub fn compile(
         memory,
         fusion,
         options: options.clone(),
+        pass_summary: PassSummary {
+            applied: report.applied,
+            sweeps: report.sweeps,
+            nodes_before: report.nodes_before,
+            nodes_after: report.nodes_after,
+        },
         weight_bytes,
-        flops: graph.flops(),
+        flops: optimized.flops(),
         mxu_dim: chip.mxu_dim,
     })
 }
@@ -420,6 +550,93 @@ mod tests {
         assert!(exe.fusion().fused_count() > 0);
         let s = format!("{exe}");
         assert!(s.contains("mlp") && s.contains("TPUv4i"));
+    }
+
+    fn dirty_mlp(batch: u64) -> Graph {
+        // Same math as `mlp`, but with the weights stored flattened
+        // behind reshapes, a duplicate relu, and a dead constant — the
+        // shape a naive frontend emits.
+        let mut g = Graph::new("mlp-dirty", DType::Bf16);
+        let x = g.parameter(&[batch, 2048]).unwrap();
+        let w1f = g.constant(&[2048 * 4096]).unwrap();
+        let w1 = g.reshape(w1f, &[2048, 4096]).unwrap();
+        let h = g.dot(x, w1).unwrap();
+        let h = g.relu(h).unwrap();
+        let h = g.relu(h).unwrap();
+        let w2f = g.constant(&[4096 * 1024]).unwrap();
+        let w2 = g.reshape(w2f, &[4096, 1024]).unwrap();
+        let y = g.dot(h, w2).unwrap();
+        let _dead = g.constant(&[1024, 1024]).unwrap();
+        g.mark_output(y);
+        g
+    }
+
+    #[test]
+    fn for_chip_matches_generation_maturity() {
+        assert_eq!(
+            CompilerOptions::for_chip(&catalog::tpu_v1()),
+            CompilerOptions::level(OptLevel::O0)
+        );
+        assert_eq!(
+            CompilerOptions::for_chip(&catalog::tpu_v2()),
+            CompilerOptions::level(OptLevel::O1)
+        );
+        assert_eq!(
+            CompilerOptions::for_chip(&catalog::tpu_v3()),
+            CompilerOptions::level(OptLevel::O2)
+        );
+        assert_eq!(
+            CompilerOptions::for_chip(&catalog::tpu_v4i()),
+            CompilerOptions::level(OptLevel::O3)
+        );
+    }
+
+    #[test]
+    fn passes_recover_cmem_placement_for_dirty_graphs() {
+        // O0 leaves the reshaped weights streaming from HBM; O3 folds
+        // them back into constants the CMEM knapsack can place, and
+        // collects the dead constant squatting on the budget.
+        let g = dirty_mlp(4);
+        let chip = catalog::tpu_v4i();
+        let naive = compile(&g, &chip, &CompilerOptions::level(OptLevel::O0)).unwrap();
+        let opt = compile(&g, &chip, &CompilerOptions::default()).unwrap();
+        assert_eq!(naive.memory().cmem_fraction(), 0.0);
+        assert!(opt.memory().cmem_fraction() > 0.99);
+        assert!(opt.weight_bytes() < naive.weight_bytes());
+        assert_eq!(opt.pass_summary().nodes_after, 6);
+        assert!(opt.pass_summary().applied.contains(&"constant-fold"));
+
+        let sim = Simulator::new(chip);
+        let t_naive = sim.run(naive.plan()).unwrap().seconds;
+        let t_opt = sim.run(opt.plan()).unwrap().seconds;
+        assert!(
+            t_opt < 0.75 * t_naive,
+            "optimization should pay on dirty graphs: {t_opt} vs {t_naive}"
+        );
+    }
+
+    #[test]
+    fn compile_with_equivalence_checking_succeeds() {
+        let g = dirty_mlp(1);
+        let opts = CompilerOptions {
+            check_equivalence: true,
+            ..CompilerOptions::default()
+        };
+        let exe = compile(&g, &catalog::tpu_v4i(), &opts).unwrap();
+        assert!(!exe.pass_summary().applied.is_empty());
+    }
+
+    #[test]
+    fn compile_rejects_hand_assembled_garbage() {
+        // A dangling output id gets past no verifier.
+        let g = mlp(4);
+        let (name, dtype, nodes, _) = g.into_parts();
+        let bad = Graph::from_parts(&name, dtype, nodes, vec![crate::graph::OpId::from_raw(99)]);
+        let err = compile(&bad, &catalog::tpu_v4i(), &CompilerOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::Verify(_) | CompileError::Graph(_)
+        ));
     }
 
     #[test]

@@ -42,6 +42,16 @@ pub enum ShapeError {
         /// Elements requested.
         to: u64,
     },
+    /// An operand id does not name an existing node of this graph
+    /// (out of range: fabricated, or from a different graph).
+    UnknownOperand {
+        /// Description of the operand slot.
+        context: &'static str,
+        /// The offending id's raw index.
+        index: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
 }
 
 impl fmt::Display for ShapeError {
@@ -60,6 +70,14 @@ impl fmt::Display for ShapeError {
             ShapeError::ElementCountChanged { from, to } => {
                 write!(f, "reshape changes element count {from} -> {to}")
             }
+            ShapeError::UnknownOperand {
+                context,
+                index,
+                nodes,
+            } => write!(
+                f,
+                "{context}: operand %{index} does not exist ({nodes} nodes)"
+            ),
         }
     }
 }

@@ -1,0 +1,326 @@
+//! Mutation suite for the [`Verifier`]: every invariant it enforces is
+//! broken here, one seeded corruption per test, and each corruption
+//! must be rejected with its *specific* typed [`VerifyError`] — not
+//! just "some error". This is what makes the verifier trustworthy as
+//! the gate around pass rewrites: a checker that cannot name the
+//! invariant it caught cannot be tested for coverage.
+//!
+//! The corruptions use the deliberate escape hatches
+//! ([`OpId::from_raw`], [`Graph::from_parts`],
+//! [`MemoryPlan::from_parts`], [`FusionMap::from_entries`]); the
+//! builder API itself cannot construct any of these states.
+
+use std::collections::HashSet;
+
+use tpu_hlo::fusion::FusionMap;
+use tpu_hlo::memory::MemoryPlan;
+use tpu_hlo::{Graph, HloOp, OpId, TensorShape, Verifier, VerifyError};
+use tpu_numerics::DType;
+
+/// The shared victim: `%0 param [8,256]  %1 const [256,512]  %2 dot
+/// %3 relu  %4 const [512,10]  %5 dot`, output `%5`.
+fn mlp() -> Graph {
+    let mut g = Graph::new("mlp", DType::Bf16);
+    let x = g.parameter(&[8, 256]).unwrap();
+    let w1 = g.constant(&[256, 512]).unwrap();
+    let h = g.dot(x, w1).unwrap();
+    let h = g.relu(h).unwrap();
+    let w2 = g.constant(&[512, 10]).unwrap();
+    let y = g.dot(h, w2).unwrap();
+    g.mark_output(y);
+    g
+}
+
+/// Bytes of the two weight constants at bf16.
+const W1_BYTES: u64 = 256 * 512 * 2;
+const W2_BYTES: u64 = 512 * 10 * 2;
+
+fn id(raw: u32) -> OpId {
+    OpId::from_raw(raw)
+}
+
+// ---------------------------------------------------------------------
+// Graph structure
+// ---------------------------------------------------------------------
+
+#[test]
+fn control_the_unmutated_graph_verifies() {
+    Verifier::new().verify_graph(&mlp()).unwrap();
+}
+
+#[test]
+fn node_id_not_matching_position_is_id_mismatch() {
+    let (name, dtype, mut nodes, outputs) = mlp().into_parts();
+    nodes[1].id = id(7);
+    let g = Graph::from_parts(&name, dtype, nodes, outputs);
+    assert_eq!(
+        Verifier::new().verify_graph(&g),
+        Err(VerifyError::IdMismatch {
+            position: 1,
+            found: id(7),
+        })
+    );
+}
+
+#[test]
+fn operand_past_the_node_list_is_dangling_operand() {
+    let (name, dtype, mut nodes, outputs) = mlp().into_parts();
+    nodes[2].op = HloOp::Dot {
+        lhs: id(0),
+        rhs: id(99),
+    };
+    let g = Graph::from_parts(&name, dtype, nodes, outputs);
+    assert_eq!(
+        Verifier::new().verify_graph(&g),
+        Err(VerifyError::DanglingOperand {
+            node: id(2),
+            operand: id(99),
+            nodes: 6,
+        })
+    );
+}
+
+#[test]
+fn operand_not_preceding_its_user_is_use_before_def() {
+    // %2 reading %5 is also the only way to smuggle in a cycle, since
+    // ids are positions; one check rules out both.
+    let (name, dtype, mut nodes, outputs) = mlp().into_parts();
+    nodes[2].op = HloOp::Dot {
+        lhs: id(0),
+        rhs: id(5),
+    };
+    let g = Graph::from_parts(&name, dtype, nodes, outputs);
+    assert_eq!(
+        Verifier::new().verify_graph(&g),
+        Err(VerifyError::UseBeforeDef {
+            node: id(2),
+            operand: id(5),
+        })
+    );
+}
+
+#[test]
+fn operands_that_no_longer_infer_are_bad_shape() {
+    // Retarget the dot's weights at the parameter: [8,256] @ [8,256]
+    // has no matching contraction dimension.
+    let (name, dtype, mut nodes, outputs) = mlp().into_parts();
+    nodes[2].op = HloOp::Dot {
+        lhs: id(0),
+        rhs: id(0),
+    };
+    let g = Graph::from_parts(&name, dtype, nodes, outputs);
+    assert!(matches!(
+        Verifier::new().verify_graph(&g),
+        Err(VerifyError::BadShape { node, .. }) if node == id(2)
+    ));
+}
+
+#[test]
+fn stored_shape_disagreeing_with_inference_is_shape_mismatch() {
+    let (name, dtype, mut nodes, outputs) = mlp().into_parts();
+    nodes[3].shape = TensorShape::new(&[1, 1]).unwrap();
+    let g = Graph::from_parts(&name, dtype, nodes, outputs);
+    assert_eq!(
+        Verifier::new().verify_graph(&g),
+        Err(VerifyError::ShapeMismatch {
+            node: id(3),
+            stored: TensorShape::new(&[1, 1]).unwrap(),
+            inferred: TensorShape::new(&[8, 512]).unwrap(),
+        })
+    );
+}
+
+#[test]
+fn empty_output_list_is_no_outputs() {
+    let (name, dtype, nodes, _) = mlp().into_parts();
+    let g = Graph::from_parts(&name, dtype, nodes, Vec::new());
+    assert_eq!(
+        Verifier::new().verify_graph(&g),
+        Err(VerifyError::NoOutputs)
+    );
+}
+
+#[test]
+fn output_past_the_node_list_is_dangling_output() {
+    let (name, dtype, nodes, _) = mlp().into_parts();
+    let g = Graph::from_parts(&name, dtype, nodes, vec![id(42)]);
+    assert_eq!(
+        Verifier::new().verify_graph(&g),
+        Err(VerifyError::DanglingOutput {
+            output: id(42),
+            nodes: 6,
+        })
+    );
+}
+
+// ---------------------------------------------------------------------
+// Memory plans
+// ---------------------------------------------------------------------
+
+fn plan(residents: &[u32], cmem_used: u64, hbm_weight_bytes: u64) -> MemoryPlan {
+    let set: HashSet<OpId> = residents.iter().map(|&r| id(r)).collect();
+    MemoryPlan::from_parts(set, cmem_used, hbm_weight_bytes, 512, false)
+}
+
+#[test]
+fn control_a_correct_plan_verifies() {
+    let g = mlp();
+    let p = plan(&[1], W1_BYTES, W2_BYTES);
+    Verifier::new().verify_memory(&g, &p, W1_BYTES).unwrap();
+}
+
+#[test]
+fn resident_past_the_node_list_is_resident_dangling() {
+    let g = mlp();
+    let p = plan(&[9], 0, W1_BYTES + W2_BYTES);
+    assert_eq!(
+        Verifier::new().verify_memory(&g, &p, u64::MAX),
+        Err(VerifyError::ResidentDangling {
+            id: id(9),
+            nodes: 6
+        })
+    );
+}
+
+#[test]
+fn non_constant_resident_is_resident_not_constant() {
+    // The relu (%3) is an activation — only weights live in CMEM.
+    let g = mlp();
+    let p = plan(&[3], 0, W1_BYTES + W2_BYTES);
+    assert_eq!(
+        Verifier::new().verify_memory(&g, &p, u64::MAX),
+        Err(VerifyError::ResidentNotConstant { id: id(3) })
+    );
+}
+
+#[test]
+fn claimed_usage_disagreeing_with_residents_is_cmem_accounting_wrong() {
+    let g = mlp();
+    let p = plan(&[1], 1, W2_BYTES);
+    assert_eq!(
+        Verifier::new().verify_memory(&g, &p, u64::MAX),
+        Err(VerifyError::CmemAccountingWrong {
+            claimed: 1,
+            actual: W1_BYTES,
+        })
+    );
+}
+
+#[test]
+fn usage_past_the_budget_is_cmem_overbooked() {
+    // Accounting is internally consistent; the plan just books one
+    // byte more than the budget allows.
+    let g = mlp();
+    let p = plan(&[1], W1_BYTES, W2_BYTES);
+    assert_eq!(
+        Verifier::new().verify_memory(&g, &p, W1_BYTES - 1),
+        Err(VerifyError::CmemOverbooked {
+            used: W1_BYTES,
+            budget: W1_BYTES - 1,
+        })
+    );
+}
+
+#[test]
+fn lost_weight_bytes_are_weight_accounting_wrong() {
+    // CMEM holds w1 but the HBM side forgot w2 entirely.
+    let g = mlp();
+    let p = plan(&[1], W1_BYTES, 0);
+    assert_eq!(
+        Verifier::new().verify_memory(&g, &p, u64::MAX),
+        Err(VerifyError::WeightAccountingWrong {
+            claimed: W1_BYTES,
+            actual: W1_BYTES + W2_BYTES,
+        })
+    );
+}
+
+// ---------------------------------------------------------------------
+// Fusion maps
+// ---------------------------------------------------------------------
+
+#[test]
+fn control_the_fusion_passes_own_map_verifies() {
+    let g = mlp();
+    let f = tpu_hlo::fusion::fuse(&g);
+    assert!(f.fused_count() > 0);
+    Verifier::new().verify_fusion(&g, &f).unwrap();
+}
+
+#[test]
+fn fusion_entry_past_the_node_list_is_fusion_dangling() {
+    let g = mlp();
+    let f = FusionMap::from_entries(&[(id(99), id(2))]);
+    assert_eq!(
+        Verifier::new().verify_fusion(&g, &f),
+        Err(VerifyError::FusionDangling {
+            id: id(99),
+            nodes: 6
+        })
+    );
+}
+
+#[test]
+fn fused_constant_is_fusion_node_not_fusible() {
+    // Weights (%1) emit no compute steps; fusing one into a dot is
+    // meaningless and the lowerer would silently skip it.
+    let g = mlp();
+    let f = FusionMap::from_entries(&[(id(1), id(2))]);
+    assert_eq!(
+        Verifier::new().verify_fusion(&g, &f),
+        Err(VerifyError::FusionNodeNotFusible { node: id(1) })
+    );
+}
+
+#[test]
+fn parameter_root_is_fusion_root_not_matrix() {
+    let g = mlp();
+    let f = FusionMap::from_entries(&[(id(3), id(0))]);
+    assert_eq!(
+        Verifier::new().verify_fusion(&g, &f),
+        Err(VerifyError::FusionRootNotMatrix { root: id(0) })
+    );
+}
+
+#[test]
+fn fused_root_is_fusion_root_fused() {
+    // %3 claims root %5 while %5 is itself fused away into %2:
+    // clusters must be single-root.
+    let g = mlp();
+    let f = FusionMap::from_entries(&[(id(3), id(5)), (id(5), id(2))]);
+    assert_eq!(
+        Verifier::new().verify_fusion(&g, &f),
+        Err(VerifyError::FusionRootFused { root: id(5) })
+    );
+}
+
+#[test]
+fn unreachable_root_is_fusion_disconnected() {
+    // %3's producer chain leads to %2, not to the %5 it claims.
+    let g = mlp();
+    let f = FusionMap::from_entries(&[(id(3), id(5))]);
+    assert_eq!(
+        Verifier::new().verify_fusion(&g, &f),
+        Err(VerifyError::FusionDisconnected {
+            node: id(3),
+            root: id(5),
+        })
+    );
+}
+
+// ---------------------------------------------------------------------
+// End to end: compile() runs the same gate
+// ---------------------------------------------------------------------
+
+#[test]
+fn compile_rejects_a_mutated_graph_with_the_typed_error() {
+    let (name, dtype, nodes, _) = mlp().into_parts();
+    let g = Graph::from_parts(&name, dtype, nodes, vec![id(42)]);
+    let chip = tpu_arch::catalog::tpu_v4i();
+    let err = tpu_hlo::compile(&g, &chip, &tpu_hlo::CompilerOptions::default()).unwrap_err();
+    assert!(matches!(
+        err,
+        tpu_hlo::CompileError::Verify(VerifyError::DanglingOutput { output, nodes: 6 })
+            if output == id(42)
+    ));
+}

@@ -903,7 +903,7 @@ mod tests {
         // generation-specific: the body cannot be misread as valid.
         let v3 = encode(&sample_program(Generation::TpuV3)).unwrap();
         let v4i_spec = EncodingSpec::for_generation(Generation::TpuV4i);
-        let mut forged = v3.clone();
+        let mut forged = v3;
         forged[..4].copy_from_slice(&v4i_spec.magic.to_le_bytes());
         forged[4] = v4i_spec.version;
         let err = decode(&forged, Generation::TpuV4i).unwrap_err();
@@ -1012,7 +1012,7 @@ mod tests {
             DecodeError::Truncated | DecodeError::BadChecksum
         ));
         // Trailing garbage must be detected.
-        let mut long = good.clone();
+        let mut long = good;
         long.push(0xAB);
         assert!(decode(&long, Generation::TpuV4i).is_err());
     }

@@ -1598,7 +1598,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     // Self-instrumenting profiler: time our own dispatch
                     // and attribute host-nanoseconds per event type.
                     let kind = event_kind(&event);
-                    let t0 = Instant::now();
+                    // Host wall-clock, not sim time: the profiler
+                    // measures our own dispatch cost and never feeds
+                    // back into simulated state.
+                    let t0 = Instant::now(); // repolint:allow host profiler
                     self.dispatch(now, event);
                     let ns = t0.elapsed().as_nanos() as u64;
                     self.sink.profile(kind, ns);

@@ -484,7 +484,7 @@ mod tests {
         let b = plan.materialize(4);
         assert_eq!(a, b);
         assert!(!a.is_empty());
-        let off = plan.clone().without_failover();
+        let off = plan.without_failover();
         assert_eq!(off.materialize(4), a);
         // Sorted by time.
         assert!(a.windows(2).all(|w| w[0].at_s <= w[1].at_s));

@@ -24,6 +24,7 @@
 //! assert!(bert.weight_count() > 50_000_000);
 //! ```
 
+pub mod frontend;
 pub mod growth;
 pub mod zoo;
 

@@ -284,6 +284,8 @@ pub mod prop {
         }
 
         /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        // By-value `size` mirrors upstream proptest's signature.
+        #[allow(clippy::needless_pass_by_value)]
         pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
             let (min, max) = size.bounds();
             assert!(min < max, "empty vec size range");
