@@ -5,6 +5,7 @@ pub mod chaos;
 pub mod compiler_exp;
 pub mod cost_exp;
 pub mod evolution;
+pub mod fleet_exp;
 pub mod generation;
 pub mod numerics_exp;
 pub mod observability;

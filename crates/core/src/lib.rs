@@ -428,6 +428,23 @@ impl ProfiledApp {
         (offered_rps, fleet)
     }
 
+    /// A serving-cell template for the planet-scale layer
+    /// ([`tpu_serving::fleet`]): `servers` replicas at the half-SLO
+    /// serving batch under the protected overload policy. The global
+    /// orchestrator overwrites the arrival rate, request count, and
+    /// seed every control epoch; rate/requests/seed here are
+    /// placeholders.
+    pub fn cell_template(&self, servers: usize) -> FleetConfig {
+        let base = ServingConfig {
+            arrival_rate_rps: self.capacity_rps(),
+            max_batch: self.serving_batch,
+            batch_timeout_s: self.op.slo_s * 0.1,
+            requests: 1,
+            seed: 0,
+        };
+        FleetConfig::new(base.with_servers(servers)).with_policy(self.protected_policy(servers))
+    }
+
     fn chaos_point_from(
         &self,
         servers: usize,

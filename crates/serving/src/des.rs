@@ -369,6 +369,55 @@ pub enum ConfigError {
     /// A prefill/decode latency curve evaluated non-positive or
     /// non-finite (zero-latency steps make token rates infinite).
     NonPositiveGenLatency(f64),
+    /// A global fleet needs at least one cell.
+    NoCells,
+    /// The geo control epoch must be finite and > 0.
+    InvalidEpoch(f64),
+    /// The simulated horizon must be finite and > 0.
+    InvalidHorizon(f64),
+    /// The traffic model's base rate must be finite and > 0.
+    InvalidTrafficRate(f64),
+    /// The diurnal amplitude must be finite and in [0, 1) (an amplitude
+    /// of 1 would drive the instantaneous rate to 0).
+    InvalidDiurnalAmplitude(f64),
+    /// The diurnal period must be finite and > 0.
+    InvalidTrafficPeriod(f64),
+    /// A tenant's traffic share must be finite and > 0.
+    InvalidTenantShare(f64),
+    /// A tenant's diurnal phase offset must be finite.
+    InvalidTenantPhase(f64),
+    /// A flash crowd's start/duration must be finite, with start >= 0
+    /// and duration > 0.
+    InvalidFlashWindow(f64),
+    /// A flash crowd's rate multiplier must be finite and > 0.
+    InvalidFlashMultiplier(f64),
+    /// A cell fault targets a cell outside the global config.
+    CellFaultOutOfRange {
+        /// The offending cell index.
+        cell: usize,
+        /// The cell count it must be below.
+        cells: usize,
+    },
+    /// A cell fault's start/duration must be finite, with start >= 0
+    /// and duration > 0.
+    InvalidCellFaultWindow(f64),
+    /// A brownout fraction must be finite and in (0, 1].
+    InvalidBrownoutFraction(f64),
+    /// Cell server bounds must satisfy 1 <= min <= initial <= max.
+    InvalidCellServers {
+        /// Configured minimum server count.
+        min: usize,
+        /// Configured maximum server count.
+        max: usize,
+    },
+    /// A cell's per-server capacity must be finite and > 0.
+    InvalidCellCapacity(f64),
+    /// The autoscaler utilization target must be finite and in (0, 1].
+    InvalidUtilizationTarget(f64),
+    /// The cross-cell redirect latency penalty must be finite and >= 0.
+    InvalidRedirectLatency(f64),
+    /// The overload-redirect threshold must be finite and > 0.
+    InvalidRedirectThreshold(f64),
 }
 
 impl fmt::Display for ConfigError {
@@ -454,6 +503,67 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::NonPositiveGenLatency(t) => {
                 write!(f, "prefill/decode latency must be finite and > 0, got {t}")
+            }
+            ConfigError::NoCells => write!(f, "a global fleet needs at least one cell"),
+            ConfigError::InvalidEpoch(e) => {
+                write!(f, "epoch_s must be finite and > 0, got {e}")
+            }
+            ConfigError::InvalidHorizon(h) => {
+                write!(f, "horizon_s must be finite and > 0, got {h}")
+            }
+            ConfigError::InvalidTrafficRate(r) => {
+                write!(f, "traffic base_rps must be finite and > 0, got {r}")
+            }
+            ConfigError::InvalidDiurnalAmplitude(a) => {
+                write!(f, "diurnal amplitude must be finite and in [0, 1), got {a}")
+            }
+            ConfigError::InvalidTrafficPeriod(p) => {
+                write!(f, "diurnal period_s must be finite and > 0, got {p}")
+            }
+            ConfigError::InvalidTenantShare(s) => {
+                write!(f, "tenant share must be finite and > 0, got {s}")
+            }
+            ConfigError::InvalidTenantPhase(p) => {
+                write!(f, "tenant phase_s must be finite, got {p}")
+            }
+            ConfigError::InvalidFlashWindow(t) => {
+                write!(
+                    f,
+                    "flash crowd window must be finite (start >= 0, duration > 0), got {t}"
+                )
+            }
+            ConfigError::InvalidFlashMultiplier(m) => {
+                write!(f, "flash crowd multiplier must be finite and > 0, got {m}")
+            }
+            ConfigError::CellFaultOutOfRange { cell, cells } => {
+                write!(f, "cell fault targets cell {cell}, config has {cells}")
+            }
+            ConfigError::InvalidCellFaultWindow(t) => {
+                write!(
+                    f,
+                    "cell fault window must be finite (start >= 0, duration > 0), got {t}"
+                )
+            }
+            ConfigError::InvalidBrownoutFraction(x) => {
+                write!(f, "brownout fraction must be finite and in (0, 1], got {x}")
+            }
+            ConfigError::InvalidCellServers { min, max } => {
+                write!(f, "cell server bounds must satisfy 1 <= min <= initial <= max, got min={min} max={max}")
+            }
+            ConfigError::InvalidCellCapacity(c) => {
+                write!(f, "capacity_per_server_rps must be finite and > 0, got {c}")
+            }
+            ConfigError::InvalidUtilizationTarget(u) => {
+                write!(
+                    f,
+                    "autoscaler target_utilization must be finite and in (0, 1], got {u}"
+                )
+            }
+            ConfigError::InvalidRedirectLatency(l) => {
+                write!(f, "redirect_latency_s must be finite and >= 0, got {l}")
+            }
+            ConfigError::InvalidRedirectThreshold(t) => {
+                write!(f, "overload_threshold must be finite and > 0, got {t}")
             }
         }
     }
@@ -784,6 +894,28 @@ pub fn simulate_fleet_with_faults(
     cfg.validate()?;
     plan.validate(cfg.pool.servers)?;
     Ok(Engine::new(latency, cfg, plan, NullSink).run())
+}
+
+/// [`simulate_fleet_with_faults`] plus the raw end-to-end latency
+/// samples of every completed request (seconds, in completion order;
+/// `samples.len() == report.completed`).
+///
+/// The global fleet layer ([`crate::fleet`]) uses the samples to apply
+/// cross-cell redirect latency penalties and to fold exact global
+/// percentiles across cells without losing per-request resolution. The
+/// report is bit-identical to the sample-less entry point's.
+///
+/// # Errors
+///
+/// [`ConfigError`] for degenerate serving configurations or fault plans.
+pub fn simulate_fleet_samples(
+    latency: &LatencyModel,
+    cfg: &FleetConfig,
+    plan: &FaultPlan,
+) -> Result<(ServingReport, Vec<f64>), ConfigError> {
+    cfg.validate()?;
+    plan.validate(cfg.pool.servers)?;
+    Ok(Engine::new(latency, cfg, plan, NullSink).run_with_samples())
 }
 
 /// Everything [`simulate_fleet_with_faults`] does, with the full request
@@ -1577,7 +1709,15 @@ impl<'a, S: EventSink> Engine<'a, S> {
         }
     }
 
-    fn run(mut self) -> ServingReport {
+    fn run(self) -> ServingReport {
+        self.run_with_samples().0
+    }
+
+    /// [`Self::run`] plus the raw completion-latency samples (seconds,
+    /// in completion order, one per completed request) — the global
+    /// fleet layer needs per-request samples to apply cross-cell
+    /// redirect penalties and fold exact global percentiles.
+    fn run_with_samples(mut self) -> (ServingReport, Vec<f64>) {
         let first = self.arrivals[0];
         self.push_event(first, Event::Arrival(0));
         for fi in 0..self.faults.len() {
@@ -1773,8 +1913,9 @@ impl<'a, S: EventSink> Engine<'a, S> {
     }
 
     /// Post-loop accounting: drain leftovers as dropped, close any
-    /// still-open telemetry spans, and assemble the report.
-    fn finish(mut self) -> ServingReport {
+    /// still-open telemetry spans, and assemble the report (plus the
+    /// raw completion-latency samples, in completion order).
+    fn finish(mut self) -> (ServingReport, Vec<f64>) {
         let n = self.cfg.pool.base.requests;
         // End-of-run telemetry is stamped at or after every event the
         // stream already holds (late timers can pop past `end_time`).
@@ -1833,7 +1974,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         let total_time = self.end_time.max(1e-12);
         let servers = self.cfg.pool.servers;
         let busy_total: f64 = self.metrics.per_server_busy_s.iter().sum();
-        ServingReport {
+        let report = ServingReport {
             p50_s: stats.p50_s,
             p99_s: stats.p99_s,
             throughput_rps: self.completed as f64 / total_time,
@@ -1849,7 +1990,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
             duration_s: self.end_time,
             stats,
             metrics: self.metrics,
-        }
+        };
+        (report, self.latencies)
     }
 }
 

@@ -29,7 +29,11 @@
 //!   arrival rate that still meet a p99 target (E8);
 //! - [`multitenant`]: several models sharing one chip, with HBM
 //!   residency checks, weight-swap costs for non-resident models and
-//!   per-tenant CMEM partitions (E11).
+//!   per-tenant CMEM partitions (E11);
+//! - [`fleet`]: the planet-scale layer — N cells behind a geo
+//!   load-balancer, diurnal + flash-crowd traffic, correlated
+//!   cell-level failure domains (outage / brownout / partition), and a
+//!   target-utilization autoscaler with provisioning lag (E27).
 //!
 //! # Example
 //!
@@ -52,6 +56,7 @@
 
 pub mod des;
 pub mod faults;
+pub mod fleet;
 pub mod genmodel;
 pub mod latency;
 pub mod metrics;
@@ -60,12 +65,17 @@ pub mod slo;
 pub mod stats;
 
 pub use des::{
-    simulate, simulate_fleet, simulate_fleet_recorded, simulate_fleet_with_faults,
-    simulate_generation, simulate_generation_recorded, BatchingMode, ConfigError, FleetConfig,
-    FleetPolicy, GenConfig, GenReport, PoolConfig, RetryPolicy, ServingConfig, ServingReport,
-    Stragglers,
+    simulate, simulate_fleet, simulate_fleet_recorded, simulate_fleet_samples,
+    simulate_fleet_with_faults, simulate_generation, simulate_generation_recorded, BatchingMode,
+    ConfigError, FleetConfig, FleetPolicy, GenConfig, GenReport, PoolConfig, RetryPolicy,
+    ServingConfig, ServingReport, Stragglers,
 };
 pub use faults::{FailoverConfig, FaultKind, FaultPlan, MtbfFaults, ScheduledFault};
+pub use fleet::{
+    simulate_global, simulate_global_recorded, AutoscalerConfig, AutoscalerReport, Cell, CellFault,
+    CellFaultKind, CellReport, FlashCrowd, GeoPolicy, GlobalConfig, GlobalReport, TenantStream,
+    TrafficModel,
+};
 pub use genmodel::{GenerationModel, TokenDistribution};
 pub use latency::{GenLatencyModel, LatencyModel};
 pub use metrics::ServingMetrics;

@@ -160,6 +160,37 @@ impl Histogram {
         self.max
     }
 
+    /// Folds another histogram into this one **without re-observing raw
+    /// samples**: per-bucket counts, the sum, the observation count, and
+    /// the max all combine exactly, so merging per-cell histograms gives
+    /// the same result as observing every value into one histogram
+    /// (order invariance already holds per histogram).
+    ///
+    /// Merging an empty histogram is a no-op; merging *into* an empty
+    /// one copies the other's moments (including the real max, not a
+    /// fake 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ — merging histograms with
+    /// different bucketings would silently misbin counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge requires identical bucket bounds"
+        );
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.sum += other.sum;
+        self.n += other.n;
+        // Both maxes start at NEG_INFINITY, so the fold is exact for
+        // every empty/non-empty combination.
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
     /// `(upper_bound, count)` pairs; the final pair is the overflow
     /// bucket reported as `(f64::INFINITY, count)`.
     pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
@@ -307,6 +338,55 @@ impl ServingMetrics {
         self.shed_permanent.get()
     }
 
+    /// Folds another run's metrics into this one: counters add,
+    /// histograms [`Histogram::merge`] (exact, no re-observation),
+    /// `kv_peak_bytes` takes the max, and per-server vectors add
+    /// elementwise (the shorter side is padded with zeros, so fleets
+    /// whose server count changed between runs still fold).
+    ///
+    /// This is how per-cell metrics aggregate into a global report:
+    /// the fold of N runs equals one run that saw all N runs' events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any histogram's bucket bounds differ (all metrics
+    /// built by [`ServingMetrics::new`] share bounds).
+    pub fn merge_from(&mut self, other: &ServingMetrics) {
+        self.arrivals.add(other.arrivals.get());
+        self.admitted.add(other.admitted.get());
+        self.completed.add(other.completed.get());
+        self.completed_late.add(other.completed_late.get());
+        self.shed_queue_full.add(other.shed_queue_full.get());
+        self.shed_deadline.add(other.shed_deadline.get());
+        self.shed_no_capacity.add(other.shed_no_capacity.get());
+        self.shed_permanent.add(other.shed_permanent.get());
+        self.retries.add(other.retries.get());
+        self.retries_exhausted.add(other.retries_exhausted.get());
+        self.dropped_at_drain.add(other.dropped_at_drain.get());
+        self.failures_injected.add(other.failures_injected.get());
+        self.degrades_injected.add(other.degrades_injected.get());
+        self.failures_detected.add(other.failures_detected.get());
+        self.failures_recovered.add(other.failures_recovered.get());
+        self.in_flight_failures.add(other.in_flight_failures.get());
+        self.failed_permanent.add(other.failed_permanent.get());
+        self.failover_redistributed
+            .add(other.failover_redistributed.get());
+        self.events_processed.add(other.events_processed.get());
+        self.tokens_generated.add(other.tokens_generated.get());
+        self.tokens_prefilled.add(other.tokens_prefilled.get());
+        self.decode_steps.add(other.decode_steps.get());
+        self.kv_deferrals.add(other.kv_deferrals.get());
+        self.kv_peak_bytes = self.kv_peak_bytes.max(other.kv_peak_bytes);
+        self.batch_sizes.merge(&other.batch_sizes);
+        self.decode_batch.merge(&other.decode_batch);
+        self.queue_wait_s.merge(&other.queue_wait_s);
+        self.time_to_detect_s.merge(&other.time_to_detect_s);
+        self.time_to_recover_s.merge(&other.time_to_recover_s);
+        merge_padded(&mut self.per_server_busy_s, &other.per_server_busy_s);
+        merge_padded(&mut self.per_server_down_s, &other.per_server_down_s);
+        merge_padded(&mut self.per_server_completed, &other.per_server_completed);
+    }
+
     /// Fraction of the run each server was available (not Down or
     /// Recovering), given the run duration.
     pub fn per_server_availability(&self, duration_s: f64) -> Vec<f64> {
@@ -315,6 +395,20 @@ impl ServingMetrics {
             .iter()
             .map(|&down| (1.0 - down / d).clamp(0.0, 1.0))
             .collect()
+    }
+}
+
+/// Elementwise `a[i] += b[i]`, growing `a` with zeros when `b` is
+/// longer (server counts may differ across folded runs).
+fn merge_padded<T>(a: &mut Vec<T>, b: &[T])
+where
+    T: Copy + Default + std::ops::AddAssign,
+{
+    if a.len() < b.len() {
+        a.resize(b.len(), T::default());
+    }
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x += y;
     }
 }
 
@@ -435,6 +529,113 @@ mod tests {
         assert_eq!(m.per_server_busy_s.len(), 2);
         assert_eq!(m.per_server_down_s.len(), 2);
         assert_eq!(m.per_server_completed.len(), 2);
+    }
+
+    #[test]
+    fn merge_equals_observing_everything_once() {
+        // The defining property: merge(A, B) == observe(A ∪ B), bucket
+        // by bucket and moment by moment.
+        let mut a = Histogram::exponential(1e-3, 2.0, 10);
+        let mut b = Histogram::exponential(1e-3, 2.0, 10);
+        let mut whole = Histogram::exponential(1e-3, 2.0, 10);
+        let va = [0.002, 0.5, 7.0, 0.0001];
+        let vb = [0.9, 0.004, 123.0];
+        for v in va {
+            a.observe(v);
+            whole.observe(v);
+        }
+        for v in vb {
+            b.observe(v);
+            whole.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.max(), 123.0);
+        let merged: Vec<_> = a.buckets().collect();
+        let direct: Vec<_> = whole.buckets().collect();
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn merge_empty_cases() {
+        let empty = Histogram::with_bounds(vec![1.0, 2.0]);
+        // empty ∪ empty stays empty and well-defined.
+        let mut e = empty.clone();
+        e.merge(&empty);
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.max(), 0.0);
+        assert_eq!(e.quantile(0.99), 0.0);
+        // non-empty ∪ empty is a no-op.
+        let mut h = empty.clone();
+        h.observe(1.5);
+        let before = h.clone();
+        h.merge(&empty);
+        assert_eq!(h, before);
+        // empty ∪ non-empty copies the real max — including a negative
+        // one (the NEG_INFINITY sentinel must not leak a fake 0).
+        let mut neg = empty.clone();
+        neg.observe(-2.0);
+        let mut e2 = empty.clone();
+        e2.merge(&neg);
+        assert_eq!(e2, neg);
+        assert_eq!(e2.max(), -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::with_bounds(vec![1.0, 2.0]);
+        let b = Histogram::with_bounds(vec![1.0, 3.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn metrics_fold_adds_counters_and_pads_servers() {
+        let mut a = ServingMetrics::new(2);
+        a.arrivals.add(10);
+        a.completed.add(8);
+        a.kv_peak_bytes = 100;
+        a.batch_sizes.observe(4.0);
+        a.per_server_busy_s[0] = 1.5;
+        a.per_server_completed[1] = 8;
+        let mut b = ServingMetrics::new(3);
+        b.arrivals.add(5);
+        b.completed.add(5);
+        b.kv_peak_bytes = 70;
+        b.batch_sizes.observe(4.0);
+        b.batch_sizes.observe(2.0);
+        b.per_server_busy_s[2] = 0.5;
+        b.per_server_completed[2] = 5;
+        a.merge_from(&b);
+        assert_eq!(a.arrivals.get(), 15);
+        assert_eq!(a.completed.get(), 13);
+        // Peak is a max, not a sum.
+        assert_eq!(a.kv_peak_bytes, 100);
+        assert_eq!(a.batch_sizes.count(), 3);
+        assert!((a.batch_sizes.sum() - 10.0).abs() < 1e-12);
+        // Shorter per-server vectors grew to cover b's third server.
+        assert_eq!(a.per_server_busy_s, vec![1.5, 0.0, 0.5]);
+        assert_eq!(a.per_server_completed, vec![0, 8, 5]);
+    }
+
+    #[test]
+    fn metrics_fold_is_associative_on_counts() {
+        let mk = |n: u64| {
+            let mut m = ServingMetrics::new(1);
+            m.arrivals.add(n);
+            m.queue_wait_s.observe(n as f64 * 1e-4);
+            m
+        };
+        let (x, y, z) = (mk(1), mk(2), mk(3));
+        let mut left = x.clone();
+        left.merge_from(&y);
+        left.merge_from(&z);
+        let mut yz = y.clone();
+        yz.merge_from(&z);
+        let mut right = x;
+        right.merge_from(&yz);
+        assert_eq!(left, right);
     }
 
     #[test]

@@ -117,9 +117,10 @@ pub fn max_throughput_under_slo(
     }
 }
 
-/// Fleet capacity derated for availability: how many replicas a fleet
-/// needs so that `required_rps` is still served when the expected
-/// fraction of machines is down.
+/// Fleet capacity derated for availability **and** correlated cell
+/// loss: how many replicas a fleet needs so that `required_rps` is
+/// still served when the expected fraction of machines is down *and*
+/// the largest failure domain is lost outright.
 ///
 /// `per_server_rps` is one replica's sustainable rate (e.g.
 /// [`SloThroughput::max_rps`]); `availability` is the per-server uptime
@@ -128,9 +129,27 @@ pub fn max_throughput_under_slo(
 /// sizing falls out naturally: at 0.999 availability the derate is tiny,
 /// at 0.9 a 10-replica fleet needs an 11th.
 ///
+/// `cells` is the number of correlated failure domains the fleet is
+/// spread over as evenly as possible (see [`crate::fleet`]): replica
+/// failures *within* a cell are independent, but a whole cell — power
+/// feed, cooling plant, network spine — can be lost at once. With
+/// `cells <= 1` there is no correlated term and the formula reduces to
+/// the classic independent-availability sizing (the pinned legacy
+/// behavior). With `cells >= 2` the fleet is sized so the survivors
+/// still meet `required_rps` after losing the largest cell
+/// (`ceil(n / cells)` replicas): the smallest `n` with
+/// `n - ceil(n / cells) >= ceil(required / effective)`. Two cells give
+/// the classic 2N provisioning; many small cells approach the
+/// independent-failure answer from above.
+///
 /// Returns 0 if `required_rps` is non-positive; saturates to `u64::MAX`
 /// replicas when `availability` or `per_server_rps` is non-positive.
-pub fn replicas_for_rate(required_rps: f64, per_server_rps: f64, availability: f64) -> u64 {
+pub fn replicas_for_rate(
+    required_rps: f64,
+    per_server_rps: f64,
+    availability: f64,
+    cells: usize,
+) -> u64 {
     if required_rps <= 0.0 {
         return 0;
     }
@@ -138,7 +157,17 @@ pub fn replicas_for_rate(required_rps: f64, per_server_rps: f64, availability: f
     if effective <= 0.0 || effective.is_nan() {
         return u64::MAX;
     }
-    (required_rps / effective).ceil() as u64
+    let base = (required_rps / effective).ceil() as u64;
+    if cells <= 1 {
+        return base;
+    }
+    // Survivors of losing the largest of `c` near-equal cells:
+    // n - ceil(n/c) = floor(n*(c-1)/c), so the smallest n with
+    // floor(n*(c-1)/c) >= base is n = ceil(base*c / (c-1)).
+    // u128 keeps base*c exact out to the u64::MAX saturation point.
+    let c = cells as u128;
+    let n = (base as u128 * c).div_ceil(c - 1);
+    u64::try_from(n).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -233,16 +262,61 @@ mod tests {
 
     #[test]
     fn availability_derated_fleet_sizing() {
+        // Regression pin: at 1 cell (no correlated domain) the answers
+        // are exactly the legacy independent-availability sizing.
         // 10k rps on 1k-rps replicas: 10 at perfect availability.
-        assert_eq!(replicas_for_rate(10_000.0, 1000.0, 1.0), 10);
+        assert_eq!(replicas_for_rate(10_000.0, 1000.0, 1.0, 1), 10);
         // At 0.9 availability the fleet needs N+2 (10/0.9 = 11.1 -> 12).
-        assert_eq!(replicas_for_rate(10_000.0, 1000.0, 0.9), 12);
+        assert_eq!(replicas_for_rate(10_000.0, 1000.0, 0.9, 1), 12);
         // Three nines barely moves it.
-        assert_eq!(replicas_for_rate(10_000.0, 1000.0, 0.999), 11);
+        assert_eq!(replicas_for_rate(10_000.0, 1000.0, 0.999, 1), 11);
+        // 0 cells is treated as "no correlated domain" too.
+        assert_eq!(replicas_for_rate(10_000.0, 1000.0, 0.9, 0), 12);
         // Degenerate inputs stay well-defined.
-        assert_eq!(replicas_for_rate(0.0, 1000.0, 1.0), 0);
-        assert_eq!(replicas_for_rate(100.0, 0.0, 1.0), u64::MAX);
-        assert_eq!(replicas_for_rate(100.0, 1000.0, 0.0), u64::MAX);
+        assert_eq!(replicas_for_rate(0.0, 1000.0, 1.0, 1), 0);
+        assert_eq!(replicas_for_rate(100.0, 0.0, 1.0, 1), u64::MAX);
+        assert_eq!(replicas_for_rate(100.0, 1000.0, 0.0, 1), u64::MAX);
+        assert_eq!(replicas_for_rate(100.0, 1000.0, 0.0, 4), u64::MAX);
+    }
+
+    #[test]
+    fn correlated_cell_loss_derates_capacity() {
+        // 10 replicas' worth of load spread over 2 cells: losing one of
+        // the two cells halves the fleet, so the sizing doubles (2N).
+        assert_eq!(replicas_for_rate(10_000.0, 1000.0, 1.0, 2), 20);
+        // 3 cells: n = ceil(10*3/2) = 15; losing the largest cell
+        // (ceil(15/3) = 5) leaves exactly 10.
+        assert_eq!(replicas_for_rate(10_000.0, 1000.0, 1.0, 3), 15);
+        // Many small cells approach the independent answer from above.
+        assert_eq!(replicas_for_rate(10_000.0, 1000.0, 1.0, 10), 12);
+        assert_eq!(replicas_for_rate(10_000.0, 1000.0, 1.0, 100), 11);
+        // The per-server availability derate composes with the cell
+        // term: base = ceil(10/0.9) = 12, then ceil(12*3/2) = 18.
+        assert_eq!(replicas_for_rate(10_000.0, 1000.0, 0.9, 3), 18);
+    }
+
+    #[test]
+    fn cell_sized_fleet_survives_largest_cell_loss() {
+        // The defining property, checked directly: after losing the
+        // largest of `cells` near-equal cells, the survivors still meet
+        // the required rate — and one fewer replica would not.
+        for cells in 2..=8usize {
+            for base_load in [1u64, 3, 7, 10, 23, 100] {
+                let required = base_load as f64 * 1000.0;
+                let n = replicas_for_rate(required, 1000.0, 1.0, cells);
+                let survivors = n - n.div_ceil(cells as u64);
+                assert!(
+                    survivors as f64 * 1000.0 >= required,
+                    "cells={cells} load={base_load}: {n} replicas leave {survivors}"
+                );
+                let fewer = n - 1;
+                let fewer_survivors = fewer - fewer.div_ceil(cells as u64);
+                assert!(
+                    (fewer_survivors as f64 * 1000.0) < required,
+                    "cells={cells} load={base_load}: {n} is not minimal"
+                );
+            }
+        }
     }
 
     #[test]

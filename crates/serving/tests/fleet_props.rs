@@ -1,0 +1,152 @@
+//! Property tests for the planet-scale fleet layer: conservation
+//! across redirects under random correlated cell faults, autoscaler
+//! bounds, and the derived-only telemetry contract — for *any* valid
+//! global configuration.
+
+use proptest::prelude::*;
+
+use tpu_serving::des::{FleetConfig, FleetPolicy, PoolConfig, RetryPolicy, ServingConfig};
+use tpu_serving::fleet::{
+    simulate_global, simulate_global_recorded, AutoscalerConfig, Cell, CellFault, CellFaultKind,
+    GeoPolicy, GlobalConfig, TrafficModel,
+};
+use tpu_serving::latency::LatencyModel;
+use tpu_telemetry::Recorder;
+
+fn model() -> LatencyModel {
+    LatencyModel::from_points(vec![(1, 0.001), (128, 0.008)]).unwrap()
+}
+
+fn cell_template(servers: usize) -> FleetConfig {
+    let base = ServingConfig {
+        arrival_rate_rps: 1.0,
+        max_batch: 16,
+        batch_timeout_s: 0.002,
+        requests: 1,
+        seed: 0,
+    };
+    FleetConfig::new(PoolConfig { base, servers }).with_policy(FleetPolicy {
+        deadline_s: Some(0.05),
+        shed_expired: true,
+        queue_budget_s: Some(0.04),
+        queue_cap: Some(256),
+        retry: RetryPolicy {
+            max_retries: 1,
+            backoff_s: 0.002,
+            backoff_mult: 2.0,
+        },
+    })
+}
+
+/// A random-but-valid global config: 2–4 cells, a diurnal + flash
+/// traffic mix, and 0–3 random correlated cell faults of every kind.
+fn arb_config() -> impl Strategy<Value = GlobalConfig> {
+    let cells = prop::collection::vec(2usize..=4, 2..=4);
+    let faults = prop::collection::vec(
+        (0usize..4, 0.0f64..0.8, 0.05f64..0.4, 0usize..3, 0.2f64..1.0),
+        0..=3,
+    );
+    (
+        cells,
+        faults,
+        1_000.0f64..12_000.0,
+        0.0f64..0.6,
+        any::<u64>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(sizes, rawf, rate, amp, seed, failover, scaling)| {
+            let n = sizes.len();
+            let cells: Vec<Cell> = sizes
+                .iter()
+                .map(|&s| Cell::new(cell_template(s), 2500.0, s * 2))
+                .collect();
+            let cell_faults = rawf
+                .into_iter()
+                .map(|(c, at, dur, kind, frac)| CellFault {
+                    cell: c % n,
+                    at_s: at,
+                    duration_s: dur,
+                    kind: match kind {
+                        0 => CellFaultKind::Outage,
+                        1 => CellFaultKind::Partition,
+                        _ => CellFaultKind::Brownout { fraction: frac },
+                    },
+                })
+                .collect();
+            GlobalConfig {
+                cells,
+                traffic: TrafficModel::diurnal(rate, amp, 1.0).with_flash(0.4, 0.2, 1.7),
+                cell_faults,
+                autoscaler: AutoscalerConfig {
+                    enabled: scaling,
+                    target_utilization: 0.6,
+                    step_servers: 2,
+                    provisioning_lag_epochs: 1,
+                },
+                geo: GeoPolicy {
+                    failover,
+                    redirect_latency_s: 0.01,
+                    overload_threshold: 1.0,
+                    detect_epochs: 1,
+                },
+                epoch_s: 0.1,
+                horizon_s: 0.8,
+                seed,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation holds globally and per cell — with redirects
+    /// reconciled — for any mix of correlated cell faults, failover
+    /// on or off, autoscaling on or off.
+    #[test]
+    fn global_conservation_under_random_cell_faults(cfg in arb_config()) {
+        let r = simulate_global(&model(), &cfg).expect("generated configs are valid");
+        prop_assert!(r.conservation_holds());
+        // The identity, spelled out.
+        prop_assert_eq!(
+            r.arrivals,
+            r.completed + r.shed + r.dropped + r.failed
+        );
+        let out: u64 = r.cells.iter().map(|c| c.redirected_out).sum();
+        let inn: u64 = r.cells.iter().map(|c| c.redirected_in).sum();
+        prop_assert_eq!(out, inn);
+        // Serve-through never redirects or geo-sheds.
+        if !cfg.geo.failover {
+            prop_assert_eq!(r.redirected, 0);
+            prop_assert_eq!(r.lb_shed, 0);
+        }
+        prop_assert!(r.good <= r.completed);
+        prop_assert!((0.0..=1.0).contains(&r.availability));
+    }
+
+    /// The autoscaler never exceeds any cell's configured maximum and
+    /// never drops below its minimum, whatever the traffic does.
+    #[test]
+    fn autoscaler_respects_bounds(cfg in arb_config()) {
+        let r = simulate_global(&model(), &cfg).expect("valid");
+        for (c, cr) in r.cells.iter().enumerate() {
+            prop_assert!(cr.peak_servers <= cfg.cells[c].max_servers);
+            prop_assert!(cr.final_servers >= cfg.cells[c].min_servers);
+            prop_assert!(cr.final_servers <= cfg.cells[c].max_servers);
+        }
+        if !cfg.autoscaler.enabled {
+            prop_assert_eq!(r.autoscaler.scale_ups, 0);
+            prop_assert_eq!(r.autoscaler.scale_downs, 0);
+        }
+    }
+
+    /// Recording telemetry never changes the simulation: the recorded
+    /// report is bit-identical to the unrecorded one.
+    #[test]
+    fn recorded_equals_unrecorded(cfg in arb_config()) {
+        let plain = simulate_global(&model(), &cfg).expect("valid");
+        let mut rec = Recorder::new();
+        let traced = simulate_global_recorded(&model(), &cfg, &mut rec).expect("valid");
+        prop_assert_eq!(plain, traced);
+    }
+}

@@ -387,7 +387,7 @@ proptest! {
 
     /// `replicas_for_rate` is monotone in the required rate, antitone in
     /// availability and per-server capacity, and its answer is both
-    /// sufficient and minimal.
+    /// sufficient and minimal (at 1 cell — the pinned legacy behavior).
     #[test]
     fn replicas_for_rate_monotone_sufficient_minimal(
         required in 1.0f64..1e6,
@@ -397,14 +397,14 @@ proptest! {
         avail_bump in 0.0f64..0.5,
     ) {
         let avail_hi = (avail_lo + avail_bump).min(1.0);
-        let base = replicas_for_rate(required, per_server, avail_lo);
+        let base = replicas_for_rate(required, per_server, avail_lo, 1);
 
         // Monotone nondecreasing in the required rate.
-        prop_assert!(replicas_for_rate(required + extra, per_server, avail_lo) >= base);
+        prop_assert!(replicas_for_rate(required + extra, per_server, avail_lo, 1) >= base);
         // Nonincreasing in availability: healthier fleets never need more.
-        prop_assert!(replicas_for_rate(required, per_server, avail_hi) <= base);
+        prop_assert!(replicas_for_rate(required, per_server, avail_hi, 1) <= base);
         // Nonincreasing in per-server capacity.
-        prop_assert!(replicas_for_rate(required, per_server * 2.0, avail_lo) <= base);
+        prop_assert!(replicas_for_rate(required, per_server * 2.0, avail_lo, 1) <= base);
 
         // Sufficiency: the sized fleet covers the demand...
         let eff = per_server * avail_lo;
@@ -420,8 +420,34 @@ proptest! {
         );
 
         // Degenerate demand needs no fleet at all.
-        prop_assert_eq!(replicas_for_rate(0.0, per_server, avail_lo), 0);
-        prop_assert_eq!(replicas_for_rate(-required, per_server, avail_lo), 0);
+        prop_assert_eq!(replicas_for_rate(0.0, per_server, avail_lo, 1), 0);
+        prop_assert_eq!(replicas_for_rate(-required, per_server, avail_lo, 1), 0);
+    }
+
+    /// The correlated-cell term: the sized fleet survives losing its
+    /// largest cell and still meets the rate; more cells never require
+    /// a bigger fleet (smaller blast radius); and the multi-cell answer
+    /// never undercuts the 1-cell answer.
+    #[test]
+    fn replicas_for_rate_cell_term(
+        required in 1.0f64..1e6,
+        per_server in 10.0f64..1e5,
+        avail in 0.5f64..1.0,
+        cells in 2usize..12,
+    ) {
+        let independent = replicas_for_rate(required, per_server, avail, 1);
+        let n = replicas_for_rate(required, per_server, avail, cells);
+        prop_assert!(n >= independent);
+        // Losing the largest of `cells` near-equal cells still leaves
+        // enough derated capacity.
+        let survivors = n - n.div_ceil(cells as u64);
+        let eff = per_server * avail;
+        prop_assert!(
+            survivors as f64 * eff >= required * (1.0 - 1e-9),
+            "{n} replicas over {cells} cells leave {survivors} survivors"
+        );
+        // A finer cell split (smaller largest cell) never needs more.
+        prop_assert!(replicas_for_rate(required, per_server, avail, cells + 1) <= n);
     }
 
     /// The SLO-feasible batch cap is monotone in the SLO: loosening the

@@ -138,3 +138,74 @@ fn chaos_replication_is_deterministic() {
     // And re-running the whole fan-out reproduces itself exactly.
     assert_eq!(runner.run(digest), par);
 }
+
+/// The planet-scale layer keeps the contract: a global run — geo
+/// load-balancer, correlated cell faults, autoscaler, per-cell DES —
+/// is a pure function of (config, seed), so a parallel multi-seed
+/// sweep over it is bit-identical to the sequential fold.
+#[test]
+fn global_fleet_replication_is_deterministic() {
+    use tpugen::serving::fleet::{
+        simulate_global, AutoscalerConfig, Cell, CellFault, CellFaultKind, GeoPolicy, GlobalConfig,
+        TrafficModel,
+    };
+
+    let model = LatencyModel::from_points(vec![(1, 0.001), (128, 0.008)]).expect("valid");
+    let digest = |seed: u64| {
+        let template = FleetConfig::new(
+            ServingConfig {
+                arrival_rate_rps: 1.0,
+                max_batch: 16,
+                batch_timeout_s: 0.002,
+                requests: 1,
+                seed: 0,
+            }
+            .with_servers(2),
+        )
+        .with_policy(FleetPolicy {
+            deadline_s: Some(0.05),
+            shed_expired: true,
+            queue_budget_s: Some(0.04),
+            queue_cap: Some(256),
+            retry: RetryPolicy {
+                max_retries: 1,
+                backoff_s: 0.002,
+                backoff_mult: 2.0,
+            },
+        });
+        let cfg = GlobalConfig {
+            cells: (0..3).map(|_| Cell::new(template, 2500.0, 5)).collect(),
+            traffic: TrafficModel::diurnal(8_000.0, 0.3, 1.0).with_flash(0.4, 0.2, 1.6),
+            cell_faults: vec![CellFault {
+                cell: 0,
+                at_s: 0.33,
+                duration_s: 0.3,
+                kind: CellFaultKind::Outage,
+            }],
+            autoscaler: AutoscalerConfig::default(),
+            geo: GeoPolicy {
+                redirect_latency_s: 0.01,
+                ..GeoPolicy::default()
+            },
+            epoch_s: 0.1,
+            horizon_s: 0.8,
+            seed,
+        };
+        let r = simulate_global(&model, &cfg).expect("valid config");
+        assert!(r.conservation_holds());
+        (
+            r.arrivals,
+            r.good,
+            r.redirected,
+            r.p99_s.to_bits(),
+            r.availability.to_bits(),
+            r.metrics.events_processed.get(),
+            r.autoscaler.scale_ups,
+        )
+    };
+    let runner = MultiSeedRunner::new(23, 4);
+    let par = runner.run(digest);
+    let seq = runner.run_sequential(digest);
+    assert_eq!(par, seq);
+    assert_eq!(runner.run(digest), par);
+}
