@@ -1,0 +1,269 @@
+//! E28: calendar-queue vs reference-heap DES engines — bit-identical
+//! reports across the serving model zoo.
+//!
+//! The PR-10 event-core rewrite (calendar/bucket queue, request arena,
+//! same-timestamp batch dispatch) is only admissible because every
+//! downstream layer — parallel seed lanes, the derived-only telemetry
+//! contract, the golden byte-pins — rests on bit-exact determinism.
+//! This experiment runs representative fleet, chaos, generation, and
+//! planet-scale configurations through both engines and reports the
+//! headline numbers alongside the equivalence verdict. Everything
+//! printed is a pure function of config and seed (no wall-clock), so
+//! the output is byte-stable across hosts, thread counts, and runs —
+//! CI diffs it between `--jobs 1` and `--jobs 4`.
+//!
+//! Performance itself is graded elsewhere (`micro --check-against
+//! BENCH_serving.json`); the experiment's job is the *semantics* half
+//! of the queue swap: same (time, seq) pop order in, same bytes out.
+
+use tpu_serving::des::{
+    simulate_fleet_with_faults, simulate_fleet_with_faults_reference, simulate_generation,
+    simulate_generation_calendar, simulate_generation_reference, BatchingMode, FleetConfig,
+    FleetPolicy, RetryPolicy, ServingConfig,
+};
+use tpu_serving::faults::{FailoverConfig, FaultPlan, MtbfFaults};
+use tpu_serving::fleet::{
+    simulate_global, simulate_global_reference, AutoscalerConfig, Cell, CellFault, CellFaultKind,
+    GeoPolicy, GlobalConfig, TrafficModel,
+};
+use tpu_serving::latency::LatencyModel;
+
+use crate::util::{f, Table};
+
+/// One engine-equivalence arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuePoint {
+    /// Configuration label.
+    pub name: &'static str,
+    /// DES events processed (identical across engines by construction).
+    pub events: u64,
+    /// Requests offered.
+    pub arrivals: usize,
+    /// Requests completed.
+    pub completed: usize,
+    /// Requests lost (shed + failed + lb-shed, whichever the layer has).
+    pub lost: usize,
+    /// Headline p99, milliseconds.
+    pub p99_ms: f64,
+    /// Whether the calendar-queue report equals the reference-heap
+    /// report field-for-field (bit-exact floats included).
+    pub identical: bool,
+}
+
+/// Requests per arm: large enough to exercise shedding, failover, and
+/// KV-pressure paths, small enough that E28 stays cheap in the full
+/// experiments run.
+pub const REQUESTS: usize = 6000;
+
+fn latency() -> LatencyModel {
+    LatencyModel::from_points(vec![(1, 0.001), (128, 0.008)]).expect("valid model")
+}
+
+fn expiry_fleet() -> FleetConfig {
+    let base = ServingConfig {
+        arrival_rate_rps: 16_000.0,
+        max_batch: 32,
+        batch_timeout_s: 0.002,
+        requests: REQUESTS,
+        seed: 1,
+    };
+    FleetConfig::new(base.with_servers(1)).with_policy(FleetPolicy {
+        deadline_s: Some(0.05),
+        shed_expired: true,
+        queue_budget_s: Some(0.04),
+        queue_cap: None,
+        retry: RetryPolicy::default(),
+    })
+}
+
+fn chaos_fleet() -> (FleetConfig, FaultPlan) {
+    let base = ServingConfig {
+        arrival_rate_rps: 12_000.0,
+        max_batch: 16,
+        batch_timeout_s: 0.001,
+        requests: REQUESTS,
+        seed: 1,
+    };
+    let fleet = FleetConfig::new(base.with_servers(4)).with_policy(FleetPolicy {
+        deadline_s: Some(0.02),
+        shed_expired: true,
+        queue_budget_s: Some(0.015),
+        queue_cap: Some(256),
+        retry: RetryPolicy {
+            max_retries: 1,
+            backoff_s: 0.002,
+            backoff_mult: 2.0,
+        },
+    });
+    let plan = FaultPlan {
+        scheduled: Vec::new(),
+        mtbf: Some(MtbfFaults {
+            mtbf_s: 0.3,
+            mttr_s: 0.05,
+            horizon_s: 0.6,
+        }),
+        fault_seed: 7,
+        failover: FailoverConfig {
+            enabled: true,
+            probe_interval_s: 0.002,
+            probe_timeout_s: 0.001,
+            recovery_warmup_s: 0.005,
+        },
+    };
+    (fleet, plan)
+}
+
+fn global_fleet() -> GlobalConfig {
+    let base = ServingConfig {
+        arrival_rate_rps: 1.0,
+        max_batch: 16,
+        batch_timeout_s: 0.002,
+        requests: 1,
+        seed: 0,
+    };
+    let template = FleetConfig::new(base.with_servers(3)).with_policy(FleetPolicy {
+        deadline_s: Some(0.05),
+        shed_expired: true,
+        queue_budget_s: Some(0.04),
+        queue_cap: Some(256),
+        retry: RetryPolicy {
+            max_retries: 1,
+            backoff_s: 0.002,
+            backoff_mult: 2.0,
+        },
+    });
+    GlobalConfig {
+        cells: (0..3).map(|_| Cell::new(template, 2500.0, 6)).collect(),
+        traffic: TrafficModel::diurnal(8_000.0, 0.35, 0.8).with_flash(0.3, 0.15, 1.8),
+        cell_faults: vec![CellFault {
+            cell: 0,
+            at_s: 0.3,
+            duration_s: 0.25,
+            kind: CellFaultKind::Outage,
+        }],
+        autoscaler: AutoscalerConfig::default(),
+        geo: GeoPolicy {
+            redirect_latency_s: 0.01,
+            ..GeoPolicy::default()
+        },
+        epoch_s: 0.1,
+        horizon_s: 0.8,
+        seed: 1,
+    }
+}
+
+/// E28 data: each arm run on both engines, compared field-for-field.
+pub fn queue_data() -> Vec<QueuePoint> {
+    let model = latency();
+    let mut points = Vec::new();
+
+    let fleet = expiry_fleet();
+    let none = FaultPlan::none();
+    let cal = simulate_fleet_with_faults(&model, &fleet, &none).expect("valid config");
+    let heap = simulate_fleet_with_faults_reference(&model, &fleet, &none).expect("valid config");
+    points.push(QueuePoint {
+        name: "fleet-expiry",
+        events: cal.metrics.events_processed.get(),
+        arrivals: cal.arrivals,
+        completed: cal.completed,
+        lost: cal.shed + cal.failed,
+        p99_ms: cal.p99_s * 1e3,
+        identical: cal == heap,
+    });
+
+    let (fleet, plan) = chaos_fleet();
+    let cal = simulate_fleet_with_faults(&model, &fleet, &plan).expect("valid config");
+    let heap = simulate_fleet_with_faults_reference(&model, &fleet, &plan).expect("valid config");
+    points.push(QueuePoint {
+        name: "fleet-chaos",
+        events: cal.metrics.events_processed.get(),
+        arrivals: cal.arrivals,
+        completed: cal.completed,
+        lost: cal.shed + cal.failed,
+        p99_ms: cal.p99_s * 1e3,
+        identical: cal == heap,
+    });
+
+    let setup = super::generation::v4i_generation_setup();
+    let mut gen_cfg = setup.base;
+    gen_cfg.mode = BatchingMode::Continuous;
+    gen_cfg.requests = 2000;
+    gen_cfg.arrival_rate_rps = 1.8 * setup.capacity_rps;
+    let prod = simulate_generation(&setup.lat, &gen_cfg).expect("valid config");
+    let cal = simulate_generation_calendar(&setup.lat, &gen_cfg).expect("valid config");
+    let heap = simulate_generation_reference(&setup.lat, &gen_cfg).expect("valid config");
+    points.push(QueuePoint {
+        name: "gen-continuous",
+        events: prod.metrics.events_processed.get(),
+        arrivals: prod.arrivals,
+        completed: prod.completed,
+        lost: prod.arrivals - prod.completed,
+        p99_ms: prod.p99_ttft_s * 1e3,
+        identical: prod == cal && cal == heap,
+    });
+
+    let cfg = global_fleet();
+    let cal = simulate_global(&model, &cfg).expect("valid config");
+    let heap = simulate_global_reference(&model, &cfg).expect("valid config");
+    points.push(QueuePoint {
+        name: "global-fleet",
+        events: cal.metrics.events_processed.get(),
+        arrivals: cal.arrivals as usize,
+        completed: cal.completed as usize,
+        lost: (cal.shed + cal.failed) as usize,
+        p99_ms: cal.p99_s * 1e3,
+        identical: cal == heap,
+    });
+
+    points
+}
+
+/// E28 (extension) — calendar-queue engine vs reference heap:
+/// bit-identical reports across the serving model zoo.
+pub fn e28_queue() -> String {
+    let mut t = Table::new(&[
+        "config",
+        "events",
+        "arrivals",
+        "completed",
+        "lost",
+        "p99 ms",
+        "reports",
+    ]);
+    for p in queue_data() {
+        t.row(vec![
+            p.name.to_owned(),
+            p.events.to_string(),
+            p.arrivals.to_string(),
+            p.completed.to_string(),
+            p.lost.to_string(),
+            f(p.p99_ms, 3),
+            if p.identical {
+                "bit-identical".to_owned()
+            } else {
+                "DIVERGED".to_owned()
+            },
+        ]);
+    }
+    format!(
+        "E28 (extension) — calendar-queue vs reference-heap DES engines: same (time, seq) pop \
+         order, same bytes out ({REQUESTS} requests per fleet arm; perf graded separately by \
+         micro --check-against)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e28_every_arm_is_bit_identical() {
+        let data = queue_data();
+        assert_eq!(data.len(), 4);
+        for p in &data {
+            assert!(p.identical, "{} diverged between engines", p.name);
+            assert!(p.events > 0 && p.arrivals > 0);
+        }
+    }
+}

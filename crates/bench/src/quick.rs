@@ -48,6 +48,17 @@ impl Stat {
             .map(|u| self.median_s / u as f64 * 1e9)
     }
 
+    /// Fastest-batch nanoseconds per work unit, if a denominator is
+    /// attached. Wall-clock noise (scheduler preemption, frequency
+    /// dips, co-tenants) only ever *inflates* a batch mean, so the
+    /// minimum is the robust one-sided estimator regression gates
+    /// compare at tight tolerances.
+    pub fn min_ns_per_unit(&self) -> Option<f64> {
+        self.units_per_iter
+            .filter(|&u| u > 0)
+            .map(|u| self.min_s / u as f64 * 1e9)
+    }
+
     /// Work units per second at the median, if a denominator is attached.
     pub fn units_per_sec(&self) -> Option<f64> {
         self.units_per_iter

@@ -1,0 +1,202 @@
+//! Stamped slot arena for in-flight DES state.
+//!
+//! The serving engine keeps every in-service batch in a [`SlotArena`]:
+//! a flat `Vec` of slots plus a free-list, addressed by [`Handle`]s
+//! that pair the slot index with a reuse **stamp**. Freeing a slot
+//! bumps its stamp, so a handle captured before the free (for example a
+//! `Done` event scheduled for a batch that a crash later aborts) stops
+//! resolving the moment the slot is recycled — the classic ABA hazard
+//! of index-addressed free-lists, caught by construction instead of by
+//! a liveness flag on the payload. Slot payloads are recycled in place
+//! (`alloc` hands back the previous occupant's allocation), so steady
+//! state runs without heap traffic.
+
+/// Index + reuse stamp addressing one arena slot. A handle is live only
+/// while its stamp matches the slot's current stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handle {
+    /// Slot index.
+    pub index: u32,
+    /// Reuse stamp the slot carried when this handle was issued.
+    pub stamp: u32,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    /// Bumped on every free; `Handle`s with older stamps are stale.
+    stamp: u32,
+    live: bool,
+    value: T,
+}
+
+/// Free-list slot arena with stamped handles. See the module docs.
+#[derive(Debug, Default)]
+pub struct SlotArena<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+}
+
+impl<T: Default> SlotArena<T> {
+    /// An empty arena.
+    pub fn new() -> SlotArena<T> {
+        SlotArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Allocates a slot, reusing a freed one (and its payload's heap
+    /// allocations) when available. The payload is whatever the slot
+    /// last held — callers overwrite the fields they use.
+    pub fn alloc(&mut self) -> Handle {
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            slot.live = true;
+            Handle {
+                index,
+                stamp: slot.stamp,
+            }
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("arena capped at u32 slots");
+            self.slots.push(Slot {
+                stamp: 0,
+                live: true,
+                value: T::default(),
+            });
+            Handle { index, stamp: 0 }
+        }
+    }
+
+    /// Whether `h` still addresses the allocation it was issued for.
+    #[inline]
+    pub fn is_live(&self, h: Handle) -> bool {
+        let slot = &self.slots[h.index as usize];
+        slot.live && slot.stamp == h.stamp
+    }
+
+    /// The payload behind a live handle; `None` if the handle is stale.
+    #[inline]
+    pub fn get(&self, h: Handle) -> Option<&T> {
+        self.is_live(h).then(|| &self.slots[h.index as usize].value)
+    }
+
+    /// Mutable payload behind a live handle; `None` if stale.
+    #[inline]
+    pub fn get_mut(&mut self, h: Handle) -> Option<&mut T> {
+        self.is_live(h)
+            .then(|| &mut self.slots[h.index as usize].value)
+    }
+
+    /// Mutable payload for a handle the caller knows is live (hot-path
+    /// accessor; panics on a stale handle rather than returning junk).
+    #[inline]
+    pub fn slot_mut(&mut self, h: Handle) -> &mut T {
+        let slot = &mut self.slots[h.index as usize];
+        debug_assert!(slot.live && slot.stamp == h.stamp, "stale arena handle");
+        &mut slot.value
+    }
+
+    /// Frees a live slot: bumps the stamp (invalidating every
+    /// outstanding handle) and pushes it on the free-list. The payload
+    /// stays in place for the next `alloc` to recycle.
+    pub fn free(&mut self, h: Handle) {
+        let slot = &mut self.slots[h.index as usize];
+        assert!(
+            slot.live && slot.stamp == h.stamp,
+            "freeing a stale arena handle"
+        );
+        slot.live = false;
+        slot.stamp = slot.stamp.wrapping_add(1);
+        self.free.push(h.index);
+    }
+
+    /// Slots currently allocated.
+    pub fn live_count(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Total slots ever created (high-water mark of concurrency).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_recycles_slots_and_payloads() {
+        let mut a: SlotArena<Vec<u32>> = SlotArena::new();
+        let h0 = a.alloc();
+        a.slot_mut(h0).extend([1, 2, 3]);
+        let h1 = a.alloc();
+        assert_eq!(a.live_count(), 2);
+        assert_ne!(h0.index, h1.index);
+        a.free(h0);
+        let h2 = a.alloc();
+        // Free-list reuse: same slot, payload allocation intact.
+        assert_eq!(h2.index, h0.index);
+        assert_eq!(a.capacity(), 2);
+        let v = a.slot_mut(h2);
+        assert_eq!(v.as_slice(), &[1, 2, 3], "payload recycled in place");
+        v.clear();
+        assert_eq!(a.live_count(), 2);
+        let _ = h1;
+    }
+
+    #[test]
+    fn stale_handles_stop_resolving_after_reuse() {
+        // The ABA regression the attempt stamps exist for: an event
+        // holding a handle to batch A must not resolve to unrelated
+        // batch B after A's slot is freed and reallocated.
+        let mut a: SlotArena<u64> = SlotArena::new();
+        let ha = a.alloc();
+        *a.slot_mut(ha) = 111;
+        a.free(ha);
+        let hb = a.alloc();
+        *a.slot_mut(hb) = 222;
+        assert_eq!(hb.index, ha.index, "same slot reused");
+        assert_ne!(hb.stamp, ha.stamp, "stamp must advance on free");
+        assert!(!a.is_live(ha));
+        assert!(a.get(ha).is_none(), "stale handle must not alias");
+        assert_eq!(a.get(hb), Some(&222));
+    }
+
+    #[test]
+    fn freed_but_unreused_handles_are_also_dead() {
+        let mut a: SlotArena<u64> = SlotArena::new();
+        let h = a.alloc();
+        a.free(h);
+        assert!(!a.is_live(h));
+        assert!(a.get(h).is_none());
+        assert_eq!(a.live_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale arena handle")]
+    fn double_free_panics() {
+        let mut a: SlotArena<u64> = SlotArena::new();
+        let h = a.alloc();
+        a.free(h);
+        a.free(h);
+    }
+
+    #[test]
+    fn stamps_survive_many_reuse_cycles() {
+        let mut a: SlotArena<u32> = SlotArena::new();
+        let mut old = Vec::new();
+        for i in 0..100 {
+            let h = a.alloc();
+            *a.slot_mut(h) = i;
+            old.push(h);
+            a.free(h);
+        }
+        let live = a.alloc();
+        for h in old {
+            assert!(!a.is_live(h));
+        }
+        assert!(a.is_live(live));
+        assert_eq!(a.capacity(), 1, "single slot cycled throughout");
+    }
+}

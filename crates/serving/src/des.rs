@@ -18,8 +18,7 @@
 //! [`ServingReport::conservation_holds`]).
 
 use std::borrow::Cow;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::time::Instant;
 
@@ -27,6 +26,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tpu_telemetry::{EventSink, NullSink, Recorder, SpanPhase, TelemetryEvent, Track};
 
+use crate::arena::{Handle, SlotArena};
+use crate::equeue::{CalendarQueue, EventQueue, HeapQueue, TimeKey};
 use crate::faults::{FailoverConfig, FaultKind, FaultPlan, ScheduledFault};
 use crate::genmodel::GenerationModel;
 use crate::latency::{GenLatencyModel, LatencyModel};
@@ -632,8 +633,11 @@ enum Event {
     /// One in-flight sweep per server replaces the old per-request
     /// expiry timer (O(launches + sheds) events instead of O(admits)).
     Expire { server: usize },
-    /// A batch finished; the payload indexes `in_service`.
-    Done(usize),
+    /// A batch finished; the payload is the batch's arena handle
+    /// (slot index + reuse stamp). A crash frees the slot immediately
+    /// and bumps its stamp, so a `Done` whose stamp no longer matches
+    /// is recognized as aborted when it pops.
+    Done { slot: u32, stamp: u32 },
     /// Inject the materialized fault with this index.
     Fault(usize),
     /// A crashed machine finished repair and starts its warmup.
@@ -646,23 +650,6 @@ enum Event {
     RecoveryDone { server: usize, epoch: u64 },
     /// Health-checker sweep over every server.
     Probe,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct TimeKey(f64);
-
-impl Eq for TimeKey {}
-
-impl PartialOrd for TimeKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for TimeKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
 }
 
 /// Where in its lifecycle a request currently is.
@@ -682,39 +669,92 @@ enum Phase {
     Failed,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct ReqState {
-    first_arrival: f64,
+impl Phase {
+    /// 3-bit encoding inside [`ReqTable`]'s packed meta word.
+    const fn bits(self) -> u64 {
+        match self {
+            Phase::Idle => 0,
+            Phase::Queued => 1,
+            Phase::InService => 2,
+            Phase::Completed => 3,
+            Phase::Lost => 4,
+            Phase::Failed => 5,
+        }
+    }
+}
+
+const PHASE_MASK: u64 = 0b111;
+const TRIES_MASK: u64 = !0u64 << 32;
+
+/// Struct-of-arrays request table: the hot per-request fields live in
+/// flat arrays indexed by request id. `meta` packs
+/// `phase (3 bits) | server << 3 (29 bits) | tries << 32`, so the
+/// lazy-deletion liveness test — phase, server, *and* attempt stamp
+/// all current — is one 64-bit compare against a precomputed key.
+struct ReqTable {
+    first_arrival: Vec<f64>,
+    meta: Vec<u64>,
+}
+
+impl ReqTable {
+    fn new(n: usize) -> ReqTable {
+        ReqTable {
+            first_arrival: vec![0.0; n],
+            meta: vec![Phase::Idle.bits(); n],
+        }
+    }
+
+    /// The meta word of a request queued on `server` at attempt
+    /// `tries` — the key a live queue entry's request must match.
+    #[inline]
+    fn queued_key(server: usize, tries: u32) -> u64 {
+        Phase::Queued.bits() | (server as u64) << 3 | (tries as u64) << 32
+    }
+
     /// Times this request has been offered to admission (arrival +
     /// retries + failover redistributions).
-    tries: u32,
-    /// The server whose queue holds it (valid while `Queued`).
-    server: usize,
-    phase: Phase,
+    #[inline]
+    fn tries(&self, r: usize) -> u32 {
+        (self.meta[r] >> 32) as u32
+    }
+
+    #[inline]
+    fn bump_tries(&mut self, r: usize) {
+        self.meta[r] += 1 << 32;
+    }
+
+    #[inline]
+    fn set_phase(&mut self, r: usize, p: Phase) {
+        self.meta[r] = (self.meta[r] & !PHASE_MASK) | p.bits();
+    }
+
+    /// Marks `r` queued on `server` (phase and server in one store).
+    #[inline]
+    fn set_queued_on(&mut self, r: usize, server: usize) {
+        self.meta[r] = (self.meta[r] & TRIES_MASK) | Self::queued_key(server, 0);
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct QEntry {
-    req: usize,
-    enqueued: f64,
-    /// `req.tries` at enqueue time. An entry is *live* iff the request
+    req: u32,
+    /// `tries` at enqueue time. An entry is *live* iff the request
     /// is still `Queued` on this server at this attempt; entries whose
     /// request moved on (expired, launched, redistributed) go stale in
     /// place and are skipped when they reach the front — O(1) lazy
     /// deletion instead of the old O(n) mid-queue scan-and-remove.
     attempt: u32,
+    enqueued: f64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct Batch {
-    server: usize,
-    members: Vec<usize>,
+    server: u32,
+    members: Vec<u32>,
     /// When the batch will complete (including hang delays).
     done_at: f64,
     /// Pending hang delay to apply when the original Done fires.
     extra_delay_s: f64,
-    /// The server crashed mid-service; the Done event is void.
-    aborted: bool,
     /// Telemetry span pairing id (0 when telemetry is disabled).
     span_id: u64,
 }
@@ -739,8 +779,8 @@ struct Server {
     /// What the router believes; only health probes update it.
     believed_up: bool,
     busy: bool,
-    /// Index into `in_service` while busy.
-    serving: Option<usize>,
+    /// Arena handle of the in-service batch while busy.
+    serving: Option<Handle>,
     queue: VecDeque<QEntry>,
     /// Live entries in `queue` (total length minus stale entries).
     live: usize,
@@ -893,7 +933,42 @@ pub fn simulate_fleet_with_faults(
 ) -> Result<ServingReport, ConfigError> {
     cfg.validate()?;
     plan.validate(cfg.pool.servers)?;
-    Ok(Engine::new(latency, cfg, plan, NullSink).run())
+    Ok(Engine::new(latency, cfg, plan, NullSink, fleet_queue(cfg)).run())
+}
+
+/// The fleet engine's calendar queue, with bucket width derived from
+/// the validated config's dominant **queued**-event timescale. The
+/// arrival stream bypasses the queue entirely (`pending_arrival`), so
+/// the events that actually live in buckets are batch timeouts, Done
+/// completions, and expiry sweeps — all of order `batch_timeout_s` or
+/// slower. Sizing buckets to the mean arrival interval would make the
+/// cursor walk dozens of empty buckets per pop at high arrival rates;
+/// the timeout floor keeps the walk proportional to real events. The
+/// width affects performance only: pop order is `(time, seq)` exact
+/// regardless (see the differential suite).
+fn fleet_queue(cfg: &FleetConfig) -> CalendarQueue<Event> {
+    let arrival = 1.0 / cfg.pool.base.arrival_rate_rps;
+    CalendarQueue::for_timescale(arrival.max(cfg.pool.base.batch_timeout_s))
+}
+
+/// [`simulate_fleet_with_faults`] run on the reference binary-heap
+/// event queue instead of the calendar queue. The two queues pop the
+/// same `(time, seq)` total order, so the report is bit-identical by
+/// construction — the differential suite
+/// (`tests/queue_differential.rs`) holds this entry point against the
+/// production one.
+///
+/// # Errors
+///
+/// [`ConfigError`] for degenerate serving configurations or fault plans.
+pub fn simulate_fleet_with_faults_reference(
+    latency: &LatencyModel,
+    cfg: &FleetConfig,
+    plan: &FaultPlan,
+) -> Result<ServingReport, ConfigError> {
+    cfg.validate()?;
+    plan.validate(cfg.pool.servers)?;
+    Ok(Engine::new(latency, cfg, plan, NullSink, HeapQueue::new()).run())
 }
 
 /// [`simulate_fleet_with_faults`] plus the raw end-to-end latency
@@ -915,7 +990,24 @@ pub fn simulate_fleet_samples(
 ) -> Result<(ServingReport, Vec<f64>), ConfigError> {
     cfg.validate()?;
     plan.validate(cfg.pool.servers)?;
-    Ok(Engine::new(latency, cfg, plan, NullSink).run_with_samples())
+    Ok(Engine::new(latency, cfg, plan, NullSink, fleet_queue(cfg)).run_with_samples())
+}
+
+/// [`simulate_fleet_samples`] on the reference heap queue (see
+/// [`simulate_fleet_with_faults_reference`]); backs the global-fleet
+/// differential runs.
+///
+/// # Errors
+///
+/// [`ConfigError`] for degenerate serving configurations or fault plans.
+pub fn simulate_fleet_samples_reference(
+    latency: &LatencyModel,
+    cfg: &FleetConfig,
+    plan: &FaultPlan,
+) -> Result<(ServingReport, Vec<f64>), ConfigError> {
+    cfg.validate()?;
+    plan.validate(cfg.pool.servers)?;
+    Ok(Engine::new(latency, cfg, plan, NullSink, HeapQueue::new()).run_with_samples())
 }
 
 /// Everything [`simulate_fleet_with_faults`] does, with the full request
@@ -942,7 +1034,28 @@ pub fn simulate_fleet_recorded(
 ) -> Result<ServingReport, ConfigError> {
     cfg.validate()?;
     plan.validate(cfg.pool.servers)?;
-    let report = Engine::new(latency, cfg, plan, &mut *recorder).run();
+    let report = Engine::new(latency, cfg, plan, &mut *recorder, fleet_queue(cfg)).run();
+    recorder.add_counter("events_processed", report.metrics.events_processed.get());
+    Ok(report)
+}
+
+/// [`simulate_fleet_recorded`] on the reference heap queue: the
+/// recorded telemetry stream, not just the report, must match the
+/// calendar-queue run event for event (the differential suite compares
+/// both).
+///
+/// # Errors
+///
+/// [`ConfigError`] for degenerate configurations or fault plans.
+pub fn simulate_fleet_recorded_reference(
+    latency: &LatencyModel,
+    cfg: &FleetConfig,
+    plan: &FaultPlan,
+    recorder: &mut Recorder,
+) -> Result<ServingReport, ConfigError> {
+    cfg.validate()?;
+    plan.validate(cfg.pool.servers)?;
+    let report = Engine::new(latency, cfg, plan, &mut *recorder, HeapQueue::new()).run();
     recorder.add_counter("events_processed", report.metrics.events_processed.get());
     Ok(report)
 }
@@ -975,7 +1088,7 @@ fn event_kind(e: &Event) -> &'static str {
         Event::Retry { .. } => "retry",
         Event::Timeout { .. } => "timeout",
         Event::Expire { .. } => "expire",
-        Event::Done(_) => "done",
+        Event::Done { .. } => "done",
         Event::Fault(_) => "fault",
         Event::CrashOver { .. } => "crash_over",
         Event::HangOver { .. } => "hang_over",
@@ -991,7 +1104,7 @@ fn event_kind(e: &Event) -> &'static str {
 /// guarded by `if S::ENABLED`, so the [`NullSink`] instantiation (all
 /// untraced entry points) monomorphizes to exactly the uninstrumented
 /// engine — zero overhead when disabled.
-struct Engine<'a, S: EventSink> {
+struct Engine<'a, S: EventSink, Q: EventQueue<Event>> {
     sink: S,
     /// Latest popped event time (telemetry only): end-of-run records
     /// are stamped at `end_time.max(last_now)` so late timer pops keep
@@ -1011,13 +1124,14 @@ struct Engine<'a, S: EventSink> {
     /// Straggler multipliers draw from their own stream so enabling or
     /// disabling other features never perturbs them.
     straggler_rng: StdRng,
-    /// Heap for the irregular event streams (Done, Timeout, Retry,
-    /// expiry sweeps, faults, probes). The highest-volume stream —
-    /// arrivals — bypasses it: at most one is outstanding, held in
-    /// `pending_arrival`. Both sources share one `seq` counter and are
-    /// merged by `(TimeKey, seq)`, so the pop order is exactly what a
-    /// single heap would produce.
-    events: BinaryHeap<Reverse<((TimeKey, u64), Event)>>,
+    /// Queue for the irregular event streams (Done, Timeout, Retry,
+    /// expiry sweeps, faults, probes) — a [`CalendarQueue`] in
+    /// production, the reference [`HeapQueue`] in the differential
+    /// suite. The highest-volume stream — arrivals — bypasses it: at
+    /// most one is outstanding, held in `pending_arrival`. Both sources
+    /// share one `seq` counter and are merged by `(TimeKey, seq)`, so
+    /// the pop order is exactly what a single queue would produce.
+    events: Q,
     /// The one in-flight `Event::Arrival`, keyed like a heap entry.
     pending_arrival: Option<((TimeKey, u64), usize)>,
     /// Interpolated service latency per batch size (index = batch size),
@@ -1030,11 +1144,15 @@ struct Engine<'a, S: EventSink> {
     up_count: usize,
     /// Round-robin router position.
     rr_cursor: usize,
-    req: Vec<ReqState>,
-    in_service: Vec<Batch>,
-    /// Recycled `in_service` slots (their `members` capacity included),
-    /// so steady-state batch launches allocate nothing.
-    free_batches: Vec<usize>,
+    req: ReqTable,
+    /// In-flight batches, arena-allocated: the free-list recycles slots
+    /// (their `members` capacity included), so steady-state batch
+    /// launches allocate nothing, and the reuse stamps void pending
+    /// `Done` events of crash-aborted batches.
+    in_service: SlotArena<Batch>,
+    /// Per-attempt queue-wait budget before `shed_expired` sheds
+    /// (precomputed from the validated policy; `None` = no shedding).
+    queue_budget: Option<f64>,
     /// Reusable buffer for failover queue drains.
     scratch_entries: Vec<QEntry>,
     /// Live queued entries across the fleet (admission control reads
@@ -1049,23 +1167,36 @@ struct Engine<'a, S: EventSink> {
     end_time: f64,
 }
 
-impl<'a, S: EventSink> Engine<'a, S> {
+impl<'a, S: EventSink, Q: EventQueue<Event>> Engine<'a, S, Q> {
     fn new(
         latency: &'a LatencyModel,
         cfg: &FleetConfig,
         plan: &FaultPlan,
         sink: S,
-    ) -> Engine<'a, S> {
+        events: Q,
+    ) -> Engine<'a, S, Q> {
         let base = &cfg.pool.base;
         let n = base.requests;
+        assert!(n < u32::MAX as usize, "request ids are u32");
+        assert!(cfg.pool.servers < 1 << 29, "server ids pack into 29 bits");
         let mut rng = StdRng::seed_from_u64(base.seed);
+        // Two passes keep the uniform draws and the `ln` evaluations in
+        // separate tight loops; the draw order — and therefore every
+        // bit of every arrival time — is unchanged.
         let mut arrivals = Vec::with_capacity(n);
-        let mut t = 0.0f64;
         for _ in 0..n {
-            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-            t += -u.ln() / base.arrival_rate_rps;
-            arrivals.push(t);
+            arrivals.push(rng.gen_range(f64::EPSILON..1.0));
         }
+        let mut t = 0.0f64;
+        for u in &mut arrivals {
+            t += -(*u).ln() / base.arrival_rate_rps;
+            *u = t;
+        }
+        let queue_budget = if cfg.policy.shed_expired {
+            cfg.policy.queue_budget_s.or(cfg.policy.deadline_s)
+        } else {
+            None
+        };
         Engine {
             sink,
             last_now: 0.0,
@@ -1077,7 +1208,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             faults: plan.materialize(cfg.pool.servers),
             arrivals,
             straggler_rng: StdRng::seed_from_u64(base.seed ^ 0x9E37_79B9_7F4A_7C15),
-            events: BinaryHeap::new(),
+            events,
             pending_arrival: None,
             latency_cache: (0..=base.max_batch.min(4096))
                 .map(|b| latency.latency(b.max(1)))
@@ -1086,17 +1217,9 @@ impl<'a, S: EventSink> Engine<'a, S> {
             servers: (0..cfg.pool.servers).map(|_| Server::new()).collect(),
             up_count: cfg.pool.servers,
             rr_cursor: 0,
-            req: vec![
-                ReqState {
-                    first_arrival: 0.0,
-                    tries: 0,
-                    server: 0,
-                    phase: Phase::Idle,
-                };
-                n
-            ],
-            in_service: Vec::new(),
-            free_batches: Vec::new(),
+            req: ReqTable::new(n),
+            in_service: SlotArena::new(),
+            queue_budget,
             scratch_entries: Vec::new(),
             queued_live: 0,
             latencies: Vec::with_capacity(n),
@@ -1141,15 +1264,15 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 debug_assert!(self.pending_arrival.is_none(), "one arrival at a time");
                 self.pending_arrival = Some((key, i));
             }
-            _ => self.events.push(Reverse((key, e))),
+            _ => self.events.push(key, e),
         }
     }
 
-    /// Pops the globally next event across the two sources (heap,
+    /// Pops the globally next event across the two sources (queue,
     /// pending arrival) by `(time, seq)` — exactly the order a single
-    /// heap would yield, at O(1) for the arrival stream.
+    /// queue would yield, at O(1) for the arrival stream.
     fn next_event(&mut self) -> Option<(f64, Event)> {
-        let hk = self.events.peek().map(|r| r.0 .0);
+        let hk = self.events.peek_key();
         let ak = self.pending_arrival.map(|(k, _)| k);
         if let Some(a) = ak {
             if hk.is_none_or(|h| a < h) {
@@ -1157,8 +1280,32 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 return Some((k.0 .0, Event::Arrival(i)));
             }
         }
-        let Reverse((k, e)) = self.events.pop()?;
+        let (k, e) = self.events.pop()?;
         Some((k.0 .0, e))
+    }
+
+    /// Pops the next event only if it fires at exactly (bit-equal) `t`
+    /// — the same-timestamp batch-dispatch fast path. The merged order
+    /// is identical to repeated [`Self::next_event`] calls; events
+    /// pushed mid-run carry higher sequence numbers and sort after the
+    /// run, so draining a run in place changes nothing observable.
+    fn next_event_at(&mut self, t: f64) -> Option<Event> {
+        let hk = self.events.peek_key();
+        if let Some(a) = self.pending_arrival.map(|(k, _)| k) {
+            if hk.is_none_or(|h| a < h) {
+                if a.0 .0.to_bits() != t.to_bits() {
+                    return None;
+                }
+                let (_, i) = self.pending_arrival.take().expect("checked");
+                return Some(Event::Arrival(i));
+            }
+        }
+        let h = hk?;
+        if h.0 .0.to_bits() != t.to_bits() {
+            return None;
+        }
+        let (_, e) = self.events.pop().expect("peeked");
+        Some(e)
     }
 
     /// Arms the expiry sweep for server `s` if shedding is on, work is
@@ -1213,8 +1360,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
     /// expired, launched, retried, or was redistributed since enqueue)
     /// are skipped lazily when they reach the front.
     fn entry_live(&self, server: usize, e: &QEntry) -> bool {
-        let r = &self.req[e.req];
-        r.phase == Phase::Queued && r.server == server && r.tries == e.attempt
+        self.req.meta[e.req as usize] == ReqTable::queued_key(server, e.attempt)
     }
 
     /// Pops stale entries off the front of one server's queue.
@@ -1244,7 +1390,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
     /// Offers a request to admission control; routes and enqueues it, or
     /// sheds it.
     fn admit(&mut self, req: usize, now: f64) {
-        self.req[req].tries += 1;
+        self.req.bump_tries(req);
         let Some(target) = self.route() else {
             self.shed_request(req, now, ShedReason::NoHealthyServer);
             return;
@@ -1256,13 +1402,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
             }
         }
         self.metrics.admitted.inc();
-        self.req[req].phase = Phase::Queued;
-        self.req[req].server = target;
-        let attempt = self.req[req].tries;
+        self.req.set_queued_on(req, target);
+        let attempt = self.req.tries(req);
         self.servers[target].queue.push_back(QEntry {
-            req,
-            enqueued: now,
+            req: req as u32,
             attempt,
+            enqueued: now,
         });
         self.servers[target].live += 1;
         self.queued_live += 1;
@@ -1284,15 +1429,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
     }
 
     /// In-queue wait allowed per attempt before shedding, if shedding
-    /// is on.
+    /// is on (precomputed at construction).
+    #[inline]
     fn expiry_budget(&self) -> Option<f64> {
-        if !self.cfg.policy.shed_expired {
-            return None;
-        }
-        self.cfg
-            .policy
-            .queue_budget_s
-            .or(self.cfg.policy.deadline_s)
+        self.queue_budget
     }
 
     /// Sheds a request, scheduling a retry if the reason is retryable
@@ -1316,7 +1456,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 "shed_no_capacity"
             }
         };
-        let tries = self.req[req].tries;
+        let tries = self.req.tries(req);
         self.emit(
             now,
             FLEET,
@@ -1329,7 +1469,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         let retryable = reason != ShedReason::DeadlineExpired;
         if retryable && tries <= retry.max_retries {
             let delay = retry.backoff_s * retry.backoff_mult.powi(tries as i32 - 1);
-            self.req[req].phase = Phase::Idle;
+            self.req.set_phase(req, Phase::Idle);
             self.metrics.retries.inc();
             self.emit(
                 now,
@@ -1341,7 +1481,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             );
             self.push_event(now + delay, Event::Retry { req });
         } else {
-            self.req[req].phase = Phase::Lost;
+            self.req.set_phase(req, Phase::Lost);
             self.shed += 1;
             self.metrics.shed_permanent.inc();
             self.emit(
@@ -1363,10 +1503,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
     /// policy, else the `failed` terminal state.
     fn fail_request(&mut self, req: usize, now: f64) {
         let retry = self.cfg.policy.retry;
-        let tries = self.req[req].tries;
+        let tries = self.req.tries(req);
         if tries <= retry.max_retries {
             let delay = retry.backoff_s * retry.backoff_mult.powi(tries as i32 - 1);
-            self.req[req].phase = Phase::Idle;
+            self.req.set_phase(req, Phase::Idle);
             self.metrics.retries.inc();
             self.emit(
                 now,
@@ -1378,7 +1518,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             );
             self.push_event(now + delay, Event::Retry { req });
         } else {
-            self.req[req].phase = Phase::Failed;
+            self.req.set_phase(req, Phase::Failed);
             self.failed += 1;
             self.metrics.failed_permanent.inc();
             self.emit(
@@ -1417,10 +1557,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     server_track(s),
                     SpanPhase::End,
                     "queued",
-                    queued_span_id(front.req, front.attempt),
+                    queued_span_id(front.req as usize, front.attempt),
                     front.req as i64,
                 );
-                self.shed_request(front.req, now, ShedReason::DeadlineExpired);
+                self.shed_request(front.req as usize, now, ShedReason::DeadlineExpired);
             } else {
                 break;
             }
@@ -1443,23 +1583,11 @@ impl<'a, S: EventSink> Engine<'a, S> {
             return false;
         }
         let take = (self.servers[s].live as u64).min(cfg.max_batch) as usize;
-        // Recycle a finished batch slot (and its members capacity) when
-        // one is free: steady state allocates nothing per launch.
-        let idx = match self.free_batches.pop() {
-            Some(i) => i,
-            None => {
-                self.in_service.push(Batch {
-                    server: s,
-                    members: Vec::new(),
-                    done_at: 0.0,
-                    extra_delay_s: 0.0,
-                    aborted: false,
-                    span_id: 0,
-                });
-                self.in_service.len() - 1
-            }
-        };
-        let mut members = std::mem::take(&mut self.in_service[idx].members);
+        // Allocate the batch slot from the arena: a recycled slot hands
+        // back its `members` capacity, so steady state allocates
+        // nothing per launch.
+        let h = self.in_service.alloc();
+        let mut members = std::mem::take(&mut self.in_service.slot_mut(h).members);
         debug_assert!(members.is_empty(), "recycled slot not drained");
         let mut taken = 0usize;
         while taken < take {
@@ -1470,14 +1598,14 @@ impl<'a, S: EventSink> Engine<'a, S> {
             if !self.entry_live(s, &entry) {
                 continue;
             }
-            self.req[entry.req].phase = Phase::InService;
+            self.req.set_phase(entry.req as usize, Phase::InService);
             self.metrics.queue_wait_s.observe(now - entry.enqueued);
             self.emit(
                 now,
                 server_track(s),
                 SpanPhase::End,
                 "queued",
-                queued_span_id(entry.req, entry.attempt),
+                queued_span_id(entry.req as usize, entry.attempt),
                 entry.req as i64,
             );
             members.push(entry.req);
@@ -1501,16 +1629,15 @@ impl<'a, S: EventSink> Engine<'a, S> {
         } else {
             0
         };
-        self.in_service[idx] = Batch {
-            server: s,
+        *self.in_service.slot_mut(h) = Batch {
+            server: s as u32,
             members,
             done_at: now + service,
             extra_delay_s: 0.0,
-            aborted: false,
             span_id,
         };
         self.servers[s].busy = true;
-        self.servers[s].serving = Some(idx);
+        self.servers[s].serving = Some(h);
         self.emit(
             now,
             server_track(s),
@@ -1519,7 +1646,13 @@ impl<'a, S: EventSink> Engine<'a, S> {
             span_id,
             take as i64,
         );
-        self.push_event(now + service, Event::Done(idx));
+        self.push_event(
+            now + service,
+            Event::Done {
+                slot: h.index,
+                stamp: h.stamp,
+            },
+        );
         true
     }
 
@@ -1561,22 +1694,24 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 self.servers[s].health = Health::DownCrash;
                 self.servers[s].degrade_factor = 1.0;
                 // Fail-stop: in-flight work dies with the machine.
-                if let Some(idx) = self.servers[s].serving.take() {
+                if let Some(h) = self.servers[s].serving.take() {
                     self.servers[s].busy = false;
-                    self.in_service[idx].aborted = true;
-                    let refund = (self.in_service[idx].done_at - now).max(0.0);
+                    let batch = self.in_service.slot_mut(h);
+                    let refund = (batch.done_at - now).max(0.0);
+                    let span_id = batch.span_id;
+                    let mut members = std::mem::take(&mut batch.members);
                     self.metrics.per_server_busy_s[s] -= refund;
-                    let span_id = self.in_service[idx].span_id;
                     // Aborted batch: close its span with arg -1.
                     self.emit(now, server_track(s), SpanPhase::End, "batch", span_id, -1);
-                    let mut members = std::mem::take(&mut self.in_service[idx].members);
                     for req in members.drain(..) {
                         self.metrics.in_flight_failures.inc();
-                        self.fail_request(req, now);
+                        self.fail_request(req as usize, now);
                     }
-                    // Keep the emptied Vec with the slot; the pending
-                    // aborted Done will recycle both.
-                    self.in_service[idx].members = members;
+                    // Park the emptied Vec back in the slot and free it:
+                    // the stamp bump voids the pending Done, and the
+                    // slot (capacity included) is immediately reusable.
+                    self.in_service.slot_mut(h).members = members;
+                    self.in_service.free(h);
                 }
                 self.push_event(now + mttr_s, Event::CrashOver { server: s, epoch });
             }
@@ -1591,9 +1726,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 self.servers[s].hang_started = now;
                 // Pause, don't lose: the batch finishes late by the
                 // frozen overlap.
-                if let Some(idx) = self.servers[s].serving {
-                    self.in_service[idx].extra_delay_s += duration_s;
-                    self.in_service[idx].done_at += duration_s;
+                if let Some(h) = self.servers[s].serving {
+                    let batch = self.in_service.slot_mut(h);
+                    batch.extra_delay_s += duration_s;
+                    batch.done_at += duration_s;
                 }
                 self.push_event(now + duration_s, Event::HangOver { server: s, epoch });
             }
@@ -1680,10 +1816,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 self.queued_live -= self.servers[s].live;
                 self.servers[s].live = 0;
                 for e in stranded.drain(..) {
-                    if self.req[e.req].phase == Phase::Queued
-                        && self.req[e.req].server == s
-                        && self.req[e.req].tries == e.attempt
-                    {
+                    if self.req.meta[e.req as usize] == ReqTable::queued_key(s, e.attempt) {
                         self.metrics.failover_redistributed.inc();
                         // The old residency ends here; `admit` opens a
                         // fresh `queued` span at the next attempt.
@@ -1692,10 +1825,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
                             server_track(s),
                             SpanPhase::End,
                             "queued",
-                            queued_span_id(e.req, e.attempt),
+                            queued_span_id(e.req as usize, e.attempt),
                             e.req as i64,
                         );
-                        self.admit(e.req, now);
+                        self.admit(e.req as usize, now);
                     }
                 }
                 self.scratch_entries = stranded;
@@ -1729,28 +1862,41 @@ impl<'a, S: EventSink> Engine<'a, S> {
         }
 
         while let Some((now, event)) = self.next_event() {
-            self.metrics.events_processed.inc();
-            if S::ENABLED {
-                // Track the latest popped time so end-of-run telemetry
-                // can be stamped after any late timer pops.
-                self.last_now = self.last_now.max(now);
-                if self.sink.profiling() {
-                    // Self-instrumenting profiler: time our own dispatch
-                    // and attribute host-nanoseconds per event type.
-                    let kind = event_kind(&event);
-                    // Host wall-clock, not sim time: the profiler
-                    // measures our own dispatch cost and never feeds
-                    // back into simulated state.
-                    let t0 = Instant::now(); // repolint:allow host profiler
-                    self.dispatch(now, event);
-                    let ns = t0.elapsed().as_nanos() as u64;
-                    self.sink.profile(kind, ns);
-                    continue;
-                }
+            self.process_one(now, event);
+            // Same-timestamp batch dispatch: drain the whole run of
+            // events at this exact timestamp before re-entering the
+            // general pop path. The order is what per-event pops would
+            // produce — see `next_event_at`.
+            while let Some(e) = self.next_event_at(now) {
+                self.process_one(now, e);
             }
-            self.dispatch(now, event);
         }
         self.finish()
+    }
+
+    /// Accounts and dispatches one popped event (the hot-loop body).
+    #[inline(always)]
+    fn process_one(&mut self, now: f64, event: Event) {
+        self.metrics.events_processed.inc();
+        if S::ENABLED {
+            // Track the latest popped time so end-of-run telemetry
+            // can be stamped after any late timer pops.
+            self.last_now = self.last_now.max(now);
+            if self.sink.profiling() {
+                // Self-instrumenting profiler: time our own dispatch
+                // and attribute host-nanoseconds per event type.
+                let kind = event_kind(&event);
+                // Host wall-clock, not sim time: the profiler
+                // measures our own dispatch cost and never feeds
+                // back into simulated state.
+                let t0 = Instant::now(); // repolint:allow host profiler
+                self.dispatch(now, event);
+                let ns = t0.elapsed().as_nanos() as u64;
+                self.sink.profile(kind, ns);
+                return;
+            }
+        }
+        self.dispatch(now, event);
     }
 
     /// Applies one event to the state machine — the hot-loop body,
@@ -1763,7 +1909,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             Event::Arrival(i) => {
                 self.touch(now);
                 self.metrics.arrivals.inc();
-                self.req[i].first_arrival = now;
+                self.req.first_arrival[i] = now;
                 self.emit(now, FLEET, SpanPhase::Instant, "arrive", i as u64, 0);
                 if i + 1 < n {
                     let t = self.arrivals[i + 1];
@@ -1801,29 +1947,28 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 self.shed_expired_prefix_on(server, now);
                 self.arm_expiry(server);
             }
-            Event::Done(idx) => {
-                if self.in_service[idx].aborted {
-                    // The server crashed mid-service; the members
-                    // were already failed/retried. Recycle the slot.
-                    self.in_service[idx].aborted = false;
-                    self.in_service[idx].extra_delay_s = 0.0;
-                    self.free_batches.push(idx);
+            Event::Done { slot, stamp } => {
+                let h = Handle { index: slot, stamp };
+                if !self.in_service.is_live(h) {
+                    // The server crashed mid-service and freed the slot
+                    // (bumping its stamp); the members were already
+                    // failed/retried. Nothing to do.
                     return;
                 }
-                let delay = self.in_service[idx].extra_delay_s;
+                let delay = self.in_service.slot_mut(h).extra_delay_s;
                 if delay > 0.0 {
                     // The server hung during service: the batch
                     // resumes after the thaw and finishes late (the
                     // slot stays allocated until that Done fires).
-                    self.in_service[idx].extra_delay_s = 0.0;
-                    self.push_event(now + delay, Event::Done(idx));
+                    self.in_service.slot_mut(h).extra_delay_s = 0.0;
+                    self.push_event(now + delay, Event::Done { slot, stamp });
                     return;
                 }
                 self.touch(now);
-                let server = self.in_service[idx].server;
+                let server = self.in_service.slot_mut(h).server as usize;
                 if S::ENABLED {
-                    let span_id = self.in_service[idx].span_id;
-                    let size = self.in_service[idx].members.len() as i64;
+                    let span_id = self.in_service.slot_mut(h).span_id;
+                    let size = self.in_service.slot_mut(h).members.len() as i64;
                     self.emit(
                         now,
                         server_track(server),
@@ -1833,12 +1978,13 @@ impl<'a, S: EventSink> Engine<'a, S> {
                         size,
                     );
                 }
-                let mut members = std::mem::take(&mut self.in_service[idx].members);
+                let mut members = std::mem::take(&mut self.in_service.slot_mut(h).members);
                 self.servers[server].busy = false;
                 self.servers[server].serving = None;
                 for req in members.drain(..) {
-                    let lat = now - self.req[req].first_arrival;
-                    self.req[req].phase = Phase::Completed;
+                    let req = req as usize;
+                    let lat = now - self.req.first_arrival[req];
+                    self.req.set_phase(req, Phase::Completed);
                     self.latencies.push(lat);
                     self.completed += 1;
                     self.metrics.completed.inc();
@@ -1856,10 +2002,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
                         _ => self.good += 1,
                     }
                 }
-                // Return the slot (and its members capacity) to the
-                // pool before relaunching, so the relaunch reuses it.
-                self.in_service[idx].members = members;
-                self.free_batches.push(idx);
+                // Park the members capacity and free the slot for the
+                // relaunch below to recycle.
+                self.in_service.slot_mut(h).members = members;
+                self.in_service.free(h);
                 // The freed server may immediately take another batch.
                 self.relaunch_or_arm(server, now);
             }
@@ -1930,7 +2076,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 }
                 self.servers[s].live -= 1;
                 self.queued_live -= 1;
-                self.req[entry.req].phase = Phase::Lost;
+                self.req.set_phase(entry.req as usize, Phase::Lost);
                 self.metrics.dropped_at_drain.inc();
                 dropped += 1;
                 self.emit(
@@ -1938,7 +2084,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     server_track(s),
                     SpanPhase::End,
                     "queued",
-                    queued_span_id(entry.req, entry.attempt),
+                    queued_span_id(entry.req as usize, entry.attempt),
                     entry.req as i64,
                 );
                 self.emit(
@@ -2145,16 +2291,25 @@ enum GenPhase {
     Done,
 }
 
-/// Per-request state in the decode loop.
+/// Events for the queue-driven decode loop
+/// ([`GenEngine::run_via_queue`]). The derived order never decides a
+/// pop — every pushed key carries a unique sequence number — it only
+/// satisfies the heap reference's `Ord` bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum GenEvent {
+    /// Request `i` arrives.
+    Arrival(usize),
+    /// The in-flight decode step completes.
+    StepDone,
+}
+
+/// The hot per-request decode progress pair, kept contiguous (and
+/// separate from the cold arrival/first-token fields) for the
+/// per-member step loop.
 #[derive(Debug, Clone, Copy)]
-struct GenReq {
-    arrival: f64,
-    prompt: u64,
-    output: u64,
+struct Prog {
     generated: u64,
-    /// Absolute first-token time (valid once `generated >= 1`).
-    first_token: f64,
-    phase: GenPhase,
+    output: u64,
 }
 
 /// Salt separating the token-draw stream from the arrival stream: both
@@ -2178,13 +2333,25 @@ struct GenEngine<'a, S: EventSink> {
     cfg: GenConfig,
     /// Pre-drawn Poisson arrival times.
     arrivals: Vec<f64>,
-    reqs: Vec<GenReq>,
+    /// Struct-of-arrays request state: decode progress (hot, walked
+    /// every step) apart from the cold per-request fields.
+    prog: Vec<Prog>,
+    prompt: Vec<u64>,
+    arrival: Vec<f64>,
+    /// Absolute first-token time (valid once `generated >= 1`).
+    first_token: Vec<f64>,
+    phase: Vec<GenPhase>,
+    /// Precomputed full prompt+output KV footprint per request.
+    kv_need: Vec<u64>,
+    /// Decode-step latency per batch size (index = size), so the step
+    /// launch does no interpolation.
+    decode_cache: Vec<f64>,
     /// Arrived, unadmitted requests in arrival order. Admission is
     /// strict FIFO: a KV-blocked head is never skipped, so a large
     /// request cannot starve behind a stream of small ones.
-    waiting: VecDeque<usize>,
+    waiting: VecDeque<u32>,
     /// The in-flight batch (request indices, admission order).
-    batch: Vec<usize>,
+    batch: Vec<u32>,
     /// Bytes currently reserved against `kv_capacity_bytes`.
     kv_reserved: u64,
     kv_peak: u64,
@@ -2208,33 +2375,49 @@ impl<'a, S: EventSink> GenEngine<'a, S> {
     fn new(lat: &'a GenLatencyModel, cfg: &GenConfig, sink: S) -> GenEngine<'a, S> {
         let n = cfg.requests;
         let mut arrival_rng = StdRng::seed_from_u64(cfg.seed);
+        // Two passes, identical bits: the uniform draws come off the
+        // RNG in the same order, and the ln/prefix-sum loop consumes
+        // them in the same order they were drawn.
         let mut arrivals = Vec::with_capacity(n);
-        let mut t = 0.0f64;
         for _ in 0..n {
-            let u: f64 = arrival_rng.gen_range(f64::EPSILON..1.0);
-            t += -u.ln() / cfg.arrival_rate_rps;
-            arrivals.push(t);
+            arrivals.push(arrival_rng.gen_range(f64::EPSILON..1.0));
+        }
+        let mut t = 0.0f64;
+        for u in &mut arrivals {
+            t += -(*u).ln() / cfg.arrival_rate_rps;
+            *u = t;
         }
         let mut token_rng = StdRng::seed_from_u64(cfg.seed ^ GEN_TOKEN_SALT);
-        let reqs = (0..n)
-            .map(|_| {
-                let (prompt, output) = cfg.model.sample(&mut token_rng);
-                GenReq {
-                    arrival: 0.0,
-                    prompt,
-                    output,
-                    generated: 0,
-                    first_token: 0.0,
-                    phase: GenPhase::Waiting,
-                }
-            })
+        let mut prog = Vec::with_capacity(n);
+        let mut prompt = Vec::with_capacity(n);
+        let mut kv_need = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (p, o) = cfg.model.sample(&mut token_rng);
+            prog.push(Prog {
+                generated: 0,
+                output: o,
+            });
+            prompt.push(p);
+            kv_need.push(cfg.model.request_kv_bytes(p, o));
+        }
+        // Decode latency is a pure function of batch size and the run
+        // only probes 1..=max_batch, so interpolate once up front.
+        let cache_top = cfg.max_batch.min(4096) as usize;
+        let decode_cache = (0..=cache_top)
+            .map(|b| lat.decode_step_s((b as u64).max(1)))
             .collect();
         GenEngine {
             sink,
             lat,
             cfg: *cfg,
             arrivals,
-            reqs,
+            prog,
+            prompt,
+            arrival: vec![0.0; n],
+            first_token: vec![0.0; n],
+            phase: vec![GenPhase::Waiting; n],
+            kv_need,
+            decode_cache,
             waiting: VecDeque::new(),
             batch: Vec::new(),
             kv_reserved: 0,
@@ -2302,10 +2485,8 @@ impl<'a, S: EventSink> GenEngine<'a, S> {
                 let Some(&r) = self.waiting.front() else {
                     break;
                 };
-                let need = self
-                    .cfg
-                    .model
-                    .request_kv_bytes(self.reqs[r].prompt, self.reqs[r].output);
+                let ri = r as usize;
+                let need = self.kv_need[ri];
                 if self.kv_reserved + need > self.cfg.kv_capacity_bytes {
                     // KV is the binding constraint: defer (FIFO order
                     // preserved, no skip-ahead) and account the stall.
@@ -2322,15 +2503,13 @@ impl<'a, S: EventSink> GenEngine<'a, S> {
                 }
                 self.waiting.pop_front();
                 self.kv_reserved += need;
-                self.reqs[r].phase = GenPhase::Decoding;
+                self.phase[ri] = GenPhase::Decoding;
                 self.metrics.admitted.inc();
-                self.metrics.tokens_prefilled.add(self.reqs[r].prompt);
-                self.metrics
-                    .queue_wait_s
-                    .observe(now - self.reqs[r].arrival);
+                self.metrics.tokens_prefilled.add(self.prompt[ri]);
+                self.metrics.queue_wait_s.observe(now - self.arrival[ri]);
                 // Prefill is paid once, at join: the step that admits a
                 // request carries its full prompt cost.
-                prefill += self.lat.prefill_s(self.reqs[r].prompt);
+                prefill += self.lat.prefill_s(self.prompt[ri]);
                 self.batch.push(r);
                 // Residency span: admitted exactly once, so the request
                 // index is a unique begin/end pairing id.
@@ -2340,7 +2519,7 @@ impl<'a, S: EventSink> GenEngine<'a, S> {
                     SpanPhase::Begin,
                     "resident",
                     r as u64,
-                    self.reqs[r].prompt as i64,
+                    self.prompt[ri] as i64,
                 );
             }
             if self.kv_reserved > self.kv_peak {
@@ -2351,7 +2530,7 @@ impl<'a, S: EventSink> GenEngine<'a, S> {
             return; // Idle; the next arrival restarts the loop.
         }
         let b = self.batch.len() as u64;
-        let step = prefill + self.lat.decode_step_s(b);
+        let step = prefill + self.decode_step(b);
         self.steps += 1;
         self.metrics.decode_steps.inc();
         self.metrics.decode_batch.observe(b as f64);
@@ -2367,26 +2546,43 @@ impl<'a, S: EventSink> GenEngine<'a, S> {
         self.step_end = Some(now + step);
     }
 
+    /// Decode latency for an in-range batch size from the precomputed
+    /// table; out-of-range (max_batch beyond the cache cap) falls back
+    /// to the model.
+    #[inline(always)]
+    fn decode_step(&self, b: u64) -> f64 {
+        match self.decode_cache.get(b as usize) {
+            Some(&s) => s,
+            None => self.lat.decode_step_s(b.max(1)),
+        }
+    }
+
     /// One decode step just ended: every still-decoding member emits a
     /// token, finished members retire per the batching mode, and the
     /// next step (plus any admissions) launches.
     fn step_done(&mut self, now: f64) {
         self.step_end = None;
+        let mut emitted = 0u64;
         for k in 0..self.batch.len() {
-            let r = self.batch[k];
-            if self.reqs[r].generated >= self.reqs[r].output {
+            let r = self.batch[k] as usize;
+            let p = self.prog[r];
+            if p.generated >= p.output {
                 continue; // Static mode: done, padding the batch.
             }
-            self.reqs[r].generated += 1;
-            self.metrics.tokens_generated.inc();
-            if self.reqs[r].generated == 1 {
-                self.reqs[r].first_token = now;
+            let g = p.generated + 1;
+            self.prog[r].generated = g;
+            emitted += 1;
+            if g == 1 {
+                self.first_token[r] = now;
                 self.emit(now, FLEET, SpanPhase::Instant, "first_token", r as u64, 0);
             }
-            if self.reqs[r].generated == self.reqs[r].output {
+            if g == p.output {
                 self.complete(r, now);
             }
         }
+        // Only the end-of-run value of this counter is observable, so
+        // the per-member increments collapse into one add.
+        self.metrics.tokens_generated.add(emitted);
         match self.cfg.mode {
             BatchingMode::Continuous => {
                 // Retire finished members immediately, preserving the
@@ -2394,8 +2590,8 @@ impl<'a, S: EventSink> GenEngine<'a, S> {
                 let mut write = 0;
                 for k in 0..self.batch.len() {
                     let r = self.batch[k];
-                    if self.reqs[r].phase == GenPhase::Done {
-                        self.release_kv(r, now);
+                    if self.phase[r as usize] == GenPhase::Done {
+                        self.release_kv(r as usize, now);
                     } else {
                         self.batch[write] = r;
                         write += 1;
@@ -2408,10 +2604,10 @@ impl<'a, S: EventSink> GenEngine<'a, S> {
                 if self
                     .batch
                     .iter()
-                    .all(|&r| self.reqs[r].phase == GenPhase::Done)
+                    .all(|&r| self.phase[r as usize] == GenPhase::Done)
                 {
                     for k in 0..self.batch.len() {
-                        self.release_kv(self.batch[k], now);
+                        self.release_kv(self.batch[k] as usize, now);
                     }
                     self.batch.clear();
                 }
@@ -2422,19 +2618,20 @@ impl<'a, S: EventSink> GenEngine<'a, S> {
 
     /// Completion accounting for one request at its final token.
     fn complete(&mut self, r: usize, now: f64) {
-        self.reqs[r].phase = GenPhase::Done;
-        let ttft = self.reqs[r].first_token - self.reqs[r].arrival;
+        self.phase[r] = GenPhase::Done;
+        let output = self.prog[r].output;
+        let ttft = self.first_token[r] - self.arrival[r];
         self.ttfts.push(ttft);
-        if self.reqs[r].output >= 2 {
+        if output >= 2 {
             self.tpots
-                .push((now - self.reqs[r].first_token) / (self.reqs[r].output - 1) as f64);
+                .push((now - self.first_token[r]) / (output - 1) as f64);
         }
-        self.e2e.push(now - self.reqs[r].arrival);
+        self.e2e.push(now - self.arrival[r]);
         self.completed += 1;
         self.metrics.completed.inc();
         self.metrics.per_server_completed[0] += 1;
-        self.output_tokens += self.reqs[r].output;
-        self.prompt_tokens += self.reqs[r].prompt;
+        self.output_tokens += output;
+        self.prompt_tokens += self.prompt[r];
         match self.cfg.ttft_slo_s {
             Some(slo) if ttft > slo => self.metrics.completed_late.inc(),
             _ => self.good += 1,
@@ -2445,7 +2642,7 @@ impl<'a, S: EventSink> GenEngine<'a, S> {
             SpanPhase::Instant,
             "complete",
             r as u64,
-            self.reqs[r].output as i64,
+            output as i64,
         );
         self.touch(now);
     }
@@ -2453,10 +2650,7 @@ impl<'a, S: EventSink> GenEngine<'a, S> {
     /// Releases one retired member's KV reservation and closes its
     /// residency span.
     fn release_kv(&mut self, r: usize, now: f64) {
-        let need = self
-            .cfg
-            .model
-            .request_kv_bytes(self.reqs[r].prompt, self.reqs[r].output);
+        let need = self.kv_need[r];
         debug_assert!(self.kv_reserved >= need, "KV release exceeds reservation");
         self.kv_reserved -= need;
         self.emit(
@@ -2465,7 +2659,7 @@ impl<'a, S: EventSink> GenEngine<'a, S> {
             SpanPhase::End,
             "resident",
             r as u64,
-            self.reqs[r].output as i64,
+            self.prog[r].output as i64,
         );
     }
 
@@ -2489,23 +2683,70 @@ impl<'a, S: EventSink> GenEngine<'a, S> {
             if is_arrival {
                 let i = self.next_arrival;
                 self.next_arrival += 1;
-                self.touch(now);
-                self.metrics.arrivals.inc();
-                self.reqs[i].arrival = now;
-                self.emit(
-                    now,
-                    FLEET,
-                    SpanPhase::Instant,
-                    "arrive",
-                    i as u64,
-                    self.reqs[i].prompt as i64,
-                );
-                self.waiting.push_back(i);
-                if self.step_end.is_none() {
-                    self.schedule(now);
-                }
+                self.arrive(i, now);
             } else {
                 self.step_done(now);
+            }
+        }
+        self.finish()
+    }
+
+    /// Arrival bookkeeping shared by [`Self::run`] and
+    /// [`Self::run_via_queue`].
+    #[inline(always)]
+    fn arrive(&mut self, i: usize, now: f64) {
+        self.touch(now);
+        self.metrics.arrivals.inc();
+        self.arrival[i] = now;
+        self.emit(
+            now,
+            FLEET,
+            SpanPhase::Instant,
+            "arrive",
+            i as u64,
+            self.prompt[i] as i64,
+        );
+        self.waiting.push_back(i as u32);
+        if self.step_end.is_none() {
+            self.schedule(now);
+        }
+    }
+
+    /// Drives the identical decode state machine through an
+    /// [`EventQueue`] instead of the two-source select in
+    /// [`Self::run`]. Sequence keys are band-separated: arrival `i`
+    /// carries seq `i` (all `< n`), decode steps carry seqs `> n` — so
+    /// an arrival landing exactly on a step boundary pops first,
+    /// reproducing the production loop's `a <= s` tie rule bit for
+    /// bit. Differential anchor for the queue implementations.
+    fn run_via_queue<Q: EventQueue<GenEvent>>(mut self, mut events: Q) -> GenReport {
+        let n = self.cfg.requests;
+        for (i, &t) in self.arrivals.iter().enumerate() {
+            events.push((TimeKey(t), i as u64), GenEvent::Arrival(i));
+        }
+        let mut step_seq = n as u64;
+        while let Some(((TimeKey(now), _), ev)) = events.pop() {
+            self.metrics.events_processed.inc();
+            // At most one step is in flight. A `step_end` surviving an
+            // Arrival was queued earlier; anything `step_done` leaves
+            // behind (it clears the old end first) is a fresh launch.
+            let had_step = self.step_end.is_some();
+            let fresh = match ev {
+                GenEvent::Arrival(i) => {
+                    self.next_arrival += 1;
+                    self.arrive(i, now);
+                    !had_step
+                }
+                GenEvent::StepDone => {
+                    self.step_done(now);
+                    true
+                }
+            };
+            if fresh {
+                if let Some(s) = self.step_end {
+                    step_seq += 1;
+                    events.push((TimeKey(s), step_seq), GenEvent::StepDone);
+                }
             }
         }
         self.finish()
@@ -2610,6 +2851,58 @@ pub fn simulate_generation_recorded(
     cfg.validate()?;
     validate_gen_latency(lat, cfg)?;
     let report = GenEngine::new(lat, cfg, &mut *recorder).run();
+    recorder.add_counter("events_processed", report.metrics.events_processed.get());
+    Ok(report)
+}
+
+/// [`simulate_generation`] with the decode loop driven through the
+/// reference binary-heap [`EventQueue`] instead of the production
+/// two-source select. Kept as the differential anchor: for every valid
+/// config the report is byte-identical to [`simulate_generation`].
+///
+/// # Errors
+///
+/// [`ConfigError`] for degenerate configurations or latency curves.
+pub fn simulate_generation_reference(
+    lat: &GenLatencyModel,
+    cfg: &GenConfig,
+) -> Result<GenReport, ConfigError> {
+    cfg.validate()?;
+    validate_gen_latency(lat, cfg)?;
+    Ok(GenEngine::new(lat, cfg, NullSink).run_via_queue(HeapQueue::new()))
+}
+
+/// [`simulate_generation`] with the decode loop driven through the
+/// calendar queue, exercising bucket scheduling on the decode loop's
+/// arrival/step event pattern. Byte-identical to the production path.
+///
+/// # Errors
+///
+/// [`ConfigError`] for degenerate configurations or latency curves.
+pub fn simulate_generation_calendar(
+    lat: &GenLatencyModel,
+    cfg: &GenConfig,
+) -> Result<GenReport, ConfigError> {
+    cfg.validate()?;
+    validate_gen_latency(lat, cfg)?;
+    let q = CalendarQueue::for_timescale(1.0 / cfg.arrival_rate_rps);
+    Ok(GenEngine::new(lat, cfg, NullSink).run_via_queue(q))
+}
+
+/// [`simulate_generation_recorded`] through the reference heap queue:
+/// same recorded telemetry stream and counters as the production path.
+///
+/// # Errors
+///
+/// [`ConfigError`] for degenerate configurations or latency curves.
+pub fn simulate_generation_recorded_reference(
+    lat: &GenLatencyModel,
+    cfg: &GenConfig,
+    recorder: &mut Recorder,
+) -> Result<GenReport, ConfigError> {
+    cfg.validate()?;
+    validate_gen_latency(lat, cfg)?;
+    let report = GenEngine::new(lat, cfg, &mut *recorder).run_via_queue(HeapQueue::new());
     recorder.add_counter("events_processed", report.metrics.events_processed.get());
     Ok(report)
 }

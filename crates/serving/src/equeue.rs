@@ -1,0 +1,488 @@
+//! Event queues for the serving DES: a calendar/bucket queue tuned for
+//! near-uniform timer events, behind a small [`EventQueue`] trait with
+//! the original binary heap kept as the reference implementation.
+//!
+//! # Ordering contract
+//!
+//! Every event is keyed by `(TimeKey, seq)` where `seq` is a monotone
+//! sequence number assigned at push time. Keys are unique (the engine
+//! never reuses a `seq`), so both implementations pop in exactly the
+//! same total order: time-ascending, FIFO within a timestamp. This is
+//! the property every report byte-pin and the derived-only telemetry
+//! contract rest on — the differential suite
+//! (`tests/queue_differential.rs`) proves the two implementations
+//! produce bit-identical runs.
+//!
+//! # Calendar queue shape
+//!
+//! [`CalendarQueue`] hashes each event into one of `NUM_BUCKETS`
+//! buckets by `floor(t / width) mod NUM_BUCKETS`, with a power-of-two
+//! `width` derived from the validated config's event timescale (so the
+//! bucket index is a single multiply + truncate, and the year check a
+//! mask). Each bucket keeps its events sorted descending so the bucket
+//! minimum pops from the tail in O(1). A scan cursor walks buckets in
+//! time order, skipping empty runs via a per-slot occupancy bitmap;
+//! events more than one wheel revolution ahead wait in an **overflow
+//! min-heap** and migrate into the wheel as the cursor approaches (or
+//! the cursor jumps straight to them when the wheel drains). Pushes
+//! behind the cursor — legal, because the engine's
+//! arrival stream bypasses the queue and can create near-`now` events
+//! while the cursor sits at a far-future minimum — simply pull the
+//! cursor back: it is a lower bound on the queue minimum, never a
+//! promise that earlier buckets are empty.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation-time ordering key: `f64` under `total_cmp` (the engines
+/// never produce NaN times, and `total_cmp` keeps the type totally
+/// ordered anyway).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeKey(pub f64);
+
+impl Eq for TimeKey {}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeKey {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The full event key: `(time, sequence)`. The engine's sequence
+/// counter makes keys unique, so same-timestamp events pop FIFO.
+pub type EventKey = (TimeKey, u64);
+
+/// A priority queue of `(EventKey, T)` popping in ascending key order.
+///
+/// `peek_key` takes `&mut self` because the calendar queue settles its
+/// cursor lazily; implementations must not change the observable
+/// contents.
+pub trait EventQueue<T> {
+    /// Enqueues one event.
+    fn push(&mut self, key: EventKey, item: T);
+    /// The smallest key currently queued, without removing it.
+    fn peek_key(&mut self) -> Option<EventKey>;
+    /// Removes and returns the smallest-keyed event.
+    fn pop(&mut self) -> Option<(EventKey, T)>;
+    /// Events currently queued.
+    fn len(&self) -> usize;
+    /// Whether the queue is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The reference implementation: the binary heap the engine always
+/// used. Kept for the differential net — every optimization of
+/// [`CalendarQueue`] is graded against this queue's pop order.
+#[derive(Debug, Default)]
+pub struct HeapQueue<T: Ord> {
+    heap: BinaryHeap<Reverse<(EventKey, T)>>,
+}
+
+impl<T: Ord> HeapQueue<T> {
+    /// An empty heap queue.
+    pub fn new() -> HeapQueue<T> {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<T: Ord> EventQueue<T> for HeapQueue<T> {
+    #[inline]
+    fn push(&mut self, key: EventKey, item: T) {
+        self.heap.push(Reverse((key, item)));
+    }
+
+    #[inline]
+    fn peek_key(&mut self) -> Option<EventKey> {
+        self.heap.peek().map(|r| r.0 .0)
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(EventKey, T)> {
+        self.heap.pop().map(|Reverse((k, e))| (k, e))
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Buckets per wheel revolution (power of two; the slot index is
+/// `bucket & MASK`). Kept small on purpose: the serving engines hold
+/// only a handful of in-flight events at once, so a compact wheel keeps
+/// every bucket header in L1; far-future events wait in the overflow
+/// heap rather than in a wider wheel.
+const NUM_BUCKETS: u64 = 256;
+const MASK: u64 = NUM_BUCKETS - 1;
+
+/// A calendar (bucket) queue over `(EventKey, T)`.
+///
+/// See the module docs for the structure; `for_timescale` picks the
+/// power-of-two bucket width nearest the expected inter-event spacing.
+#[derive(Debug)]
+pub struct CalendarQueue<T> {
+    /// `1 / width`; both are exact powers of two so `t * inv_width`
+    /// never rounds across a bucket boundary inconsistently (the index
+    /// map only needs to be monotone in `t`, which multiplication by a
+    /// positive constant plus truncation is).
+    inv_width: f64,
+    /// Ring of buckets; each kept sorted descending by key so the
+    /// bucket minimum is `last()`.
+    buckets: Vec<Vec<(EventKey, T)>>,
+    /// Global (un-wrapped) bucket index lower-bounding every queued
+    /// event. Pops advance it; pushes behind it pull it back.
+    cursor: u64,
+    /// Events resident in the wheel.
+    wheel_len: usize,
+    /// One bit per bucket slot, set iff the slot is non-empty; lets the
+    /// settle scan jump over runs of empty buckets with a word scan
+    /// instead of probing them one by one.
+    occupied: [u64; (NUM_BUCKETS / 64) as usize],
+    /// Events at least one revolution past the cursor at push time,
+    /// kept as a min-heap so migration pops exactly the events that
+    /// entered the horizon instead of rescanning everything.
+    overflow: BinaryHeap<Reverse<(EventKey, T)>>,
+    /// Smallest global bucket index in `overflow` (`u64::MAX` if empty).
+    overflow_min_idx: u64,
+    /// Cached minimum key from the last settle, invalidated by pops and
+    /// by pushes that undercut it.
+    peeked: Option<EventKey>,
+    len: usize,
+}
+
+impl<T: Ord> CalendarQueue<T> {
+    /// A queue whose bucket width is the power of two nearest
+    /// `timescale_s` (the expected inter-event spacing — the serving
+    /// engines pass the validated mean arrival interval). Degenerate
+    /// hints fall back to 1 s buckets; the exponent is clamped so the
+    /// width stays in `[2^-40, 2^20]` seconds.
+    pub fn for_timescale(timescale_s: f64) -> CalendarQueue<T> {
+        let exp = if timescale_s.is_finite() && timescale_s > 0.0 {
+            timescale_s.log2().round().clamp(-40.0, 20.0)
+        } else {
+            0.0
+        };
+        CalendarQueue {
+            inv_width: (-exp).exp2(),
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            wheel_len: 0,
+            occupied: [0u64; (NUM_BUCKETS / 64) as usize],
+            overflow: BinaryHeap::new(),
+            overflow_min_idx: u64::MAX,
+            peeked: None,
+            len: 0,
+        }
+    }
+
+    /// Global bucket index of time `t` (saturating: astronomically
+    /// late events share the last bucket, still ordered within it).
+    #[inline]
+    fn bucket_index(&self, t: f64) -> u64 {
+        (t * self.inv_width) as u64
+    }
+
+    /// Inserts into a bucket, keeping it sorted descending by key.
+    #[inline]
+    fn insert_sorted(slot: &mut Vec<(EventKey, T)>, key: EventKey, item: T) {
+        let pos = slot.partition_point(|&(k, _)| k > key);
+        slot.insert(pos, (key, item));
+    }
+
+    #[inline]
+    fn mark_occupied(&mut self, slot: usize) {
+        self.occupied[slot >> 6] |= 1u64 << (slot & 63);
+    }
+
+    #[inline]
+    fn clear_occupied(&mut self, slot: usize) {
+        self.occupied[slot >> 6] &= !(1u64 << (slot & 63));
+    }
+
+    /// Ring distance (0..NUM_BUCKETS) from slot `from` to the nearest
+    /// occupied slot at or after it, or `None` if the wheel is empty.
+    #[inline]
+    fn occupied_distance(&self, from: usize) -> Option<u64> {
+        let words = self.occupied.len();
+        let (mut w, bit) = (from >> 6, from & 63);
+        // Mask off bits before `from` in its word, then scan forward,
+        // wrapping once around the ring.
+        let mut cur = self.occupied[w] & (u64::MAX << bit);
+        // words + 1 probes: the final one re-reads the starting word
+        // unmasked so bits before `from` get their turn after the wrap.
+        for _ in 0..=words {
+            if cur != 0 {
+                let slot = ((w << 6) + cur.trailing_zeros() as usize) & MASK as usize;
+                return Some(((slot + NUM_BUCKETS as usize - from) as u64) & MASK);
+            }
+            w = (w + 1) % words;
+            cur = self.occupied[w];
+        }
+        None
+    }
+
+    /// Moves every overflow event within one revolution of the cursor
+    /// into the wheel and refreshes the overflow minimum. The overflow
+    /// heap pops in key order (keys are unique and time-monotone maps
+    /// to index-monotone), so this touches exactly the events that
+    /// entered the horizon plus one peek.
+    fn migrate_overflow(&mut self) {
+        loop {
+            let Some(Reverse((key, _))) = self.overflow.peek() else {
+                self.overflow_min_idx = u64::MAX;
+                return;
+            };
+            let idx = self.bucket_index(key.0 .0);
+            if idx.saturating_sub(self.cursor) >= NUM_BUCKETS {
+                self.overflow_min_idx = idx;
+                return;
+            }
+            let Some(Reverse((key, item))) = self.overflow.pop() else {
+                unreachable!("peek above proved the heap non-empty");
+            };
+            let slot = (idx & MASK) as usize;
+            Self::insert_sorted(&mut self.buckets[slot], key, item);
+            self.mark_occupied(slot);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Advances the cursor to the bucket holding the queue minimum and
+    /// returns its key (cached until a pop or an undercutting push).
+    fn settle(&mut self) -> Option<EventKey> {
+        if let Some(k) = self.peeked {
+            return Some(k);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        if self.wheel_len == 0 {
+            // Wheel empty: jump straight to the earliest overflow
+            // bucket instead of scanning the gap.
+            self.cursor = self.cursor.max(self.overflow_min_idx);
+            self.migrate_overflow();
+        }
+        loop {
+            if self.overflow_min_idx.saturating_sub(self.cursor) < NUM_BUCKETS {
+                self.migrate_overflow();
+            }
+            // Jump straight to the next occupied slot (the wheel is
+            // non-empty here: settle never removes events, and the
+            // pre-loop jump migrated the overflow minimum in if it was
+            // empty). The probe below still rejects slots whose tail
+            // belongs to a later wheel revolution (possible after a
+            // cursor pull-back).
+            self.cursor += self
+                .occupied_distance((self.cursor & MASK) as usize)
+                .expect("non-empty wheel has an occupied slot");
+            let slot = &self.buckets[(self.cursor & MASK) as usize];
+            if let Some(&(k, _)) = slot.last() {
+                if self.bucket_index(k.0 .0) == self.cursor {
+                    self.peeked = Some(k);
+                    return Some(k);
+                }
+            }
+            self.cursor += 1;
+        }
+    }
+}
+
+impl<T: Ord> EventQueue<T> for CalendarQueue<T> {
+    fn push(&mut self, key: EventKey, item: T) {
+        let idx = self.bucket_index(key.0 .0);
+        // A push behind the cursor is legal (the engine's bypassed
+        // arrival stream can spawn near-`now` events while the cursor
+        // sits at a far-future minimum): the cursor is only a lower
+        // bound, so pull it back and re-settle lazily.
+        if idx < self.cursor {
+            self.cursor = idx;
+        }
+        if self.peeked.is_some_and(|p| key < p) {
+            self.peeked = None;
+        }
+        if idx.saturating_sub(self.cursor) < NUM_BUCKETS {
+            let slot = (idx & MASK) as usize;
+            Self::insert_sorted(&mut self.buckets[slot], key, item);
+            self.mark_occupied(slot);
+            self.wheel_len += 1;
+        } else {
+            self.overflow_min_idx = self.overflow_min_idx.min(idx);
+            self.overflow.push(Reverse((key, item)));
+        }
+        self.len += 1;
+    }
+
+    #[inline]
+    fn peek_key(&mut self) -> Option<EventKey> {
+        // Fast path in the caller's frame: the engine peeks once or
+        // twice per processed event and the cache only drops on pops
+        // and undercutting pushes.
+        if self.peeked.is_some() {
+            return self.peeked;
+        }
+        self.settle()
+    }
+
+    fn pop(&mut self) -> Option<(EventKey, T)> {
+        if self.peeked.is_none() {
+            self.settle()?;
+        }
+        self.peeked = None;
+        // After settle the cursor's slot tail is the global minimum.
+        let slot = (self.cursor & MASK) as usize;
+        let out = self.buckets[slot]
+            .pop()
+            .expect("settled cursor points at a non-empty bucket");
+        if self.buckets[slot].is_empty() {
+            self.clear_occupied(slot);
+        }
+        self.wheel_len -= 1;
+        self.len -= 1;
+        Some(out)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn drain<Q: EventQueue<u32>>(q: &mut Q) -> Vec<(EventKey, u32)> {
+        let mut out = Vec::new();
+        while let Some(kv) = q.pop() {
+            out.push(kv);
+        }
+        out
+    }
+
+    #[test]
+    fn bucket_boundary_timestamps_pop_in_order() {
+        // Times sitting exactly on bucket boundaries (multiples of the
+        // power-of-two width) and just inside them must interleave
+        // correctly across slots.
+        let mut cal = CalendarQueue::for_timescale(1.0);
+        let mut heap = HeapQueue::new();
+        let mut seq = 0u64;
+        for k in (0..64).rev() {
+            for t in [k as f64, k as f64 + 1e-9, (k + 1) as f64 - 1e-9] {
+                let key = (TimeKey(t), seq);
+                cal.push(key, seq as u32);
+                heap.push(key, seq as u32);
+                seq += 1;
+            }
+        }
+        assert_eq!(drain(&mut cal), drain(&mut heap));
+    }
+
+    #[test]
+    fn far_future_overflow_ring_round_trips() {
+        let mut cal = CalendarQueue::for_timescale(1e-3);
+        let mut heap = HeapQueue::new();
+        // With ~1 ms buckets and 1024 slots, anything beyond ~1 s from
+        // the cursor lands in the overflow ring.
+        let times = [0.5, 2_000.0, 0.001, 5.0e7, 3.0, 1.0e4, 0.25, 7.0e9];
+        for (seq, &t) in times.iter().enumerate() {
+            let key = (TimeKey(t), seq as u64);
+            cal.push(key, seq as u32);
+            heap.push(key, seq as u32);
+        }
+        assert_eq!(cal.len(), times.len());
+        assert_eq!(drain(&mut cal), drain(&mut heap));
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn same_timestamp_pops_fifo_by_sequence() {
+        let mut cal = CalendarQueue::for_timescale(0.125);
+        for seq in 0..100u64 {
+            cal.push((TimeKey(42.0), seq), seq as u32);
+        }
+        let got: Vec<u32> = drain(&mut cal).into_iter().map(|(_, v)| v).collect();
+        let want: Vec<u32> = (0..100).collect();
+        assert_eq!(got, want, "same-timestamp events must pop FIFO");
+    }
+
+    #[test]
+    fn drain_while_inserting_behind_the_cursor() {
+        // The engine peeks a far-future minimum (advancing the scan
+        // cursor), then pushes events *earlier* than it — the cursor
+        // must fall back rather than skip them.
+        let mut cal = CalendarQueue::for_timescale(0.001);
+        cal.push((TimeKey(10.0), 0), 0);
+        assert_eq!(cal.peek_key(), Some((TimeKey(10.0), 0)));
+        cal.push((TimeKey(0.5), 1), 1);
+        cal.push((TimeKey(0.25), 2), 2);
+        assert_eq!(cal.pop(), Some(((TimeKey(0.25), 2), 2)));
+        // Interleave pops with pushes that keep undercutting.
+        cal.push((TimeKey(0.3), 3), 3);
+        assert_eq!(cal.pop(), Some(((TimeKey(0.3), 3), 3)));
+        assert_eq!(cal.pop(), Some(((TimeKey(0.5), 1), 1)));
+        cal.push((TimeKey(9.0), 4), 4);
+        assert_eq!(cal.pop(), Some(((TimeKey(9.0), 4), 4)));
+        assert_eq!(cal.pop(), Some(((TimeKey(10.0), 0), 0)));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn randomized_differential_against_heap() {
+        // Mixed push/pop traces across wildly different widths must
+        // match the reference heap exactly, key for key.
+        for (case, &width) in [1e-6, 1e-3, 0.07, 1.0, 300.0].iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(case as u64 + 1);
+            let mut cal = CalendarQueue::for_timescale(width);
+            let mut heap = HeapQueue::new();
+            let mut seq = 0u64;
+            let mut floor = 0.0f64; // pops are monotone; pushes are >= last pop
+            for _ in 0..2000 {
+                if rng.gen_bool(0.6) || cal.is_empty() {
+                    // Mostly near-term, occasionally far-future.
+                    let spread = if rng.gen_bool(0.05) { 1e6 } else { 50.0 };
+                    let t = floor + rng.gen_range(0.0..spread) * width;
+                    let key = (TimeKey(t), seq);
+                    cal.push(key, seq as u32);
+                    heap.push(key, seq as u32);
+                    seq += 1;
+                } else {
+                    let a = cal.pop();
+                    let b = heap.pop();
+                    assert_eq!(a, b, "width {width}");
+                    if let Some(((TimeKey(t), _), _)) = a {
+                        floor = t;
+                    }
+                }
+                assert_eq!(cal.len(), heap.len());
+                assert_eq!(cal.peek_key(), heap.peek_key());
+            }
+            assert_eq!(drain(&mut cal), drain(&mut heap), "width {width}");
+        }
+    }
+
+    #[test]
+    fn degenerate_timescales_fall_back_sanely() {
+        for bad in [f64::NAN, 0.0, -3.0, f64::INFINITY] {
+            let mut q = CalendarQueue::for_timescale(bad);
+            q.push((TimeKey(1.5), 0), 7u32);
+            q.push((TimeKey(0.5), 1), 8u32);
+            assert_eq!(q.pop().map(|(_, v)| v), Some(8));
+            assert_eq!(q.pop().map(|(_, v)| v), Some(7));
+        }
+    }
+}

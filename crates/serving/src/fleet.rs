@@ -66,7 +66,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::des::{simulate_fleet_samples, ConfigError, FleetConfig};
+use crate::des::{
+    simulate_fleet_samples, simulate_fleet_samples_reference, ConfigError, FleetConfig,
+    ServingReport,
+};
 use crate::faults::{FaultKind, FaultPlan, ScheduledFault};
 use crate::latency::LatencyModel;
 use crate::metrics::ServingMetrics;
@@ -849,7 +852,29 @@ pub fn simulate_global(
     cfg: &GlobalConfig,
 ) -> Result<GlobalReport, ConfigError> {
     cfg.validate()?;
-    Ok(run_global(latency, cfg, None))
+    Ok(run_global(latency, cfg, None, simulate_fleet_samples))
+}
+
+/// [`simulate_global`] with every per-cell DES run driven through the
+/// reference binary-heap event queue
+/// ([`crate::des::simulate_fleet_samples_reference`]) instead of the
+/// calendar queue. Differential anchor: byte-identical to
+/// [`simulate_global`] for every valid config.
+///
+/// # Errors
+///
+/// [`ConfigError`] for any degenerate knob.
+pub fn simulate_global_reference(
+    latency: &LatencyModel,
+    cfg: &GlobalConfig,
+) -> Result<GlobalReport, ConfigError> {
+    cfg.validate()?;
+    Ok(run_global(
+        latency,
+        cfg,
+        None,
+        simulate_fleet_samples_reference,
+    ))
 }
 
 /// [`simulate_global`] with cell-scoped telemetry recorded: cell-down
@@ -872,7 +897,7 @@ pub fn simulate_global_recorded(
     recorder: &mut Recorder,
 ) -> Result<GlobalReport, ConfigError> {
     cfg.validate()?;
-    let report = run_global(latency, cfg, Some(recorder));
+    let report = run_global(latency, cfg, Some(recorder), simulate_fleet_samples);
     recorder.add_counter("global_arrivals", report.arrivals);
     recorder.add_counter("global_completed", report.completed);
     recorder.add_counter("global_redirected", report.redirected);
@@ -882,10 +907,19 @@ pub fn simulate_global_recorded(
     Ok(report)
 }
 
+/// The per-cell DES entry point [`run_global`] drives: production
+/// (calendar queue) or the heap reference, same signature.
+type CellSim = fn(
+    &LatencyModel,
+    &FleetConfig,
+    &crate::faults::FaultPlan,
+) -> Result<(ServingReport, Vec<f64>), ConfigError>;
+
 fn run_global(
     latency: &LatencyModel,
     cfg: &GlobalConfig,
     mut rec: Option<&mut Recorder>,
+    cell_sim: CellSim,
 ) -> GlobalReport {
     let n_cells = cfg.cells.len();
     let epochs = (cfg.horizon_s / cfg.epoch_s).ceil().max(1.0) as usize;
@@ -1169,7 +1203,7 @@ fn run_global(
                 // The template, slice, and substitutions were validated
                 // up front; a failure here is a bug, not bad input.
                 let (r, samples) =
-                    simulate_fleet_samples(latency, &fc, &plan).expect("validated per-cell config");
+                    cell_sim(latency, &fc, &plan).expect("validated per-cell config");
                 debug_assert!(r.conservation_holds(), "per-cell DES conservation");
 
                 // Redirected requests pay the WAN penalty: mark a

@@ -22,6 +22,11 @@
 //!   (fail-stop crashes, transient hangs, slow-degrades; scheduled or
 //!   MTBF/MTTR-driven), a server health lifecycle, and a health checker
 //!   that drains dead servers' queues onto surviving replicas;
+//! - [`equeue`]: the calendar/bucket event queue the engines schedule
+//!   on, behind an [`equeue::EventQueue`] trait with the original
+//!   binary heap kept as the differential reference;
+//! - [`arena`]: the stamped slot arena holding in-flight batches
+//!   (free-list reuse with ABA protection via reuse stamps);
 //! - [`metrics`]: the counters and histograms a serving fleet is
 //!   operated on (sheds, retries, batch sizes, per-server busy time);
 //! - [`stats`]: exact percentile computation over recorded latencies;
@@ -54,7 +59,9 @@
 //! assert!(report.conservation_holds());
 //! ```
 
+pub mod arena;
 pub mod des;
+pub mod equeue;
 pub mod faults;
 pub mod fleet;
 pub mod genmodel;
@@ -65,16 +72,18 @@ pub mod slo;
 pub mod stats;
 
 pub use des::{
-    simulate, simulate_fleet, simulate_fleet_recorded, simulate_fleet_samples,
-    simulate_fleet_with_faults, simulate_generation, simulate_generation_recorded, BatchingMode,
-    ConfigError, FleetConfig, FleetPolicy, GenConfig, GenReport, PoolConfig, RetryPolicy,
-    ServingConfig, ServingReport, Stragglers,
+    simulate, simulate_fleet, simulate_fleet_recorded, simulate_fleet_recorded_reference,
+    simulate_fleet_samples, simulate_fleet_samples_reference, simulate_fleet_with_faults,
+    simulate_fleet_with_faults_reference, simulate_generation, simulate_generation_calendar,
+    simulate_generation_recorded, simulate_generation_recorded_reference,
+    simulate_generation_reference, BatchingMode, ConfigError, FleetConfig, FleetPolicy, GenConfig,
+    GenReport, PoolConfig, RetryPolicy, ServingConfig, ServingReport, Stragglers,
 };
 pub use faults::{FailoverConfig, FaultKind, FaultPlan, MtbfFaults, ScheduledFault};
 pub use fleet::{
-    simulate_global, simulate_global_recorded, AutoscalerConfig, AutoscalerReport, Cell, CellFault,
-    CellFaultKind, CellReport, FlashCrowd, GeoPolicy, GlobalConfig, GlobalReport, TenantStream,
-    TrafficModel,
+    simulate_global, simulate_global_recorded, simulate_global_reference, AutoscalerConfig,
+    AutoscalerReport, Cell, CellFault, CellFaultKind, CellReport, FlashCrowd, GeoPolicy,
+    GlobalConfig, GlobalReport, TenantStream, TrafficModel,
 };
 pub use genmodel::{GenerationModel, TokenDistribution};
 pub use latency::{GenLatencyModel, LatencyModel};

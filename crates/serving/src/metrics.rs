@@ -95,11 +95,18 @@ impl Histogram {
     }
 
     /// Records one observation.
+    #[inline]
     pub fn observe(&mut self, value: f64) {
-        // partition_point = first bound with value <= b (bounds strictly
-        // increase), i.e. the same bucket a linear scan would pick, in
-        // O(log buckets) — this runs once per queue admission in the DES.
-        let idx = self.bounds.partition_point(|&b| value > b);
+        // Bounds strictly increase, so the number of bounds below the
+        // value IS the bucket index (what partition_point would
+        // return). A branchless count over <=16 f64s vectorizes and
+        // beats binary search — this runs once per batch-member launch
+        // in the DES hot loop.
+        let idx = self
+            .bounds
+            .iter()
+            .map(|&b| u64::from(value > b))
+            .sum::<u64>() as usize;
         self.counts[idx] += 1;
         self.sum += value;
         self.n += 1;
@@ -167,14 +174,25 @@ impl Histogram {
     /// (order invariance already holds per histogram).
     ///
     /// Merging an empty histogram is a no-op; merging *into* an empty
-    /// one copies the other's moments (including the real max, not a
-    /// fake 0).
+    /// one adopts the other's bucketing and moments (including the real
+    /// max, not a fake 0). In both empty cases mismatched bounds are
+    /// fine — no count has to be re-binned, so there is nothing to
+    /// misbin (cells sized with different bucketings fold cleanly as
+    /// long as at most one side has observations).
     ///
     /// # Panics
     ///
-    /// Panics if the bucket bounds differ — merging histograms with
-    /// different bucketings would silently misbin counts.
+    /// Panics if both histograms hold observations and the bucket
+    /// bounds differ — merging populated histograms with different
+    /// bucketings would silently misbin counts.
     pub fn merge(&mut self, other: &Histogram) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
         assert_eq!(
             self.bounds, other.bounds,
             "histogram merge requires identical bucket bounds"
@@ -585,9 +603,39 @@ mod tests {
     #[test]
     #[should_panic(expected = "identical bucket bounds")]
     fn merge_rejects_mismatched_bounds() {
+        // Both populated: re-binning would be lossy, so this must panic.
         let mut a = Histogram::with_bounds(vec![1.0, 2.0]);
-        let b = Histogram::with_bounds(vec![1.0, 3.0]);
+        let mut b = Histogram::with_bounds(vec![1.0, 3.0]);
+        a.observe(0.5);
+        b.observe(2.5);
         a.merge(&b);
+    }
+
+    #[test]
+    fn merge_empty_with_mismatched_bounds_is_safe() {
+        // Regression (PR 10): merging when either side is empty used to
+        // panic on mismatched bucket maxes even though no count needs
+        // re-binning. An empty `other` is a no-op; an empty `self`
+        // adopts the other's bucketing and moments exactly.
+        let mut a = Histogram::with_bounds(vec![1.0, 2.0]);
+        a.observe(1.5);
+        a.observe(0.25);
+        let before = a.clone();
+        let empty_other = Histogram::with_bounds(vec![1.0, 3.0]);
+        a.merge(&empty_other);
+        assert_eq!(a, before, "empty other must be a no-op");
+
+        let mut empty_self = Histogram::with_bounds(vec![4.0, 8.0]);
+        empty_self.merge(&a);
+        assert_eq!(empty_self, a, "empty self adopts the other wholesale");
+        assert_eq!(empty_self.count(), 2);
+        assert_eq!(empty_self.max(), 1.5);
+
+        // Empty ∪ empty with mismatched maxes stays empty and sane.
+        let mut e = Histogram::with_bounds(vec![1.0, 2.0]);
+        e.merge(&Histogram::with_bounds(vec![1.0, 3.0]));
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.max(), 0.0);
     }
 
     #[test]

@@ -36,29 +36,54 @@ impl LatencyStats {
                 max_s: 0.0,
             };
         }
-        let mut scratch = samples.to_vec();
-        let n = scratch.len();
-        let mut pick = |q: f64| {
-            let idx = tpu_numerics::stats::nearest_rank_index(q, n);
-            let (_, v, _) = scratch.select_nth_unstable_by(idx, |a, b| a.total_cmp(b));
-            *v
+        let n = samples.len();
+        // One fused pass for sign check, mean accumulation, and max:
+        // the sum accumulates in slice order (bit-identical to a
+        // separate `iter().sum()`), and `total_cmp == Greater` keeps
+        // the first maximal element — equal under `total_cmp` means
+        // identical bits, so the result matches `max_by` exactly.
+        let mut sum = 0.0f64;
+        let mut max_s = f64::NEG_INFINITY;
+        let mut all_nonneg = true;
+        for s in samples {
+            sum += s;
+            if s.total_cmp(&max_s) == std::cmp::Ordering::Greater {
+                max_s = *s;
+            }
+            all_nonneg &= s.to_bits() >> 63 == 0;
+        }
+        // For non-negative samples (every latency the engines record),
+        // `total_cmp` coincides exactly with the unsigned order of the
+        // IEEE-754 bit patterns, so selection can run on `u64` keys —
+        // no comparator closure, branch-cheap integer partitioning.
+        // The percentiles picked are bit-identical to the f64 path's.
+        let (p50_s, p95_s, p99_s) = if all_nonneg {
+            let mut scratch: Vec<u64> = samples.iter().map(|s| s.to_bits()).collect();
+            let mut pick = |q: f64| {
+                let idx = tpu_numerics::stats::nearest_rank_index(q, n);
+                let (_, v, _) = scratch.select_nth_unstable(idx);
+                f64::from_bits(*v)
+            };
+            // Ascending quantile order: each selection partitions the
+            // scratch, so later (higher) selections scan a shrinking
+            // tail.
+            (pick(0.50), pick(0.95), pick(0.99))
+        } else {
+            let mut scratch = samples.to_vec();
+            let mut pick = |q: f64| {
+                let idx = tpu_numerics::stats::nearest_rank_index(q, n);
+                let (_, v, _) = scratch.select_nth_unstable_by(idx, |a, b| a.total_cmp(b));
+                *v
+            };
+            (pick(0.50), pick(0.95), pick(0.99))
         };
-        // Ascending quantile order: each selection partitions the
-        // scratch, so later (higher) selections scan a shrinking tail.
-        let p50_s = pick(0.50);
-        let p95_s = pick(0.95);
-        let p99_s = pick(0.99);
         LatencyStats {
             n,
-            mean_s: samples.iter().sum::<f64>() / n as f64,
+            mean_s: sum / n as f64,
             p50_s,
             p95_s,
             p99_s,
-            max_s: samples
-                .iter()
-                .copied()
-                .max_by(|a, b| a.total_cmp(b))
-                .expect("nonempty"),
+            max_s,
         }
     }
 }
@@ -94,6 +119,19 @@ mod tests {
         assert_eq!(s.p50_s, 0.42);
         assert_eq!(s.p99_s, 0.42);
         assert_eq!(s.max_s, 0.42);
+    }
+
+    #[test]
+    fn negative_samples_use_the_comparator_path() {
+        // Mixed-sign inputs must fall back to `total_cmp` selection;
+        // both paths agree on the all-positive suffix.
+        let v = [-3.0, -1.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let s = LatencyStats::from_samples(&v);
+        assert_eq!(s.p50_s, 2.0);
+        assert_eq!(s.max_s, 7.0);
+        let pos: Vec<f64> = v.iter().map(|x| x + 3.0).collect();
+        let sp = LatencyStats::from_samples(&pos);
+        assert_eq!(sp.p50_s, 5.0);
     }
 
     #[test]

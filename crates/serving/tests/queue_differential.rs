@@ -1,0 +1,323 @@
+//! Differential battery for the calendar event queue.
+//!
+//! Every engine runs the same random valid configs twice — once on the
+//! production calendar queue, once on the binary-heap reference (for
+//! the decode loop, additionally the production two-source select) —
+//! and the reports must match **byte for byte**: same `PartialEq`
+//! reports, same telemetry event streams down to timestamp bits, same
+//! counters. The pair counts at the top sum to at least 256 (config,
+//! seed) pairs across the fleet, generation, and global engines.
+//!
+//! Config generation is deliberately adversarial for a bucket queue:
+//! arrival rates span ~2 decades (bucket widths resolve from the mean
+//! interval, so extreme rates stress overflow migration and cursor
+//! jumps), retries push events far past the arrival window, and MTBF
+//! fault streams interleave probe ticks at yet another timescale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpu_serving::faults::{FailoverConfig, FaultKind, FaultPlan, MtbfFaults, ScheduledFault};
+use tpu_serving::fleet::{
+    simulate_global, simulate_global_reference, AutoscalerConfig, Cell, CellFault, CellFaultKind,
+    GeoPolicy, GlobalConfig, TrafficModel,
+};
+use tpu_serving::genmodel::{GenerationModel, TokenDistribution};
+use tpu_serving::latency::{GenLatencyModel, LatencyModel};
+use tpu_serving::{
+    simulate_fleet_recorded, simulate_fleet_recorded_reference, simulate_fleet_with_faults,
+    simulate_fleet_with_faults_reference, simulate_generation, simulate_generation_calendar,
+    simulate_generation_recorded, simulate_generation_recorded_reference,
+    simulate_generation_reference, BatchingMode, FleetConfig, FleetPolicy, GenConfig, PoolConfig,
+    RetryPolicy, ServingConfig, Stragglers,
+};
+use tpu_telemetry::Recorder;
+
+/// (config, seed) pairs per engine; the sum must stay >= 256.
+const FLEET_PAIRS: usize = 120;
+const GEN_PAIRS: usize = 100;
+const GLOBAL_PAIRS: usize = 24;
+const RECORDED_PAIRS: usize = 16;
+
+#[test]
+fn pair_budget_is_at_least_256() {
+    const { assert!(FLEET_PAIRS + GEN_PAIRS + GLOBAL_PAIRS + RECORDED_PAIRS >= 256) }
+}
+
+/// A random latency curve: ~0.5–2 ms base, clearly batch-sensitive.
+fn random_latency(rng: &mut StdRng) -> LatencyModel {
+    let base = rng.gen_range(0.0005..0.002);
+    let top = rng.gen_range(0.004..0.012);
+    LatencyModel::from_points(vec![(1, base), (128, top)]).expect("monotone points")
+}
+
+/// A random-but-valid chaos fleet: rates across two decades, optional
+/// deadlines/shedding/caps/retries/stragglers, scheduled + MTBF faults,
+/// failover on or off. Everything `FleetConfig::validate` admits.
+fn random_fleet(rng: &mut StdRng) -> (FleetConfig, FaultPlan) {
+    let servers = rng.gen_range(1usize..7);
+    let base = ServingConfig {
+        arrival_rate_rps: rng.gen_range(300.0..30_000.0),
+        max_batch: rng.gen_range(1u64..33),
+        batch_timeout_s: rng.gen_range(0.0002..0.004),
+        requests: rng.gen_range(150usize..500),
+        seed: rng.gen_range(0..u64::MAX),
+    };
+    let deadline_s = rng.gen_bool(0.6).then(|| rng.gen_range(0.005..0.05));
+    let shed_expired = deadline_s.is_some() && rng.gen_bool(0.7);
+    let queue_budget_s = match deadline_s {
+        Some(d) if shed_expired && rng.gen_bool(0.5) => Some(d * rng.gen_range(0.5..1.0)),
+        _ => None,
+    };
+    let policy = FleetPolicy {
+        deadline_s,
+        shed_expired,
+        queue_budget_s,
+        queue_cap: rng.gen_bool(0.5).then(|| rng.gen_range(16usize..512)),
+        retry: RetryPolicy {
+            max_retries: rng.gen_range(0u32..3),
+            backoff_s: rng.gen_range(0.001..0.01),
+            backoff_mult: rng.gen_range(1.0..3.0),
+        },
+    };
+    let stragglers = Stragglers {
+        probability: rng.gen_range(0.0..0.3),
+        factor: rng.gen_range(1.0..4.0),
+    };
+    let fleet = FleetConfig::new(PoolConfig { base, servers })
+        .with_policy(policy)
+        .with_stragglers(stragglers);
+
+    let n_sched = rng.gen_range(0usize..4);
+    let scheduled = (0..n_sched)
+        .map(|_| ScheduledFault {
+            server: rng.gen_range(0..servers),
+            at_s: rng.gen_range(0.0..0.2),
+            kind: match rng.gen_range(0u32..3) {
+                0 => FaultKind::Crash {
+                    mttr_s: rng.gen_range(0.01..0.5),
+                },
+                1 => FaultKind::Hang {
+                    duration_s: rng.gen_range(0.005..0.05),
+                },
+                _ => FaultKind::SlowDegrade {
+                    factor: rng.gen_range(1.5..4.0),
+                    duration_s: rng.gen_range(0.01..0.1),
+                },
+            },
+        })
+        .collect();
+    let mtbf = rng.gen_bool(0.4).then(|| MtbfFaults {
+        mtbf_s: rng.gen_range(0.02..0.2),
+        mttr_s: rng.gen_range(0.005..0.05),
+        horizon_s: rng.gen_range(0.5..2.0),
+    });
+    let probe_interval_s = rng.gen_range(0.001..0.01);
+    let plan = FaultPlan {
+        scheduled,
+        mtbf,
+        fault_seed: rng.gen_range(0..u64::MAX),
+        failover: FailoverConfig {
+            enabled: rng.gen_bool(0.6),
+            probe_interval_s,
+            probe_timeout_s: probe_interval_s * 0.5,
+            recovery_warmup_s: rng.gen_range(0.001..0.01),
+        },
+    };
+    (fleet, plan)
+}
+
+/// Production calendar engine vs the binary-heap reference: the whole
+/// `ServingReport` (stats, metrics, per-server vectors) must be equal —
+/// `PartialEq` on f64 fields means bit-for-bit on every computed time.
+#[test]
+fn fleet_calendar_matches_heap_reference() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0001);
+    for case in 0..FLEET_PAIRS {
+        let latency = random_latency(&mut rng);
+        let (cfg, plan) = random_fleet(&mut rng);
+        let cal = simulate_fleet_with_faults(&latency, &cfg, &plan).expect("valid config");
+        let heap =
+            simulate_fleet_with_faults_reference(&latency, &cfg, &plan).expect("valid config");
+        assert_eq!(cal, heap, "fleet report diverged on case {case}: {cfg:?}");
+    }
+}
+
+/// A random-but-valid decode-loop config in either batching mode.
+fn random_gen(rng: &mut StdRng) -> (GenLatencyModel, GenConfig) {
+    let lat = GenLatencyModel {
+        prefill: LatencyModel::from_points(vec![
+            (1, rng.gen_range(0.0005..0.002)),
+            (1000, rng.gen_range(0.005..0.02)),
+        ])
+        .expect("monotone points"),
+        decode: LatencyModel::from_points(vec![
+            (1, rng.gen_range(0.001..0.004)),
+            (32, rng.gen_range(0.004..0.008)),
+        ])
+        .expect("monotone points"),
+    };
+    let model = GenerationModel {
+        prompt: TokenDistribution::Uniform {
+            min: 1,
+            max: rng.gen_range(8u64..512),
+        },
+        output: TokenDistribution::Geometric {
+            mean: rng.gen_range(1.0..48.0),
+            max: rng.gen_range(16u64..128),
+        },
+        kv_bytes_per_token: 4096,
+    };
+    let cfg = GenConfig {
+        arrival_rate_rps: rng.gen_range(5.0..400.0),
+        requests: rng.gen_range(100usize..400),
+        seed: rng.gen_range(0..u64::MAX),
+        mode: if rng.gen_bool(0.5) {
+            BatchingMode::Continuous
+        } else {
+            BatchingMode::Static
+        },
+        max_batch: rng.gen_range(1u64..24),
+        kv_capacity_bytes: model.peak_request_kv_bytes() * rng.gen_range(1u64..6),
+        ttft_slo_s: rng.gen_bool(0.7).then(|| rng.gen_range(0.05..0.5)),
+        model,
+    };
+    (lat, cfg)
+}
+
+/// The decode loop three ways — production two-source select, heap
+/// queue, calendar queue — must agree exactly. This also pins the
+/// band-separated sequence keys to the production `a <= s` tie rule.
+#[test]
+fn generation_queue_paths_match_production() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0002);
+    for case in 0..GEN_PAIRS {
+        let (lat, cfg) = random_gen(&mut rng);
+        let prod = simulate_generation(&lat, &cfg).expect("valid config");
+        let heap = simulate_generation_reference(&lat, &cfg).expect("valid config");
+        let cal = simulate_generation_calendar(&lat, &cfg).expect("valid config");
+        assert_eq!(prod, heap, "gen heap path diverged on case {case}: {cfg:?}");
+        assert_eq!(
+            prod, cal,
+            "gen calendar path diverged on case {case}: {cfg:?}"
+        );
+    }
+}
+
+/// A random-but-valid global config (compact horizon so the battery
+/// stays fast: each run is still epochs x cells full DES runs).
+fn random_global(rng: &mut StdRng) -> GlobalConfig {
+    let n_cells = rng.gen_range(2usize..5);
+    let cells = (0..n_cells)
+        .map(|_| {
+            let servers = rng.gen_range(2usize..5);
+            let (mut fleet, _) = random_fleet(rng);
+            fleet.pool.servers = servers;
+            // The orchestrator substitutes per-epoch rate/count/seed.
+            fleet.pool.base.requests = 1;
+            fleet.pool.base.arrival_rate_rps = 1.0;
+            Cell::new(fleet, rng.gen_range(1_500.0..4_000.0), servers * 2)
+        })
+        .collect();
+    let n_faults = rng.gen_range(0usize..4);
+    let cell_faults = (0..n_faults)
+        .map(|_| CellFault {
+            cell: rng.gen_range(0..n_cells),
+            at_s: rng.gen_range(0.0..0.8),
+            duration_s: rng.gen_range(0.05..0.4),
+            kind: match rng.gen_range(0u32..3) {
+                0 => CellFaultKind::Outage,
+                1 => CellFaultKind::Partition,
+                _ => CellFaultKind::Brownout {
+                    fraction: rng.gen_range(0.2..1.0),
+                },
+            },
+        })
+        .collect();
+    GlobalConfig {
+        cells,
+        traffic: TrafficModel::diurnal(
+            rng.gen_range(1_000.0..12_000.0),
+            rng.gen_range(0.0..0.6),
+            1.0,
+        )
+        .with_flash(0.4, 0.2, 1.7),
+        cell_faults,
+        autoscaler: AutoscalerConfig {
+            enabled: rng.gen_bool(0.5),
+            target_utilization: 0.6,
+            step_servers: 2,
+            provisioning_lag_epochs: 1,
+        },
+        geo: GeoPolicy {
+            failover: rng.gen_bool(0.5),
+            redirect_latency_s: 0.01,
+            overload_threshold: 1.0,
+            detect_epochs: 1,
+        },
+        epoch_s: 0.1,
+        horizon_s: 0.8,
+        seed: rng.gen_range(0..u64::MAX),
+    }
+}
+
+/// Planet-scale runs drive one full per-cell DES per (epoch, cell);
+/// the global report must not care which queue ran them.
+#[test]
+fn global_calendar_matches_heap_reference() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0003);
+    let latency = random_latency(&mut rng);
+    for case in 0..GLOBAL_PAIRS {
+        let cfg = random_global(&mut rng);
+        let cal = simulate_global(&latency, &cfg).expect("valid config");
+        let heap = simulate_global_reference(&latency, &cfg).expect("valid config");
+        assert_eq!(cal, heap, "global report diverged on case {case}");
+    }
+}
+
+/// Telemetry streams are part of the contract: identical event
+/// sequences (timestamp *bits*, track, phase, name, id, arg) and
+/// identical counter maps, not just identical reports.
+fn assert_streams_identical(a: &Recorder, b: &Recorder, what: &str) {
+    assert_eq!(a.counters(), b.counters(), "{what}: counters diverged");
+    assert_eq!(a.gauges(), b.gauges(), "{what}: gauges diverged");
+    assert_eq!(a.len(), b.len(), "{what}: event counts diverged");
+    for (i, (x, y)) in a.events().zip(b.events()).enumerate() {
+        assert_eq!(
+            x.t_s.to_bits(),
+            y.t_s.to_bits(),
+            "{what}: event {i} timestamp bits diverged ({} vs {})",
+            x.t_s,
+            y.t_s
+        );
+        assert_eq!(
+            (x.track, x.phase, &x.name, x.id, x.arg),
+            (y.track, y.phase, &y.name, y.id, y.arg),
+            "{what}: event {i} payload diverged"
+        );
+    }
+}
+
+#[test]
+fn recorded_telemetry_streams_are_identical_across_queues() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0004);
+    for case in 0..RECORDED_PAIRS {
+        let latency = random_latency(&mut rng);
+        let (cfg, plan) = random_fleet(&mut rng);
+        let mut cal_rec = Recorder::new();
+        let mut heap_rec = Recorder::new();
+        let cal = simulate_fleet_recorded(&latency, &cfg, &plan, &mut cal_rec).expect("valid");
+        let heap =
+            simulate_fleet_recorded_reference(&latency, &cfg, &plan, &mut heap_rec).expect("valid");
+        assert_eq!(cal, heap, "recorded fleet report diverged on case {case}");
+        assert_streams_identical(&cal_rec, &heap_rec, &format!("fleet case {case}"));
+
+        let (glat, gcfg) = random_gen(&mut rng);
+        let mut gcal_rec = Recorder::new();
+        let mut gheap_rec = Recorder::new();
+        let gcal = simulate_generation_recorded(&glat, &gcfg, &mut gcal_rec).expect("valid");
+        let gheap =
+            simulate_generation_recorded_reference(&glat, &gcfg, &mut gheap_rec).expect("valid");
+        assert_eq!(gcal, gheap, "recorded gen report diverged on case {case}");
+        assert_streams_identical(&gcal_rec, &gheap_rec, &format!("gen case {case}"));
+    }
+}

@@ -23,11 +23,13 @@ pub trait SeedableRng: Sized {
 pub trait Rng: RngCore {
     /// Uniform sample from a half-open range. Panics on an empty range,
     /// matching `rand`'s contract.
+    #[inline]
     fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
         T::sample(self.next_raw(), range)
     }
 
     /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    #[inline]
     fn gen_bool(&mut self, p: f64) -> bool {
         u64_to_unit_f64(self.next_raw()) < p.clamp(0.0, 1.0)
     }
@@ -42,6 +44,7 @@ pub trait RngCore {
 impl<R: RngCore> Rng for R {}
 
 /// Maps 64 random bits to a uniform f64 in [0, 1).
+#[inline(always)]
 fn u64_to_unit_f64(x: u64) -> f64 {
     // 53 mantissa bits give the densest uniform grid in [0, 1).
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
@@ -56,6 +59,7 @@ pub trait SampleUniform: Copy + PartialOrd {
 macro_rules! impl_sample_float {
     ($t:ty) => {
         impl SampleUniform for $t {
+            #[inline]
             fn sample(bits: u64, range: Range<Self>) -> Self {
                 assert!(range.start < range.end, "empty gen_range");
                 let u = u64_to_unit_f64(bits) as $t;
@@ -78,6 +82,7 @@ impl_sample_float!(f64);
 macro_rules! impl_sample_int {
     ($t:ty, $wide:ty) => {
         impl SampleUniform for $t {
+            #[inline]
             fn sample(bits: u64, range: Range<Self>) -> Self {
                 assert!(range.start < range.end, "empty gen_range");
                 let span = (range.end as $wide).wrapping_sub(range.start as $wide) as u64;
@@ -127,6 +132,7 @@ pub mod rngs {
     }
 
     impl RngCore for StdRng {
+        #[inline]
         fn next_raw(&mut self) -> u64 {
             let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;
